@@ -1,0 +1,58 @@
+"""Ablation: spanning-tree depth constraint (paper Table 1 uses 3).
+
+Tighter depth bounds shorten the overhead-add critical path (faster filters)
+but split trees, adding roots and therefore SEED multipliers.  This bench
+quantifies the adders-vs-depth trade-off.
+"""
+
+import pytest
+
+from repro.core import MrpOptions, lower_plan, optimize
+from repro.eval import format_table
+from repro.filters import benchmark_suite
+from repro.quantize import ScalingScheme, quantize
+
+DEPTHS = (1, 2, 3, 5, None)
+FILTER_INDICES = (2, 4, 7)
+WORDLENGTH = 16
+
+
+def sweep():
+    rows = []
+    for index in FILTER_INDICES:
+        designed = benchmark_suite()[index]
+        q = quantize(designed.folded, WORDLENGTH, ScalingScheme.MAXIMAL)
+        per_depth = []
+        for depth in DEPTHS:
+            plan = optimize(q.integers, WORDLENGTH, MrpOptions(depth_limit=depth))
+            arch = lower_plan(plan)
+            per_depth.append(
+                (arch.adder_count, len(plan.roots), plan.tree_height)
+            )
+        rows.append((designed.name, per_depth))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_depth(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    headers = ["filter"] + [f"depth<={d}" for d in DEPTHS]
+    body = [
+        [name] + [f"{a}add/{r}roots/h{h}" for a, r, h in per_depth]
+        for name, per_depth in rows
+    ]
+    save_result(
+        "ablation_depth",
+        "depth-constraint ablation — adders/roots/height per bound\n"
+        + format_table(headers, body),
+    )
+
+    for name, per_depth in rows:
+        heights = [h for _, _, h in per_depth]
+        roots = [r for _, r, _ in per_depth]
+        # The bound is honored, and loosening it never adds roots.
+        for (depth, (_, _, h)) in zip(DEPTHS, per_depth):
+            if depth is not None:
+                assert h <= depth
+        assert roots[0] >= roots[-1]

@@ -1,0 +1,64 @@
+"""Ablation: SEED-network compression (paper §4's architectural recursion).
+
+Compares the three ways this library builds the SEED multiplication network —
+plain digit chains, Hartley CSE over the SEED constants (the paper's
+MRPF+CSE), and recursive MRP — and the two digit representations (the paper
+claims MRP's efficiency is representation-insensitive).
+"""
+
+import pytest
+
+from repro.core import MrpOptions, lower_plan, optimize
+from repro.eval import format_table
+from repro.filters import benchmark_suite
+from repro.numrep import Representation
+from repro.quantize import ScalingScheme, quantize
+
+FILTER_INDICES = (2, 4, 7)
+WORDLENGTH = 16
+MODES = ("none", "cse", "recursive")
+
+
+def sweep():
+    rows = []
+    for index in FILTER_INDICES:
+        designed = benchmark_suite()[index]
+        q = quantize(designed.folded, WORDLENGTH, ScalingScheme.MAXIMAL)
+        cells = {}
+        for rep in Representation:
+            plan = optimize(
+                q.integers, WORDLENGTH, MrpOptions(representation=rep)
+            )
+            for mode in MODES:
+                cells[(rep.value, mode)] = lower_plan(plan, mode).adder_count
+        rows.append((designed.name, cells))
+    return rows
+
+
+@pytest.mark.benchmark(group="ablations")
+def test_ablation_seed_compression(benchmark, save_result):
+    rows = benchmark.pedantic(sweep, rounds=1, iterations=1)
+
+    headers = ["filter"] + [
+        f"{rep.value}/{mode}" for rep in Representation for mode in MODES
+    ]
+    body = []
+    for name, cells in rows:
+        body.append(
+            [name]
+            + [
+                str(cells[(rep.value, mode)])
+                for rep in Representation
+                for mode in MODES
+            ]
+        )
+    save_result(
+        "ablation_seed",
+        "SEED compression ablation — adders per representation x mode\n"
+        + format_table(headers, body),
+    )
+
+    for name, cells in rows:
+        for rep in Representation:
+            # CSE on the SEED network never hurts (it can only share).
+            assert cells[(rep.value, "cse")] <= cells[(rep.value, "none")]

@@ -1,0 +1,30 @@
+"""Figure 7 — MRPF vs simple implementation, maximally scaled SPT coefficients.
+
+Paper claims: ~60 % reduction at W in {8, 12}; ~40 % at W in {16, 20} (maximal
+scaling densifies coefficients, so sharing gets harder at long wordlengths).
+"""
+
+import pytest
+
+from repro.eval import format_experiment, paper_comparison, run_figure7
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure7(benchmark, save_result):
+    result = benchmark.pedantic(run_figure7, rounds=1, iterations=1)
+
+    text = format_experiment(result)
+    comparison = "\n".join(
+        f"paper vs measured — {metric}: paper={paper:.2f} measured={measured:.2f}"
+        for metric, paper, measured in paper_comparison(result)
+    )
+    save_result("fig7", text + "\n\n" + comparison)
+
+    for row in result.rows:
+        assert row.results["mrpf"].adders <= row.results["simple"].adders
+    # Crossover shape: short wordlengths benefit at least as much as long ones.
+    assert (
+        result.summary["mean_reduction_w8_w12"]
+        >= result.summary["mean_reduction_w16_w20"] - 0.05
+    )
+    assert result.summary["mean_reduction"] > 0.25

@@ -1,0 +1,47 @@
+"""Figure 8 — MRPF+CSE vs CSE (CSD), both scaling schemes.
+
+Regenerates 8(a) (uniform) and 8(b) (maximal).  Paper claims: 17 %/15 %
+average reduction vs CSE, 66 %/74 % vs the simple implementation.
+"""
+
+import pytest
+
+from repro.eval import format_experiment, paper_comparison, run_figure8
+from repro.quantize import ScalingScheme
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure8a(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_figure8, args=(ScalingScheme.UNIFORM,), rounds=1, iterations=1
+    )
+    text = format_experiment(result)
+    comparison = "\n".join(
+        f"paper vs measured — {metric}: paper={paper:.2f} measured={measured:.2f}"
+        for metric, paper, measured in paper_comparison(result)
+    )
+    save_result("fig8a", text + "\n\n" + comparison)
+
+    for row in result.rows:
+        assert row.results["mrpf_cse"].adders <= row.results["simple"].adders
+    assert result.summary["mean_reduction_vs_simple"] > 0.35
+    # MRPF+CSE should at least hold its ground against plain CSE on average.
+    assert result.summary["mean_reduction_vs_cse"] > -0.05
+
+
+@pytest.mark.benchmark(group="figures")
+def test_figure8b(benchmark, save_result):
+    result = benchmark.pedantic(
+        run_figure8, args=(ScalingScheme.MAXIMAL,), rounds=1, iterations=1
+    )
+    text = format_experiment(result)
+    comparison = "\n".join(
+        f"paper vs measured — {metric}: paper={paper:.2f} measured={measured:.2f}"
+        for metric, paper, measured in paper_comparison(result)
+    )
+    save_result("fig8b", text + "\n\n" + comparison)
+
+    for row in result.rows:
+        assert row.results["mrpf_cse"].adders <= row.results["simple"].adders
+    assert result.summary["mean_reduction_vs_simple"] > 0.35
+    assert result.summary["mean_reduction_vs_cse"] > -0.05

@@ -1,0 +1,73 @@
+"""Micro-benchmarks: synthesis throughput of each pipeline stage.
+
+These are genuine timing benchmarks (multiple rounds) rather than one-shot
+table regenerations: graph construction, greedy cover + forest, full MRPF
+lowering, CSE, and the bit-exact verifier — so performance regressions in the
+core algorithms are visible.
+"""
+
+import pytest
+
+from repro.baselines import synthesize_cse_filter
+from repro.core import MrpOptions, lower_plan, optimize, synthesize_mrpf
+from repro.core.sidc import normalize_taps
+from repro.graph import build_colored_graph
+from repro.filters import benchmark_suite
+from repro.quantize import ScalingScheme, quantize
+
+WORDLENGTH = 16
+
+
+@pytest.fixture(scope="module")
+def medium_integers():
+    designed = benchmark_suite()[4]
+    return quantize(designed.folded, WORDLENGTH, ScalingScheme.UNIFORM).integers
+
+
+@pytest.fixture(scope="module")
+def medium_graph(medium_integers):
+    vertices, _ = normalize_taps(medium_integers)
+    return build_colored_graph(vertices, WORDLENGTH)
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_graph_construction(benchmark, medium_integers):
+    vertices, _ = normalize_taps(medium_integers)
+    graph = benchmark(build_colored_graph, vertices, WORDLENGTH)
+    assert graph.num_edges > 0
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_cover_and_forest(benchmark, medium_integers, medium_graph):
+    plan = benchmark(
+        optimize, medium_integers, WORDLENGTH, MrpOptions(), medium_graph
+    )
+    assert plan.seed
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_full_mrpf_synthesis(benchmark, medium_integers):
+    arch = benchmark(
+        synthesize_mrpf, medium_integers, WORDLENGTH, None, "none", False
+    )
+    assert arch.adder_count > 0
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_cse_baseline(benchmark, medium_integers):
+    arch = benchmark(synthesize_cse_filter, medium_integers)
+    assert arch.adder_count > 0
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_verification(benchmark, medium_integers):
+    arch = synthesize_mrpf(medium_integers, WORDLENGTH, verify=False)
+    samples = list(range(-32, 32))
+    benchmark(arch.verify, samples)
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_plan_lowering(benchmark, medium_integers, medium_graph):
+    plan = optimize(medium_integers, WORDLENGTH, MrpOptions(), medium_graph)
+    arch = benchmark(lower_plan, plan)
+    assert arch.adder_count == lower_plan(plan).adder_count

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Multiplierless 8-point DCT row kernels via MRP vector scaling.
+
+The paper closes §1 noting MRP applies "to any applications which can be
+expressed as a vector scaling operation".  A matrix-vector product is eight
+such operations — one per row — and the DCT-II matrix used by image codecs is
+the classic fixed-coefficient example.  This script quantizes each DCT basis
+row, MRP-optimizes it into a shift-add bank, verifies every product exactly,
+and totals the adder savings over naive per-constant chains.
+
+Run:  python examples/dct_bank.py
+"""
+
+import math
+
+from repro.baselines import simple_adder_count
+from repro.core import synthesize_vector_scaler
+from repro.eval import format_table
+from repro.quantize import quantize_uniform
+
+N = 8
+WORDLENGTH = 12
+
+
+def dct_rows():
+    """DCT-II basis rows (orthonormal scaling)."""
+    rows = []
+    for k in range(N):
+        scale = math.sqrt(1.0 / N) if k == 0 else math.sqrt(2.0 / N)
+        rows.append([
+            scale * math.cos(math.pi * (2 * n + 1) * k / (2 * N))
+            for n in range(N)
+        ])
+    return rows
+
+
+def main() -> None:
+    table = []
+    total_naive = 0
+    total_mrp = 0
+    for k, row in enumerate(dct_rows()):
+        q = quantize_uniform(row, WORDLENGTH)
+        scaler = synthesize_vector_scaler(q.integers, wordlength=WORDLENGTH)
+        scaler.verify([1, -1, 127, -128, 255])
+        naive = simple_adder_count(q.integers)
+        total_naive += naive
+        total_mrp += scaler.adder_count
+        table.append([
+            f"row {k}",
+            str(len(set(abs(v) for v in q.integers if v))),
+            str(naive),
+            str(scaler.adder_count),
+            str(list(scaler.architecture.plan.seed)),
+        ])
+    print(f"8-point DCT-II, {WORDLENGTH}-bit coefficients — "
+          f"every row verified bit-exactly")
+    print(format_table(
+        ["kernel", "unique |c|", "naive adders", "MRP adders", "SEED"], table
+    ))
+    print()
+    print(f"total: {total_naive} naive -> {total_mrp} MRP "
+          f"({1 - total_mrp / total_naive:.0%} of the multiplier area saved)")
+
+
+if __name__ == "__main__":
+    main()

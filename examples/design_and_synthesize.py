@@ -1,0 +1,83 @@
+#!/usr/bin/env python
+"""Full design flow: spec -> FIR design -> wordlength search -> MRPF -> RTL.
+
+Scenario from the paper's introduction: a fixed-coefficient channel-select
+low-pass filter for a high-speed communication receiver.  We design it,
+search the minimum coefficient wordlength that still meets the spec, compare
+scaling schemes, synthesize the MRPF architecture and report hardware costs
+under the carry-lookahead model.
+
+Run:  python examples/design_and_synthesize.py
+"""
+
+from repro import (
+    BandType,
+    DesignMethod,
+    FilterSpec,
+    ScalingScheme,
+    design_fir,
+    quantize,
+    simple_adder_count,
+)
+from repro.eval import best_mrpf, format_table
+from repro.filters import fold_symmetric, measure_response, unfold_symmetric
+from repro.hwcost import (
+    CARRY_LOOKAHEAD,
+    estimate_power,
+    netlist_area,
+    netlist_critical_path,
+)
+from repro.quantize import search_wordlength
+
+SPEC = FilterSpec(
+    name="channel_select",
+    band=BandType.LOWPASS,
+    method=DesignMethod.PARKS_MCCLELLAN,
+    numtaps=55,
+    passband=(0.0, 0.16),
+    stopband=(0.24, 1.0),
+    ripple_db=0.4,
+    atten_db=45.0,
+)
+
+
+def main() -> None:
+    taps = design_fir(SPEC)
+    report = measure_response(taps, SPEC)
+    print(SPEC.describe())
+    print(f"designed: ripple {report.passband_ripple_db:.2f} dB, "
+          f"attenuation {report.stopband_atten_db:.1f} dB")
+
+    folded, numtaps = fold_symmetric(taps)
+
+    # Smallest wordlength whose quantized response still meets the spec.
+    def still_meets(reconstructed) -> bool:
+        full = unfold_symmetric(reconstructed, numtaps)
+        return measure_response(full, SPEC).satisfies(SPEC)
+
+    wordlength = search_wordlength(folded, still_meets, 6, 20)
+    print(f"minimum coefficient wordlength meeting spec: {wordlength} bits")
+    print()
+
+    rows = []
+    for scheme in (ScalingScheme.UNIFORM, ScalingScheme.MAXIMAL):
+        q = quantize(folded, wordlength, scheme)
+        arch = best_mrpf(q.integers, wordlength)
+        arch.verify()
+        baseline = simple_adder_count(q.integers)
+        rows.append([
+            scheme.value,
+            str(baseline),
+            str(arch.adder_count),
+            f"{1 - arch.adder_count / baseline:.0%}",
+            f"{netlist_area(arch.netlist, 16, CARRY_LOOKAHEAD) / 1e3:.1f}",
+            f"{netlist_critical_path(arch.netlist, 16, CARRY_LOOKAHEAD):.2f}",
+            f"{estimate_power(arch.netlist, 16, 128).toggles_per_sample:.0f}",
+        ])
+    headers = ["scaling", "simple adders", "MRPF adders", "saved",
+               "CLA area (kum2)", "critical path (ns)", "toggles/sample"]
+    print(format_table(headers, rows))
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,78 @@
+#!/usr/bin/env python
+"""Multiplierless IIR notch filter — MRP beyond FIR (paper §1).
+
+The paper notes MRP applies to "any application which can be expressed as a
+vector scaling operation ... like transposed direct form IIR filters".  This
+example designs an elliptic-band notch (band-stop) IIR filter for interference
+rejection in a receiver, quantizes numerator and denominator jointly, and
+MRP-optimizes the combined coefficient vector into one shared shift-add bank.
+The quantized filter is then run through the exact TDF-II simulator and its
+notch depth compared against the float design.
+
+Run:  python examples/iir_notch.py
+"""
+
+import numpy as np
+from scipy import signal
+
+from repro.baselines import simple_adder_count
+from repro.core import synthesize_vector_scaler
+from repro.filters import IirSpec, design_iir, iir_tdf2_output, quantize_iir
+
+WORDLENGTH = 14
+
+
+def notch_depth_db(b, a) -> float:
+    freqs, response = signal.freqz(b, a, worN=2048)
+    magnitude = np.abs(response)
+    band = (freqs / np.pi >= 0.49) & (freqs / np.pi <= 0.51)
+    return float(-20 * np.log10(max(np.max(magnitude[band]), 1e-12)))
+
+
+def main() -> None:
+    spec = IirSpec("interference_notch", "bandstop", 3, (0.45, 0.55),
+                   design="butter")
+    b, a = design_iir(spec)
+    q = quantize_iir(b, a, WORDLENGTH)
+
+    print(f"{spec.name}: order-{spec.order} {spec.btype}, "
+          f"{len(q.b_int)} numerator + {len(q.a_int) - 1} denominator taps")
+    print(f"quantized b: {list(q.b_int)} / 2^{q.b_frac}")
+    print(f"quantized a: {list(q.a_int)} / 2^{q.a_frac} "
+          f"(a0 = 2^{q.a_int[0].bit_length() - 1}: feedback divide is a wire)")
+
+    # Jointly MRP-optimize every multiplication the TDF-II structure needs.
+    scaler = synthesize_vector_scaler(q.all_integers, wordlength=WORDLENGTH)
+    scaler.verify()
+    naive = simple_adder_count(q.all_integers)
+    print()
+    print(f"multiplier bank: {naive} adders naive -> "
+          f"{scaler.adder_count} adders after MRP "
+          f"({1 - scaler.adder_count / naive:.0%} saved), "
+          f"SEED = {list(scaler.architecture.plan.seed)}")
+
+    # Exact fixed-point run vs the float design.
+    float_depth = notch_depth_db(b, a)
+    bq = [v / (1 << q.b_frac) for v in q.b_int]
+    aq = [v / (1 << q.a_frac) for v in q.a_int]
+    quant_depth = notch_depth_db(bq, aq)
+    print()
+    print(f"notch depth: float {float_depth:.1f} dB, "
+          f"{WORDLENGTH}-bit quantized {quant_depth:.1f} dB")
+
+    # Cycle-accurate sanity: feed a 0.5*Nyquist tone through the exact TDF-II
+    # integer structure and show it is crushed relative to a passband tone.
+    n = np.arange(256)
+    in_band = [int(v) for v in np.round(1000 * np.sin(np.pi * 0.5 * n))]
+    passband = [int(v) for v in np.round(1000 * np.sin(np.pi * 0.1 * n))]
+
+    def rms_gain(xs):
+        ys = iir_tdf2_output(list(q.b_int), list(q.a_int), xs)[64:]
+        return float(np.sqrt(np.mean([float(y) ** 2 for y in ys]))) / 707.0
+
+    print(f"RMS gain: passband tone {rms_gain(passband):.2f}, "
+          f"notch tone {rms_gain(in_band):.4f}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,66 @@
+#!/usr/bin/env python
+"""Decimate-by-2 channelizer stage: half-band polyphase + MRP.
+
+The paper's motivating application is the high-speed communication receiver;
+its front half is usually a cascade of decimate-by-2 half-band stages.  This
+example designs a half-band filter (every other tap exactly zero), quantizes
+it, builds the 2-fold polyphase decimator with MRP-optimized branches, and
+verifies the whole structure cycle-exactly against "filter then downsample".
+The matching interpolator shows the joint-sharing advantage of a common
+input.
+
+Run:  python examples/multirate_channelizer.py
+"""
+
+import numpy as np
+
+from repro.baselines import simple_adder_count
+from repro.multirate import (
+    design_halfband,
+    is_halfband,
+    polyphase_decompose,
+    synthesize_polyphase_decimator,
+    synthesize_polyphase_interpolator,
+)
+from repro.quantize import quantize_uniform
+
+NUMTAPS = 31
+WORDLENGTH = 14
+
+
+def main() -> None:
+    taps = design_halfband(NUMTAPS, transition=0.08)
+    assert is_halfband(taps)
+    q = quantize_uniform(taps, WORDLENGTH)
+    nonzero = sum(1 for v in q.integers if v)
+    print(f"half-band filter: {NUMTAPS} taps, only {nonzero} nonzero "
+          f"({WORDLENGTH}-bit quantized)")
+
+    parts = polyphase_decompose(q.integers, 2)
+    print(f"polyphase split: branch sizes "
+          f"{[sum(1 for v in p if v) for p in parts]} nonzero taps "
+          f"(the sparse branch is the center tap alone — a pure wire)")
+
+    decimator = synthesize_polyphase_decimator(q.integers, 2, WORDLENGTH)
+    samples = [int(v) for v in
+               np.round(500 * np.sin(0.13 * np.arange(64))
+                        + 300 * np.sin(2.9 * np.arange(64)))]
+    decimator.verify(samples)
+
+    interpolator = synthesize_polyphase_interpolator(q.integers, 2, WORDLENGTH)
+    interpolator.verify(samples)
+
+    naive = simple_adder_count(q.integers)
+    print()
+    print(f"multiplier adders — naive per-tap: {naive}")
+    print(f"  decimator (per-branch MRP):  {decimator.adder_count} "
+          f"({1 - decimator.adder_count / naive:.0%} saved)")
+    print(f"  interpolator (joint MRP):    {interpolator.adder_count} "
+          f"({1 - interpolator.adder_count / naive:.0%} saved)")
+    print()
+    print("both structures verified cycle-exactly against the full-rate "
+          "golden model")
+
+
+if __name__ == "__main__":
+    main()

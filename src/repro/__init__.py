@@ -1,0 +1,69 @@
+"""repro — MRPF: minimally redundant parallel digital filter synthesis.
+
+A full reproduction of Choo, Muhammad & Roy, *"MRPF: An Architectural
+Transformation for Synthesis of High-Performance and Low-Power Digital
+Filters"* (DATE 2003): multiplierless FIR filter synthesis by shift-inclusive
+differential coefficients, greedy weighted set cover over a colored graph,
+and a SEED + overhead-add architecture, plus the baselines (simple per-tap,
+Hartley CSE, L=0 differential MST) and the complete evaluation harness.
+
+Quick start::
+
+    from repro import synthesize_mrpf, quantize, ScalingScheme, design_fir
+    from repro.filters import FilterSpec, BandType, DesignMethod
+
+    spec = FilterSpec("lp", BandType.LOWPASS, DesignMethod.PARKS_MCCLELLAN,
+                      numtaps=25, passband=(0.0, 0.2), stopband=(0.3, 1.0))
+    taps = design_fir(spec)
+    q = quantize(taps, wordlength=12, scheme=ScalingScheme.UNIFORM)
+    arch = synthesize_mrpf(q.integers, wordlength=12)
+    print(arch.adder_count, arch.plan.seed)
+"""
+
+from .core import (
+    MrpOptions,
+    MrpPlan,
+    MrpfArchitecture,
+    PipelineSchedule,
+    optimize,
+    schedule_pipeline,
+    simulate_pipelined,
+    synthesize_mrpf,
+)
+from .baselines import (
+    simple_adder_count,
+    synthesize_cse_filter,
+    synthesize_mst_diff,
+    synthesize_simple,
+)
+from .errors import ReproError
+from .filters import BandType, DesignMethod, FilterSpec, design_fir
+from .numrep import Representation
+from .quantize import QuantizedTaps, ScalingScheme, quantize
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "BandType",
+    "DesignMethod",
+    "FilterSpec",
+    "MrpOptions",
+    "MrpPlan",
+    "MrpfArchitecture",
+    "PipelineSchedule",
+    "QuantizedTaps",
+    "Representation",
+    "ReproError",
+    "ScalingScheme",
+    "design_fir",
+    "optimize",
+    "quantize",
+    "schedule_pipeline",
+    "simple_adder_count",
+    "simulate_pipelined",
+    "synthesize_cse_filter",
+    "synthesize_mrpf",
+    "synthesize_mst_diff",
+    "synthesize_simple",
+    "__version__",
+]

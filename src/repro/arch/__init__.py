@@ -1,0 +1,44 @@
+"""Architecture IR: shift-add netlists, simulation, metrics, RTL export."""
+
+from .metrics import NetlistStats, analyze, node_bitwidths
+from .netlist import ShiftAddNetlist
+from .optimize import optimize_netlist, reachable_nodes
+from .scheduler import Schedule, alap_schedule, asap_schedule, list_schedule
+from .cmodel import emit_c_model
+from .dot import to_dot
+from .nodes import INPUT_ID, Node, Ref
+from .simulate import (
+    evaluate_nodes,
+    evaluate_ref,
+    simulate_tdf_filter,
+    tap_products,
+    verify_against_convolution,
+)
+from .testbench import emit_testbench
+from .verilog import emit_verilog, output_width
+
+__all__ = [
+    "INPUT_ID",
+    "NetlistStats",
+    "Node",
+    "Ref",
+    "Schedule",
+    "ShiftAddNetlist",
+    "alap_schedule",
+    "analyze",
+    "asap_schedule",
+    "evaluate_nodes",
+    "evaluate_ref",
+    "list_schedule",
+    "node_bitwidths",
+    "optimize_netlist",
+    "reachable_nodes",
+    "simulate_tdf_filter",
+    "tap_products",
+    "emit_c_model",
+    "emit_testbench",
+    "emit_verilog",
+    "output_width",
+    "to_dot",
+    "verify_against_convolution",
+]

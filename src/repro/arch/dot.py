@@ -1,0 +1,50 @@
+"""Graphviz export of shift-add netlists, for inspection and documentation."""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from .netlist import ShiftAddNetlist
+from .nodes import Ref
+
+__all__ = ["to_dot"]
+
+
+def _edge_label(ref: Ref) -> str:
+    parts = []
+    if ref.shift:
+        parts.append(f"<<{ref.shift}")
+    if ref.sign < 0:
+        parts.append("-")
+    return " ".join(parts)
+
+
+def to_dot(
+    netlist: ShiftAddNetlist,
+    tap_names: Optional[Sequence[str]] = None,
+    graph_name: str = "shift_add",
+) -> str:
+    """Render the DAG as Graphviz dot text (inputs at top, taps at bottom)."""
+    lines = [f"digraph {graph_name} {{", "    rankdir=TB;"]
+    lines.append('    n0 [label="x(n)", shape=invtriangle];')
+    for node in netlist.nodes[1:]:
+        label = f"n{node.id}\\n={node.value}"
+        if node.label:
+            label += f"\\n{node.label}"
+        lines.append(f'    n{node.id} [label="{label}", shape=box];')
+        for ref in node.operands:
+            edge_label = _edge_label(ref)
+            attr = f' [label="{edge_label}"]' if edge_label else ""
+            lines.append(f"    n{ref.node} -> n{node.id}{attr};")
+    names = tap_names if tap_names is not None else sorted(netlist.outputs)
+    for name in names:
+        ref = netlist.outputs[name]
+        if ref is None:
+            continue
+        out_id = f"out_{name}"
+        lines.append(f'    {out_id} [label="{name}", shape=ellipse];')
+        edge_label = _edge_label(ref)
+        attr = f' [label="{edge_label}"]' if edge_label else ""
+        lines.append(f"    n{ref.node} -> {out_id}{attr};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

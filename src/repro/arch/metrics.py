@@ -1,0 +1,69 @@
+"""Architecture metrics: adders, depth, bit widths, registers.
+
+These are the raw numbers behind every figure in the paper: the multiplier
+block's adder count (complexity), its adder depth (speed), the bit widths
+each adder must carry (area/power weighting for the CLA cost model), and the
+structural register count of the TDF delay line.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .netlist import ShiftAddNetlist
+
+__all__ = ["NetlistStats", "analyze", "node_bitwidths"]
+
+
+@dataclass(frozen=True)
+class NetlistStats:
+    """Summary statistics of one multiplier-block netlist."""
+
+    adders: int
+    depth: int
+    num_outputs: int
+    num_zero_outputs: int
+    structural_registers: int
+    max_node_bits: int
+    total_adder_bits: int
+
+    @property
+    def adders_per_tap(self) -> float:
+        """The paper's Figure-6 y-axis: multiplier adders per filter tap."""
+        if self.num_outputs == 0:
+            return 0.0
+        return self.adders / self.num_outputs
+
+
+def node_bitwidths(netlist: ShiftAddNetlist, input_bits: int) -> List[int]:
+    """Worst-case signed bit width of each node for an ``input_bits`` input.
+
+    A node computing ``value * x`` needs ``bits(|value|) + input_bits`` bits
+    (plus the sign handled by two's complement growth).
+    """
+    widths = []
+    for node in netlist.nodes:
+        widths.append(abs(node.value).bit_length() + input_bits)
+    return widths
+
+
+def analyze(
+    netlist: ShiftAddNetlist,
+    tap_names: Sequence[str],
+    input_bits: int = 16,
+) -> NetlistStats:
+    """Compute the full statistics bundle for a filter netlist."""
+    outputs = netlist.tap_refs(tap_names)
+    zero_outputs = sum(1 for ref in outputs if ref is None)
+    widths = node_bitwidths(netlist, input_bits)
+    adder_widths = widths[1:]  # node 0 is the input, not an adder
+    return NetlistStats(
+        adders=netlist.adder_count,
+        depth=netlist.max_depth,
+        num_outputs=len(outputs),
+        num_zero_outputs=zero_outputs,
+        structural_registers=max(0, len(outputs) - 1),
+        max_node_bits=max(widths) if widths else 0,
+        total_adder_bits=sum(adder_widths),
+    )

@@ -1,0 +1,208 @@
+"""Shift-add netlist: builder, fundamental reuse, constant chains, validation.
+
+The netlist is the lowered form of every architecture in this library — the
+simple per-tap implementation, CSE networks, and MRPF's SEED + overhead
+structure all become instances of :class:`ShiftAddNetlist`.  That shared IR is
+what makes the complexity comparisons apples-to-apples and lets one simulator
+and one RTL emitter serve every method.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import NetlistError
+from ..numrep import Representation, encode, odd_normalize
+from .nodes import INPUT_ID, Node, Ref
+
+__all__ = ["ShiftAddNetlist"]
+
+
+class ShiftAddNetlist:
+    """A growing shift-add DAG with named tap outputs.
+
+    Nodes are append-only; ids are dense and topologically ordered by
+    construction.  A *fundamental table* maps each odd positive value already
+    computed somewhere in the DAG to its node, so repeated constants are
+    reused instead of rebuilt — the hardware sharing that all the paper's
+    methods exploit.
+    """
+
+    def __init__(self) -> None:
+        self._nodes: List[Node] = [Node(id=INPUT_ID, value=1)]
+        self._fundamentals: Dict[int, int] = {1: INPUT_ID}
+        self._outputs: Dict[str, Optional[Ref]] = {}
+
+    # ------------------------------------------------------------------ nodes
+
+    @property
+    def nodes(self) -> Tuple[Node, ...]:
+        """All nodes in id (topological) order."""
+        return tuple(self._nodes)
+
+    @property
+    def input(self) -> Ref:
+        """Reference to the input node (fundamental 1)."""
+        return Ref(node=INPUT_ID)
+
+    def node(self, node_id: int) -> Node:
+        """Look up a node by id."""
+        try:
+            return self._nodes[node_id]
+        except IndexError:
+            raise NetlistError(f"no node with id {node_id}") from None
+
+    def value_of(self, node_id: int) -> int:
+        """Declared fundamental of the node with this id."""
+        return self.node(node_id).value
+
+    def ref_value(self, ref: Ref) -> int:
+        """The integer multiple of x this reference carries."""
+        return ref.value(self.value_of(ref.node))
+
+    @property
+    def adder_count(self) -> int:
+        """Number of adder/subtractor nodes (the paper's complexity metric)."""
+        return len(self._nodes) - 1
+
+    def add(self, a: Ref, b: Ref, label: str = "") -> Ref:
+        """Append the adder ``a + b`` (signs/shifts inside the refs).
+
+        Returns a plain reference to the new node.  Raises if the result
+        would be zero (degenerate hardware).
+        """
+        value = self.ref_value(a) + self.ref_value(b)
+        node = Node(id=len(self._nodes), value=value, a=a, b=b, label=label)
+        self._nodes.append(node)
+        odd, shift = odd_normalize(abs(value))
+        # Remember the cheapest place this odd fundamental exists: an exact
+        # (unshifted, positive) node wins over wiring arithmetic elsewhere.
+        if value == odd and odd not in self._fundamentals:
+            self._fundamentals[odd] = node.id
+        return Ref(node=node.id)
+
+    # ------------------------------------------------------- constant building
+
+    def lookup_fundamental(self, odd_value: int) -> Optional[int]:
+        """Node id computing exactly ``odd_value`` (odd, positive), if any."""
+        return self._fundamentals.get(odd_value)
+
+    def ensure_constant(
+        self,
+        value: int,
+        representation: Representation = Representation.CSD,
+        label: str = "",
+    ) -> Ref:
+        """Return a ref carrying ``value * x``, building a digit chain if needed.
+
+        The constant is normalized to its odd positive fundamental first; the
+        surrounding shift and sign become free wiring on the returned ref.
+        An existing node for the fundamental is reused.
+        """
+        if value == 0:
+            raise NetlistError("cannot materialize the constant 0")
+        sign = 1 if value > 0 else -1
+        odd, shift = odd_normalize(abs(value))
+        existing = self._fundamentals.get(odd)
+        if existing is None:
+            node_ref = self._build_digit_chain(odd, representation, label)
+            existing = node_ref.node
+        return Ref(node=existing, shift=shift, sign=sign)
+
+    def _build_digit_chain(
+        self, odd_value: int, representation: Representation, label: str
+    ) -> Ref:
+        """Left-to-right accumulation of the signed digits of ``odd_value``."""
+        digits = encode(odd_value, representation)
+        terms = digits.terms  # ascending (position, digit)
+        if not terms:
+            raise NetlistError("empty digit string for a nonzero constant")
+        acc = Ref(node=INPUT_ID, shift=terms[0][0], sign=terms[0][1])
+        for position, digit in terms[1:]:
+            acc = self.add(
+                acc,
+                Ref(node=INPUT_ID, shift=position, sign=digit),
+                label=label,
+            )
+        if self.ref_value(acc) != odd_value:
+            raise NetlistError(
+                f"digit chain built {self.ref_value(acc)}, wanted {odd_value}"
+            )
+        return acc
+
+    # ---------------------------------------------------------------- outputs
+
+    def mark_output(self, name: str, ref: Optional[Ref]) -> None:
+        """Declare a named tap output; ``None`` denotes a zero tap."""
+        if name in self._outputs:
+            raise NetlistError(f"output {name!r} already declared")
+        self._outputs[name] = ref
+
+    @property
+    def outputs(self) -> Dict[str, Optional[Ref]]:
+        """Copy of the named-output map."""
+        return dict(self._outputs)
+
+    def output_values(self) -> Dict[str, int]:
+        """Integer coefficient carried by each named output (0 for zero taps)."""
+        return {
+            name: (0 if ref is None else self.ref_value(ref))
+            for name, ref in self._outputs.items()
+        }
+
+    def tap_refs(self, names: Sequence[str]) -> List[Optional[Ref]]:
+        """Outputs in the given order (for tap-ordered simulation)."""
+        missing = [n for n in names if n not in self._outputs]
+        if missing:
+            raise NetlistError(f"unknown outputs {missing!r}")
+        return [self._outputs[n] for n in names]
+
+    # ------------------------------------------------------------- validation
+
+    def validate(self) -> None:
+        """Structural + functional self-check of the whole DAG.
+
+        Verifies topological id ordering, operand ranges, and that every
+        node's declared fundamental matches what its operands compute.
+        """
+        if not self._nodes or not self._nodes[0].is_input:
+            raise NetlistError("node 0 must be the input")
+        for expected_id, node in enumerate(self._nodes):
+            if node.id != expected_id:
+                raise NetlistError(f"node ids not dense at {expected_id}")
+            node.check_value(self.value_of)
+        for name, ref in self._outputs.items():
+            if ref is not None and not 0 <= ref.node < len(self._nodes):
+                raise NetlistError(f"output {name!r} references unknown node")
+
+    # ---------------------------------------------------------------- queries
+
+    def depth_of(self, node_id: int) -> int:
+        """Adder depth of a node (input = 0)."""
+        depths = self.depths()
+        return depths[node_id]
+
+    def depths(self) -> List[int]:
+        """Adder depth of every node, computed in one topological pass."""
+        depths = [0] * len(self._nodes)
+        for node in self._nodes[1:]:
+            depths[node.id] = 1 + max(depths[node.a.node], depths[node.b.node])
+        return depths
+
+    @property
+    def max_depth(self) -> int:
+        """Critical adder depth over the outputs (0 if no adders used)."""
+        depths = self.depths()
+        used = [
+            depths[ref.node] for ref in self._outputs.values() if ref is not None
+        ]
+        if not used:
+            return max(depths, default=0)
+        return max(used)
+
+    def fundamentals(self) -> Dict[int, int]:
+        """Copy of the odd-fundamental table (value -> node id)."""
+        return dict(self._fundamentals)
+
+    def __len__(self) -> int:
+        return len(self._nodes)

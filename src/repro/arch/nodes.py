@@ -1,0 +1,106 @@
+"""Shift-add DAG node types — the architecture IR.
+
+A multiplierless filter's multiplier block is a DAG whose single input is the
+data sample ``x(n)`` and whose every internal node is one two-input
+adder/subtractor fed by shifted versions of earlier nodes:
+
+    node = a_sign * (a << a_shift)  +  b_sign * (b << b_shift)
+
+Because the network is linear in ``x``, each node computes ``value * x`` for a
+fixed integer *fundamental* ``value`` — stored on the node and validated
+against its operands.  References into the DAG are ``(node, shift, sign)``
+triples (:class:`Ref`), capturing that shifts and sign flips are free wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Tuple
+
+from ..errors import NetlistError
+
+__all__ = ["Ref", "Node", "INPUT_ID"]
+
+INPUT_ID = 0
+
+
+@dataclass(frozen=True)
+class Ref:
+    """A wired view of a node: ``sign * (node_value << shift)``."""
+
+    node: int
+    shift: int = 0
+    sign: int = 1
+
+    def __post_init__(self) -> None:
+        if self.shift < 0:
+            raise NetlistError(f"negative wiring shift {self.shift}")
+        if self.sign not in (-1, 1):
+            raise NetlistError(f"wiring sign must be ±1, got {self.sign}")
+
+    def value(self, node_value: int) -> int:
+        """The integer this reference contributes, given its node's value."""
+        return self.sign * (node_value << self.shift)
+
+    def shifted(self, extra: int) -> "Ref":
+        """Same reference, shifted left by ``extra`` more positions."""
+        return Ref(node=self.node, shift=self.shift + extra, sign=self.sign)
+
+    def negated(self) -> "Ref":
+        """Same reference with the sign flipped."""
+        return Ref(node=self.node, shift=self.shift, sign=-self.sign)
+
+
+@dataclass(frozen=True)
+class Node:
+    """One adder/subtractor (or the input) of the shift-add DAG.
+
+    The input node has ``a is None and b is None`` and fundamental 1.  Every
+    other node combines two earlier refs; structural validity (operand ids
+    smaller than own id, fundamental consistency) is enforced on creation.
+    """
+
+    id: int
+    value: int
+    a: Optional[Ref] = None
+    b: Optional[Ref] = None
+    label: str = ""
+
+    def __post_init__(self) -> None:
+        if self.id == INPUT_ID:
+            if self.a is not None or self.b is not None or self.value != 1:
+                raise NetlistError("input node must have value 1 and no operands")
+            return
+        if self.a is None or self.b is None:
+            raise NetlistError(f"node {self.id} must have two operands")
+        for operand in (self.a, self.b):
+            if operand.node >= self.id:
+                raise NetlistError(
+                    f"node {self.id} references non-earlier node {operand.node}"
+                )
+        if self.value == 0:
+            raise NetlistError(f"node {self.id} computes the useless value 0")
+
+    @property
+    def is_input(self) -> bool:
+        """True for the input node (id 0)."""
+        return self.id == INPUT_ID
+
+    @property
+    def operands(self) -> Tuple[Ref, ...]:
+        """The two operand refs (empty for the input)."""
+        if self.is_input:
+            return ()
+        return (self.a, self.b)
+
+    def check_value(self, value_of: "callable") -> None:
+        """Verify the declared fundamental against the operand values."""
+        if self.is_input:
+            return
+        computed = self.a.value(value_of(self.a.node)) + self.b.value(
+            value_of(self.b.node)
+        )
+        if computed != self.value:
+            raise NetlistError(
+                f"node {self.id} declares {self.value} but computes {computed}"
+            )

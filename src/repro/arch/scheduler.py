@@ -1,0 +1,147 @@
+"""Resource-constrained scheduling of shift-add netlists.
+
+A fully parallel MRPF spends one physical adder per netlist node; area-
+constrained designs instead *fold* the computation onto ``k`` adders over
+multiple cycles (Parhi, the paper's reference [7]).  This module provides the
+classical scheduling trio:
+
+* **ASAP** — every operation as early as dependencies allow (length = adder
+  depth, the unconstrained lower bound);
+* **ALAP** — as late as a target latency allows (slack = ALAP - ASAP);
+* **list scheduling** — minimum-slack-first priority under a ``k``-adder
+  budget, the standard high-level-synthesis heuristic.
+
+Schedules are validated structurally (dependencies, resource budget) and
+support the folding trade-off study in ``examples/`` and the scheduler tests.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Tuple
+
+from ..errors import SynthesisError
+from .netlist import ShiftAddNetlist
+from .nodes import INPUT_ID
+
+__all__ = ["Schedule", "asap_schedule", "alap_schedule", "list_schedule"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """Cycle assignment for every adder node (input pinned to cycle 0)."""
+
+    cycle_of_node: Tuple[int, ...]
+    num_adders: Optional[int]  # None = unconstrained
+
+    @property
+    def makespan(self) -> int:
+        """Total cycles (latest adder cycle; 0 for an adder-free netlist)."""
+        return max(self.cycle_of_node, default=0)
+
+    def adders_busy(self, cycle: int) -> int:
+        """How many physical adders this cycle uses (node 0 is the input)."""
+        return sum(
+            1 for node_id, c in enumerate(self.cycle_of_node)
+            if node_id != INPUT_ID and c == cycle
+        )
+
+    def validate(self, netlist: ShiftAddNetlist) -> None:
+        """Check dependency and resource feasibility against the netlist."""
+        if len(self.cycle_of_node) != len(netlist):
+            raise SynthesisError("schedule length != netlist length")
+        if self.cycle_of_node[INPUT_ID] != 0:
+            raise SynthesisError("input must be scheduled at cycle 0")
+        for node in netlist.nodes[1:]:
+            cycle = self.cycle_of_node[node.id]
+            if cycle < 1:
+                raise SynthesisError(f"adder {node.id} scheduled before cycle 1")
+            for op in node.operands:
+                if op.node != INPUT_ID and self.cycle_of_node[op.node] >= cycle:
+                    raise SynthesisError(
+                        f"node {node.id} (cycle {cycle}) depends on node "
+                        f"{op.node} (cycle {self.cycle_of_node[op.node]})"
+                    )
+        if self.num_adders is not None:
+            for cycle in range(1, self.makespan + 1):
+                busy = self.adders_busy(cycle)
+                if busy > self.num_adders:
+                    raise SynthesisError(
+                        f"cycle {cycle} uses {busy} adders, budget {self.num_adders}"
+                    )
+
+
+def asap_schedule(netlist: ShiftAddNetlist) -> Schedule:
+    """Unconstrained earliest schedule; makespan == adder depth."""
+    cycles = [0] * len(netlist)
+    for node in netlist.nodes[1:]:
+        cycles[node.id] = 1 + max(
+            cycles[node.a.node], cycles[node.b.node]
+        )
+    return Schedule(cycle_of_node=tuple(cycles), num_adders=None)
+
+
+def alap_schedule(
+    netlist: ShiftAddNetlist, latency: Optional[int] = None
+) -> Schedule:
+    """Latest schedule meeting ``latency`` (default: the ASAP makespan)."""
+    asap = asap_schedule(netlist)
+    if latency is None:
+        latency = asap.makespan
+    if latency < asap.makespan:
+        raise SynthesisError(
+            f"latency {latency} below the critical path {asap.makespan}"
+        )
+    cycles = [latency] * len(netlist)
+    cycles[INPUT_ID] = 0
+    consumers: Dict[int, List[int]] = {node.id: [] for node in netlist.nodes}
+    for node in netlist.nodes[1:]:
+        consumers[node.a.node].append(node.id)
+        consumers[node.b.node].append(node.id)
+    for node in reversed(netlist.nodes[1:]):
+        following = [cycles[c] for c in consumers[node.id]]
+        cycles[node.id] = min(following) - 1 if following else latency
+    return Schedule(cycle_of_node=tuple(cycles), num_adders=None)
+
+
+def list_schedule(netlist: ShiftAddNetlist, num_adders: int) -> Schedule:
+    """Minimum-slack-first list scheduling under a ``num_adders`` budget."""
+    if num_adders < 1:
+        raise SynthesisError(f"need at least one adder, got {num_adders}")
+    asap = asap_schedule(netlist)
+    alap = alap_schedule(netlist)
+    slack = [
+        alap.cycle_of_node[i] - asap.cycle_of_node[i]
+        for i in range(len(netlist))
+    ]
+
+    cycles = [0] * len(netlist)
+    scheduled = {INPUT_ID}
+    pending = [node.id for node in netlist.nodes[1:]]
+    usage: Dict[int, int] = {}
+    current_cycle = 1
+    while pending:
+        ready = [
+            node_id for node_id in pending
+            if all(
+                op.node in scheduled and
+                (op.node == INPUT_ID or cycles[op.node] < current_cycle)
+                for op in netlist.node(node_id).operands
+            )
+        ]
+        ready.sort(key=lambda node_id: (slack[node_id], node_id))
+        placed_any = False
+        for node_id in ready:
+            if usage.get(current_cycle, 0) >= num_adders:
+                break
+            cycles[node_id] = current_cycle
+            usage[current_cycle] = usage.get(current_cycle, 0) + 1
+            scheduled.add(node_id)
+            pending.remove(node_id)
+            placed_any = True
+        current_cycle += 1
+        if not placed_any and not ready and current_cycle > 4 * len(netlist) + 4:
+            raise SynthesisError("list scheduler failed to make progress")
+    schedule = Schedule(cycle_of_node=tuple(cycles), num_adders=num_adders)
+    schedule.validate(netlist)
+    return schedule

@@ -1,0 +1,36 @@
+"""Baseline filter syntheses the reproduction compares against.
+
+* ``simple`` — per-tap shift-add chains (the paper's normalization basis)
+* ``cse_filter`` — Hartley CSE (the paper's strongest comparator)
+* ``mst_diff`` — L=0 differential-coefficient MST (MRP's ancestor, [5])
+* ``bhm`` / ``hcub`` — classic and modern adder-graph MCM (1991 / 2007)
+* ``decor`` — decorrelating transform (dynamic-range reduction, [10])
+"""
+
+from .bhm import BhmArchitecture, synthesize_bhm
+from .cse_filter import CseFilterArchitecture, synthesize_cse_filter
+from .decor import (
+    DecorArchitecture,
+    difference_coefficients,
+    synthesize_decor,
+)
+from .hcub import HcubArchitecture, synthesize_hcub
+from .mst_diff import optimize_mst_diff, synthesize_mst_diff
+from .simple import SimpleArchitecture, simple_adder_count, synthesize_simple
+
+__all__ = [
+    "BhmArchitecture",
+    "CseFilterArchitecture",
+    "DecorArchitecture",
+    "HcubArchitecture",
+    "SimpleArchitecture",
+    "difference_coefficients",
+    "optimize_mst_diff",
+    "simple_adder_count",
+    "synthesize_bhm",
+    "synthesize_cse_filter",
+    "synthesize_decor",
+    "synthesize_hcub",
+    "synthesize_mst_diff",
+    "synthesize_simple",
+]

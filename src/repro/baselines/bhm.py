@@ -1,0 +1,229 @@
+"""Bull-Horrocks-Modified (BHM) multiple constant multiplication baseline.
+
+A classic adder-graph MCM heuristic (Bull & Horrocks 1991; Dempster &
+Macleod's modification) contemporaneous with the paper's comparators: realized
+*fundamentals* accumulate in a set ``S`` (seeded with 1), and each target
+constant is built either in a single adder from two existing fundamentals or
+by greedy successive approximation against ``S``, with every intermediate
+partial sum fed back into ``S`` for later reuse.
+
+Including BHM makes the comparison landscape honest: CSE (pattern-based) and
+MRP (difference-based) are two philosophies; BHM is the third classic one
+(graph-based MCM), and `benchmarks/bench_ablation_mcm.py` races all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.metrics import NetlistStats, analyze
+from ..arch.netlist import ShiftAddNetlist
+from ..arch.nodes import Ref
+from ..arch.simulate import verify_against_convolution
+from ..core.sidc import normalize_taps
+from ..errors import SynthesisError
+from ..numrep import adder_cost
+
+__all__ = ["BhmArchitecture", "synthesize_bhm"]
+
+
+@dataclass(frozen=True)
+class BhmArchitecture:
+    """A filter whose multiplier block was built by the BHM heuristic."""
+
+    coefficients: Tuple[int, ...]
+    netlist: ShiftAddNetlist
+    tap_names: Tuple[str, ...]
+    fundamentals: Tuple[int, ...]
+
+    @property
+    def adder_count(self) -> int:
+        """Number of adder/subtractor cells in the multiplier block."""
+        return self.netlist.adder_count
+
+    @property
+    def adder_depth(self) -> int:
+        """Critical adder depth of the multiplier block."""
+        return self.netlist.max_depth
+
+    def stats(self, input_bits: int = 16) -> NetlistStats:
+        """Full :class:`NetlistStats` bundle for this architecture."""
+        return analyze(self.netlist, self.tap_names, input_bits)
+
+    def verify(self, samples: Sequence[int]) -> None:
+        """Bit-exact check against direct convolution by the coefficients."""
+        verify_against_convolution(
+            self.netlist, self.tap_names, self.coefficients, samples
+        )
+
+
+def synthesize_bhm(
+    coefficients: Sequence[int],
+    max_shift: Optional[int] = None,
+) -> BhmArchitecture:
+    """Build all coefficient multiplications with the BHM heuristic.
+
+    ``max_shift`` bounds the shifts tried when combining fundamentals; by
+    default one bit past the widest coefficient.
+    """
+    coefficients = tuple(int(c) for c in coefficients)
+    if not coefficients:
+        raise SynthesisError("cannot synthesize an empty coefficient vector")
+    vertices, bindings = normalize_taps(coefficients)
+    if max_shift is None:
+        widest = max((abs(c).bit_length() for c in coefficients), default=1)
+        max_shift = widest + 1
+
+    netlist = ShiftAddNetlist()
+    realized: Dict[int, Ref] = {1: netlist.input}
+
+    for target in sorted(vertices):  # ascending: small fundamentals first
+        _realize(netlist, realized, target, max_shift)
+
+    tap_names: List[str] = []
+    for binding in bindings:
+        name = f"tap{binding.index}"
+        tap_names.append(name)
+        if binding.is_zero:
+            netlist.mark_output(name, None)
+        elif binding.is_free:
+            netlist.mark_output(
+                name, Ref(node=0, shift=binding.shift, sign=binding.sign)
+            )
+        else:
+            base = realized[binding.vertex]
+            netlist.mark_output(
+                name,
+                Ref(node=base.node, shift=base.shift + binding.shift,
+                    sign=base.sign * binding.sign),
+            )
+    netlist.validate()
+    return BhmArchitecture(
+        coefficients=coefficients,
+        netlist=netlist,
+        tap_names=tuple(tap_names),
+        fundamentals=tuple(sorted(realized)),
+    )
+
+
+def _realize(
+    netlist: ShiftAddNetlist,
+    realized: Dict[int, Ref],
+    target: int,
+    max_shift: int,
+) -> Ref:
+    """Ensure ``target`` (odd, > 1) is computed; register intermediates."""
+    if target in realized:
+        return realized[target]
+
+    # Phase 1: one adder from two existing fundamentals (graph extension).
+    pair = _single_adder_combination(realized, target, max_shift)
+    if pair is not None:
+        a, b = pair
+        ref = netlist.add(a, b, label=f"bhm_{target}")
+        _register(netlist, realized, ref)
+        return realized[target]
+
+    # Phase 2: greedy successive approximation against the realized set,
+    # planned as a dry run first so the plain CSD chain can serve as a cost
+    # cap (the standard BHM fallback — the approximation occasionally loses
+    # to the canonical digit chain).
+    terms: List[Tuple[int, int, int]] = []
+    remainder = target
+    while remainder != 0:
+        u, k, sign = _closest_term(realized, remainder, max_shift)
+        terms.append((u, k, sign))
+        remainder -= sign * (u << k)
+    approx_adders = len(terms) - 1
+    if adder_cost(target) <= approx_adders:
+        ref = netlist.ensure_constant(target, label=f"bhm_{target}")
+        _register(netlist, realized, ref)
+        return realized[target]
+
+    acc: Optional[Ref] = None
+    for u, k, sign in terms:
+        base = realized[u]
+        term_ref = Ref(node=base.node, shift=base.shift + k,
+                       sign=base.sign * sign)
+        if acc is None:
+            acc = term_ref
+        else:
+            acc = netlist.add(acc, term_ref, label=f"bhm_{target}")
+            _register(netlist, realized, acc)
+    if acc is None or netlist.ref_value(acc) != target:  # pragma: no cover
+        raise SynthesisError(f"BHM failed to realize {target}")
+    _register(netlist, realized, acc)
+    return realized[target]
+
+
+def _register(
+    netlist: ShiftAddNetlist, realized: Dict[int, Ref], ref: Ref
+) -> None:
+    """Register a node in the realized set when it carries an odd value.
+
+    ``realized[u]`` must reference a wire whose value is *exactly* ``u`` (the
+    combination search multiplies by explicit shifts), so even-valued partial
+    sums are not registered — their odd part is not addressable without a
+    right shift, which hardware wiring cannot provide.
+    """
+    node_value = netlist.value_of(ref.node)
+    magnitude = abs(node_value)
+    if magnitude % 2 == 1 and magnitude not in realized:
+        realized[magnitude] = Ref(
+            node=ref.node, shift=0, sign=1 if node_value > 0 else -1
+        )
+
+
+def _single_adder_combination(
+    realized: Dict[int, Ref], target: int, max_shift: int
+) -> Optional[Tuple[Ref, Ref]]:
+    """Find refs a, b over realized fundamentals with value(a)+value(b)==target."""
+    values = sorted(realized)
+    for u in values:
+        for i in range(max_shift + 1):
+            left = u << i
+            if left > (abs(target) << 1):
+                break
+            for v in values:
+                for j in range(max_shift + 1):
+                    right = v << j
+                    if right > (abs(target) << 1):
+                        break
+                    for s1 in (1, -1):
+                        for s2 in (1, -1):
+                            if s1 * left + s2 * right == target:
+                                ru = realized[u]
+                                rv = realized[v]
+                                return (
+                                    Ref(node=ru.node, shift=ru.shift + i,
+                                        sign=ru.sign * s1),
+                                    Ref(node=rv.node, shift=rv.shift + j,
+                                        sign=rv.sign * s2),
+                                )
+    return None
+
+
+def _closest_term(
+    realized: Dict[int, Ref], remainder: int, max_shift: int
+) -> Tuple[int, int, int]:
+    """``(fundamental, shift, sign)`` minimizing the residual error.
+
+    Always makes progress: the fundamental 1 at the remainder's MSB position
+    leaves a residual strictly below half the remainder's magnitude.
+    """
+    best: Optional[Tuple[int, int, int, int, int]] = None  # (err, |v|, u, k, sign)
+    for u in sorted(realized):
+        for k in range(max_shift + 1):
+            magnitude = u << k
+            if magnitude > (abs(remainder) << 1):
+                break
+            for sign in (1, -1):
+                error = abs(remainder - sign * magnitude)
+                candidate = (error, magnitude, u, k, sign)
+                if error < abs(remainder) and (best is None or candidate < best):
+                    best = candidate
+    if best is None:  # pragma: no cover - u=1 always qualifies
+        raise SynthesisError(f"no BHM term reduces remainder {remainder}")
+    _, _, u, k, sign = best
+    return u, k, sign

@@ -1,0 +1,108 @@
+"""CSE filter synthesis — the paper's strongest comparator (Hartley, CSD).
+
+The whole coefficient vector is reduced to its unique odd mantissas, CSE is
+run over their CSD strings, and taps are wired from the resulting constants.
+This is what the paper's Figure 8 normalizes MRPF+CSE against.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+from ..arch.metrics import NetlistStats, analyze
+from ..arch.netlist import ShiftAddNetlist
+from ..arch.nodes import Ref
+from ..arch.simulate import verify_against_convolution
+from ..core.sidc import normalize_taps
+from ..cse.hartley import CseNetwork, build_cse_refs, eliminate
+from ..errors import SynthesisError
+from ..numrep import Representation
+
+__all__ = ["CseFilterArchitecture", "synthesize_cse_filter"]
+
+
+@dataclass(frozen=True)
+class CseFilterArchitecture:
+    """A filter whose multiplier block is one CSE network."""
+
+    coefficients: Tuple[int, ...]
+    netlist: ShiftAddNetlist
+    tap_names: Tuple[str, ...]
+    network: CseNetwork
+    representation: Representation
+
+    @property
+    def adder_count(self) -> int:
+        """Number of adder/subtractor cells in the multiplier block."""
+        return self.netlist.adder_count
+
+    @property
+    def adder_depth(self) -> int:
+        """Critical adder depth of the multiplier block."""
+        return self.netlist.max_depth
+
+    @property
+    def num_subexpressions(self) -> int:
+        """Number of extracted CSE subexpressions."""
+        return len(self.network.subexpressions)
+
+    def stats(self, input_bits: int = 16) -> NetlistStats:
+        """Full :class:`NetlistStats` bundle for this architecture."""
+        return analyze(self.netlist, self.tap_names, input_bits)
+
+    def verify(self, samples: Sequence[int]) -> None:
+        """Bit-exact check against direct convolution by the coefficients."""
+        verify_against_convolution(
+            self.netlist, self.tap_names, self.coefficients, samples
+        )
+
+
+def synthesize_cse_filter(
+    coefficients: Sequence[int],
+    representation: Representation = Representation.CSD,
+) -> CseFilterArchitecture:
+    """Run CSE over the unique odd mantissas and wire all taps from them."""
+    coefficients = tuple(int(c) for c in coefficients)
+    if not coefficients:
+        raise SynthesisError("cannot synthesize an empty coefficient vector")
+    vertices, bindings = normalize_taps(coefficients)
+    netlist = ShiftAddNetlist()
+    vertex_refs: Dict[int, Ref] = {}
+    if vertices:
+        network = eliminate(vertices, representation)
+        for vertex, ref in zip(vertices, build_cse_refs(netlist, network)):
+            vertex_refs[vertex] = ref
+    else:
+        network = CseNetwork(
+            constants=(), subexpressions={}, symbol_values={0: 1},
+            constant_terms=(),
+        )
+    tap_names: List[str] = []
+    for binding in bindings:
+        name = f"tap{binding.index}"
+        tap_names.append(name)
+        if binding.is_zero:
+            netlist.mark_output(name, None)
+        elif binding.is_free:
+            netlist.mark_output(
+                name, Ref(node=0, shift=binding.shift, sign=binding.sign)
+            )
+        else:
+            base = vertex_refs[binding.vertex]
+            netlist.mark_output(
+                name,
+                Ref(
+                    node=base.node,
+                    shift=base.shift + binding.shift,
+                    sign=base.sign * binding.sign,
+                ),
+            )
+    netlist.validate()
+    return CseFilterArchitecture(
+        coefficients=coefficients,
+        netlist=netlist,
+        tap_names=tuple(tap_names),
+        network=network,
+        representation=representation,
+    )

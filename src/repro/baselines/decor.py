@@ -1,0 +1,117 @@
+"""DECOR baseline — decorrelating transform (Ramprasad & Shanbhag, [10]).
+
+The paper's related work discusses DECOR: instead of sharing computation,
+*difference* adjacent coefficients.  Since neighbouring taps of a smooth
+(low-pass-like) filter are strongly correlated, the differenced coefficients
+``d_i = c_i - c_{i-1}`` are much smaller, so their multipliers need fewer
+digits; an output integrator ``1/(1 - z^-1)`` restores the original transfer
+function exactly:
+
+    C(z) = D(z) / (1 - z^-1),   D(z) = (1 - z^-1) C(z)
+
+Higher orders repeat the differencing (and stack integrators).  The paper
+notes DECOR "is not effective when there is weak correlation between
+coefficients" — band-pass/stop filters — which the DECOR-vs-MRP ablation
+demonstrates empirically.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..arch.netlist import ShiftAddNetlist
+from ..arch.simulate import simulate_tdf_filter
+from ..errors import SimulationError, SynthesisError
+from .simple import synthesize_simple
+from ..numrep import Representation
+
+__all__ = ["DecorArchitecture", "difference_coefficients", "synthesize_decor"]
+
+
+def difference_coefficients(
+    coefficients: Sequence[int], order: int = 1
+) -> Tuple[int, ...]:
+    """Apply ``order`` rounds of first-order differencing.
+
+    Each round maps ``M`` taps to ``M + 1`` taps
+    ``d_i = c_i - c_{i-1}`` (with ``c_{-1} = c_M = 0``); the telescoping sum
+    guarantees exact reconstruction through one integrator per round.
+    """
+    if order < 0:
+        raise SynthesisError(f"difference order must be >= 0, got {order}")
+    current = [int(c) for c in coefficients]
+    for _ in range(order):
+        extended = [0] + current + [0]
+        current = [extended[i + 1] - extended[i] for i in range(len(extended) - 1)]
+    return tuple(current)
+
+
+@dataclass(frozen=True)
+class DecorArchitecture:
+    """A filter realized as differenced multipliers + output integrators."""
+
+    coefficients: Tuple[int, ...]
+    differenced: Tuple[int, ...]
+    order: int
+    netlist: ShiftAddNetlist
+    tap_names: Tuple[str, ...]
+
+    @property
+    def multiplier_adders(self) -> int:
+        """Adders in the (differenced) multiplier block."""
+        return self.netlist.adder_count
+
+    @property
+    def adder_count(self) -> int:
+        """Total adders including one integrator per differencing round."""
+        return self.netlist.adder_count + self.order
+
+    def process(self, samples: Sequence[int]) -> List[int]:
+        """Differenced TDF filter followed by ``order`` integrators."""
+        stream = simulate_tdf_filter(self.netlist, self.tap_names, samples)
+        for _ in range(self.order):
+            acc = 0
+            integrated = []
+            for value in stream:
+                acc += value
+                integrated.append(acc)
+            stream = integrated
+        return stream
+
+    def verify(self, samples: Sequence[int]) -> None:
+        """Exact equivalence with convolution by the *original* taps."""
+        got = self.process(samples)
+        want = []
+        for n in range(len(samples)):
+            acc = 0
+            for i, c in enumerate(self.coefficients):
+                if n - i >= 0:
+                    acc += c * samples[n - i]
+            want.append(acc)
+        if got != want:
+            raise SimulationError(
+                f"DECOR output diverges: {got[:5]} != {want[:5]}"
+            )
+
+
+def synthesize_decor(
+    coefficients: Sequence[int],
+    order: int = 1,
+    representation: Representation = Representation.CSD,
+) -> DecorArchitecture:
+    """Build the DECOR structure: simple multipliers on differenced taps."""
+    coefficients = tuple(int(c) for c in coefficients)
+    if not coefficients:
+        raise SynthesisError("cannot synthesize an empty coefficient vector")
+    differenced = difference_coefficients(coefficients, order)
+    if not any(differenced):
+        raise SynthesisError("differenced coefficients are identically zero")
+    inner = synthesize_simple(differenced, representation)
+    return DecorArchitecture(
+        coefficients=coefficients,
+        differenced=differenced,
+        order=order,
+        netlist=inner.netlist,
+        tap_names=inner.tap_names,
+    )

@@ -1,0 +1,48 @@
+"""Pure differential-coefficient MST baseline (Muhammad & Roy, TCAD 2002).
+
+MRP's direct ancestor restricts the SID coefficients to ``L = 0`` — colors
+are plain differences/sums of coefficient pairs, without the shift-inclusive
+expansion of the design space.  Running the same greedy-cover + forest
+machinery with ``max_shift=0`` reproduces that method, which makes the
+comparison against full MRP a one-variable ablation (see
+``benchmarks/bench_ablation_shift_range.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence
+
+from ..core.mrp import MrpOptions, MrpPlan, optimize
+from ..core.transform import MrpfArchitecture, lower_plan
+
+__all__ = ["optimize_mst_diff", "synthesize_mst_diff"]
+
+
+def optimize_mst_diff(
+    coefficients: Sequence[int],
+    wordlength: int,
+    options: Optional[MrpOptions] = None,
+) -> MrpPlan:
+    """MRP stage A with the shift range pinned to ``L = 0``."""
+    base = options or MrpOptions()
+    pinned = MrpOptions(
+        beta=base.beta,
+        max_shift=0,
+        representation=base.representation,
+        depth_limit=base.depth_limit,
+    )
+    return optimize(coefficients, wordlength, pinned)
+
+
+def synthesize_mst_diff(
+    coefficients: Sequence[int],
+    wordlength: int,
+    options: Optional[MrpOptions] = None,
+    verify: bool = True,
+) -> MrpfArchitecture:
+    """Full lowering of the L=0 differential-coefficient architecture."""
+    plan = optimize_mst_diff(coefficients, wordlength, options)
+    architecture = lower_plan(plan)
+    if verify:
+        architecture.verify()
+    return architecture

@@ -1,0 +1,101 @@
+"""The paper's "simple implementation": per-tap shift-add multipliers, no sharing.
+
+Every nonzero tap gets its own digit chain — the transposed-direct-form
+baseline every figure normalizes against.  Its adder count is exactly
+``sum(nonzero_digits(c_i) - 1)`` over the taps, in whichever representation
+(SPT/CSD or SM) is selected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.metrics import NetlistStats, analyze
+from ..arch.netlist import ShiftAddNetlist
+from ..arch.nodes import Ref
+from ..arch.simulate import verify_against_convolution
+from ..errors import SynthesisError
+from ..numrep import Representation, adder_cost, encode, odd_normalize
+
+__all__ = ["SimpleArchitecture", "simple_adder_count", "synthesize_simple"]
+
+
+@dataclass(frozen=True)
+class SimpleArchitecture:
+    """Per-tap shift-add filter (no computation sharing)."""
+
+    coefficients: Tuple[int, ...]
+    netlist: ShiftAddNetlist
+    tap_names: Tuple[str, ...]
+    representation: Representation
+
+    @property
+    def adder_count(self) -> int:
+        """Number of adder/subtractor cells in the multiplier block."""
+        return self.netlist.adder_count
+
+    @property
+    def adder_depth(self) -> int:
+        """Critical adder depth of the multiplier block."""
+        return self.netlist.max_depth
+
+    def stats(self, input_bits: int = 16) -> NetlistStats:
+        """Full :class:`NetlistStats` bundle for this architecture."""
+        return analyze(self.netlist, self.tap_names, input_bits)
+
+    def verify(self, samples: Sequence[int]) -> None:
+        """Bit-exact check against direct convolution by the coefficients."""
+        verify_against_convolution(
+            self.netlist, self.tap_names, self.coefficients, samples
+        )
+
+
+def simple_adder_count(
+    coefficients: Sequence[int],
+    representation: Representation = Representation.CSD,
+) -> int:
+    """Adders of the simple implementation: ``sum(digits(c) - 1)`` per tap."""
+    return sum(adder_cost(int(c), representation) for c in coefficients)
+
+
+def synthesize_simple(
+    coefficients: Sequence[int],
+    representation: Representation = Representation.CSD,
+) -> SimpleArchitecture:
+    """Build the unshared per-tap netlist (the figures' normalization basis)."""
+    coefficients = tuple(int(c) for c in coefficients)
+    if not coefficients:
+        raise SynthesisError("cannot synthesize an empty coefficient vector")
+    netlist = ShiftAddNetlist()
+    tap_names: List[str] = []
+    for index, coefficient in enumerate(coefficients):
+        name = f"tap{index}"
+        tap_names.append(name)
+        netlist.mark_output(name, _tap_chain(netlist, coefficient, representation))
+    netlist.validate()
+    return SimpleArchitecture(
+        coefficients=coefficients,
+        netlist=netlist,
+        tap_names=tuple(tap_names),
+        representation=representation,
+    )
+
+
+def _tap_chain(
+    netlist: ShiftAddNetlist, coefficient: int, representation: Representation
+) -> Optional[Ref]:
+    """A private (unshared) digit chain for one tap; wiring-only when possible."""
+    if coefficient == 0:
+        return None
+    sign = 1 if coefficient > 0 else -1
+    odd, shift = odd_normalize(abs(coefficient))
+    if odd == 1:
+        return Ref(node=0, shift=shift, sign=sign)
+    terms = encode(odd, representation).terms
+    acc = Ref(node=0, shift=terms[0][0], sign=terms[0][1])
+    for position, digit in terms[1:]:
+        acc = netlist.add(acc, Ref(node=0, shift=position, sign=digit))
+    if netlist.ref_value(acc) != odd:
+        raise SynthesisError(f"tap chain built {netlist.ref_value(acc)}, wanted {odd}")
+    return Ref(node=acc.node, shift=acc.shift + shift, sign=acc.sign * sign)

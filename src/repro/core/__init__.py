@@ -1,0 +1,33 @@
+"""The paper's contribution: MRP optimization and MRPF synthesis."""
+
+from .mrp import MrpOptions, MrpPlan, optimize, trivial_plan
+from .pipeline import PipelineSchedule, schedule_pipeline, simulate_pipelined
+from .sidc import TapBinding, normalize_taps
+from .vector import VectorScaler, synthesize_vector_scaler
+from .visualize import cover_to_dot, plan_to_dot
+from .transform import (
+    SEED_COMPRESSION_MODES,
+    MrpfArchitecture,
+    lower_plan,
+    synthesize_mrpf,
+)
+
+__all__ = [
+    "MrpOptions",
+    "MrpPlan",
+    "MrpfArchitecture",
+    "PipelineSchedule",
+    "SEED_COMPRESSION_MODES",
+    "TapBinding",
+    "VectorScaler",
+    "cover_to_dot",
+    "lower_plan",
+    "normalize_taps",
+    "optimize",
+    "plan_to_dot",
+    "schedule_pipeline",
+    "simulate_pipelined",
+    "synthesize_mrpf",
+    "synthesize_vector_scaler",
+    "trivial_plan",
+]

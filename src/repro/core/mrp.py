@@ -1,0 +1,274 @@
+"""Stage A of the MRP algorithm (paper §3.4): cover + forest = the MRP plan.
+
+Given integer filter coefficients this module runs the complete optimization
+pipeline of the paper:
+
+1. normalize taps to primary coefficients (vertices) — :mod:`repro.core.sidc`;
+2. build the SIDC colored graph with shifts ``L in 0..max_shift``;
+3. greedily solve the weighted minimum set cover with the benefit function
+   ``f = beta*frequency - (1-beta)*cost``;
+4. extract a depth-bounded spanning forest (roots via APSP eccentricity);
+5. assemble the **SEED set** = spanning-tree roots ∪ solution colors.
+
+The result — an :class:`MrpPlan` — is a pure *architectural* description;
+:mod:`repro.core.transform` lowers it to a shift-add netlist.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..errors import SynthesisError
+from ..graph import (
+    ColoredGraph,
+    CoverSolution,
+    SpanningForest,
+    TreeAssignment,
+    build_colored_graph,
+    build_spanning_forest,
+    greedy_weighted_set_cover,
+)
+from ..numrep import Representation, adder_cost
+from .sidc import TapBinding, normalize_taps
+
+__all__ = ["MrpOptions", "MrpPlan", "optimize", "trivial_plan"]
+
+
+@dataclass(frozen=True)
+class MrpOptions:
+    """Tuning knobs of the MRP optimization.
+
+    ``beta`` weights coverage against color cost in the benefit function
+    (0.5 = interconnect-neutral, the paper's default reading).  ``max_shift``
+    is the SIDC shift range ``L`` — ``None`` means "use the coefficient
+    wordlength", the paper's ``0 <= L <= W``; 0 degenerates to the pure
+    differential-coefficient method of Muhammad & Roy [5].  ``depth_limit``
+    bounds spanning-tree height (Table 1 uses 3); ``None`` leaves it
+    unbounded.  ``strategy`` selects the greedy score: ``"benefit"`` is the
+    paper's β-form; ``"savings"`` is this library's exact adder-savings
+    extension (β is then ignored).
+    """
+
+    beta: float = 0.5
+    max_shift: Optional[int] = None
+    representation: Representation = Representation.CSD
+    depth_limit: Optional[int] = None
+    strategy: str = "benefit"
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.beta <= 1.0:
+            raise SynthesisError(f"beta must be in [0, 1], got {self.beta}")
+        if self.strategy not in ("benefit", "savings"):
+            raise SynthesisError(f"unknown cover strategy {self.strategy!r}")
+        if self.max_shift is not None and self.max_shift < 0:
+            raise SynthesisError(f"max_shift must be >= 0, got {self.max_shift}")
+        if self.depth_limit is not None and self.depth_limit < 1:
+            raise SynthesisError(f"depth_limit must be >= 1, got {self.depth_limit}")
+
+
+@dataclass(frozen=True)
+class MrpPlan:
+    """The complete output of MRP stage A for one coefficient vector."""
+
+    coefficients: Tuple[int, ...]
+    options: MrpOptions
+    bindings: Tuple[TapBinding, ...]
+    vertices: Tuple[int, ...]
+    graph: Optional[ColoredGraph] = field(repr=False, default=None)
+    cover: Optional[CoverSolution] = field(repr=False, default=None)
+    forest: Optional[SpanningForest] = None
+
+    @property
+    def solution_colors(self) -> Tuple[int, ...]:
+        """Primary colors picked by the greedy cover, in selection order."""
+        if self.cover is None:
+            return ()
+        return tuple(self.cover.colors)
+
+    @property
+    def roots(self) -> Tuple[int, ...]:
+        """Spanning-forest roots (directly multiplied coefficients)."""
+        if self.forest is None:
+            return ()
+        return self.forest.roots
+
+    @property
+    def used_colors(self) -> Tuple[int, ...]:
+        """Solution colors actually consumed by the forest.
+
+        A color can win a greedy round yet end up unused when every vertex it
+        covered is later attached through a cheaper edge, becomes a root, or
+        is an alias.  Only used colors need SEED multipliers; Table 1's
+        ``solution set`` column reports the raw cover size instead.
+        """
+        if self.forest is None:
+            return ()
+        used = {a.edge.color for a in self.forest.children}
+        used.update(self.forest.aliases)
+        return tuple(sorted(used))
+
+    @property
+    def seed(self) -> Tuple[int, ...]:
+        """SEED set = roots ∪ used solution colors (paper §3.5), sorted."""
+        return tuple(sorted(set(self.roots) | set(self.used_colors)))
+
+    @property
+    def seed_size(self) -> Tuple[int, int]:
+        """Table-1 style ``(num_roots, num_solution_colors)``."""
+        return len(self.roots), len(self.solution_colors)
+
+    @property
+    def overhead_adders(self) -> int:
+        """Adders in the overhead add network (one per non-root tree vertex)."""
+        return self.forest.overhead_adders if self.forest is not None else 0
+
+    @property
+    def seed_multiplication_adders(self) -> int:
+        """Adders to multiply the input by each SEED constant, no sharing.
+
+        This is the *uncompressed* SEED network size; CSE or recursive MRP
+        can lower it further (paper §4).
+        """
+        rep = self.options.representation
+        return sum(adder_cost(value, rep) for value in self.seed)
+
+    @property
+    def total_adders(self) -> int:
+        """Multiplier-block adders of the plain MRPF architecture."""
+        return self.seed_multiplication_adders + self.overhead_adders
+
+    @property
+    def tree_height(self) -> int:
+        """Maximum spanning-tree depth (bounds the overhead-network delay)."""
+        return self.forest.max_depth if self.forest is not None else 0
+
+    def describe(self) -> str:
+        """Multi-line human-readable summary of the plan."""
+        lines = [
+            f"MRP plan for {len(self.coefficients)} taps "
+            f"({len(self.vertices)} primary coefficients)",
+            f"  solution colors ({len(self.solution_colors)}): "
+            f"{list(self.solution_colors)}",
+            f"  roots ({len(self.roots)}): {list(self.roots)}",
+            f"  SEED size (roots, solution) = {self.seed_size}",
+            f"  adders: seed={self.seed_multiplication_adders} "
+            f"overhead={self.overhead_adders} total={self.total_adders}",
+            f"  tree height: {self.tree_height}",
+        ]
+        return "\n".join(lines)
+
+
+def optimize(
+    coefficients: Sequence[int],
+    wordlength: int,
+    options: Optional[MrpOptions] = None,
+    graph: Optional[ColoredGraph] = None,
+) -> MrpPlan:
+    """Run MRP stage A on integer taps quantized to ``wordlength`` bits.
+
+    ``wordlength`` sets the default SIDC shift range (``L <= W``, paper §3.1)
+    when ``options.max_shift`` is ``None``.  A prebuilt ``graph`` over the
+    same vertex set / shift range / representation may be supplied to avoid
+    rebuilding it across β sweeps; it is validated before use.
+    """
+    opts = options or MrpOptions()
+    coefficients = tuple(int(c) for c in coefficients)
+    if not coefficients:
+        raise SynthesisError("cannot optimize an empty coefficient vector")
+    if wordlength < 1:
+        raise SynthesisError(f"wordlength must be >= 1, got {wordlength}")
+    max_shift = opts.max_shift if opts.max_shift is not None else wordlength
+
+    vertices, bindings = normalize_taps(coefficients)
+    if not vertices:
+        # Every tap is zero or a power of two: nothing to optimize.
+        return MrpPlan(
+            coefficients=coefficients,
+            options=opts,
+            bindings=tuple(bindings),
+            vertices=(),
+            forest=SpanningForest(assignments=()),
+        )
+    if len(vertices) == 1:
+        # A single primary coefficient is its own root; no colors needed.
+        forest = SpanningForest(
+            assignments=(
+                TreeAssignment(vertex=vertices[0], kind="root", depth=0),
+            )
+        )
+        return MrpPlan(
+            coefficients=coefficients,
+            options=opts,
+            bindings=tuple(bindings),
+            vertices=tuple(vertices),
+            forest=forest,
+        )
+
+    if graph is None:
+        graph = build_colored_graph(vertices, max_shift, opts.representation)
+    elif (
+        set(graph.vertices) != set(vertices)
+        or graph.max_shift != max_shift
+        or graph.representation != opts.representation
+    ):
+        raise SynthesisError(
+            "supplied graph does not match the coefficients/options "
+            f"(vertices/max_shift/representation mismatch)"
+        )
+    color_sets = {color: graph.color_set(color) for color in graph.colors}
+    costs = {color: float(graph.color_cost(color)) for color in graph.colors}
+    element_weights = None
+    if opts.strategy == "savings":
+        # Covering vertex v replaces its direct digit chain with one overhead
+        # adder, saving adder_cost(v) - 1; weight the cover accordingly.
+        element_weights = {
+            v: max(0.0, adder_cost(v, opts.representation) - 1.0)
+            for v in vertices
+        }
+    cover = greedy_weighted_set_cover(
+        set(vertices), color_sets, costs, beta=opts.beta,
+        element_weights=element_weights, strategy=opts.strategy,
+    )
+    forest = build_spanning_forest(
+        graph, cover.colors, depth_limit=opts.depth_limit
+    )
+    return MrpPlan(
+        coefficients=coefficients,
+        options=opts,
+        bindings=tuple(bindings),
+        vertices=tuple(vertices),
+        graph=graph,
+        cover=cover,
+        forest=forest,
+    )
+
+
+def trivial_plan(
+    coefficients: Sequence[int],
+    options: Optional[MrpOptions] = None,
+) -> MrpPlan:
+    """The no-sharing MRP plan: every primary coefficient is its own root.
+
+    Lowering this plan reproduces the simple implementation (with fundamental
+    reuse), so it serves as a guaranteed floor — sweeping β and falling back
+    to the trivial plan makes "MRPF never loses to simple" a hard invariant
+    (used by :func:`repro.eval.best_mrpf`).
+    """
+    opts = options or MrpOptions()
+    coefficients = tuple(int(c) for c in coefficients)
+    if not coefficients:
+        raise SynthesisError("cannot plan an empty coefficient vector")
+    vertices, bindings = normalize_taps(coefficients)
+    forest = SpanningForest(
+        assignments=tuple(
+            TreeAssignment(vertex=v, kind="root", depth=0) for v in vertices
+        )
+    )
+    return MrpPlan(
+        coefficients=coefficients,
+        options=opts,
+        bindings=tuple(bindings),
+        vertices=tuple(vertices),
+        forest=forest,
+    )

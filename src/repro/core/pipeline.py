@@ -1,0 +1,143 @@
+"""Pipelining the MRPF architecture (paper §4, "a natural place to pipeline").
+
+Unlike an irregular CSE network, the MRPF structure has clean boundaries —
+SEED multiplication network | overhead add network | TDF accumulation — where
+registers slot in without restructuring.  This module schedules a shift-add
+netlist into pipeline stages under a per-stage adder-depth budget, counts the
+balancing registers, estimates the resulting clock period with an adder
+model, and produces the latency figure the cycle-accurate simulator uses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+from ..arch.metrics import node_bitwidths
+from ..arch.netlist import ShiftAddNetlist
+from ..arch.simulate import simulate_tdf_filter
+from ..errors import SynthesisError
+from ..hwcost.adders import CARRY_LOOKAHEAD, AdderModel
+
+__all__ = ["PipelineSchedule", "schedule_pipeline", "simulate_pipelined"]
+
+
+@dataclass(frozen=True)
+class PipelineSchedule:
+    """Stage assignment + register accounting for one netlist."""
+
+    stage_of_node: Tuple[int, ...]
+    num_stages: int
+    max_stage_depth: int
+    register_bits: int
+    clock_period_ns: float
+
+    @property
+    def latency(self) -> int:
+        """Extra cycles the pipeline adds before the first valid product."""
+        return max(0, self.num_stages - 1)
+
+    @property
+    def throughput_speedup(self) -> float:
+        """Unpipelined critical path / pipelined clock period (>= 1)."""
+        return self._unpipelined_ns / self.clock_period_ns if self.clock_period_ns else 1.0
+
+    # populated by schedule_pipeline via object.__setattr__ (frozen dataclass)
+    _unpipelined_ns: float = 0.0
+
+
+def schedule_pipeline(
+    netlist: ShiftAddNetlist,
+    max_stage_depth: int,
+    input_bits: int = 16,
+    model: AdderModel = CARRY_LOOKAHEAD,
+) -> PipelineSchedule:
+    """Assign every node to a pipeline stage with at most ``max_stage_depth``
+    chained adders per stage.
+
+    Stage of the input is 0; an adder lands in the earliest stage where its
+    within-stage depth stays within budget.  Balancing registers are needed on
+    every producer/consumer edge that crosses one or more stage boundaries
+    (one register per crossed boundary, at the producer's bit width), and on
+    tap outputs so all products leave aligned.
+    """
+    if max_stage_depth < 1:
+        raise SynthesisError(f"max_stage_depth must be >= 1, got {max_stage_depth}")
+    widths = node_bitwidths(netlist, input_bits)
+
+    stage = [0] * len(netlist)
+    local_depth = [0] * len(netlist)  # adder depth within the node's stage
+    for node in netlist.nodes[1:]:
+        op_stage = max(stage[node.a.node], stage[node.b.node])
+        depth_here = 1 + max(
+            local_depth[op.node] if stage[op.node] == op_stage else 0
+            for op in node.operands
+        )
+        if depth_here > max_stage_depth:
+            op_stage += 1
+            depth_here = 1
+        stage[node.id] = op_stage
+        local_depth[node.id] = depth_here
+
+    num_stages = max(stage) + 1
+
+    register_bits = 0
+    for node in netlist.nodes[1:]:
+        for op in node.operands:
+            crossings = stage[node.id] - stage[op.node]
+            register_bits += crossings * widths[op.node]
+    last_stage = num_stages - 1
+    for ref in netlist.outputs.values():
+        if ref is None:
+            continue
+        register_bits += (last_stage - stage[ref.node]) * widths[ref.node]
+
+    # Per-stage critical path -> clock period.
+    stage_delay = [0.0] * num_stages
+    arrival = [0.0] * len(netlist)
+    for node in netlist.nodes[1:]:
+        ready = max(
+            (arrival[op.node] if stage[op.node] == stage[node.id] else 0.0)
+            for op in node.operands
+        )
+        arrival[node.id] = ready + model.delay(widths[node.id])
+        stage_delay[stage[node.id]] = max(
+            stage_delay[stage[node.id]], arrival[node.id]
+        )
+    clock_period = max(stage_delay) if any(stage_delay) else model.delay(input_bits)
+
+    # Unpipelined reference path for the speedup figure.
+    flat_arrival = [0.0] * len(netlist)
+    for node in netlist.nodes[1:]:
+        ready = max(flat_arrival[node.a.node], flat_arrival[node.b.node])
+        flat_arrival[node.id] = ready + model.delay(widths[node.id])
+    unpipelined = max(flat_arrival, default=model.delay(input_bits))
+    if unpipelined == 0.0:
+        unpipelined = model.delay(input_bits)
+
+    schedule = PipelineSchedule(
+        stage_of_node=tuple(stage),
+        num_stages=num_stages,
+        max_stage_depth=max_stage_depth,
+        register_bits=register_bits,
+        clock_period_ns=clock_period,
+    )
+    object.__setattr__(schedule, "_unpipelined_ns", unpipelined)
+    return schedule
+
+
+def simulate_pipelined(
+    netlist: ShiftAddNetlist,
+    tap_names: Sequence[str],
+    samples: Sequence[int],
+    schedule: PipelineSchedule,
+) -> List[int]:
+    """Cycle-accurate run with the schedule's latency applied.
+
+    The pipelined filter's output equals the combinational filter's output
+    delayed by ``schedule.latency`` cycles — the invariant the pipelining
+    tests assert.
+    """
+    return simulate_tdf_filter(
+        netlist, tap_names, samples, pipeline_latency=schedule.latency
+    )

@@ -1,0 +1,94 @@
+"""Shift-inclusive differential coefficients: tap normalization (paper steps 1-2).
+
+Before the graph is built, the integer tap vector is reduced to its *primary
+coefficients*:
+
+* zero taps need no hardware at all;
+* taps whose magnitude is a power of two are pure wires (shift + sign);
+* every other tap is ``sign * (vertex << shift)`` for an odd ``vertex > 1`` —
+  the paper's step 2 keeps only these odd representatives, since secondary
+  coefficients (shifts of a primary) cost nothing extra.
+
+The :class:`TapBinding` records how each original tap is recovered from its
+vertex, which the netlist builder later turns into output wiring.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import GraphError
+from ..numrep import odd_normalize
+
+__all__ = ["TapBinding", "normalize_taps"]
+
+
+@dataclass(frozen=True)
+class TapBinding:
+    """Recovery recipe for one tap: ``coefficient = sign * (base << shift)``.
+
+    ``vertex`` is the odd magnitude > 1 that must be computed by the MRP
+    network, or ``None`` when the tap is free (zero, or ±2**shift where the
+    base is the input itself).
+    """
+
+    index: int
+    coefficient: int
+    vertex: Optional[int]
+    shift: int
+    sign: int
+
+    def __post_init__(self) -> None:
+        base = self.vertex if self.vertex is not None else (1 if self.sign else 0)
+        if self.sign * (base << self.shift) != self.coefficient:
+            raise GraphError(
+                f"tap {self.index}: {self.sign}*({base}<<{self.shift}) "
+                f"!= {self.coefficient}"
+            )
+
+    @property
+    def is_zero(self) -> bool:
+        """True for a zero tap (no hardware at all)."""
+        return self.sign == 0
+
+    @property
+    def is_free(self) -> bool:
+        """True if the tap costs no adders (zero or a power of two)."""
+        return self.vertex is None
+
+
+def normalize_taps(coefficients: Sequence[int]) -> Tuple[List[int], List[TapBinding]]:
+    """Split integer taps into the vertex set and per-tap recovery bindings.
+
+    Returns ``(vertices, bindings)`` where ``vertices`` is the sorted list of
+    unique odd magnitudes > 1 (the graph's vertex set) and ``bindings`` has
+    one entry per input tap in order.
+    """
+    vertices = set()
+    bindings: List[TapBinding] = []
+    for index, coefficient in enumerate(coefficients):
+        coefficient = int(coefficient)
+        if coefficient == 0:
+            bindings.append(
+                TapBinding(index=index, coefficient=0, vertex=None, shift=0, sign=0)
+            )
+            continue
+        sign = 1 if coefficient > 0 else -1
+        odd, shift = odd_normalize(abs(coefficient))
+        if odd == 1:
+            bindings.append(
+                TapBinding(
+                    index=index, coefficient=coefficient, vertex=None,
+                    shift=shift, sign=sign,
+                )
+            )
+            continue
+        vertices.add(odd)
+        bindings.append(
+            TapBinding(
+                index=index, coefficient=coefficient, vertex=odd,
+                shift=shift, sign=sign,
+            )
+        )
+    return sorted(vertices), bindings

@@ -1,0 +1,243 @@
+"""MRPF synthesis: lower an MRP plan to a verified shift-add netlist (paper §3.5-§4).
+
+The synthesized architecture has the paper's two-network shape:
+
+* **SEED multiplication network** — multiplies the input by every SEED
+  constant (roots + used solution colors).  Three compression modes:
+  ``"none"`` (plain digit chains), ``"cse"`` (Hartley CSE over the SEED
+  constants — the paper's MRPF+CSE), and ``"recursive"`` (MRP applied to the
+  SEED vector itself, paper §4's architectural recursion).
+* **Overhead add network** — one adder per spanning-tree child, mirroring the
+  forest exactly: ``child = src_sign*(parent << L) + color_sign*(color << m)``.
+
+Tap outputs are wired from vertex nodes via the tap bindings (shift + sign),
+and the result is validated structurally and functionally before return.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.metrics import NetlistStats, analyze
+from ..arch.netlist import ShiftAddNetlist
+from ..arch.nodes import Ref
+from ..arch.simulate import verify_against_convolution
+from ..cse.hartley import build_cse_refs, eliminate
+from ..errors import SynthesisError
+from ..numrep import odd_normalize
+from .mrp import MrpOptions, MrpPlan, optimize
+
+__all__ = ["MrpfArchitecture", "synthesize_mrpf", "SEED_COMPRESSION_MODES"]
+
+SEED_COMPRESSION_MODES = ("none", "cse", "recursive")
+
+_VERIFY_SAMPLES = (1, -1, 3, 127, -128, 255, 1024, -777, 12345, -54321)
+
+
+@dataclass(frozen=True)
+class MrpfArchitecture:
+    """A synthesized MRP filter: plan + netlist + tap wiring."""
+
+    plan: MrpPlan
+    netlist: ShiftAddNetlist
+    tap_names: Tuple[str, ...]
+    seed_compression: str
+
+    @property
+    def coefficients(self) -> Tuple[int, ...]:
+        """The integer coefficient vector this architecture computes."""
+        return self.plan.coefficients
+
+    @property
+    def adder_count(self) -> int:
+        """Actual adders in the lowered netlist (sharing included)."""
+        return self.netlist.adder_count
+
+    @property
+    def adder_depth(self) -> int:
+        """Critical adder depth of the multiplier block."""
+        return self.netlist.max_depth
+
+    def stats(self, input_bits: int = 16) -> NetlistStats:
+        """Full :class:`NetlistStats` bundle for this architecture."""
+        return analyze(self.netlist, self.tap_names, input_bits)
+
+    def verify(self, samples: Optional[Sequence[int]] = None) -> None:
+        """End-to-end functional check against exact convolution."""
+        verify_against_convolution(
+            self.netlist,
+            self.tap_names,
+            self.coefficients,
+            list(samples) if samples is not None else list(_VERIFY_SAMPLES),
+        )
+
+
+def synthesize_mrpf(
+    coefficients: Sequence[int],
+    wordlength: int,
+    options: Optional[MrpOptions] = None,
+    seed_compression: str = "none",
+    verify: bool = True,
+) -> MrpfArchitecture:
+    """Optimize and lower ``coefficients`` into an MRPF netlist.
+
+    ``seed_compression`` selects how the SEED multiplication network is
+    built; see the module docstring.  With ``verify`` (default) the lowered
+    netlist is simulated against exact convolution before being returned.
+    """
+    if seed_compression not in SEED_COMPRESSION_MODES:
+        raise SynthesisError(
+            f"seed_compression must be one of {SEED_COMPRESSION_MODES}, "
+            f"got {seed_compression!r}"
+        )
+    plan = optimize(coefficients, wordlength, options)
+    architecture = lower_plan(plan, seed_compression)
+    if verify:
+        architecture.verify()
+    return architecture
+
+
+def lower_plan(plan: MrpPlan, seed_compression: str = "none") -> MrpfArchitecture:
+    """Lower an existing :class:`MrpPlan` to a netlist (no re-optimization)."""
+    netlist = ShiftAddNetlist()
+    representation = plan.options.representation
+
+    seed_refs = _build_seed_network(netlist, plan, seed_compression)
+
+    vertex_refs: Dict[int, Ref] = {}
+    if plan.forest is not None:
+        for assignment in plan.forest.topological_order():
+            vertex = assignment.vertex
+            if assignment.kind in ("root", "alias"):
+                vertex_refs[vertex] = seed_refs[vertex]
+            else:
+                edge = assignment.edge
+                parent = vertex_refs[edge.src]
+                color = seed_refs[edge.color]
+                a = Ref(
+                    node=parent.node,
+                    shift=parent.shift + edge.shift,
+                    sign=parent.sign * edge.src_sign,
+                )
+                b = Ref(
+                    node=color.node,
+                    shift=color.shift + edge.color_shift,
+                    sign=color.sign * edge.color_sign,
+                )
+                ref = netlist.add(a, b, label=f"overhead_v{vertex}")
+                if netlist.ref_value(ref) != vertex:
+                    raise SynthesisError(
+                        f"overhead adder for vertex {vertex} computes "
+                        f"{netlist.ref_value(ref)}"
+                    )
+                vertex_refs[vertex] = ref
+
+    tap_names: List[str] = []
+    for binding in plan.bindings:
+        name = f"tap{binding.index}"
+        tap_names.append(name)
+        if binding.is_zero:
+            netlist.mark_output(name, None)
+            continue
+        if binding.is_free:
+            netlist.mark_output(
+                name, Ref(node=0, shift=binding.shift, sign=binding.sign)
+            )
+            continue
+        base = vertex_refs[binding.vertex]
+        netlist.mark_output(
+            name,
+            Ref(
+                node=base.node,
+                shift=base.shift + binding.shift,
+                sign=base.sign * binding.sign,
+            ),
+        )
+    netlist.validate()
+    return MrpfArchitecture(
+        plan=plan,
+        netlist=netlist,
+        tap_names=tuple(tap_names),
+        seed_compression=seed_compression,
+    )
+
+
+def _build_seed_network(
+    netlist: ShiftAddNetlist, plan: MrpPlan, seed_compression: str
+) -> Dict[int, Ref]:
+    """Materialize every SEED constant; return constant -> ref (exact value)."""
+    seed = plan.seed
+    refs: Dict[int, Ref] = {}
+    if not seed:
+        return refs
+    if seed_compression == "cse":
+        network = eliminate(list(seed), plan.options.representation)
+        for constant, ref in zip(seed, build_cse_refs(netlist, network)):
+            refs[constant] = ref
+        return refs
+    if seed_compression == "recursive":
+        return _build_recursive_seed(netlist, plan)
+    for constant in seed:
+        refs[constant] = netlist.ensure_constant(
+            constant, plan.options.representation, label=f"seed_{constant}"
+        )
+    return refs
+
+
+def _build_recursive_seed(
+    netlist: ShiftAddNetlist, plan: MrpPlan
+) -> Dict[int, Ref]:
+    """Apply MRP once more to the SEED vector (paper §4) and lower that plan.
+
+    The inner SEED constants are built as plain digit chains (one level of
+    recursion is where the returns flatten out for filter-sized inputs); the
+    inner overhead network then assembles the outer SEED constants.
+    """
+    seed = plan.seed
+    inner_plan = optimize(
+        list(seed),
+        wordlength=max(v.bit_length() for v in seed),
+        options=plan.options,
+    )
+    inner_refs: Dict[int, Ref] = {}
+    for constant in inner_plan.seed:
+        inner_refs[constant] = netlist.ensure_constant(
+            constant, plan.options.representation, label=f"seed2_{constant}"
+        )
+    vertex_refs: Dict[int, Ref] = {}
+    if inner_plan.forest is not None:
+        for assignment in inner_plan.forest.topological_order():
+            vertex = assignment.vertex
+            if assignment.kind in ("root", "alias"):
+                vertex_refs[vertex] = inner_refs[vertex]
+            else:
+                edge = assignment.edge
+                parent = vertex_refs[edge.src]
+                color = inner_refs[edge.color]
+                ref = netlist.add(
+                    Ref(
+                        node=parent.node,
+                        shift=parent.shift + edge.shift,
+                        sign=parent.sign * edge.src_sign,
+                    ),
+                    Ref(
+                        node=color.node,
+                        shift=color.shift + edge.color_shift,
+                        sign=color.sign * edge.color_sign,
+                    ),
+                    label=f"seed2_overhead_v{vertex}",
+                )
+                vertex_refs[vertex] = ref
+    refs: Dict[int, Ref] = {}
+    for constant in seed:
+        odd, shift = odd_normalize(constant)
+        base = vertex_refs.get(odd)
+        if base is None:
+            refs[constant] = netlist.ensure_constant(
+                constant, plan.options.representation, label=f"seed_{constant}"
+            )
+        else:
+            refs[constant] = Ref(node=base.node, shift=base.shift + shift,
+                                 sign=base.sign)
+    return refs

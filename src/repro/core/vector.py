@@ -1,0 +1,81 @@
+"""General vector scaling — MRP beyond FIR filters (paper §1).
+
+"It can be directly applied to any applications which can be expressed as a
+vector scaling operation."  This module is that claim as a public API: given
+any integer constant vector ``C``, synthesize a shift-add network computing
+every product ``c_i * x`` simultaneously — usable for matrix-vector kernels
+(each matrix row is one vector scaler), DCT butterflies, polyphase banks, or
+mixer banks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+from ..arch.netlist import ShiftAddNetlist
+from ..arch.simulate import evaluate_nodes, evaluate_ref
+from ..errors import SimulationError
+from .mrp import MrpOptions
+from .transform import MrpfArchitecture, synthesize_mrpf
+
+__all__ = ["VectorScaler", "synthesize_vector_scaler"]
+
+
+@dataclass(frozen=True)
+class VectorScaler:
+    """A synthesized multiplierless multiplier bank for a constant vector."""
+
+    constants: Tuple[int, ...]
+    architecture: MrpfArchitecture
+
+    @property
+    def netlist(self) -> ShiftAddNetlist:
+        """The underlying shift-add netlist."""
+        return self.architecture.netlist
+
+    @property
+    def adder_count(self) -> int:
+        """Number of adder/subtractor cells in the multiplier block."""
+        return self.architecture.adder_count
+
+    def scale(self, x: int) -> List[int]:
+        """Compute ``[c * x for c in constants]`` through the network."""
+        outputs = evaluate_nodes(self.netlist, x)
+        return [
+            evaluate_ref(self.netlist, ref, outputs)
+            for ref in self.netlist.tap_refs(self.architecture.tap_names)
+        ]
+
+    def verify(self, xs: Sequence[int] = (1, -1, 3, 255, -12345)) -> None:
+        """Check every product against plain multiplication."""
+        for x in xs:
+            got = self.scale(x)
+            expected = [c * x for c in self.constants]
+            if got != expected:
+                raise SimulationError(
+                    f"vector scaler mismatch at x={x}: {got} != {expected}"
+                )
+
+
+def synthesize_vector_scaler(
+    constants: Sequence[int],
+    wordlength: Optional[int] = None,
+    options: Optional[MrpOptions] = None,
+    seed_compression: str = "none",
+) -> VectorScaler:
+    """MRP-optimize a constant vector into a verified multiplier bank.
+
+    ``wordlength`` (the SIDC shift range) defaults to the bit width of the
+    largest constant.
+    """
+    constants = tuple(int(c) for c in constants)
+    if wordlength is None:
+        wordlength = max((abs(c).bit_length() for c in constants), default=1)
+        wordlength = max(wordlength, 1)
+    architecture = synthesize_mrpf(
+        constants, wordlength, options, seed_compression, verify=False
+    )
+    scaler = VectorScaler(constants=constants, architecture=architecture)
+    scaler.verify()
+    return scaler

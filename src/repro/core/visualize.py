@@ -1,0 +1,79 @@
+"""Graphviz export of MRP plans — the paper's Figures 2 and 3, generated.
+
+Two views of a plan:
+
+* :func:`plan_to_dot` — the solved structure: vertices, spanning-forest edges
+  labelled with their SIDC identity, roots double-circled, aliases dashed
+  (Figure 3(b) of the paper, for any filter);
+* :func:`cover_to_dot` — the cover itself: solution colors as one cluster,
+  each color linked to the vertices it covers (the set-cover view of
+  Figure 2).
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .mrp import MrpPlan
+
+__all__ = ["plan_to_dot", "cover_to_dot"]
+
+
+def _edge_expression(edge) -> str:
+    """Human-readable SIDC identity of a tree edge."""
+    src = f"{edge.src}"
+    if edge.shift:
+        src = f"({edge.src}<<{edge.shift})"
+    if edge.src_sign < 0:
+        src = f"-{src}"
+    color = f"{edge.color}"
+    if edge.color_shift:
+        color = f"({edge.color}<<{edge.color_shift})"
+    op = "+" if edge.color_sign > 0 else "-"
+    return f"{src} {op} {color}"
+
+
+def plan_to_dot(plan: MrpPlan, graph_name: str = "mrp_plan") -> str:
+    """Render the spanning forest (paper Fig. 3(b)) as Graphviz dot text."""
+    lines: List[str] = [f"digraph {graph_name} {{", "    rankdir=TB;"]
+    lines.append('    label="SEED = roots + colors '
+                 f'{sorted(set(plan.seed))}";')
+    if plan.forest is not None:
+        for assignment in plan.forest.topological_order():
+            vertex = assignment.vertex
+            if assignment.kind == "root":
+                lines.append(
+                    f'    v{vertex} [label="{vertex}", shape=doublecircle];'
+                )
+            elif assignment.kind == "alias":
+                lines.append(
+                    f'    v{vertex} [label="{vertex}\\n(=color)", '
+                    f"shape=circle, style=dashed];"
+                )
+            else:
+                lines.append(f'    v{vertex} [label="{vertex}", shape=circle];')
+                edge = assignment.edge
+                lines.append(
+                    f'    v{edge.src} -> v{vertex} '
+                    f'[label="{_edge_expression(edge)}"];'
+                )
+    lines.append("}")
+    return "\n".join(lines) + "\n"
+
+
+def cover_to_dot(plan: MrpPlan, graph_name: str = "mrp_cover") -> str:
+    """Render the greedy cover (colors -> covered vertices) as dot text."""
+    lines: List[str] = [f"digraph {graph_name} {{", "    rankdir=LR;"]
+    lines.append("    subgraph cluster_colors {")
+    lines.append('        label="solution colors";')
+    for color in plan.solution_colors:
+        lines.append(f'        c{color} [label="{color}", shape=box];')
+    lines.append("    }")
+    for vertex in plan.vertices:
+        lines.append(f'    v{vertex} [label="{vertex}", shape=circle];')
+    if plan.cover is not None:
+        for step in plan.cover.steps:
+            for vertex in sorted(step.newly_covered):
+                lines.append(f"    c{step.color} -> v{vertex};")
+    lines.append("}")
+    return "\n".join(lines) + "\n"

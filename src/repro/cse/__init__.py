@@ -1,0 +1,34 @@
+"""Common subexpression elimination (Hartley CSE) over signed-digit constants."""
+
+from .hartley import (
+    CseNetwork,
+    build_cse_refs,
+    cse_adder_count,
+    eliminate,
+    eliminate_from_terms,
+)
+from .msd_search import choose_encodings, eliminate_msd
+from .patterns import (
+    INPUT_SYMBOL,
+    Occurrence,
+    Pattern,
+    Term,
+    count_frequencies,
+    find_pattern_occurrences,
+)
+
+__all__ = [
+    "CseNetwork",
+    "INPUT_SYMBOL",
+    "Occurrence",
+    "Pattern",
+    "Term",
+    "build_cse_refs",
+    "choose_encodings",
+    "count_frequencies",
+    "cse_adder_count",
+    "eliminate",
+    "eliminate_from_terms",
+    "eliminate_msd",
+    "find_pattern_occurrences",
+]

@@ -1,0 +1,110 @@
+"""MSD-aware CSE: choose each constant's signed-digit encoding for sharing.
+
+CSD is only one of a value's minimal signed-digit (MSD) encodings; Park & Kang
+(DAC 2001, the paper's reference [8]) showed that *choosing among* MSD forms
+before subexpression extraction exposes more common patterns.  This module
+implements that representation search greedily:
+
+1. enumerate every MSD encoding of every constant (exact, memoized);
+2. process constants largest-digit-count first; for each, score every MSD
+   candidate by how many two-term patterns it shares with the encodings
+   already chosen, and keep the best (CSD breaks ties);
+3. run the standard iterative extraction on the chosen term lists.
+
+The result can only match or beat CSD-based CSE in *pattern supply*; the
+greedy extraction is unchanged, so the final count is compared empirically in
+``benchmarks/bench_ablation_msd.py``.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import List, Optional, Sequence, Tuple
+
+from ..errors import SynthesisError
+from ..numrep import SignedDigits, encode_csd, enumerate_msd
+from .hartley import CseNetwork, eliminate_from_terms
+from .patterns import INPUT_SYMBOL, Term
+
+__all__ = ["eliminate_msd", "choose_encodings"]
+
+PatternKey = Tuple[int, int]  # (delta, relative sign) over input digits
+
+
+def _pattern_keys(digits: SignedDigits) -> Counter:
+    """All two-digit (delta, rel_sign) patterns inside one encoding."""
+    keys: Counter = Counter()
+    terms = digits.terms
+    for i in range(len(terms)):
+        for j in range(i + 1, len(terms)):
+            delta = terms[j][0] - terms[i][0]
+            keys[(delta, terms[i][1] * terms[j][1])] += 1
+    return keys
+
+
+def choose_encodings(
+    constants: Sequence[int],
+    max_encodings_per_constant: int = 24,
+) -> List[SignedDigits]:
+    """Pick one MSD encoding per constant, greedily maximizing shared patterns.
+
+    Constants with many digits are placed first (they contribute the most
+    pattern mass); each later constant picks the candidate whose pattern
+    multiset overlaps the accumulated pool best, preferring the CSD form on
+    ties so the search never does worse than canonical by accident.
+    """
+    order = sorted(
+        range(len(constants)),
+        key=lambda i: (-encode_csd(constants[i]).nonzero_count, i),
+    )
+    chosen: List[Optional[SignedDigits]] = [None] * len(constants)
+    pool: Counter = Counter()
+    for index in order:
+        constant = int(constants[index])
+        candidates = enumerate_msd(constant)[:max_encodings_per_constant]
+        csd = encode_csd(constant)
+        best = None
+        best_rank: Tuple[int, int] = (-1, -1)
+        for candidate in candidates:
+            keys = _pattern_keys(candidate)
+            overlap = sum(min(count, pool[key]) for key, count in keys.items())
+            rank = (overlap, 1 if candidate == csd else 0)
+            if rank > best_rank:
+                best, best_rank = candidate, rank
+        if best is None:  # pragma: no cover - enumerate_msd never empty
+            best = csd
+        chosen[index] = best
+        pool.update(_pattern_keys(best))
+    return [encoding for encoding in chosen if encoding is not None]
+
+
+def eliminate_msd(
+    constants: Sequence[int],
+    max_rounds: Optional[int] = None,
+    max_encodings_per_constant: int = 24,
+) -> CseNetwork:
+    """CSE with per-constant MSD representation search (extension of [8]).
+
+    The all-CSD assignment is itself a point in the MSD search space, so the
+    search evaluates both the overlap-chosen assignment and the canonical one
+    and returns whichever extraction ends smaller — never worse than plain
+    CSD-based CSE (property-tested).
+    """
+    constants = tuple(int(c) for c in constants)
+    if any(c == 0 for c in constants):
+        raise SynthesisError("CSE input must not contain zeros")
+    candidates = [choose_encodings(constants, max_encodings_per_constant),
+                  [encode_csd(c) for c in constants]]
+    best: Optional[CseNetwork] = None
+    for encodings in candidates:
+        terms: List[List[Term]] = [
+            [Term(pos=pos, sign=sign, symbol=INPUT_SYMBOL)
+             for pos, sign in encoding.terms]
+            for encoding in encodings
+        ]
+        network = eliminate_from_terms(constants, terms, max_rounds)
+        network.validate()
+        if best is None or network.adder_count < best.adder_count:
+            best = network
+    assert best is not None
+    return best

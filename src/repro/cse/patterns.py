@@ -1,0 +1,158 @@
+"""Pattern mining for common subexpression elimination.
+
+A constant's signed-digit string is a sum of *terms* ``sign * 2**pos *
+symbol`` where symbol 0 is the filter input and higher symbols are previously
+extracted subexpressions.  A **pattern** is an ordered pair of symbols at a
+relative shift with a relative sign — e.g. the classic CSD pattern ``101``
+is ``(sym0, sym0, delta=2, +1)`` — and an **occurrence** is a concrete pair
+of terms inside one constant matching the pattern.
+
+Patterns are canonicalized with a leading ``+`` so ``x - (y << d)`` and
+``-x + (y << d)`` count as the same shared hardware (the sign is free wiring
+at the use site).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence, Tuple
+
+__all__ = ["Term", "Pattern", "Occurrence", "find_pattern_occurrences", "count_frequencies"]
+
+INPUT_SYMBOL = 0
+
+
+@dataclass(frozen=True)
+class Term:
+    """One addend of a constant: ``sign * (symbol_value << pos)``."""
+
+    pos: int
+    sign: int
+    symbol: int = INPUT_SYMBOL
+
+
+@dataclass(frozen=True)
+class Pattern:
+    """A canonical two-term subexpression: ``a + rel_sign * (b << delta)``.
+
+    ``sym_a``/``sym_b`` identify the operand symbols; ``delta >= 0`` is the
+    shift of the second operand relative to the first.  By canonicalization
+    the first operand always carries ``+``.
+    """
+
+    sym_a: int
+    sym_b: int
+    delta: int
+    rel_sign: int
+
+    def value(self, symbol_values: Dict[int, int]) -> int:
+        """Integer multiple of x this pattern computes."""
+        return symbol_values[self.sym_a] + self.rel_sign * (
+            symbol_values[self.sym_b] << self.delta
+        )
+
+
+@dataclass(frozen=True)
+class Occurrence:
+    """A concrete pattern match: which two term indices of one constant."""
+
+    constant_index: int
+    term_a: int
+    term_b: int
+    pos: int
+    sign: int
+
+
+def _canonicalize(
+    first: Term, second: Term
+) -> Tuple[Pattern, int, int]:
+    """Return (pattern, anchor position, anchor sign) for an ordered term pair.
+
+    ``first`` must have ``pos <= second.pos``.  The occurrence contributes
+    ``anchor_sign * (pattern_value << anchor_pos)``.
+    """
+    delta = second.pos - first.pos
+    pattern = Pattern(
+        sym_a=first.symbol,
+        sym_b=second.symbol,
+        delta=delta,
+        rel_sign=first.sign * second.sign,
+    )
+    return pattern, first.pos, first.sign
+
+
+def find_pattern_occurrences(
+    constants: Sequence[Sequence[Term]],
+    symbol_values: Dict[int, int],
+) -> Dict[Pattern, List[Occurrence]]:
+    """Enumerate every candidate pattern and its occurrences over all constants.
+
+    Useless patterns are skipped: those whose value is zero, or a pure power
+    of two times a single existing symbol (that is wiring, not an adder worth
+    sharing).  Occurrences overlap freely here — non-overlapping selection
+    happens during frequency counting / extraction.
+    """
+    found: Dict[Pattern, List[Occurrence]] = {}
+    for const_index, terms in enumerate(constants):
+        ordered = sorted(
+            range(len(terms)), key=lambda i: (terms[i].pos, terms[i].symbol)
+        )
+        for ai in range(len(ordered)):
+            for bi in range(ai + 1, len(ordered)):
+                first = terms[ordered[ai]]
+                second = terms[ordered[bi]]
+                pattern, pos, sign = _canonicalize(first, second)
+                value = pattern.value(symbol_values)
+                if value == 0:
+                    continue
+                if _is_trivial(value, symbol_values):
+                    continue
+                found.setdefault(pattern, []).append(
+                    Occurrence(
+                        constant_index=const_index,
+                        term_a=ordered[ai],
+                        term_b=ordered[bi],
+                        pos=pos,
+                        sign=sign,
+                    )
+                )
+    return found
+
+
+def _is_trivial(value: int, symbol_values: Dict[int, int]) -> bool:
+    """True if ``value`` is ±(symbol << k) for some existing symbol."""
+    magnitude = abs(value)
+    for symbol_value in symbol_values.values():
+        if symbol_value == 0:
+            continue
+        base = abs(symbol_value)
+        if magnitude % base == 0:
+            ratio = magnitude // base
+            if ratio & (ratio - 1) == 0:  # power of two
+                return True
+    return False
+
+
+def count_frequencies(
+    occurrences: Dict[Pattern, List[Occurrence]],
+) -> Dict[Pattern, int]:
+    """Max non-overlapping occurrence count per pattern.
+
+    Within one constant, two occurrences sharing a term cannot both be
+    rewritten; a greedy left-to-right sweep per constant gives the usable
+    frequency (optimal for interval-style conflicts in practice and
+    deterministic, which matters more here).
+    """
+    frequencies: Dict[Pattern, int] = {}
+    for pattern, occs in occurrences.items():
+        used: Dict[int, set] = {}
+        count = 0
+        for occ in sorted(occs, key=lambda o: (o.constant_index, o.term_a, o.term_b)):
+            taken = used.setdefault(occ.constant_index, set())
+            if occ.term_a in taken or occ.term_b in taken:
+                continue
+            taken.add(occ.term_a)
+            taken.add(occ.term_b)
+            count += 1
+        frequencies[pattern] = count
+    return frequencies

@@ -1,0 +1,40 @@
+"""Exception hierarchy for the :mod:`repro` package.
+
+All library-raised exceptions derive from :class:`ReproError` so callers can
+catch everything coming out of the library with a single ``except`` clause
+while still distinguishing the failure domains below.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the :mod:`repro` library."""
+
+
+class EncodingError(ReproError):
+    """A number could not be encoded in the requested digit representation."""
+
+
+class QuantizationError(ReproError):
+    """Coefficient quantization failed (empty taps, zero vector, bad width)."""
+
+
+class FilterDesignError(ReproError):
+    """A filter specification could not be realized."""
+
+
+class GraphError(ReproError):
+    """The SIDC colored graph or one of its derived structures is invalid."""
+
+
+class SynthesisError(ReproError):
+    """MRP/CSE synthesis could not produce a valid architecture."""
+
+
+class NetlistError(ReproError):
+    """A shift-add netlist failed structural or functional validation."""
+
+
+class SimulationError(ReproError):
+    """Bit-accurate simulation detected an inconsistency."""

@@ -1,0 +1,48 @@
+"""Evaluation harness: one runner per paper table/figure, reporting, CLI."""
+
+from .experiments import (
+    BETA_SWEEP,
+    WORDLENGTHS,
+    ExperimentResult,
+    ExperimentRow,
+    MethodResult,
+    Table1Row,
+    best_mrpf,
+    clear_cache,
+    run_figure6,
+    run_figure7,
+    run_figure8,
+    run_summary,
+    run_table1,
+)
+from .export import result_records, to_csv, to_json
+from .harness import EXPERIMENTS, PAPER_CLAIMS, paper_comparison, run_experiment
+from .plots import ascii_bar_chart, figure_chart
+from .report import format_experiment, format_table
+
+__all__ = [
+    "BETA_SWEEP",
+    "EXPERIMENTS",
+    "ExperimentResult",
+    "ExperimentRow",
+    "MethodResult",
+    "PAPER_CLAIMS",
+    "Table1Row",
+    "WORDLENGTHS",
+    "ascii_bar_chart",
+    "best_mrpf",
+    "clear_cache",
+    "figure_chart",
+    "format_experiment",
+    "format_table",
+    "paper_comparison",
+    "result_records",
+    "run_experiment",
+    "run_figure6",
+    "run_figure7",
+    "run_figure8",
+    "run_summary",
+    "run_table1",
+    "to_csv",
+    "to_json",
+]

@@ -1,0 +1,100 @@
+"""Command-line entry point: ``python -m repro.eval <experiment>``.
+
+Examples::
+
+    python -m repro.eval fig6
+    python -m repro.eval table1
+    python -m repro.eval all --filters 0 1 2 --wordlengths 8 12
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .harness import EXPERIMENTS, paper_comparison, run_experiment
+from .export import to_csv, to_json
+from .plots import figure_chart
+from .report import format_experiment
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.eval",
+        description="Regenerate the paper's tables and figures.",
+    )
+    parser.add_argument(
+        "experiment",
+        choices=sorted(EXPERIMENTS) + ["all"],
+        help="which experiment to run",
+    )
+    parser.add_argument(
+        "--filters",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="IDX",
+        help="restrict to these benchmark filter indices (0-11)",
+    )
+    parser.add_argument(
+        "--csv",
+        metavar="PATH",
+        default=None,
+        help="also write the results as CSV to PATH",
+    )
+    parser.add_argument(
+        "--json",
+        metavar="PATH",
+        default=None,
+        help="also write the results as JSON to PATH",
+    )
+    parser.add_argument(
+        "--chart",
+        action="store_true",
+        help="also render the figure as an ASCII bar chart",
+    )
+    parser.add_argument(
+        "--wordlengths",
+        type=int,
+        nargs="+",
+        default=None,
+        metavar="W",
+        help="restrict coefficient wordlengths (default 8 12 16 20)",
+    )
+    args = parser.parse_args(argv)
+
+    experiment_ids = (
+        sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
+    )
+    for experiment_id in experiment_ids:
+        result = run_experiment(
+            experiment_id,
+            filter_indices=args.filters,
+            wordlengths=args.wordlengths,
+        )
+        print(format_experiment(result))
+        if args.chart and result.rows:
+            print()
+            print(figure_chart(result))
+        if args.csv:
+            with open(args.csv, "a" if len(experiment_ids) > 1 else "w") as fh:
+                fh.write(to_csv(result))
+            print(f"[csv written to {args.csv}]")
+        if args.json:
+            with open(args.json, "w") as fh:
+                fh.write(to_json(result))
+            print(f"[json written to {args.json}]")
+        comparison = paper_comparison(result)
+        if comparison:
+            print()
+            print("paper vs measured:")
+            for metric, paper_value, measured in comparison:
+                print(f"  {metric}: paper={paper_value:.2f} measured={measured:.2f}")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,82 @@
+"""Machine-readable export of experiment results (CSV / JSON).
+
+The ASCII reports are for terminals; these exporters feed plotting scripts
+and spreadsheets.  No third-party dependencies: the CSV dialect is plain
+RFC-4180-ish, JSON uses the standard library.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from .experiments import ExperimentResult
+
+__all__ = ["to_csv", "to_json", "result_records"]
+
+
+def result_records(result: ExperimentResult) -> List[Dict[str, Any]]:
+    """Flatten an experiment into one record per (design point, method)."""
+    records: List[Dict[str, Any]] = []
+    for row in result.rows:
+        for method, mr in row.results.items():
+            record: Dict[str, Any] = {
+                "experiment": result.experiment_id,
+                "filter": row.filter_name,
+                "num_taps": row.num_taps,
+                "num_unique_taps": row.num_unique_taps,
+                "wordlength": row.wordlength,
+                "scaling": row.scaling,
+                "method": method,
+                "adders": mr.adders,
+                "depth": mr.depth,
+                "cla_weighted": mr.cla_weighted,
+            }
+            if mr.seed_size is not None:
+                record["seed_roots"], record["seed_solution"] = mr.seed_size
+            records.append(record)
+    for row in result.table1_rows:
+        records.append({
+            "experiment": result.experiment_id,
+            "filter": row.filter_name,
+            "design_method": row.method,
+            "band": row.band,
+            "order": row.order,
+            "ripple_db": row.ripple_db,
+            "atten_db": row.atten_db,
+            "seed_spt_roots": row.seed_spt[0],
+            "seed_spt_solution": row.seed_spt[1],
+            "seed_sm_roots": row.seed_sm[0],
+            "seed_sm_solution": row.seed_sm[1],
+        })
+    return records
+
+
+def to_csv(result: ExperimentResult) -> str:
+    """Render the experiment's records as CSV text (header included)."""
+    records = result_records(result)
+    if not records:
+        return ""
+    fieldnames: List[str] = []
+    for record in records:
+        for key in record:
+            if key not in fieldnames:
+                fieldnames.append(key)
+    buffer = io.StringIO()
+    writer = csv.DictWriter(buffer, fieldnames=fieldnames, restval="")
+    writer.writeheader()
+    writer.writerows(records)
+    return buffer.getvalue()
+
+
+def to_json(result: ExperimentResult, indent: int = 2) -> str:
+    """Render the experiment (records + summary) as JSON text."""
+    payload = {
+        "experiment": result.experiment_id,
+        "title": result.title,
+        "records": result_records(result),
+        "summary": dict(result.summary),
+    }
+    return json.dumps(payload, indent=indent, sort_keys=False)

@@ -1,0 +1,82 @@
+"""ASCII chart rendering for the reproduced figures (no plotting deps).
+
+The paper's figures are bar charts of normalized complexity per example and
+wordlength; these helpers render the same series as terminal bar charts so
+``python -m repro.eval fig6 --chart`` visually mirrors Figure 6.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence
+
+from .experiments import ExperimentResult
+
+__all__ = ["ascii_bar_chart", "figure_chart"]
+
+_FULL = "#"
+
+
+def ascii_bar_chart(
+    labels: Sequence[str],
+    values: Sequence[float],
+    width: int = 50,
+    title: str = "",
+    max_value: float = None,
+) -> str:
+    """Horizontal bar chart; bar length proportional to value."""
+    if len(labels) != len(values):
+        raise ValueError("labels and values must have the same length")
+    if not values:
+        return title
+    peak = max_value if max_value is not None else max(values)
+    peak = max(peak, 1e-12)
+    label_width = max(len(label) for label in labels)
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    for label, value in zip(labels, values):
+        bar = _FULL * max(0, round(width * value / peak))
+        lines.append(f"{label.rjust(label_width)} |{bar} {value:.3f}")
+    return "\n".join(lines)
+
+
+def figure_chart(
+    result: ExperimentResult,
+    method: str = None,
+    baseline: str = None,
+    width: int = 50,
+) -> str:
+    """Render a figure run as per-wordlength bar charts of normalized complexity.
+
+    Mirrors the paper's figure layout: one group per wordlength, one bar per
+    example filter, height = complexity normalized to the baseline (1.0 = no
+    improvement).
+    """
+    if not result.rows:
+        return result.title
+    methods = list(result.rows[0].results)
+    if baseline is None:
+        baseline = "cse" if "cse" in methods and "mrpf_cse" in methods else "simple"
+    if method is None:
+        method = "mrpf_cse" if "mrpf_cse" in methods else "mrpf"
+
+    by_wordlength: Dict[int, List] = {}
+    for row in result.rows:
+        by_wordlength.setdefault(row.wordlength, []).append(row)
+
+    sections: List[str] = [result.title, ""]
+    for wordlength in sorted(by_wordlength):
+        rows = by_wordlength[wordlength]
+        labels = [row.filter_name for row in rows]
+        values = [row.normalized(method, baseline) for row in rows]
+        sections.append(
+            ascii_bar_chart(
+                labels,
+                values,
+                width=width,
+                title=f"W = {wordlength}  ({method} / {baseline})",
+                max_value=1.0,
+            )
+        )
+        sections.append("")
+    return "\n".join(sections).rstrip() + "\n"

@@ -1,0 +1,80 @@
+"""ASCII reporting: figure series and table rendering for experiment results."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+from .experiments import ExperimentResult, ExperimentRow, Table1Row
+
+__all__ = ["format_table", "format_experiment"]
+
+
+def format_table(headers: Sequence[str], rows: Sequence[Sequence[str]]) -> str:
+    """Render a fixed-width ASCII table."""
+    widths = [len(h) for h in headers]
+    for row in rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    def line(cells):
+        return "  ".join(cell.ljust(widths[i]) for i, cell in enumerate(cells))
+    out = [line(headers), line(["-" * w for w in widths])]
+    out.extend(line(row) for row in rows)
+    return "\n".join(out)
+
+
+def _figure_rows(rows: Sequence[ExperimentRow], method: str, baseline: str):
+    headers = ["filter", "taps", "W", "scaling",
+               f"{baseline} adders", f"{method} adders", "normalized"]
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([
+            row.filter_name,
+            str(row.num_unique_taps),
+            str(row.wordlength),
+            row.scaling,
+            str(row.results[baseline].adders),
+            str(row.results[method].adders),
+            f"{row.normalized(method, baseline):.3f}",
+        ])
+    return headers, body
+
+
+def _table1_rows(rows: Sequence[Table1Row]):
+    headers = ["example", "method", "band", "order", "f_p", "f_s",
+               "Rp(dB)", "Rs(dB)", "SEED SPT (r,s)", "SEED SM (r,s)"]
+    body: List[List[str]] = []
+    for row in rows:
+        body.append([
+            row.filter_name,
+            row.method,
+            row.band,
+            str(row.order),
+            f"{row.passband[0]:.2f}-{row.passband[1]:.2f}",
+            f"{row.stopband[0]:.2f}-{row.stopband[1]:.2f}",
+            f"{row.ripple_db:.1f}",
+            f"{row.atten_db:.0f}",
+            f"({row.seed_spt[0]},{row.seed_spt[1]})",
+            f"({row.seed_sm[0]},{row.seed_sm[1]})",
+        ])
+    return headers, body
+
+
+def format_experiment(result: ExperimentResult) -> str:
+    """Render one experiment: title, data table, summary block."""
+    parts = [result.title, "=" * len(result.title)]
+    if result.table1_rows:
+        headers, body = _table1_rows(result.table1_rows)
+        parts.append(format_table(headers, body))
+    elif result.rows:
+        first = result.rows[0]
+        methods = list(first.results)
+        baseline = "cse" if "cse" in methods and "mrpf_cse" in methods else "simple"
+        method = "mrpf_cse" if "mrpf_cse" in methods else "mrpf"
+        headers, body = _figure_rows(result.rows, method, baseline)
+        parts.append(format_table(headers, body))
+    if result.summary:
+        parts.append("")
+        parts.append("summary:")
+        for key, value in result.summary.items():
+            parts.append(f"  {key}: {value:.4f}")
+    return "\n".join(parts)

@@ -1,0 +1,56 @@
+"""FIR filter substrate: specs, design backends, responses, structures, suite."""
+
+from .benchmarks import (
+    TABLE1_SPECS,
+    DesignedFilter,
+    benchmark_filter,
+    benchmark_suite,
+)
+from .design import design_fir, firls_bands, remez_bands
+from .iir import (
+    IirSpec,
+    QuantizedIir,
+    design_iir,
+    iir_direct_output,
+    iir_tdf2_output,
+    quantize_iir,
+)
+from .response import ResponseReport, frequency_response, measure_response, meets_spec
+from .specs import BandType, DesignMethod, FilterSpec
+from .structures import (
+    TransposedDirectForm,
+    direct_form_output,
+    fold_symmetric,
+    is_symmetric,
+    transposed_direct_form_output,
+    unfold_symmetric,
+)
+
+__all__ = [
+    "BandType",
+    "DesignMethod",
+    "DesignedFilter",
+    "FilterSpec",
+    "IirSpec",
+    "QuantizedIir",
+    "ResponseReport",
+    "TABLE1_SPECS",
+    "TransposedDirectForm",
+    "benchmark_filter",
+    "benchmark_suite",
+    "design_fir",
+    "design_iir",
+    "direct_form_output",
+    "firls_bands",
+    "fold_symmetric",
+    "frequency_response",
+    "iir_direct_output",
+    "iir_tdf2_output",
+    "is_symmetric",
+    "measure_response",
+    "meets_spec",
+    "quantize_iir",
+    "remez_bands",
+    "transposed_direct_form_output",
+    "unfold_symmetric",
+]

@@ -1,0 +1,138 @@
+"""Filter specifications: band shapes, design methods, tolerance schemes.
+
+A :class:`FilterSpec` captures everything the paper's Table 1 lists per
+example filter — design method (Butterworth / Parks-McClellan / least
+squares), band type (low-pass / band-pass / band-stop), band edges, passband
+ripple and stopband attenuation, and the FIR order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from enum import Enum
+from typing import Tuple
+
+from ..errors import FilterDesignError
+
+__all__ = ["BandType", "DesignMethod", "FilterSpec"]
+
+
+class BandType(str, Enum):
+    """Frequency-selective band shape (paper abbreviations in parens)."""
+
+    LOWPASS = "lowpass"      # LP
+    HIGHPASS = "highpass"    # HP (not in Table 1 but supported)
+    BANDPASS = "bandpass"    # BP
+    BANDSTOP = "bandstop"    # BS / notch
+
+    @property
+    def abbreviation(self) -> str:
+        """The paper's two-letter abbreviation."""
+        return {
+            "lowpass": "LP",
+            "highpass": "HP",
+            "bandpass": "BP",
+            "bandstop": "BS",
+        }[self.value]
+
+
+class DesignMethod(str, Enum):
+    """FIR design algorithm (paper abbreviations in parens)."""
+
+    BUTTERWORTH = "butterworth"        # BW — windowed FIR fit of a Butterworth magnitude
+    PARKS_MCCLELLAN = "parks_mcclellan"  # PM — equiripple (Remez exchange)
+    LEAST_SQUARES = "least_squares"    # LS — weighted least squares
+
+    @property
+    def abbreviation(self) -> str:
+        """The paper's two-letter abbreviation."""
+        return {
+            "butterworth": "BW",
+            "parks_mcclellan": "PM",
+            "least_squares": "LS",
+        }[self.value]
+
+
+@dataclass(frozen=True)
+class FilterSpec:
+    """A complete linear-phase FIR specification.
+
+    Frequencies are normalized to the Nyquist rate (1.0 == fs/2).
+    ``passband`` and ``stopband`` hold the band edges:
+
+    * low-pass:  ``passband=(0, fp)``, ``stopband=(fs, 1)``
+    * high-pass: ``passband=(fp, 1)``, ``stopband=(0, fs)``
+    * band-pass: ``passband=(fp1, fp2)``, ``stopband=(fs1, fs2)`` with
+      ``fs1 < fp1 < fp2 < fs2`` (stopbands are ``(0, fs1)`` and ``(fs2, 1)``)
+    * band-stop: ``passband=(fp1, fp2)`` are the *outer* passband edges and
+      ``stopband=(fs1, fs2)`` the notch, with ``fp1 < fs1 < fs2 < fp2``.
+
+    ``ripple_db`` is the peak-to-peak passband ripple R_p; ``atten_db`` the
+    minimum stopband attenuation R_s.  ``numtaps`` is odd (Type-I symmetric)
+    so every benchmark filter folds cleanly.
+    """
+
+    name: str
+    band: BandType
+    method: DesignMethod
+    numtaps: int
+    passband: Tuple[float, float]
+    stopband: Tuple[float, float]
+    ripple_db: float = 0.5
+    atten_db: float = 40.0
+
+    def __post_init__(self) -> None:
+        if self.numtaps < 3:
+            raise FilterDesignError(f"{self.name}: numtaps must be >= 3")
+        if self.numtaps % 2 == 0:
+            raise FilterDesignError(
+                f"{self.name}: numtaps must be odd (Type-I linear phase)"
+            )
+        for label, band in (("passband", self.passband), ("stopband", self.stopband)):
+            lo, hi = band
+            if not (0.0 <= lo < hi <= 1.0):
+                raise FilterDesignError(
+                    f"{self.name}: {label} edges {band} must satisfy 0 <= lo < hi <= 1"
+                )
+        if self.ripple_db <= 0 or self.atten_db <= 0:
+            raise FilterDesignError(f"{self.name}: ripple/attenuation must be positive")
+        self._check_band_ordering()
+
+    def _check_band_ordering(self) -> None:
+        fp1, fp2 = self.passband
+        fs1, fs2 = self.stopband
+        if self.band is BandType.LOWPASS and not fp2 < fs1:
+            raise FilterDesignError(f"{self.name}: lowpass needs fp < fs")
+        if self.band is BandType.HIGHPASS and not fs2 < fp1:
+            raise FilterDesignError(f"{self.name}: highpass needs fs < fp")
+        if self.band is BandType.BANDPASS and not (fs1 < fp1 < fp2 < fs2):
+            raise FilterDesignError(
+                f"{self.name}: bandpass needs fs1 < fp1 < fp2 < fs2"
+            )
+        if self.band is BandType.BANDSTOP and not (fp1 < fs1 < fs2 < fp2):
+            raise FilterDesignError(
+                f"{self.name}: bandstop needs fp1 < fs1 < fs2 < fp2"
+            )
+
+    @property
+    def order(self) -> int:
+        """FIR filter order (numtaps - 1), as reported in the paper's table."""
+        return self.numtaps - 1
+
+    @property
+    def passband_delta(self) -> float:
+        """Linear passband deviation corresponding to ``ripple_db``."""
+        return (10 ** (self.ripple_db / 20.0) - 1) / (10 ** (self.ripple_db / 20.0) + 1)
+
+    @property
+    def stopband_delta(self) -> float:
+        """Linear stopband deviation corresponding to ``atten_db``."""
+        return 10 ** (-self.atten_db / 20.0)
+
+    def describe(self) -> str:
+        """One-line Table-1-style summary."""
+        return (
+            f"{self.name}: {self.method.abbreviation} {self.band.abbreviation} "
+            f"order={self.order} pass={self.passband} stop={self.stopband} "
+            f"Rp={self.ripple_db}dB Rs={self.atten_db}dB"
+        )

@@ -1,0 +1,140 @@
+"""FIR filter structures: direct form, transposed direct form, symmetric folding.
+
+The paper targets the *transposed direct form* (TDF), where the single input
+sample ``x(n)`` multiplies the whole coefficient vector at once — the vector
+scaling view that makes computation sharing possible.  This module provides
+golden-model simulations of the structures (float and exact integer) used to
+validate synthesized shift-add architectures, plus symmetric folding.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import FilterDesignError
+
+__all__ = [
+    "is_symmetric",
+    "fold_symmetric",
+    "unfold_symmetric",
+    "direct_form_output",
+    "transposed_direct_form_output",
+    "TransposedDirectForm",
+]
+
+
+def is_symmetric(taps: Sequence[float], rel_tol: float = 1e-9) -> bool:
+    """True if the tap vector has even (Type-I/II) linear-phase symmetry."""
+    arr = np.asarray(list(taps), dtype=float)
+    if arr.size == 0:
+        return False
+    scale = max(1.0, float(np.max(np.abs(arr))))
+    return bool(np.allclose(arr, arr[::-1], atol=rel_tol * scale))
+
+
+def fold_symmetric(taps: Sequence[float]) -> Tuple[np.ndarray, int]:
+    """Fold a symmetric tap vector to its unique half.
+
+    Returns ``(unique, numtaps)`` where ``unique`` holds taps
+    ``0 .. ceil(numtaps/2) - 1``.  The folded structure pre-adds the mirrored
+    delay-line samples, so only these coefficients need multipliers — the
+    accounting the paper uses for all methods alike.  Raises if the input is
+    not symmetric.
+    """
+    arr = np.asarray(list(taps), dtype=float)
+    if not is_symmetric(arr):
+        raise FilterDesignError("cannot fold a non-symmetric tap vector")
+    half = (arr.size + 1) // 2
+    return arr[:half].copy(), int(arr.size)
+
+
+def unfold_symmetric(unique: Sequence[float], numtaps: int) -> np.ndarray:
+    """Inverse of :func:`fold_symmetric`."""
+    unique_arr = np.asarray(list(unique), dtype=float)
+    half = (numtaps + 1) // 2
+    if unique_arr.size != half:
+        raise FilterDesignError(
+            f"folded vector has {unique_arr.size} taps, expected {half} for numtaps={numtaps}"
+        )
+    if numtaps % 2 == 1:
+        return np.concatenate([unique_arr, unique_arr[:-1][::-1]])
+    return np.concatenate([unique_arr, unique_arr[::-1]])
+
+
+def direct_form_output(taps: Sequence, samples: Sequence) -> List:
+    """Direct-form FIR output: ``y(n) = sum_i c_i x(n-i)`` with zero history.
+
+    Works on ints exactly (Python bignums) and on floats; output length equals
+    the input length (no tail), matching ``numpy.convolve(...)[:len(x)]``.
+    """
+    taps = list(taps)
+    samples = list(samples)
+    output = []
+    for n in range(len(samples)):
+        acc = 0
+        for i, c in enumerate(taps):
+            if n - i < 0:
+                break
+            acc += c * samples[n - i]
+        output.append(acc)
+    return output
+
+
+def transposed_direct_form_output(taps: Sequence, samples: Sequence) -> List:
+    """Cycle-accurate TDF register simulation.
+
+    The TDF keeps ``M-1`` registers; each cycle every tap product of the
+    *current* sample is formed and folded into the register chain:
+    ``r_k(n) = c_{k+1} x(n) + r_{k+1}(n-1)``, ``y(n) = c_0 x(n) + r_0(n-1)``.
+    Must agree exactly with :func:`direct_form_output` — a structural identity
+    the tests enforce.
+    """
+    taps = list(taps)
+    samples = list(samples)
+    m = len(taps)
+    registers = [0] * max(0, m - 1)
+    output = []
+    for x in samples:
+        products = [c * x for c in taps]
+        y = products[0] + (registers[0] if registers else 0)
+        for k in range(len(registers)):
+            incoming = registers[k + 1] if k + 1 < len(registers) else 0
+            registers[k] = products[k + 1] + incoming
+        output.append(y)
+    return output
+
+
+class TransposedDirectForm:
+    """Stateful TDF engine for streaming use (examples, pipelining demos)."""
+
+    def __init__(self, taps: Sequence):
+        self._taps = list(taps)
+        if not self._taps:
+            raise FilterDesignError("TDF needs at least one tap")
+        self._registers = [0] * (len(self._taps) - 1)
+
+    @property
+    def taps(self) -> List:
+        """Copy of the tap vector."""
+        return list(self._taps)
+
+    def reset(self) -> None:
+        """Clear the register chain."""
+        self._registers = [0] * (len(self._taps) - 1)
+
+    def step(self, sample):
+        """Process one input sample, return one output sample."""
+        products = [c * sample for c in self._taps]
+        y = products[0] + (self._registers[0] if self._registers else 0)
+        for k in range(len(self._registers)):
+            incoming = (
+                self._registers[k + 1] if k + 1 < len(self._registers) else 0
+            )
+            self._registers[k] = products[k + 1] + incoming
+        return y
+
+    def process(self, samples: Sequence) -> List:
+        """Process a block of samples."""
+        return [self.step(x) for x in samples]

@@ -1,0 +1,42 @@
+"""Hardware cost models: adder families, switching power, interconnect/β."""
+
+from .adders import (
+    ADDER_MODELS,
+    CARRY_LOOKAHEAD,
+    CARRY_SAVE,
+    RIPPLE_CARRY,
+    AdderModel,
+    netlist_area,
+    netlist_critical_path,
+    weighted_adder_cost,
+)
+from .interconnect import (
+    FanoutReport,
+    fanout_counts,
+    interconnect_cost,
+    recommended_beta,
+)
+from .power import PowerReport, estimate_power, lcg_stream, toggle_activity
+from .report import CostReport, compare_costs, cost_report
+
+__all__ = [
+    "ADDER_MODELS",
+    "AdderModel",
+    "CARRY_LOOKAHEAD",
+    "CARRY_SAVE",
+    "CostReport",
+    "compare_costs",
+    "cost_report",
+    "FanoutReport",
+    "PowerReport",
+    "RIPPLE_CARRY",
+    "estimate_power",
+    "fanout_counts",
+    "interconnect_cost",
+    "lcg_stream",
+    "netlist_area",
+    "netlist_critical_path",
+    "recommended_beta",
+    "toggle_activity",
+    "weighted_adder_cost",
+]

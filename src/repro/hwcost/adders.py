@@ -1,0 +1,128 @@
+"""Adder area/delay/energy models calibrated to 0.25 µm standard cells.
+
+The paper reports complexity "when using carry lookahead adders synthesized
+from the Synopsys DesignWare library in 0.25 µ technology".  We cannot run
+DesignWare, so these analytical models stand in (DESIGN.md §2): constants are
+chosen to match the published characteristics of 0.25 µm synthesis — a full
+adder cell near 120 µm² and 0.45 ns, CLA delay growing logarithmically with
+a ~4-bit lookahead block, CLA area ~40 % above ripple.
+
+Only *ratios* between architectures matter for the reproduction; the knobs
+(adder family, bit width) move costs exactly the way the paper discusses.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from math import ceil, log2
+from typing import Callable, Dict
+
+from ..arch.metrics import node_bitwidths
+from ..arch.netlist import ShiftAddNetlist
+
+__all__ = [
+    "AdderModel",
+    "RIPPLE_CARRY",
+    "CARRY_LOOKAHEAD",
+    "CARRY_SAVE",
+    "ADDER_MODELS",
+    "netlist_area",
+    "netlist_critical_path",
+    "weighted_adder_cost",
+]
+
+
+@dataclass(frozen=True)
+class AdderModel:
+    """Area (µm²), delay (ns) and energy (pJ) of one adder vs bit width."""
+
+    name: str
+    area_fn: Callable[[int], float]
+    delay_fn: Callable[[int], float]
+    energy_fn: Callable[[int], float]
+
+    def area(self, bits: int) -> float:
+        """Adder area in um^2 at the given bit width."""
+        return self.area_fn(max(1, bits))
+
+    def delay(self, bits: int) -> float:
+        """Adder delay in ns at the given bit width."""
+        return self.delay_fn(max(1, bits))
+
+    def energy(self, bits: int) -> float:
+        """Adder energy in pJ at the given bit width."""
+        return self.energy_fn(max(1, bits))
+
+
+# 0.25 µm-flavoured constants (see module docstring).
+_FA_AREA_UM2 = 120.0
+_FA_DELAY_NS = 0.45
+_FA_ENERGY_PJ = 0.08
+_CLA_AREA_OVERHEAD = 1.4
+_CLA_BLOCK_BITS = 4
+_CLA_STAGE_DELAY_NS = 0.55
+
+RIPPLE_CARRY = AdderModel(
+    name="ripple_carry",
+    area_fn=lambda bits: _FA_AREA_UM2 * bits,
+    delay_fn=lambda bits: _FA_DELAY_NS * bits,
+    energy_fn=lambda bits: _FA_ENERGY_PJ * bits,
+)
+
+CARRY_LOOKAHEAD = AdderModel(
+    name="carry_lookahead",
+    area_fn=lambda bits: _FA_AREA_UM2 * _CLA_AREA_OVERHEAD * bits,
+    delay_fn=lambda bits: _CLA_STAGE_DELAY_NS
+    * (1 + ceil(log2(max(2, ceil(bits / _CLA_BLOCK_BITS))))),
+    energy_fn=lambda bits: _FA_ENERGY_PJ * 1.25 * bits,
+)
+
+CARRY_SAVE = AdderModel(
+    name="carry_save",
+    area_fn=lambda bits: _FA_AREA_UM2 * bits,
+    delay_fn=lambda bits: _FA_DELAY_NS,  # one full-adder level, width-independent
+    energy_fn=lambda bits: _FA_ENERGY_PJ * bits,
+)
+
+ADDER_MODELS: Dict[str, AdderModel] = {
+    model.name: model
+    for model in (RIPPLE_CARRY, CARRY_LOOKAHEAD, CARRY_SAVE)
+}
+
+
+def netlist_area(
+    netlist: ShiftAddNetlist,
+    input_bits: int,
+    model: AdderModel = CARRY_LOOKAHEAD,
+) -> float:
+    """Total adder area of the multiplier block in µm²."""
+    widths = node_bitwidths(netlist, input_bits)
+    return sum(model.area(widths[node.id]) for node in netlist.nodes[1:])
+
+
+def netlist_critical_path(
+    netlist: ShiftAddNetlist,
+    input_bits: int,
+    model: AdderModel = CARRY_LOOKAHEAD,
+) -> float:
+    """Longest register-to-register combinational delay through the block (ns)."""
+    widths = node_bitwidths(netlist, input_bits)
+    arrival = [0.0] * len(netlist)
+    for node in netlist.nodes[1:]:
+        ready = max(arrival[node.a.node], arrival[node.b.node])
+        arrival[node.id] = ready + model.delay(widths[node.id])
+    return max(arrival, default=0.0)
+
+
+def weighted_adder_cost(
+    netlist: ShiftAddNetlist,
+    input_bits: int,
+    model: AdderModel = CARRY_LOOKAHEAD,
+) -> float:
+    """Area-weighted adder count, normalized to one input-width adder.
+
+    This is the metric behind the paper's DesignWare-normalized numbers: an
+    adder twice as wide counts roughly twice.
+    """
+    reference = model.area(input_bits)
+    return netlist_area(netlist, input_bits, model) / reference

@@ -1,0 +1,77 @@
+"""Interconnect/fanout cost model — the physical story behind β (paper §3.3).
+
+In deep sub-micron technologies, sharing a computation widely means driving a
+high-fanout, long wire; the paper folds this into the benefit function via
+β < 0.5.  This module quantifies the effect on a finished netlist: per-node
+fanout, a wire-cost estimate, and a heuristic mapping from a technology's
+relative wire cost to a recommended β.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+from ..arch.netlist import ShiftAddNetlist
+
+__all__ = ["FanoutReport", "fanout_counts", "interconnect_cost", "recommended_beta"]
+
+
+@dataclass(frozen=True)
+class FanoutReport:
+    """Fanout structure of one netlist."""
+
+    fanout: List[int]
+    max_fanout: int
+    total_fanout: int
+
+    @property
+    def mean_fanout(self) -> float:
+        """Average fanout over the internal (non-input) nodes."""
+        internal = self.fanout[1:]
+        if not internal:
+            return 0.0
+        return sum(internal) / len(internal)
+
+
+def fanout_counts(netlist: ShiftAddNetlist) -> FanoutReport:
+    """Count consumers of every node (operand uses + tap outputs)."""
+    fanout = [0] * len(netlist)
+    for node in netlist.nodes[1:]:
+        fanout[node.a.node] += 1
+        fanout[node.b.node] += 1
+    for ref in netlist.outputs.values():
+        if ref is not None:
+            fanout[ref.node] += 1
+    return FanoutReport(
+        fanout=fanout,
+        max_fanout=max(fanout, default=0),
+        total_fanout=sum(fanout),
+    )
+
+
+def interconnect_cost(
+    netlist: ShiftAddNetlist, wire_cost_per_fanout: float = 1.0
+) -> float:
+    """Superlinear wire cost: each net pays ``fanout ** 1.5``.
+
+    High-fanout nets need buffering and longer routes, so the penalty grows
+    faster than linearly — the effect that makes "compute more, share less"
+    (low β) attractive in aggressive technologies.
+    """
+    report = fanout_counts(netlist)
+    return wire_cost_per_fanout * sum(f**1.5 for f in report.fanout if f > 0)
+
+
+def recommended_beta(wire_cost_ratio: float) -> float:
+    """Map a technology's wire/gate cost ratio to a benefit-function β.
+
+    ``wire_cost_ratio`` ~0 (wires free) recommends the neutral β = 0.5;
+    increasingly expensive wires push β down toward 0.25, de-emphasizing
+    frequency (sharing) exactly as the paper prescribes.  Clamped to
+    [0.25, 0.5].
+    """
+    if wire_cost_ratio < 0:
+        raise ValueError("wire_cost_ratio must be non-negative")
+    beta = 0.5 - 0.25 * min(1.0, wire_cost_ratio)
+    return max(0.25, min(0.5, beta))

@@ -1,0 +1,87 @@
+"""Consolidated hardware cost reports for architecture comparison.
+
+One call produces every figure of merit the paper discusses for a synthesized
+multiplier block — adders, depth, CLA/RCA area and critical path, switching
+power, fanout/interconnect — so methods can be compared on a single page
+(used by ``examples/compare_methods.py`` and the cost integration tests).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Sequence
+
+from ..arch.metrics import analyze
+from ..arch.netlist import ShiftAddNetlist
+from .adders import CARRY_LOOKAHEAD, AdderModel, netlist_area, netlist_critical_path
+from .interconnect import fanout_counts, interconnect_cost
+from .power import estimate_power
+
+__all__ = ["CostReport", "cost_report", "compare_costs"]
+
+
+@dataclass(frozen=True)
+class CostReport:
+    """All figures of merit for one multiplier-block netlist."""
+
+    adders: int
+    depth: int
+    area_um2: float
+    critical_path_ns: float
+    energy_pj: float
+    toggles_per_sample: float
+    max_fanout: int
+    interconnect: float
+    register_bits_tdf: int
+
+    def as_dict(self) -> Dict[str, float]:
+        """The report as a plain name -> value mapping."""
+        return {
+            "adders": self.adders,
+            "depth": self.depth,
+            "area_um2": self.area_um2,
+            "critical_path_ns": self.critical_path_ns,
+            "energy_pj": self.energy_pj,
+            "toggles_per_sample": self.toggles_per_sample,
+            "max_fanout": self.max_fanout,
+            "interconnect": self.interconnect,
+            "register_bits_tdf": self.register_bits_tdf,
+        }
+
+
+def cost_report(
+    netlist: ShiftAddNetlist,
+    tap_names: Sequence[str],
+    input_bits: int = 16,
+    model: AdderModel = CARRY_LOOKAHEAD,
+    power_samples: int = 128,
+) -> CostReport:
+    """Evaluate every cost model on one netlist."""
+    stats = analyze(netlist, tap_names, input_bits)
+    power = estimate_power(netlist, input_bits, power_samples)
+    fanout = fanout_counts(netlist)
+    # TDF structural registers carry the accumulating partial sums.
+    out_bits = stats.max_node_bits + max(1, len(tap_names)).bit_length()
+    return CostReport(
+        adders=stats.adders,
+        depth=stats.depth,
+        area_um2=netlist_area(netlist, input_bits, model),
+        critical_path_ns=netlist_critical_path(netlist, input_bits, model),
+        energy_pj=power.energy_pj,
+        toggles_per_sample=power.toggles_per_sample,
+        max_fanout=fanout.max_fanout,
+        interconnect=interconnect_cost(netlist),
+        register_bits_tdf=stats.structural_registers * out_bits,
+    )
+
+
+def compare_costs(
+    architectures: Dict[str, tuple],
+    input_bits: int = 16,
+    model: AdderModel = CARRY_LOOKAHEAD,
+) -> Dict[str, CostReport]:
+    """Cost reports for a labelled set of ``(netlist, tap_names)`` pairs."""
+    return {
+        label: cost_report(netlist, tap_names, input_bits, model)
+        for label, (netlist, tap_names) in architectures.items()
+    }

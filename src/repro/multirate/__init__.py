@@ -1,0 +1,24 @@
+"""Multirate structures: polyphase decimation/interpolation, half-band design."""
+
+from .halfband import design_halfband, is_halfband
+from .polyphase import (
+    PolyphaseDecimator,
+    PolyphaseInterpolator,
+    decimate_reference,
+    interpolate_reference,
+    polyphase_decompose,
+    synthesize_polyphase_decimator,
+    synthesize_polyphase_interpolator,
+)
+
+__all__ = [
+    "PolyphaseDecimator",
+    "PolyphaseInterpolator",
+    "decimate_reference",
+    "design_halfband",
+    "interpolate_reference",
+    "is_halfband",
+    "polyphase_decompose",
+    "synthesize_polyphase_decimator",
+    "synthesize_polyphase_interpolator",
+]

@@ -1,0 +1,43 @@
+"""Number representations: signed digits, binary/SM, CSD/SPT, MSD.
+
+This subpackage is the arithmetic foundation for everything above it: the
+color costs of the MRP graph, the CSE pattern space, and the simple-baseline
+adder counts all come from the digit encodings defined here.
+"""
+
+from .binary import binary_nonzero_count, binary_width, encode_binary
+from .cost import Representation, adder_cost, digit_cost, encode
+from .csd import csd_nonzero_count, encode_csd, is_csd
+from .digits import (
+    SignedDigits,
+    is_power_of_two,
+    odd_normalize,
+    oddpart,
+    shift_amount,
+)
+from .msd import enumerate_msd, minimal_nonzero_count, msd_count
+from .signmag import encode_sign_magnitude, sm_nonzero_count, split_sign_magnitude
+
+__all__ = [
+    "SignedDigits",
+    "Representation",
+    "adder_cost",
+    "binary_nonzero_count",
+    "binary_width",
+    "csd_nonzero_count",
+    "digit_cost",
+    "encode",
+    "encode_binary",
+    "encode_csd",
+    "encode_sign_magnitude",
+    "enumerate_msd",
+    "is_csd",
+    "is_power_of_two",
+    "minimal_nonzero_count",
+    "msd_count",
+    "odd_normalize",
+    "oddpart",
+    "shift_amount",
+    "sm_nonzero_count",
+    "split_sign_magnitude",
+]

@@ -1,0 +1,40 @@
+"""Plain binary (unsigned-magnitude) digit encoding.
+
+This backs the paper's *sign-magnitude* (SM) representation: the magnitude is
+encoded in ordinary base-2 with digits in {0, 1}; the sign lives outside the
+digit string (in hardware it flips the tap adder to a subtractor at zero extra
+cost, exactly as in the paper's overhead-add network).
+"""
+
+from __future__ import annotations
+
+from .digits import SignedDigits
+
+__all__ = ["encode_binary", "binary_nonzero_count", "binary_width"]
+
+
+def encode_binary(value: int) -> SignedDigits:
+    """Encode ``abs(value)`` in plain binary, negating digits if negative.
+
+    The returned string's value equals ``value`` exactly; for a negative input
+    every digit is ``-1`` where the magnitude has a ``1``.  The nonzero-digit
+    count therefore equals ``popcount(abs(value))`` for either sign.
+    """
+    magnitude = abs(value)
+    digits = []
+    while magnitude:
+        digits.append(magnitude & 1)
+        magnitude >>= 1
+    if value < 0:
+        digits = [-d for d in digits]
+    return SignedDigits(tuple(digits))
+
+
+def binary_nonzero_count(value: int) -> int:
+    """``popcount(abs(value))`` — the SM digit cost of ``value``."""
+    return bin(abs(value)).count("1")
+
+
+def binary_width(value: int) -> int:
+    """Number of bits needed for ``abs(value)`` (0 for value 0)."""
+    return abs(value).bit_length()

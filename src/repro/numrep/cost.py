@@ -1,0 +1,66 @@
+"""Digit-cost metrics parameterized by number representation.
+
+The MRP benefit function and every complexity figure in the paper boil down
+to two quantities per constant ``v``:
+
+* ``digit_cost(v)`` — nonzero digits in the chosen representation.  This is
+  the paper's edge weight / color *cost* (number of adder arrays when an
+  array multiplier realizes the product).
+* ``adder_cost(v)`` — adders needed to multiply a variable by ``v`` with a
+  bare shift-add chain: one fewer than the digit count (the first partial
+  product is a wire), and zero for ``v in {0, ±2**k}``.
+"""
+
+from __future__ import annotations
+
+from enum import Enum
+from typing import Callable, Dict
+
+from .binary import binary_nonzero_count, encode_binary
+from .csd import csd_nonzero_count, encode_csd
+from .digits import SignedDigits
+
+__all__ = ["Representation", "digit_cost", "adder_cost", "encode"]
+
+
+class Representation(str, Enum):
+    """Coefficient digit representations considered by the paper.
+
+    ``CSD`` doubles as the paper's "SPT" (canonical signed powers of two);
+    ``SM`` is sign-magnitude, i.e. plain binary magnitude with an external
+    sign.  The string values make CLI/bench parametrization readable.
+    """
+
+    CSD = "csd"
+    SM = "sm"
+
+    @property
+    def label(self) -> str:
+        """Human-readable name of the representation."""
+        return {"csd": "CSD/SPT", "sm": "sign-magnitude"}[self.value]
+
+
+_DIGIT_COST: Dict[Representation, Callable[[int], int]] = {
+    Representation.CSD: csd_nonzero_count,
+    Representation.SM: binary_nonzero_count,
+}
+
+_ENCODER: Dict[Representation, Callable[[int], SignedDigits]] = {
+    Representation.CSD: encode_csd,
+    Representation.SM: encode_binary,
+}
+
+
+def encode(value: int, representation: Representation = Representation.CSD) -> SignedDigits:
+    """Encode ``value`` in the given representation."""
+    return _ENCODER[representation](value)
+
+
+def digit_cost(value: int, representation: Representation = Representation.CSD) -> int:
+    """Nonzero digit count of ``value`` in the given representation."""
+    return _DIGIT_COST[representation](value)
+
+
+def adder_cost(value: int, representation: Representation = Representation.CSD) -> int:
+    """Adders to form ``value * x`` from ``x`` by a plain shift-add chain."""
+    return max(0, digit_cost(value, representation) - 1)

@@ -1,0 +1,152 @@
+"""Signed-digit strings — the common currency of all number representations.
+
+Every representation used in the paper (two's-complement binary interpreted as
+sign-magnitude, SPT/CSD, minimal signed digit) is a string of digits
+``d_k in {-1, 0, +1}`` with value ``sum(d_k * 2**k)``.  This module provides an
+immutable :class:`SignedDigits` container plus the small integer helpers
+(odd part, shift amount) that the MRP color machinery relies on.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, Tuple
+
+from ..errors import EncodingError
+
+__all__ = [
+    "SignedDigits",
+    "oddpart",
+    "shift_amount",
+    "odd_normalize",
+    "is_power_of_two",
+]
+
+
+def oddpart(n: int) -> int:
+    """Return the odd factor of ``n`` (``n == oddpart(n) << shift_amount(n)``).
+
+    ``oddpart(0)`` is defined as ``0``.  The sign of ``n`` is preserved::
+
+        >>> oddpart(24)
+        3
+        >>> oddpart(-40)
+        -5
+    """
+    if n == 0:
+        return 0
+    while n % 2 == 0:
+        n //= 2
+    return n
+
+
+def shift_amount(n: int) -> int:
+    """Return ``k`` such that ``n == oddpart(n) << k`` (0 for ``n == 0``)."""
+    if n == 0:
+        return 0
+    k = 0
+    while n % 2 == 0:
+        n //= 2
+        k += 1
+    return k
+
+
+def odd_normalize(n: int) -> Tuple[int, int]:
+    """Return ``(odd, k)`` with ``n == odd << k`` and ``odd`` odd (or zero)."""
+    return oddpart(n), shift_amount(n)
+
+
+def is_power_of_two(n: int) -> bool:
+    """True if ``abs(n)`` is a power of two (1, 2, 4, ...).  False for 0."""
+    n = abs(n)
+    return n != 0 and (n & (n - 1)) == 0
+
+
+@dataclass(frozen=True)
+class SignedDigits:
+    """An immutable signed-digit string, least-significant digit first.
+
+    ``digits[k]`` is the digit weighting ``2**k``; each digit must be one of
+    ``-1, 0, +1``.  Trailing (most-significant) zeros are stripped on
+    construction so equal values in the same representation compare equal.
+    """
+
+    digits: Tuple[int, ...]
+
+    def __post_init__(self) -> None:
+        for d in self.digits:
+            if d not in (-1, 0, 1):
+                raise EncodingError(f"invalid signed digit {d!r}")
+        trimmed = _trim(self.digits)
+        object.__setattr__(self, "digits", trimmed)
+
+    @classmethod
+    def from_iterable(cls, digits: Iterable[int]) -> "SignedDigits":
+        """Build from any iterable of digits (LSB first)."""
+        return cls(tuple(digits))
+
+    @property
+    def value(self) -> int:
+        """The integer value ``sum(d_k * 2**k)``."""
+        return sum(d << k for k, d in enumerate(self.digits))
+
+    @property
+    def width(self) -> int:
+        """Number of digit positions up to the most significant nonzero."""
+        return len(self.digits)
+
+    @property
+    def nonzero_count(self) -> int:
+        """Number of nonzero digits — the paper's resource *cost* of a color."""
+        return sum(1 for d in self.digits if d != 0)
+
+    @property
+    def nonzero_positions(self) -> Tuple[int, ...]:
+        """Positions (powers of two) carrying a nonzero digit, ascending."""
+        return tuple(k for k, d in enumerate(self.digits) if d != 0)
+
+    @property
+    def terms(self) -> Tuple[Tuple[int, int], ...]:
+        """``(position, digit)`` pairs for the nonzero digits, ascending."""
+        return tuple((k, d) for k, d in enumerate(self.digits) if d != 0)
+
+    def shifted(self, k: int) -> "SignedDigits":
+        """Return ``self * 2**k`` (``k >= 0``) as a new digit string."""
+        if k < 0:
+            raise EncodingError("negative shift would drop digits")
+        return SignedDigits((0,) * k + self.digits)
+
+    def negated(self) -> "SignedDigits":
+        """Return the digit-wise negation (value multiplied by -1)."""
+        return SignedDigits(tuple(-d for d in self.digits))
+
+    def has_adjacent_nonzeros(self) -> bool:
+        """True if two neighbouring positions are both nonzero.
+
+        CSD strings never do; plain binary strings frequently do.
+        """
+        return any(
+            self.digits[k] != 0 and self.digits[k + 1] != 0
+            for k in range(len(self.digits) - 1)
+        )
+
+    def __iter__(self) -> Iterator[int]:
+        return iter(self.digits)
+
+    def __len__(self) -> int:
+        return len(self.digits)
+
+    def __str__(self) -> str:
+        # MSB-first, using the conventional CSD glyphs: 1, 0, and N for -1.
+        if not self.digits:
+            return "0"
+        glyphs = {1: "1", 0: "0", -1: "N"}
+        return "".join(glyphs[d] for d in reversed(self.digits))
+
+
+def _trim(digits: Tuple[int, ...]) -> Tuple[int, ...]:
+    """Strip most-significant zeros (the tuple is LSB first)."""
+    end = len(digits)
+    while end > 0 and digits[end - 1] == 0:
+        end -= 1
+    return digits[:end]

@@ -1,0 +1,98 @@
+"""Minimal signed digit (MSD) enumeration.
+
+A value usually has *several* signed-digit encodings that achieve the minimal
+nonzero-digit count; CSD is merely the canonical one.  Enumerating all of them
+widens the pattern space for common-subexpression elimination (Park & Kang,
+DAC 2001) and gives an independent oracle for the CSD minimality property
+tests.  The enumeration is exact and memoized; it is intended for the modest
+word lengths of filter coefficients (<= 24 bits), not for bignums.
+"""
+
+from __future__ import annotations
+
+from functools import lru_cache
+from typing import List, Tuple
+
+from .digits import SignedDigits
+
+__all__ = ["minimal_nonzero_count", "enumerate_msd", "msd_count"]
+
+
+@lru_cache(maxsize=None)
+def minimal_nonzero_count(value: int) -> int:
+    """Minimum nonzero digits over all signed-digit encodings of ``value``.
+
+    Computed by the standard recurrence on the odd part: an odd ``n`` must end
+    in +1 or -1, so ``cost(n) = 1 + min(cost(n-1), cost(n+1))`` with the even
+    successors reduced by right-shifting.  Equals the CSD digit count — the
+    tests cross-check the two implementations against each other.
+    """
+    value = abs(value)
+    if value == 0:
+        return 0
+    while value % 2 == 0:
+        value //= 2
+    if value == 1:
+        return 1
+    return 1 + min(
+        minimal_nonzero_count(value - 1),
+        minimal_nonzero_count(value + 1),
+    )
+
+
+def enumerate_msd(value: int, max_width: int | None = None) -> List[SignedDigits]:
+    """Enumerate every minimal signed-digit encoding of ``value``.
+
+    ``max_width`` bounds the digit positions considered; by default one digit
+    beyond the binary width of the value (CSD never needs more).  The result
+    is sorted by string form for determinism and always contains the CSD
+    encoding of the value.
+    """
+    if value == 0:
+        return [SignedDigits(())]
+    if max_width is None:
+        max_width = abs(value).bit_length() + 1
+    target_cost = minimal_nonzero_count(value)
+    results: List[Tuple[int, ...]] = []
+    _search(value, 0, max_width, target_cost, (), results)
+    encodings = sorted({SignedDigits(r) for r in results}, key=str)
+    return list(encodings)
+
+
+def msd_count(value: int) -> int:
+    """Number of distinct minimal signed-digit encodings of ``value``."""
+    return len(enumerate_msd(value))
+
+
+def _search(
+    remaining: int,
+    position: int,
+    max_width: int,
+    budget: int,
+    prefix: Tuple[int, ...],
+    results: List[Tuple[int, ...]],
+) -> None:
+    """Depth-first enumeration of digit choices at ``position``.
+
+    ``remaining`` is the value still to be represented by positions
+    ``>= position`` divided by ``2**position`` — i.e. we peel one digit per
+    level and halve.  ``budget`` is the number of nonzero digits we may still
+    spend while staying minimal.
+    """
+    if remaining == 0:
+        if budget == 0:
+            results.append(prefix)
+        return
+    if position >= max_width or budget == 0:
+        return
+    # A digit d at this position leaves (remaining - d) / 2 for higher ones.
+    if remaining % 2 == 0:
+        choices = (0,)
+    else:
+        choices = (1, -1)
+    for d in choices:
+        rest = (remaining - d) // 2
+        cost = 1 if d else 0
+        # Prune: the remainder needs at least its own minimal digit count.
+        if cost <= budget and minimal_nonzero_count(rest) <= budget - cost:
+            _search(rest, position + 1, max_width, budget - cost, prefix + (d,), results)

@@ -1,0 +1,33 @@
+"""Sign-magnitude (SM) representation — thin wrapper over plain binary.
+
+The paper evaluates MRP under both SPT (CSD) and SM digits; SM costs are
+simply popcounts of the magnitude, so the whole representation reduces to
+:mod:`repro.numrep.binary` plus an explicit sign accessor kept for API
+symmetry with the CSD side.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from .binary import binary_nonzero_count, encode_binary
+from .digits import SignedDigits
+
+__all__ = ["encode_sign_magnitude", "sm_nonzero_count", "split_sign_magnitude"]
+
+
+def encode_sign_magnitude(value: int) -> SignedDigits:
+    """Encode ``value`` as a signed binary-magnitude digit string."""
+    return encode_binary(value)
+
+
+def sm_nonzero_count(value: int) -> int:
+    """Digit cost of ``value`` under sign-magnitude: ``popcount(|value|)``."""
+    return binary_nonzero_count(value)
+
+
+def split_sign_magnitude(value: int) -> Tuple[int, int]:
+    """Return ``(sign, magnitude)`` with ``sign in {-1, 0, 1}``."""
+    if value == 0:
+        return 0, 0
+    return (1 if value > 0 else -1), abs(value)

@@ -1,0 +1,32 @@
+"""Coefficient quantization: uniform/maximal scaling and word-length search."""
+
+from .coeff_search import (
+    CoefficientSearchResult,
+    csd_digit_cost,
+    search_coefficients,
+)
+from .noise import NoiseReport, coefficient_noise, simulated_snr_db
+from .scaling import (
+    QuantizedTaps,
+    ScalingScheme,
+    quantize,
+    quantize_maximal,
+    quantize_uniform,
+)
+from .wordlength import error_bounded_wordlength, search_wordlength
+
+__all__ = [
+    "CoefficientSearchResult",
+    "NoiseReport",
+    "QuantizedTaps",
+    "ScalingScheme",
+    "error_bounded_wordlength",
+    "quantize",
+    "quantize_maximal",
+    "quantize_uniform",
+    "coefficient_noise",
+    "csd_digit_cost",
+    "search_coefficients",
+    "simulated_snr_db",
+    "search_wordlength",
+]

@@ -1,0 +1,133 @@
+"""Coefficient local search: cheaper digits at equal frequency response.
+
+Samueli's improved search (the paper's reference [11]) observes that rounding
+each tap to the *nearest* fixed-point value is not cost-optimal: a neighbour
+one or two LSBs away often has far fewer signed digits (e.g. 127 -> 128),
+and the frequency response barely moves.  This module implements the classic
+coordinate-descent version: sweep the taps repeatedly, accept any LSB
+perturbation that lowers a pluggable hardware-cost function while a
+response predicate keeps holding.
+
+The cost function defaults to total CSD digits (Samueli's objective) but any
+callable over the integer vector works — e.g. CSE or full-MRP adder counts
+for transform-aware search (see ``benchmarks/bench_ablation_coeff_search.py``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, List, Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QuantizationError
+from ..numrep import Representation, digit_cost
+from .scaling import QuantizedTaps
+
+__all__ = ["CoefficientSearchResult", "search_coefficients", "csd_digit_cost"]
+
+TapPredicate = Callable[[np.ndarray], bool]
+CostFunction = Callable[[Sequence[int]], float]
+
+
+def csd_digit_cost(integers: Sequence[int]) -> float:
+    """Samueli's objective: total nonzero CSD digits over all taps."""
+    return float(sum(digit_cost(int(c), Representation.CSD) for c in integers))
+
+
+@dataclass(frozen=True)
+class CoefficientSearchResult:
+    """Outcome of the local search."""
+
+    original: Tuple[int, ...]
+    improved: Tuple[int, ...]
+    original_cost: float
+    improved_cost: float
+    num_changes: int
+    passes: int
+
+    @property
+    def cost_reduction(self) -> float:
+        """Fractional cost improvement achieved by the search."""
+        if self.original_cost == 0:
+            return 0.0
+        return 1.0 - self.improved_cost / self.original_cost
+
+
+def search_coefficients(
+    quantized: QuantizedTaps,
+    predicate: TapPredicate,
+    cost_fn: CostFunction = csd_digit_cost,
+    max_delta: int = 2,
+    max_passes: int = 4,
+) -> CoefficientSearchResult:
+    """Coordinate-descent LSB search around a quantized tap vector.
+
+    Each pass visits every tap and tries perturbations ``±1 .. ±max_delta``
+    LSBs; a move is accepted when it strictly lowers ``cost_fn`` and
+    ``predicate`` still accepts the reconstructed float taps.  Terminates
+    when a full pass makes no change or ``max_passes`` is reached.
+
+    The predicate sees taps reconstructed with the *original* per-tap scale
+    factors (perturbing the mantissa, not the exponent), so maximal-scaled
+    vectors search correctly too.
+    """
+    if max_delta < 1:
+        raise QuantizationError(f"max_delta must be >= 1, got {max_delta}")
+    if max_passes < 1:
+        raise QuantizationError(f"max_passes must be >= 1, got {max_passes}")
+
+    limit = (1 << (quantized.wordlength - 1)) - 1
+    scale = quantized.scale
+    shifts = quantized.shifts
+
+    def reconstruct(integers: Sequence[int]) -> np.ndarray:
+        ints = np.asarray(integers, dtype=float)
+        return ints / (scale * np.power(2.0, np.asarray(shifts, dtype=float)))
+
+    if not predicate(reconstruct(quantized.integers)):
+        raise QuantizationError(
+            "the starting quantization already violates the predicate"
+        )
+
+    current: List[int] = list(quantized.integers)
+    current_cost = cost_fn(current)
+    original_cost = current_cost
+    changes = 0
+    passes = 0
+    for _ in range(max_passes):
+        passes += 1
+        changed_this_pass = False
+        for index in range(len(current)):
+            best_value = current[index]
+            best_cost = current_cost
+            for delta in range(-max_delta, max_delta + 1):
+                if delta == 0:
+                    continue
+                candidate_value = current[index] + delta
+                if abs(candidate_value) > limit:
+                    continue
+                candidate = list(current)
+                candidate[index] = candidate_value
+                candidate_cost = cost_fn(candidate)
+                if candidate_cost >= best_cost:
+                    continue
+                if not predicate(reconstruct(candidate)):
+                    continue
+                best_value = candidate_value
+                best_cost = candidate_cost
+            if best_value != current[index]:
+                current[index] = best_value
+                current_cost = best_cost
+                changes += 1
+                changed_this_pass = True
+        if not changed_this_pass:
+            break
+    return CoefficientSearchResult(
+        original=quantized.integers,
+        improved=tuple(current),
+        original_cost=original_cost,
+        improved_cost=current_cost,
+        num_changes=changes,
+        passes=passes,
+    )

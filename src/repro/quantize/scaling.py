@@ -1,0 +1,175 @@
+"""Coefficient quantization with uniform and maximal scaling.
+
+The paper evaluates two fixed-point scaling strategies (following Muhammad &
+Roy, TCAD 2002):
+
+* **Uniform scaling** — all coefficients share one scale factor chosen so the
+  largest magnitude just fits the word length.  Small coefficients keep many
+  leading zeros, so they are *cheap* in nonzero digits.
+* **Maximal scaling** — each coefficient is additionally shifted left until
+  its MSB reaches the top bit, maximizing per-tap precision.  The extra shift
+  is recorded and undone by wiring in hardware.  Coefficients become *denser*
+  (more nonzero digits), which is why the paper's Figure 7 shows higher
+  absolute complexity than Figure 6.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..errors import QuantizationError
+
+__all__ = [
+    "ScalingScheme",
+    "QuantizedTaps",
+    "quantize_uniform",
+    "quantize_maximal",
+    "quantize",
+]
+
+
+class ScalingScheme(str, Enum):
+    """Which scaling strategy produced a :class:`QuantizedTaps`."""
+
+    UNIFORM = "uniform"
+    MAXIMAL = "maximal"
+
+
+@dataclass(frozen=True)
+class QuantizedTaps:
+    """Fixed-point image of a float tap vector.
+
+    ``integers[i]`` is the signed integer mantissa of tap ``i``;
+    ``shifts[i]`` is the extra left-shift applied on top of the common
+    ``scale`` (always 0 under uniform scaling), so the represented value is
+    ``integers[i] / (scale * 2**shifts[i])``.
+    """
+
+    original: Tuple[float, ...]
+    integers: Tuple[int, ...]
+    shifts: Tuple[int, ...]
+    scale: float
+    wordlength: int
+    scheme: ScalingScheme
+    _cached: dict = field(default_factory=dict, repr=False, compare=False)
+
+    def __len__(self) -> int:
+        return len(self.integers)
+
+    def reconstruct(self) -> np.ndarray:
+        """Float tap values represented by the fixed-point image."""
+        ints = np.asarray(self.integers, dtype=float)
+        shifts = np.asarray(self.shifts, dtype=float)
+        return ints / (self.scale * np.power(2.0, shifts))
+
+    def quantization_error(self) -> float:
+        """Max absolute tap error introduced by quantization."""
+        return float(np.max(np.abs(self.reconstruct() - np.asarray(self.original))))
+
+    def aligned_integers(self) -> Tuple[int, ...]:
+        """Integer taps aligned to one common binary point.
+
+        Tap ``i`` becomes ``integers[i] << (max_shift - shifts[i])`` so that
+        every tap shares the scale ``scale * 2**max_shift``.  Convolving these
+        with an integer input reproduces the filter exactly (used by the
+        bit-accurate simulator); they may exceed ``wordlength`` bits, which is
+        fine — alignment is wiring, not arithmetic.
+        """
+        if not self.integers:
+            return ()
+        max_shift = max(self.shifts)
+        return tuple(
+            q << (max_shift - s) for q, s in zip(self.integers, self.shifts)
+        )
+
+    @property
+    def max_shift(self) -> int:
+        """Maximum shift used during quantization or graph build."""
+        return max(self.shifts) if self.shifts else 0
+
+    @property
+    def nonzero_integers(self) -> Tuple[int, ...]:
+        """Mantissas of the nonzero taps, in tap order."""
+        return tuple(q for q in self.integers if q != 0)
+
+
+def _validate(taps: Sequence[float], wordlength: int) -> np.ndarray:
+    arr = np.asarray(list(taps), dtype=float)
+    if arr.size == 0:
+        raise QuantizationError("tap vector is empty")
+    if not np.all(np.isfinite(arr)):
+        raise QuantizationError("tap vector contains non-finite values")
+    if np.max(np.abs(arr)) == 0.0:
+        raise QuantizationError("tap vector is identically zero")
+    if wordlength < 2:
+        raise QuantizationError(f"wordlength must be >= 2, got {wordlength}")
+    return arr
+
+
+def quantize_uniform(taps: Sequence[float], wordlength: int) -> QuantizedTaps:
+    """Quantize with one shared scale (paper step 1: normalize by the largest).
+
+    The largest-magnitude tap maps to ``2**(wordlength-1) - 1``.
+    """
+    arr = _validate(taps, wordlength)
+    limit = (1 << (wordlength - 1)) - 1
+    scale = limit / float(np.max(np.abs(arr)))
+    integers = tuple(int(round(h * scale)) for h in arr)
+    return QuantizedTaps(
+        original=tuple(float(h) for h in arr),
+        integers=integers,
+        shifts=(0,) * len(integers),
+        scale=scale,
+        wordlength=wordlength,
+        scheme=ScalingScheme.UNIFORM,
+    )
+
+
+def quantize_maximal(taps: Sequence[float], wordlength: int) -> QuantizedTaps:
+    """Quantize with per-tap MSB alignment on top of the uniform scale.
+
+    Each tap is shifted left by the largest ``e`` keeping
+    ``|round(h * scale * 2**e)| <= 2**(wordlength-1) - 1``, so every nonzero
+    mantissa uses the full word length.
+    """
+    arr = _validate(taps, wordlength)
+    limit = (1 << (wordlength - 1)) - 1
+    scale = limit / float(np.max(np.abs(arr)))
+    integers = []
+    shifts = []
+    for h in arr:
+        if h == 0.0:
+            integers.append(0)
+            shifts.append(0)
+            continue
+        e = 0
+        # Walk the shift up until the next doubling would overflow the word.
+        while abs(round(h * scale * (1 << (e + 1)))) <= limit:
+            e += 1
+        integers.append(int(round(h * scale * (1 << e))))
+        shifts.append(e)
+    return QuantizedTaps(
+        original=tuple(float(h) for h in arr),
+        integers=tuple(integers),
+        shifts=tuple(shifts),
+        scale=scale,
+        wordlength=wordlength,
+        scheme=ScalingScheme.MAXIMAL,
+    )
+
+
+def quantize(
+    taps: Sequence[float],
+    wordlength: int,
+    scheme: ScalingScheme = ScalingScheme.UNIFORM,
+) -> QuantizedTaps:
+    """Dispatch to :func:`quantize_uniform` or :func:`quantize_maximal`."""
+    if scheme is ScalingScheme.UNIFORM:
+        return quantize_uniform(taps, wordlength)
+    if scheme is ScalingScheme.MAXIMAL:
+        return quantize_maximal(taps, wordlength)
+    raise QuantizationError(f"unknown scaling scheme {scheme!r}")

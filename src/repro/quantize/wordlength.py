@@ -1,0 +1,65 @@
+"""Word-length search: smallest coefficient width meeting a quality predicate.
+
+Quantization trades coefficient word length against frequency-response
+degradation.  This module performs the classic monotone search: try widths in
+ascending order and return the first whose *reconstructed* taps satisfy a
+caller-supplied predicate (typically "still meets the filter spec", supplied
+by :mod:`repro.filters.response` to keep layering clean).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..errors import QuantizationError
+from .scaling import ScalingScheme, quantize
+
+__all__ = ["search_wordlength", "error_bounded_wordlength"]
+
+TapPredicate = Callable[[np.ndarray], bool]
+
+
+def search_wordlength(
+    taps: Sequence[float],
+    predicate: TapPredicate,
+    min_wordlength: int = 4,
+    max_wordlength: int = 24,
+    scheme: ScalingScheme = ScalingScheme.UNIFORM,
+) -> int:
+    """Return the smallest word length whose quantized taps pass ``predicate``.
+
+    Raises :class:`QuantizationError` if no width in the range passes —
+    quantization quality is not strictly monotone in corner cases, so we scan
+    linearly rather than bisect.
+    """
+    if min_wordlength < 2 or max_wordlength < min_wordlength:
+        raise QuantizationError(
+            f"invalid wordlength range [{min_wordlength}, {max_wordlength}]"
+        )
+    for wordlength in range(min_wordlength, max_wordlength + 1):
+        quantized = quantize(taps, wordlength, scheme)
+        if predicate(quantized.reconstruct()):
+            return wordlength
+    raise QuantizationError(
+        f"no wordlength in [{min_wordlength}, {max_wordlength}] satisfies the predicate"
+    )
+
+
+def error_bounded_wordlength(
+    taps: Sequence[float],
+    max_abs_error: float,
+    min_wordlength: int = 4,
+    max_wordlength: int = 24,
+    scheme: ScalingScheme = ScalingScheme.UNIFORM,
+) -> int:
+    """Smallest width keeping every tap within ``max_abs_error`` of its float value."""
+    reference = np.asarray(list(taps), dtype=float)
+
+    def close_enough(reconstructed: np.ndarray) -> bool:
+        return bool(np.max(np.abs(reconstructed - reference)) <= max_abs_error)
+
+    return search_wordlength(
+        taps, close_enough, min_wordlength, max_wordlength, scheme
+    )

@@ -1,0 +1,45 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.filters import benchmark_filter
+from repro.quantize import ScalingScheme, quantize
+
+# The paper's §3.5 running example: asymmetric 8-tap filter.
+PAPER_EXAMPLE = (7, 66, 17, 9, 27, 41, 56, 11)
+
+VERIFY_SAMPLES = (1, -1, 2, 255, -256, 1023, -777, 12345, -54321, 0, 0, 99)
+
+
+@pytest.fixture(scope="session")
+def paper_coefficients():
+    return list(PAPER_EXAMPLE)
+
+
+@pytest.fixture(scope="session")
+def small_filter():
+    """The smallest benchmark filter (fast to synthesize)."""
+    return benchmark_filter(0)
+
+
+@pytest.fixture(scope="session")
+def medium_filter():
+    """A mid-size band-stop benchmark filter."""
+    return benchmark_filter(4)
+
+
+@pytest.fixture(scope="session")
+def small_quantized_uniform(small_filter):
+    return quantize(small_filter.folded, 12, ScalingScheme.UNIFORM)
+
+
+@pytest.fixture(scope="session")
+def small_quantized_maximal(small_filter):
+    return quantize(small_filter.folded, 12, ScalingScheme.MAXIMAL)
+
+
+@pytest.fixture(scope="session")
+def verify_samples():
+    return list(VERIFY_SAMPLES)

@@ -1,0 +1,74 @@
+"""Tests for the Table-1 benchmark filter suite."""
+
+import pytest
+
+from repro.filters import (
+    TABLE1_SPECS,
+    BandType,
+    DesignMethod,
+    benchmark_filter,
+    benchmark_suite,
+    is_symmetric,
+    measure_response,
+)
+
+
+class TestSuiteComposition:
+    def test_twelve_filters(self):
+        assert len(TABLE1_SPECS) == 12
+
+    def test_method_sequence_matches_table1(self):
+        expected = ["BW", "PM", "LS", "BW", "PM", "LS",
+                    "PM", "PM", "LS", "LS", "PM", "LS"]
+        assert [s.method.abbreviation for s in TABLE1_SPECS] == expected
+
+    def test_band_sequence_matches_table1(self):
+        expected = ["LP", "LP", "LP", "LP", "BS", "BS",
+                    "BS", "LP", "BS", "LP", "BP", "BP"]
+        assert [s.band.abbreviation for s in TABLE1_SPECS] == expected
+
+    def test_all_odd_numtaps(self):
+        assert all(s.numtaps % 2 == 1 for s in TABLE1_SPECS)
+
+    def test_unique_names(self):
+        names = [s.name for s in TABLE1_SPECS]
+        assert len(set(names)) == 12
+
+    def test_orders_grow_overall(self):
+        """The suite spans small to large filters (like the paper's table)."""
+        orders = [s.order for s in TABLE1_SPECS]
+        assert min(orders) <= 20
+        assert max(orders) >= 60
+
+
+class TestDesignedSuite:
+    def test_index_bounds(self):
+        with pytest.raises(IndexError):
+            benchmark_filter(12)
+        with pytest.raises(IndexError):
+            benchmark_filter(-1)
+
+    def test_caching_returns_same_object(self):
+        assert benchmark_filter(0) is benchmark_filter(0)
+
+    def test_all_designs_symmetric(self):
+        for designed in benchmark_suite():
+            assert is_symmetric(designed.taps)
+
+    def test_folded_half_length(self):
+        for designed in benchmark_suite():
+            assert designed.num_unique_taps == (designed.spec.numtaps + 1) // 2
+
+    def test_every_filter_meets_its_spec(self):
+        """Suite self-consistency: each design satisfies its own tolerances."""
+        for designed in benchmark_suite():
+            report = measure_response(designed.taps, designed.spec)
+            assert report.satisfies(designed.spec), (
+                designed.name, report
+            )
+
+    def test_band_filters_have_two_sided_specs(self):
+        for designed in benchmark_suite():
+            spec = designed.spec
+            if spec.band in (BandType.BANDPASS, BandType.BANDSTOP):
+                assert spec.passband[0] > 0.0 or spec.band is BandType.BANDSTOP

@@ -1,0 +1,68 @@
+"""Unit + property tests for the Bull-Horrocks-Modified MCM baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import simple_adder_count, synthesize_bhm
+from repro.errors import SynthesisError
+
+COEFFS = st.lists(
+    st.integers(min_value=-(2**12), max_value=2**12), min_size=1, max_size=12
+).filter(lambda cs: any(cs))
+SAMPLES = [1, -1, 3, 255, -128, 12345, -999]
+
+
+class TestBhmBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_bhm([])
+
+    def test_free_taps_cost_nothing(self):
+        arch = synthesize_bhm([0, 1, -2, 64])
+        assert arch.adder_count == 0
+        arch.verify(SAMPLES)
+
+    def test_single_constant(self):
+        arch = synthesize_bhm([45])
+        arch.verify(SAMPLES)
+        assert arch.adder_count <= simple_adder_count([45])
+
+    def test_paper_example(self, paper_coefficients):
+        arch = synthesize_bhm(paper_coefficients)
+        arch.verify(SAMPLES)
+        assert arch.adder_count <= simple_adder_count(paper_coefficients)
+
+    def test_fundamentals_contain_targets(self):
+        arch = synthesize_bhm([7, 23, 45])
+        for odd in (7, 23, 45):
+            assert odd in arch.fundamentals
+
+    def test_fundamental_reuse_across_targets(self):
+        """45 = 5*9 and 2565 = 45*57: shared structure must help."""
+        together = synthesize_bhm([45, 2565]).adder_count
+        separate = (
+            synthesize_bhm([45]).adder_count + synthesize_bhm([2565]).adder_count
+        )
+        assert together <= separate
+
+
+class TestBhmProperties:
+    @given(COEFFS)
+    @settings(max_examples=60, deadline=None)
+    def test_bit_exact(self, coeffs):
+        arch = synthesize_bhm(coeffs)
+        arch.verify(SAMPLES)
+
+    @given(COEFFS)
+    @settings(max_examples=40, deadline=None)
+    def test_never_worse_than_simple(self, coeffs):
+        """Fundamental sharing can only improve on per-tap chains."""
+        arch = synthesize_bhm(coeffs)
+        assert arch.adder_count <= simple_adder_count(coeffs)
+
+    @given(st.integers(min_value=3, max_value=2**14).filter(lambda n: n % 2 == 1))
+    @settings(max_examples=80, deadline=None)
+    def test_single_odd_target_exact(self, target):
+        arch = synthesize_bhm([target])
+        assert arch.netlist.output_values()["tap0"] == target

@@ -1,0 +1,89 @@
+"""Compiled cross-verification: the emitted C model vs the Python simulator.
+
+These tests require a system C compiler (gcc/cc); they are skipped cleanly
+when none is available.
+"""
+
+import shutil
+import subprocess
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import emit_c_model, simulate_tdf_filter
+from repro.baselines import synthesize_cse_filter, synthesize_simple
+from repro.core import synthesize_mrpf
+from repro.errors import NetlistError
+
+CC = shutil.which("gcc") or shutil.which("cc")
+needs_cc = pytest.mark.skipif(CC is None, reason="no C compiler available")
+
+COEFFS = st.lists(
+    st.integers(min_value=-(2**10), max_value=2**10), min_size=1, max_size=10
+).filter(lambda cs: any(cs))
+STIMULUS = [1, -1, 255, -256, 1000, -999, 0, 7, -7, 12345, -12345, 3, 3, 3]
+
+
+def compile_and_run(source: str, stimulus, tmp_path):
+    c_file = tmp_path / "filter.c"
+    binary = tmp_path / "filter"
+    c_file.write_text(source)
+    subprocess.run(
+        [CC, "-O2", "-o", str(binary), str(c_file)],
+        check=True, capture_output=True,
+    )
+    result = subprocess.run(
+        [str(binary)],
+        input=" ".join(str(x) for x in stimulus),
+        capture_output=True, text=True, check=True,
+    )
+    return [int(line) for line in result.stdout.split()]
+
+
+class TestEmission:
+    def test_structure(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        source = emit_c_model(arch.netlist, arch.tap_names, input_bits=12)
+        assert "#include <stdint.h>" in source
+        assert "filter_step" in source
+        assert source.count("const int64_t n") == arch.adder_count + 1
+
+    def test_overflow_guard(self):
+        arch = synthesize_mrpf([32767] * 40, 16)
+        with pytest.raises(NetlistError):
+            emit_c_model(arch.netlist, arch.tap_names, input_bits=48)
+
+
+@needs_cc
+class TestCompiledEquivalence:
+    def test_paper_example(self, paper_coefficients, tmp_path):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        source = emit_c_model(arch.netlist, arch.tap_names, input_bits=16)
+        got = compile_and_run(source, STIMULUS, tmp_path)
+        want = simulate_tdf_filter(arch.netlist, arch.tap_names, STIMULUS)
+        assert got == want
+
+    def test_all_methods_compile_and_match(self, tmp_path,
+                                           small_quantized_uniform):
+        q = small_quantized_uniform
+        for builder in (
+            lambda: synthesize_mrpf(q.integers, q.wordlength, verify=False),
+            lambda: synthesize_simple(q.integers),
+            lambda: synthesize_cse_filter(q.integers),
+        ):
+            arch = builder()
+            source = emit_c_model(arch.netlist, arch.tap_names, input_bits=16)
+            got = compile_and_run(source, STIMULUS, tmp_path)
+            want = simulate_tdf_filter(arch.netlist, arch.tap_names, STIMULUS)
+            assert got == want
+
+    @given(COEFFS)
+    @settings(max_examples=8, deadline=None)
+    def test_random_filters_match(self, tmp_path_factory, coeffs):
+        arch = synthesize_mrpf(coeffs, 11, verify=False)
+        source = emit_c_model(arch.netlist, arch.tap_names, input_bits=16)
+        tmp = tmp_path_factory.mktemp("cmodel")
+        got = compile_and_run(source, STIMULUS, tmp)
+        want = simulate_tdf_filter(arch.netlist, arch.tap_names, STIMULUS)
+        assert got == want

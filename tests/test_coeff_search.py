@@ -1,0 +1,119 @@
+"""Tests for the Samueli-style coefficient local search."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.filters import benchmark_filter, measure_response, unfold_symmetric
+from repro.quantize import (
+    ScalingScheme,
+    csd_digit_cost,
+    quantize,
+    quantize_uniform,
+    search_coefficients,
+)
+
+TAPS = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False, width=32),
+    min_size=2, max_size=12,
+).filter(lambda t: max(abs(v) for v in t) > 1e-3)
+
+
+def always(reconstructed: np.ndarray) -> bool:
+    return True
+
+
+def never(reconstructed: np.ndarray) -> bool:
+    return False
+
+
+class TestValidation:
+    def test_bad_delta(self):
+        q = quantize_uniform([1.0, 0.5], 8)
+        with pytest.raises(QuantizationError):
+            search_coefficients(q, always, max_delta=0)
+
+    def test_bad_passes(self):
+        q = quantize_uniform([1.0, 0.5], 8)
+        with pytest.raises(QuantizationError):
+            search_coefficients(q, always, max_passes=0)
+
+    def test_infeasible_start_rejected(self):
+        q = quantize_uniform([1.0, 0.5], 8)
+        with pytest.raises(QuantizationError):
+            search_coefficients(q, never)
+
+
+class TestSearchBehaviour:
+    def test_known_win(self):
+        """127 = CSD 8 digits? no — 127 = 128-1 (2 digits); use 0.695 whose
+        rounding lands on a digit-rich value while a neighbour is cheap."""
+        # 89 = 64+16+8+1 (CSD 10N0N100N? -> several digits); 88 = 96-8 cheaper.
+        q = quantize_uniform([1.0, 89 / 127], 8)
+        result = search_coefficients(q, always)
+        assert result.improved_cost <= result.original_cost
+
+    def test_cost_never_increases(self):
+        q = quantize_uniform([0.9, 0.33, -0.61], 10)
+        result = search_coefficients(q, always)
+        assert result.improved_cost <= result.original_cost
+
+    def test_predicate_constrains_moves(self):
+        """A predicate pinning the taps exactly forbids every move."""
+        q = quantize_uniform([0.9, 0.33], 10)
+        reference = q.reconstruct()
+
+        def frozen(reconstructed):
+            return bool(np.allclose(reconstructed, reference))
+
+        result = search_coefficients(q, frozen)
+        assert result.num_changes == 0
+        assert result.improved == q.integers
+
+    def test_respects_wordlength_limit(self):
+        q = quantize_uniform([1.0, -1.0], 8)
+        result = search_coefficients(q, always, max_delta=2)
+        limit = (1 << 7) - 1
+        assert all(abs(v) <= limit for v in result.improved)
+
+    @given(TAPS, st.integers(min_value=6, max_value=14))
+    @settings(max_examples=40, deadline=None)
+    def test_invariants(self, taps, wordlength):
+        q = quantize_uniform(taps, wordlength)
+        result = search_coefficients(q, always, max_passes=2)
+        assert result.improved_cost <= result.original_cost
+        assert result.original_cost == csd_digit_cost(q.integers)
+        assert result.improved_cost == csd_digit_cost(result.improved)
+        limit = (1 << (wordlength - 1)) - 1
+        assert all(abs(v) <= limit for v in result.improved)
+
+    def test_custom_cost_function(self):
+        """Minimizing the count of *distinct* odd fundamentals, not digits."""
+        from repro.numrep import oddpart
+
+        def distinct_odds(integers):
+            return float(len({abs(oddpart(v)) for v in integers if v}))
+
+        q = quantize_uniform([0.9, 0.33, -0.61, 0.27], 10)
+        result = search_coefficients(q, always, cost_fn=distinct_odds)
+        assert distinct_odds(result.improved) <= distinct_odds(q.integers)
+
+
+class TestOnRealFilter:
+    def test_spec_preserved_and_cost_reduced(self):
+        designed = benchmark_filter(1)
+        q = quantize(designed.folded, 14, ScalingScheme.UNIFORM)
+
+        def meets(reconstructed):
+            full = unfold_symmetric(reconstructed, designed.spec.numtaps)
+            return measure_response(full, designed.spec).satisfies(designed.spec)
+
+        result = search_coefficients(q, meets)
+        assert result.improved_cost <= result.original_cost
+        # The improved taps really do still meet the spec.
+        ints = np.asarray(result.improved, dtype=float)
+        reconstructed = ints / q.scale
+        full = unfold_symmetric(reconstructed, designed.spec.numtaps)
+        assert measure_response(full, designed.spec).satisfies(designed.spec)

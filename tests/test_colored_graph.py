@@ -1,0 +1,106 @@
+"""Unit + property tests for the SIDC colored multigraph."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import ColorEdge, build_colored_graph
+from repro.numrep import Representation, digit_cost, oddpart
+
+ODD_VERTEX = st.integers(min_value=1, max_value=1023).map(lambda n: 2 * n + 1)
+VERTEX_SETS = st.sets(ODD_VERTEX, min_size=2, max_size=6)
+
+
+class TestColorEdge:
+    def test_valid_edge(self):
+        # 11 = 1*(3<<2) - 1*(1<<0): color 1, shift 0, negative
+        edge = ColorEdge(src=3, dst=11, shift=2, src_sign=1,
+                         color=1, color_shift=0, color_sign=-1, weight=1)
+        assert edge.dst == 11
+
+    def test_inconsistent_edge_rejected(self):
+        with pytest.raises(GraphError):
+            ColorEdge(src=3, dst=11, shift=2, src_sign=1,
+                      color=5, color_shift=0, color_sign=-1, weight=2)
+
+
+class TestGraphConstruction:
+    def test_vertices_must_be_odd_positive(self):
+        with pytest.raises(GraphError):
+            build_colored_graph([3, 6], max_shift=2)
+        with pytest.raises(GraphError):
+            build_colored_graph([-3, 5], max_shift=2)
+
+    def test_negative_max_shift_rejected(self):
+        with pytest.raises(GraphError):
+            build_colored_graph([3, 5], max_shift=-1)
+
+    def test_edge_count_upper_bound(self):
+        """Paper §3.1: at most 2(W+1)M(M-1) distinct edges."""
+        vertices = [3, 5, 7]
+        w = 4
+        graph = build_colored_graph(vertices, w)
+        assert graph.num_edges <= 2 * (w + 1) * len(vertices) * (len(vertices) - 1)
+
+    def test_paper_example_color_exists(self):
+        """In the paper's example, 5 covers several vertices via SIDC."""
+        vertices = sorted({oddpart(c) for c in (7, 66, 17, 9, 27, 41, 56, 11)})
+        graph = build_colored_graph(vertices, 7)
+        assert 5 in graph.colors
+        assert 3 in graph.colors
+        # e.g. 17 = (3<<2) + 5 : color 5 reaches vertex 17 from 3.
+        assert 17 in graph.color_set(5)
+
+    def test_colors_are_odd_positive(self):
+        graph = build_colored_graph([3, 5, 11], 4)
+        for color in graph.colors:
+            assert color > 0 and color % 2 == 1
+
+    def test_color_cost_matches_representation(self):
+        for rep in Representation:
+            graph = build_colored_graph([3, 5, 11], 3, rep)
+            for color in graph.colors:
+                assert graph.color_cost(color) == digit_cost(color, rep)
+
+    def test_frequency_equals_color_set_size(self):
+        graph = build_colored_graph([3, 5, 11, 13], 3)
+        for color in graph.colors:
+            assert graph.color_frequency(color) == len(graph.color_set(color))
+
+    def test_edges_into_filters_by_color(self):
+        graph = build_colored_graph([3, 5, 11], 4)
+        edges = graph.edges_into(11, {1})
+        assert edges
+        assert all(e.dst == 11 and e.color == 1 for e in edges)
+
+    def test_edges_into_empty_for_unused_color(self):
+        graph = build_colored_graph([3, 5], 2)
+        # pick a color not present at all
+        missing = max(graph.colors) * 2 + 1
+        assert graph.edges_into(5, {missing}) == []
+
+    def test_colors_of_vertex_reverse_index(self):
+        graph = build_colored_graph([3, 5, 11], 3)
+        for vertex in graph.vertices:
+            for color in graph.colors_of_vertex(vertex):
+                assert vertex in graph.color_set(color)
+
+    @given(VERTEX_SETS, st.integers(min_value=0, max_value=6))
+    @settings(max_examples=30, deadline=None)
+    def test_every_edge_reconstructs(self, vertices, max_shift):
+        """Invariant: every edge satisfies its SIDC identity (checked in
+        ColorEdge.__post_init__, so construction succeeding is the assertion),
+        and every vertex is coverable when there are >= 2 vertices."""
+        graph = build_colored_graph(vertices, max_shift)
+        covered = set()
+        for color in graph.colors:
+            covered |= graph.color_set(color)
+        assert covered == set(graph.vertices)
+
+    @given(VERTEX_SETS)
+    @settings(max_examples=20, deadline=None)
+    def test_larger_shift_range_never_loses_colors(self, vertices):
+        small = build_colored_graph(vertices, 1)
+        large = build_colored_graph(vertices, 5)
+        assert set(small.colors) <= set(large.colors)

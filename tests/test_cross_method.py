@@ -1,0 +1,83 @@
+"""Cross-method property tests: all syntheses agree, and orderings hold.
+
+The strongest system-level statement the library can make: for ANY integer
+coefficient vector, every synthesis method — simple, CSE, MSD-CSE-backed CSE
+filter, BHM, Hcub, MST(L=0), MRPF (all compression modes), and the optimized
+netlists — produces *exactly* the same filter, differing only in cost.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import optimize_netlist, simulate_tdf_filter
+from repro.baselines import (
+    simple_adder_count,
+    synthesize_bhm,
+    synthesize_cse_filter,
+    synthesize_hcub,
+    synthesize_mst_diff,
+    synthesize_simple,
+)
+from repro.core import synthesize_mrpf
+
+COEFFS = st.lists(
+    st.integers(min_value=-(2**9), max_value=2**9), min_size=1, max_size=8
+).filter(lambda cs: any(cs))
+SAMPLES = [1, -1, 3, 255, -128, 999, -777, 0, 64]
+
+
+def reference_output(coeffs):
+    out = []
+    for n in range(len(SAMPLES)):
+        acc = 0
+        for i, c in enumerate(coeffs):
+            if n - i >= 0:
+                acc += c * SAMPLES[n - i]
+        out.append(acc)
+    return out
+
+
+class TestAllMethodsAgree:
+    @given(COEFFS)
+    @settings(max_examples=25, deadline=None)
+    def test_every_method_computes_the_same_filter(self, coeffs):
+        want = reference_output(coeffs)
+        architectures = [
+            synthesize_simple(coeffs),
+            synthesize_cse_filter(coeffs),
+            synthesize_bhm(coeffs),
+            synthesize_hcub(coeffs),
+            synthesize_mst_diff(coeffs, 10, verify=False),
+            synthesize_mrpf(coeffs, 10, verify=False),
+            synthesize_mrpf(coeffs, 10, seed_compression="cse", verify=False),
+        ]
+        for arch in architectures:
+            got = simulate_tdf_filter(arch.netlist, arch.tap_names, SAMPLES)
+            assert got == want
+
+    @given(COEFFS)
+    @settings(max_examples=20, deadline=None)
+    def test_optimized_netlists_agree_too(self, coeffs):
+        want = reference_output(coeffs)
+        arch = synthesize_mrpf(coeffs, 10, verify=False)
+        for dedup in (True, False):
+            optimized = optimize_netlist(arch.netlist, dedup=dedup)
+            got = simulate_tdf_filter(optimized, arch.tap_names, SAMPLES)
+            assert got == want
+
+
+class TestCostOrderings:
+    @given(COEFFS)
+    @settings(max_examples=20, deadline=None)
+    def test_sharing_methods_never_lose_to_simple(self, coeffs):
+        simple = simple_adder_count(coeffs)
+        assert synthesize_cse_filter(coeffs).adder_count <= simple
+        assert synthesize_bhm(coeffs).adder_count <= simple
+        assert synthesize_hcub(coeffs).adder_count <= simple
+
+    @given(COEFFS)
+    @settings(max_examples=15, deadline=None)
+    def test_best_mrpf_floor_holds(self, coeffs):
+        from repro.eval import best_mrpf
+
+        assert best_mrpf(coeffs, 10).adder_count <= simple_adder_count(coeffs)

@@ -1,0 +1,169 @@
+"""Unit + property tests for CSD, binary/SM encodings and MSD enumeration."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.numrep import (
+    Representation,
+    adder_cost,
+    binary_nonzero_count,
+    binary_width,
+    csd_nonzero_count,
+    digit_cost,
+    encode,
+    encode_binary,
+    encode_csd,
+    encode_sign_magnitude,
+    enumerate_msd,
+    is_csd,
+    minimal_nonzero_count,
+    msd_count,
+    sm_nonzero_count,
+    split_sign_magnitude,
+)
+
+VALUES = st.integers(min_value=-(2**20), max_value=2**20)
+SMALL_VALUES = st.integers(min_value=-4096, max_value=4096)
+
+
+class TestBinary:
+    def test_zero(self):
+        assert encode_binary(0).value == 0
+        assert binary_nonzero_count(0) == 0
+
+    def test_positive(self):
+        assert encode_binary(11).digits == (1, 1, 0, 1)
+
+    def test_negative_digits_all_negative(self):
+        d = encode_binary(-11)
+        assert d.value == -11
+        assert all(x in (0, -1) for x in d.digits)
+
+    def test_nonzero_count_is_popcount(self):
+        assert binary_nonzero_count(0b101101) == 4
+        assert binary_nonzero_count(-0b101101) == 4
+
+    def test_width(self):
+        assert binary_width(0) == 0
+        assert binary_width(255) == 8
+        assert binary_width(-256) == 9
+
+    @given(VALUES)
+    def test_roundtrip(self, n):
+        assert encode_binary(n).value == n
+
+    @given(VALUES)
+    def test_count_matches_encoding(self, n):
+        assert encode_binary(n).nonzero_count == binary_nonzero_count(n)
+
+
+class TestSignMagnitude:
+    def test_split(self):
+        assert split_sign_magnitude(0) == (0, 0)
+        assert split_sign_magnitude(7) == (1, 7)
+        assert split_sign_magnitude(-7) == (-1, 7)
+
+    @given(VALUES)
+    def test_encode_matches_binary(self, n):
+        assert encode_sign_magnitude(n) == encode_binary(n)
+
+    @given(VALUES)
+    def test_count(self, n):
+        assert sm_nonzero_count(n) == binary_nonzero_count(n)
+
+
+class TestCsd:
+    def test_zero(self):
+        assert encode_csd(0).value == 0
+
+    def test_known_values(self):
+        # 7 = 8 - 1
+        assert encode_csd(7).terms == ((0, -1), (3, 1))
+        # 45 = 32 + 16 - 4 + 1 -> CSD: 64 - 16 - 4 + 1
+        assert encode_csd(45).value == 45
+
+    @given(VALUES)
+    def test_roundtrip(self, n):
+        assert encode_csd(n).value == n
+
+    @given(VALUES)
+    def test_no_adjacent_nonzeros(self, n):
+        assert is_csd(encode_csd(n))
+
+    @given(SMALL_VALUES)
+    def test_minimality_against_independent_oracle(self, n):
+        """CSD digit count equals the recurrence-based minimum."""
+        assert encode_csd(n).nonzero_count == minimal_nonzero_count(n)
+
+    @given(VALUES)
+    def test_negation_symmetry(self, n):
+        assert encode_csd(-n) == encode_csd(n).negated()
+
+    @given(st.integers(min_value=-(2**18), max_value=2**18),
+           st.integers(min_value=0, max_value=4))
+    def test_shift_invariance_of_count(self, n, k):
+        assert csd_nonzero_count(n << k) == csd_nonzero_count(n)
+
+    def test_average_density_below_binary(self):
+        """CSD is denser-free: never more nonzeros than binary, on a sweep."""
+        for n in range(1, 2048):
+            assert csd_nonzero_count(n) <= binary_nonzero_count(n)
+
+
+class TestMsd:
+    def test_zero_single_encoding(self):
+        assert enumerate_msd(0) == [encode_csd(0)]
+
+    def test_contains_csd(self):
+        for n in (3, 7, 11, 45, 93, -23):
+            assert encode_csd(n) in enumerate_msd(n)
+
+    @given(st.integers(min_value=-512, max_value=512).filter(lambda n: n != 0))
+    def test_all_encodings_minimal_and_correct(self, n):
+        target = minimal_nonzero_count(n)
+        encodings = enumerate_msd(n)
+        assert encodings
+        for d in encodings:
+            assert d.value == n
+            assert d.nonzero_count == target
+
+    def test_known_count_for_7(self):
+        # 7 = 8-1 (only minimal 2-digit form within width 4)
+        assert msd_count(7) >= 1
+
+    def test_count_positive(self):
+        assert msd_count(45) >= 1
+
+    @given(st.integers(min_value=1, max_value=256))
+    def test_minimal_count_shift_invariant(self, n):
+        assert minimal_nonzero_count(n) == minimal_nonzero_count(n * 8)
+
+
+class TestCostDispatch:
+    def test_digit_cost_csd(self):
+        assert digit_cost(7, Representation.CSD) == 2
+
+    def test_digit_cost_sm(self):
+        assert digit_cost(7, Representation.SM) == 3
+
+    def test_adder_cost_power_of_two_free(self):
+        for rep in Representation:
+            assert adder_cost(64, rep) == 0
+            assert adder_cost(0, rep) == 0
+
+    def test_adder_cost_is_digits_minus_one(self):
+        assert adder_cost(7, Representation.CSD) == 1
+        assert adder_cost(7, Representation.SM) == 2
+
+    def test_encode_dispatch(self):
+        assert encode(11, Representation.CSD) == encode_csd(11)
+        assert encode(11, Representation.SM) == encode_binary(11)
+
+    def test_labels(self):
+        assert Representation.CSD.label == "CSD/SPT"
+        assert Representation.SM.label == "sign-magnitude"
+
+    @given(VALUES)
+    def test_csd_cost_never_above_sm(self, n):
+        assert digit_cost(n, Representation.CSD) <= digit_cost(n, Representation.SM)

@@ -1,0 +1,143 @@
+"""Unit + property tests for CSE pattern mining and Hartley elimination."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ShiftAddNetlist
+from repro.cse import (
+    INPUT_SYMBOL,
+    Pattern,
+    Term,
+    build_cse_refs,
+    count_frequencies,
+    cse_adder_count,
+    eliminate,
+    find_pattern_occurrences,
+)
+from repro.errors import SynthesisError
+from repro.numrep import Representation, adder_cost
+
+CONSTS = st.lists(
+    st.integers(min_value=-(2**14), max_value=2**14).filter(lambda n: n != 0),
+    min_size=1, max_size=10,
+)
+
+
+class TestPatternModel:
+    def test_pattern_value(self):
+        p = Pattern(sym_a=0, sym_b=0, delta=2, rel_sign=1)  # 1 + 4 = 5
+        assert p.value({0: 1}) == 5
+
+    def test_pattern_value_subtract(self):
+        p = Pattern(sym_a=0, sym_b=0, delta=2, rel_sign=-1)  # 1 - 4 = -3
+        assert p.value({0: 1}) == -3
+
+    def test_occurrence_enumeration(self):
+        # constant 5 = 101: one (0,0,2,+) occurrence
+        terms = [[Term(pos=0, sign=1), Term(pos=2, sign=1)]]
+        occs = find_pattern_occurrences(terms, {0: 1})
+        patterns = list(occs)
+        assert Pattern(0, 0, 2, 1) in patterns
+
+    def test_trivial_patterns_skipped(self):
+        # x + x = 2x is wiring, not a shareable adder
+        terms = [[Term(pos=0, sign=1), Term(pos=1, sign=1)],
+                 [Term(pos=0, sign=1), Term(pos=1, sign=-1)]]
+        occs = find_pattern_occurrences(terms, {0: 1})
+        for pattern in occs:
+            value = pattern.value({0: 1})
+            assert abs(value) not in (1, 2, 4)
+
+    def test_frequency_counts_non_overlapping(self):
+        # 0b10101: digits at 0,2,4 -> pattern (delta=2) occurs twice but
+        # the middle digit can only participate once.
+        terms = [[Term(pos=0, sign=1), Term(pos=2, sign=1), Term(pos=4, sign=1)]]
+        occs = find_pattern_occurrences(terms, {0: 1})
+        freq = count_frequencies(occs)
+        assert freq[Pattern(0, 0, 2, 1)] == 1
+
+    def test_frequency_across_constants(self):
+        terms = [
+            [Term(pos=0, sign=1), Term(pos=2, sign=1)],
+            [Term(pos=1, sign=1), Term(pos=3, sign=1)],  # shifted copy
+        ]
+        occs = find_pattern_occurrences(terms, {0: 1})
+        freq = count_frequencies(occs)
+        assert freq[Pattern(0, 0, 2, 1)] == 2
+
+
+class TestEliminate:
+    def test_zero_rejected(self):
+        with pytest.raises(SynthesisError):
+            eliminate([5, 0])
+
+    def test_shared_pattern_extracted(self):
+        # 45 = CSD 101̄01̄? actually 45 and 165 share "101" structure in binary SM.
+        network = eliminate([0b101, 0b10100], Representation.SM)
+        assert len(network.subexpressions) >= 1
+        network.validate()
+
+    def test_adder_count_never_worse_than_plain(self):
+        constants = [45, 89, 173, 205]
+        plain = sum(adder_cost(c) for c in constants)
+        assert cse_adder_count(constants) <= plain
+
+    def test_known_sharing_win(self):
+        """Two constants that are shifts of a common 2-digit pattern."""
+        network = eliminate([5, 20, 325], Representation.SM)
+        # 5 = 101, 20 = 10100, 325 = 101000101: 'x + x<<2' is everywhere.
+        assert network.adder_count < sum(
+            adder_cost(c, Representation.SM) for c in (5, 20, 325)
+        )
+
+    def test_max_rounds_limits_extraction(self):
+        full = eliminate([5, 20, 325, 85], Representation.SM)
+        limited = eliminate([5, 20, 325, 85], Representation.SM, max_rounds=0)
+        assert len(limited.subexpressions) == 0
+        assert len(full.subexpressions) >= 1
+
+    @given(CONSTS, st.sampled_from(list(Representation)))
+    @settings(max_examples=80, deadline=None)
+    def test_reconstruction_exact(self, constants, rep):
+        network = eliminate(constants, rep)
+        network.validate()
+        for i, c in enumerate(constants):
+            assert network.reconstruct(i) == c
+
+    @given(CONSTS)
+    @settings(max_examples=60, deadline=None)
+    def test_never_more_adders_than_plain_chains(self, constants):
+        plain = sum(adder_cost(c) for c in constants)
+        network = eliminate(constants)
+        assert network.adder_count <= plain
+
+
+class TestMaterialization:
+    @given(CONSTS, st.sampled_from(list(Representation)))
+    @settings(max_examples=60, deadline=None)
+    def test_refs_carry_exact_constants(self, constants, rep):
+        network = eliminate(constants, rep)
+        nl = ShiftAddNetlist()
+        refs = build_cse_refs(nl, network)
+        for c, ref in zip(constants, refs):
+            assert nl.ref_value(ref) == c
+        nl.validate()
+
+    @given(CONSTS)
+    @settings(max_examples=40, deadline=None)
+    def test_materialized_adders_at_most_counted(self, constants):
+        """Netlist fundamental reuse can only improve on the CSE count."""
+        network = eliminate(constants)
+        nl = ShiftAddNetlist()
+        build_cse_refs(nl, network)
+        assert nl.adder_count <= network.adder_count
+
+
+class TestCseAdderCountHelper:
+    def test_deduplicates_odd_parts(self):
+        # 5, 10, -20 are one odd fundamental
+        assert cse_adder_count([5, 10, -20]) == cse_adder_count([5])
+
+    def test_empty_after_filtering(self):
+        assert cse_adder_count([0, 1, 2, 64]) == 0

@@ -1,0 +1,94 @@
+"""Tests for the DECOR (decorrelating transform) baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    difference_coefficients,
+    simple_adder_count,
+    synthesize_decor,
+)
+from repro.errors import SynthesisError
+from repro.filters import BandType, DesignMethod, FilterSpec, design_fir
+from repro.quantize import quantize_uniform
+
+COEFFS = st.lists(
+    st.integers(min_value=-(2**12), max_value=2**12), min_size=1, max_size=12
+).filter(lambda cs: any(cs))
+SAMPLES = [1, -1, 3, 255, -128, 999, -777, 0, 64, 5]
+
+
+class TestDifferencing:
+    def test_order_zero_identity(self):
+        assert difference_coefficients([3, 5, 7], 0) == (3, 5, 7)
+
+    def test_first_order(self):
+        # d = [c0, c1-c0, c2-c1, -c2]
+        assert difference_coefficients([3, 5, 7], 1) == (3, 2, 2, -7)
+
+    def test_length_grows_by_order(self):
+        for order in range(4):
+            assert len(difference_coefficients([1, 2, 3], order)) == 3 + order
+
+    def test_negative_order_rejected(self):
+        with pytest.raises(SynthesisError):
+            difference_coefficients([1], -1)
+
+    @given(COEFFS, st.integers(min_value=0, max_value=3))
+    @settings(max_examples=60)
+    def test_differences_telescope_to_zero_sum_shift(self, coeffs, order):
+        """Summing k-th differences k times recovers the original sequence."""
+        d = list(difference_coefficients(coeffs, order))
+        for _ in range(order):
+            acc = 0
+            summed = []
+            for v in d:
+                acc += v
+                summed.append(acc)
+            d = summed
+        assert d[: len(coeffs)] == list(coeffs)
+        assert all(v == 0 for v in d[len(coeffs):])
+
+
+class TestDecorArchitecture:
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_decor([])
+
+    def test_adder_count_includes_integrators(self):
+        arch = synthesize_decor([3, 5, 7], order=2)
+        assert arch.adder_count == arch.multiplier_adders + 2
+
+    @given(COEFFS, st.integers(min_value=0, max_value=2))
+    @settings(max_examples=40, deadline=None)
+    def test_exact_equivalence_any_order(self, coeffs, order):
+        arch = synthesize_decor(coeffs, order=order)
+        arch.verify(SAMPLES)
+
+    def test_narrowband_filter_shrinks_coefficients(self):
+        """DECOR's sweet spot: adjacent taps of a very narrowband low-pass
+        are nearly equal, so differences lose several bits of magnitude."""
+        spec = FilterSpec(
+            name="narrow", band=BandType.LOWPASS,
+            method=DesignMethod.PARKS_MCCLELLAN, numtaps=61,
+            passband=(0.0, 0.04), stopband=(0.12, 1.0),
+            ripple_db=1.0, atten_db=35.0,
+        )
+        taps = design_fir(spec)
+        q = quantize_uniform(taps, 14)
+        differenced = difference_coefficients(q.integers, 1)
+        peak_before = max(abs(v) for v in q.integers)
+        peak_after = max(abs(v) for v in differenced)
+        assert peak_after < peak_before / 2
+
+    def test_weak_correlation_does_not_help(self):
+        """The paper's criticism: on a band-stop (weakly correlated taps)
+        DECOR does not reduce the adder count."""
+        from repro.filters import benchmark_filter
+
+        designed = benchmark_filter(4)  # PM band-stop
+        q = quantize_uniform(designed.folded, 16)
+        arch = synthesize_decor(q.integers, order=1)
+        assert arch.adder_count >= simple_adder_count(q.integers)

@@ -1,0 +1,123 @@
+"""Unit + property tests for repro.numrep.digits."""
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.errors import EncodingError
+from repro.numrep import (
+    SignedDigits,
+    is_power_of_two,
+    odd_normalize,
+    oddpart,
+    shift_amount,
+)
+
+
+class TestOddNormalization:
+    def test_oddpart_of_zero(self):
+        assert oddpart(0) == 0
+
+    def test_oddpart_of_odd_is_identity(self):
+        assert oddpart(45) == 45
+
+    def test_oddpart_strips_powers_of_two(self):
+        assert oddpart(24) == 3
+        assert oddpart(64) == 1
+
+    def test_oddpart_preserves_sign(self):
+        assert oddpart(-40) == -5
+
+    def test_shift_amount_zero(self):
+        assert shift_amount(0) == 0
+
+    def test_shift_amount_odd(self):
+        assert shift_amount(45) == 0
+
+    def test_shift_amount_even(self):
+        assert shift_amount(96) == 5
+
+    @given(st.integers(min_value=-(2**24), max_value=2**24))
+    def test_odd_normalize_reconstructs(self, n):
+        odd, k = odd_normalize(n)
+        assert odd << k == n
+
+    @given(st.integers(min_value=1, max_value=2**24))
+    def test_oddpart_is_odd(self, n):
+        assert oddpart(n) % 2 == 1
+
+
+class TestIsPowerOfTwo:
+    @pytest.mark.parametrize("n", [1, 2, 4, 8, 1024, -2, -64])
+    def test_powers(self, n):
+        assert is_power_of_two(n)
+
+    @pytest.mark.parametrize("n", [0, 3, 5, 6, 7, -9, 100])
+    def test_non_powers(self, n):
+        assert not is_power_of_two(n)
+
+
+class TestSignedDigits:
+    def test_empty_is_zero(self):
+        assert SignedDigits(()).value == 0
+
+    def test_value_lsb_first(self):
+        # digits (1, 0, -1) = 1 - 4 = -3
+        assert SignedDigits((1, 0, -1)).value == -3
+
+    def test_invalid_digit_rejected(self):
+        with pytest.raises(EncodingError):
+            SignedDigits((2,))
+
+    def test_trailing_zeros_trimmed(self):
+        assert SignedDigits((1, 0, 0)).digits == (1,)
+
+    def test_equal_after_trim(self):
+        assert SignedDigits((1, 0, 0)) == SignedDigits((1,))
+
+    def test_nonzero_count(self):
+        assert SignedDigits((1, 0, -1, 1)).nonzero_count == 3
+
+    def test_nonzero_positions(self):
+        assert SignedDigits((1, 0, -1)).nonzero_positions == (0, 2)
+
+    def test_terms(self):
+        assert SignedDigits((0, -1, 1)).terms == ((1, -1), (2, 1))
+
+    def test_shifted_multiplies_by_power_of_two(self):
+        d = SignedDigits((1, 1))
+        assert d.shifted(3).value == d.value << 3
+
+    def test_negative_shift_rejected(self):
+        with pytest.raises(EncodingError):
+            SignedDigits((1,)).shifted(-1)
+
+    def test_negated(self):
+        d = SignedDigits((1, 0, -1))
+        assert d.negated().value == -d.value
+
+    def test_adjacent_nonzeros_detected(self):
+        assert SignedDigits((1, 1)).has_adjacent_nonzeros()
+        assert not SignedDigits((1, 0, 1)).has_adjacent_nonzeros()
+
+    def test_str_msb_first(self):
+        assert str(SignedDigits((1, 0, -1))) == "N01"
+
+    def test_str_zero(self):
+        assert str(SignedDigits(())) == "0"
+
+    def test_len_and_iter(self):
+        d = SignedDigits((1, 0, -1))
+        assert len(d) == 3
+        assert list(d) == [1, 0, -1]
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), max_size=20))
+    def test_from_iterable_value_consistent(self, digits):
+        d = SignedDigits.from_iterable(digits)
+        assert d.value == sum(x << k for k, x in enumerate(digits))
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), max_size=20),
+           st.integers(min_value=0, max_value=8))
+    def test_shift_then_value(self, digits, k):
+        d = SignedDigits.from_iterable(digits)
+        assert d.shifted(k).value == d.value << k

@@ -1,0 +1,85 @@
+"""Tests for the exception hierarchy and the public API surface."""
+
+import pytest
+
+import repro
+from repro import errors
+
+
+class TestExceptionHierarchy:
+    @pytest.mark.parametrize(
+        "exc",
+        [
+            errors.EncodingError,
+            errors.QuantizationError,
+            errors.FilterDesignError,
+            errors.GraphError,
+            errors.SynthesisError,
+            errors.NetlistError,
+            errors.SimulationError,
+        ],
+    )
+    def test_all_derive_from_repro_error(self, exc):
+        assert issubclass(exc, errors.ReproError)
+        assert issubclass(exc, Exception)
+
+    def test_single_catch_site(self):
+        """A caller can catch everything the library raises with one clause."""
+        with pytest.raises(errors.ReproError):
+            repro.quantize([], 8)
+        with pytest.raises(errors.ReproError):
+            repro.optimize([], 8)
+        with pytest.raises(errors.ReproError):
+            repro.synthesize_simple([])
+
+
+class TestPublicApi:
+    def test_all_exports_resolve(self):
+        for name in repro.__all__:
+            assert hasattr(repro, name), name
+
+    def test_version(self):
+        assert repro.__version__ == "1.0.0"
+
+    def test_subpackage_all_exports_resolve(self):
+        import importlib
+
+        for subpackage in (
+            "arch", "baselines", "core", "cse", "eval", "filters", "graph",
+            "hwcost", "numrep", "quantize",
+        ):
+            module = importlib.import_module(f"repro.{subpackage}")
+            for name in module.__all__:
+                assert hasattr(module, name), (module.__name__, name)
+
+    def test_docstring_quickstart_runs(self):
+        """The package docstring's example must actually work."""
+        from repro import synthesize_mrpf, quantize, ScalingScheme, design_fir
+        from repro.filters import FilterSpec, BandType, DesignMethod
+
+        spec = FilterSpec(
+            "lp", BandType.LOWPASS, DesignMethod.PARKS_MCCLELLAN,
+            numtaps=25, passband=(0.0, 0.2), stopband=(0.3, 1.0),
+        )
+        taps = design_fir(spec)
+        q = quantize(taps, wordlength=12, scheme=ScalingScheme.UNIFORM)
+        arch = synthesize_mrpf(q.integers, wordlength=12)
+        assert arch.adder_count > 0
+        assert arch.plan.seed
+
+
+class TestCliEntryPoint:
+    def test_main_runs_restricted_experiment(self, capsys):
+        from repro.eval.__main__ import main
+
+        code = main(["fig6", "--filters", "0", "--wordlengths", "8"])
+        captured = capsys.readouterr()
+        assert code == 0
+        assert "Figure 6" in captured.out
+        assert "paper vs measured" in captured.out
+
+    def test_main_rejects_unknown(self):
+        from repro.eval.__main__ import main
+
+        with pytest.raises(SystemExit):
+            main(["fig99"])

@@ -1,0 +1,141 @@
+"""Tests for the evaluation harness (experiments, registry, reporting).
+
+Experiments are run on restricted (filter, wordlength) subsets so the suite
+stays fast; the full-figure runs live in benchmarks/.
+"""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval import (
+    EXPERIMENTS,
+    PAPER_CLAIMS,
+    best_mrpf,
+    format_experiment,
+    format_table,
+    paper_comparison,
+    run_experiment,
+    run_figure6,
+    run_figure8,
+    run_table1,
+)
+from repro.quantize import ScalingScheme
+
+FAST = dict(filter_indices=[0, 1], wordlengths=[8, 12])
+
+
+class TestRegistry:
+    def test_all_experiments_registered(self):
+        assert set(EXPERIMENTS) == {
+            "fig6", "fig7", "fig8a", "fig8b", "table1", "summary"
+        }
+
+    def test_unknown_experiment_raises(self):
+        with pytest.raises(ReproError):
+            run_experiment("fig99")
+
+    def test_descriptions_nonempty(self):
+        for registered in EXPERIMENTS.values():
+            assert registered.description
+
+
+class TestFigureRuns:
+    def test_fig6_rows_and_summary(self):
+        result = run_figure6(**FAST)
+        assert result.experiment_id == "fig6"
+        assert len(result.rows) == 4  # 2 filters x 2 wordlengths
+        for row in result.rows:
+            assert row.scaling == "uniform"
+            assert 0.0 < row.normalized("mrpf", "simple") <= 1.0
+        assert 0.0 <= result.summary["mean_reduction"] < 1.0
+
+    def test_fig6_mrpf_never_loses(self):
+        result = run_figure6(**FAST)
+        for row in result.rows:
+            assert row.results["mrpf"].adders <= row.results["simple"].adders
+
+    def test_fig7_via_dispatcher(self):
+        result = run_experiment("fig7", **FAST)
+        assert all(row.scaling == "maximal" for row in result.rows)
+
+    def test_fig8_has_three_methods(self):
+        result = run_figure8(ScalingScheme.UNIFORM, **FAST)
+        for row in result.rows:
+            assert set(row.results) == {"simple", "cse", "mrpf_cse"}
+
+    def test_fig8_ids_differ_by_scaling(self):
+        a = run_figure8(ScalingScheme.UNIFORM, **FAST)
+        b = run_figure8(ScalingScheme.MAXIMAL, **FAST)
+        assert a.experiment_id == "fig8a" and b.experiment_id == "fig8b"
+
+    def test_adders_per_tap_accessor(self):
+        result = run_figure6(**FAST)
+        row = result.rows[0]
+        assert row.adders_per_tap("mrpf") == pytest.approx(
+            row.results["mrpf"].adders / row.num_unique_taps
+        )
+
+    def test_cache_stability(self):
+        first = run_figure6(**FAST)
+        second = run_figure6(**FAST)
+        for a, b in zip(first.rows, second.rows):
+            assert a.results["mrpf"].adders == b.results["mrpf"].adders
+
+
+class TestTable1:
+    def test_restricted_run(self):
+        result = run_table1(filter_indices=[0])
+        assert len(result.table1_rows) == 1
+        row = result.table1_rows[0]
+        assert row.filter_name == "ex01"
+        assert row.method == "BW" and row.band == "LP"
+        roots, solution = row.seed_spt
+        assert roots >= 0 and solution >= 0
+
+    def test_seed_sizes_differ_by_representation_sometimes(self):
+        result = run_table1(filter_indices=[0, 1])
+        assert all(r.seed_sm is not None for r in result.table1_rows)
+
+
+class TestBestMrpf:
+    def test_returns_cheapest_of_sweep(self, small_quantized_uniform):
+        q = small_quantized_uniform
+        arch = best_mrpf(q.integers, q.wordlength)
+        from repro.baselines import simple_adder_count
+
+        assert arch.adder_count <= simple_adder_count(q.integers)
+        arch.verify()
+
+    def test_depth_limit_forwarded(self, small_quantized_maximal):
+        q = small_quantized_maximal
+        arch = best_mrpf(q.integers, q.wordlength, depth_limit=2)
+        assert arch.plan.tree_height <= 2
+
+
+class TestReporting:
+    def test_format_table_alignment(self):
+        text = format_table(["a", "long_header"], [["1", "2"], ["333", "4"]])
+        lines = text.splitlines()
+        assert len(lines) == 4
+        assert all(len(line) == len(lines[0]) for line in lines[:2])
+
+    def test_format_experiment_figure(self):
+        result = run_figure6(**FAST)
+        text = format_experiment(result)
+        assert result.title in text
+        assert "normalized" in text
+        assert "mean_reduction" in text
+
+    def test_format_experiment_table1(self):
+        result = run_table1(filter_indices=[0])
+        text = format_experiment(result)
+        assert "SEED SPT" in text and "ex01" in text
+
+    def test_paper_comparison_pairs(self):
+        result = run_figure6(**FAST)
+        rows = paper_comparison(result)
+        assert rows
+        for metric, paper_value, measured in rows:
+            assert metric in PAPER_CLAIMS["fig6"]
+            assert isinstance(paper_value, float)
+            assert isinstance(measured, float)

@@ -1,0 +1,119 @@
+"""Unit + property tests for the exact branch-and-bound set cover."""
+
+import itertools
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import greedy_weighted_set_cover
+from repro.graph.exact_cover import exact_weighted_set_cover, prune_dominated_sets
+
+
+def brute_force_optimum(universe, sets, costs):
+    """Reference: try every subset of sets (exponential, tests only)."""
+    best = None
+    keys = list(sets)
+    for r in range(1, len(keys) + 1):
+        for combo in itertools.combinations(keys, r):
+            covered = set()
+            for k in combo:
+                covered |= sets[k]
+            if universe <= covered:
+                cost = sum(costs[k] for k in combo)
+                if best is None or cost < best:
+                    best = cost
+        if best is not None and r >= 2:
+            # keep scanning — a larger combo of cheap sets may still win
+            continue
+    return best
+
+
+class TestDominancePruning:
+    def test_subset_at_higher_cost_pruned(self):
+        sets = {"big": frozenset({1, 2, 3}), "small": frozenset({1, 2})}
+        costs = {"big": 1.0, "small": 2.0}
+        assert prune_dominated_sets(sets, costs) == ["big"]
+
+    def test_subset_at_lower_cost_kept(self):
+        sets = {"big": frozenset({1, 2, 3}), "small": frozenset({1, 2})}
+        costs = {"big": 5.0, "small": 1.0}
+        survivors = prune_dominated_sets(sets, costs)
+        assert set(survivors) == {"big", "small"}
+
+    def test_duplicates_collapse(self):
+        sets = {"a": frozenset({1}), "b": frozenset({1})}
+        costs = {"a": 1.0, "b": 1.0}
+        assert len(prune_dominated_sets(sets, costs)) == 1
+
+
+class TestExactCover:
+    def test_guard_on_universe_size(self):
+        universe = set(range(30))
+        sets = {"all": frozenset(universe)}
+        with pytest.raises(GraphError):
+            exact_weighted_set_cover(universe, sets, {"all": 1.0})
+
+    def test_unreachable_element(self):
+        with pytest.raises(GraphError):
+            exact_weighted_set_cover({1, 2}, {"a": frozenset({1})}, {"a": 1.0})
+
+    def test_beats_greedy_on_adversarial_instance(self):
+        """The classic greedy trap: one covering set vs log-many partials."""
+        universe = {1, 2, 3, 4, 5, 6}
+        sets = {
+            "half1": frozenset({1, 2, 3}),
+            "half2": frozenset({4, 5, 6}),
+            "trap": frozenset({1, 4}),
+            "trap2": frozenset({2, 5}),
+            "trap3": frozenset({3, 6}),
+        }
+        costs = {"half1": 2.0, "half2": 2.0, "trap": 1.0, "trap2": 1.0,
+                 "trap3": 1.0}
+        exact = exact_weighted_set_cover(universe, sets, costs)
+        assert exact.total_cost == pytest.approx(3.0)  # the three traps
+
+    def test_solution_is_a_cover(self):
+        universe = {1, 2, 3, 4}
+        sets = {"a": frozenset({1, 2}), "b": frozenset({3}), "c": frozenset({3, 4})}
+        costs = {"a": 1.0, "b": 1.0, "c": 1.5}
+        solution = exact_weighted_set_cover(universe, sets, costs)
+        covered = set()
+        for step in solution.steps:
+            covered |= step.newly_covered
+        assert covered == universe
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_matches_brute_force(self, data):
+        universe = data.draw(st.sets(st.integers(0, 7), min_size=1, max_size=6))
+        num_sets = data.draw(st.integers(2, 6))
+        sets = {}
+        for i in range(num_sets):
+            members = data.draw(
+                st.sets(st.sampled_from(sorted(universe)), min_size=1, max_size=5)
+            )
+            sets[f"s{i}"] = frozenset(members)
+        sets["all"] = frozenset(universe)
+        costs = {k: float(data.draw(st.integers(1, 5))) for k in sets}
+        exact = exact_weighted_set_cover(universe, sets, costs)
+        assert exact.total_cost == pytest.approx(
+            brute_force_optimum(universe, sets, costs)
+        )
+
+    @given(st.data())
+    @settings(max_examples=40, deadline=None)
+    def test_greedy_never_beats_exact(self, data):
+        universe = data.draw(st.sets(st.integers(0, 9), min_size=1, max_size=8))
+        num_sets = data.draw(st.integers(1, 7))
+        sets = {"all": frozenset(universe)}
+        for i in range(num_sets):
+            members = data.draw(
+                st.sets(st.sampled_from(sorted(universe)), min_size=1, max_size=6)
+            )
+            sets[f"s{i}"] = frozenset(members)
+        costs = {k: float(data.draw(st.integers(1, 6))) for k in sets}
+        exact = exact_weighted_set_cover(universe, sets, costs)
+        greedy = greedy_weighted_set_cover(universe, sets, costs, beta=0.5)
+        assert exact.total_cost <= greedy.total_cost + 1e-9

@@ -1,0 +1,78 @@
+"""Tests for evaluation internals: method dispatch, caching, summary keys."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.eval.experiments import (
+    ExperimentRow,
+    MethodResult,
+    _method_result,
+    clear_cache,
+)
+from repro.filters import benchmark_filter
+from repro.quantize import ScalingScheme
+
+
+@pytest.fixture(scope="module")
+def designed():
+    return benchmark_filter(0)
+
+
+class TestMethodDispatch:
+    @pytest.mark.parametrize(
+        "method", ["simple", "cse", "mst_diff", "mrpf", "mrpf_cse"]
+    )
+    def test_every_method_produces_a_result(self, designed, method):
+        result = _method_result(
+            designed, 0, 8, ScalingScheme.UNIFORM, method
+        )
+        assert result.method == method
+        assert result.adders >= 0
+        assert result.cla_weighted >= 0.0
+
+    def test_unknown_method_rejected(self, designed):
+        with pytest.raises(ReproError):
+            _method_result(designed, 0, 8, ScalingScheme.UNIFORM, "magic")
+
+    def test_seed_size_only_for_mrp_methods(self, designed):
+        simple = _method_result(designed, 0, 8, ScalingScheme.UNIFORM, "simple")
+        mrpf = _method_result(designed, 0, 8, ScalingScheme.UNIFORM, "mrpf")
+        assert simple.seed_size is None
+        assert mrpf.seed_size is not None
+
+    def test_cache_hit_returns_same_object(self, designed):
+        clear_cache()
+        first = _method_result(designed, 0, 8, ScalingScheme.UNIFORM, "simple")
+        second = _method_result(designed, 0, 8, ScalingScheme.UNIFORM, "simple")
+        assert first is second
+
+    def test_cache_key_distinguishes_scaling(self, designed):
+        uniform = _method_result(designed, 0, 8, ScalingScheme.UNIFORM, "simple")
+        maximal = _method_result(designed, 0, 8, ScalingScheme.MAXIMAL, "simple")
+        assert uniform is not maximal
+
+
+class TestExperimentRowAccessors:
+    def make_row(self, a, b):
+        return ExperimentRow(
+            filter_name="x", num_taps=5, num_unique_taps=3,
+            wordlength=8, scaling="uniform",
+            results={
+                "simple": MethodResult("simple", a, 1, float(a)),
+                "mrpf": MethodResult("mrpf", b, 1, float(b)),
+            },
+        )
+
+    def test_normalized(self):
+        row = self.make_row(10, 5)
+        assert row.normalized("mrpf", "simple") == pytest.approx(0.5)
+
+    def test_normalized_zero_baseline(self):
+        row = self.make_row(0, 0)
+        assert row.normalized("mrpf", "simple") == 0.0
+        row = self.make_row(0, 3)
+        assert row.normalized("mrpf", "simple") == float("inf")
+
+    def test_adders_per_tap(self):
+        row = self.make_row(10, 6)
+        assert row.adders_per_tap("mrpf") == pytest.approx(2.0)

@@ -1,0 +1,82 @@
+"""Tests for CSV/JSON experiment export."""
+
+import csv
+import io
+import json
+
+import pytest
+
+from repro.eval import (
+    result_records,
+    run_figure6,
+    run_table1,
+    to_csv,
+    to_json,
+)
+from repro.eval.experiments import ExperimentResult
+
+FAST = dict(filter_indices=[0], wordlengths=[8])
+
+
+@pytest.fixture(scope="module")
+def fig6_result():
+    return run_figure6(**FAST)
+
+
+class TestRecords:
+    def test_one_record_per_method(self, fig6_result):
+        records = result_records(fig6_result)
+        # 1 filter x 1 wordlength x 2 methods (simple, mrpf)
+        assert len(records) == 2
+        assert {r["method"] for r in records} == {"simple", "mrpf"}
+
+    def test_record_fields(self, fig6_result):
+        record = result_records(fig6_result)[0]
+        for field in ("experiment", "filter", "wordlength", "scaling",
+                      "method", "adders", "depth", "cla_weighted"):
+            assert field in record
+
+    def test_seed_size_only_on_mrp_records(self, fig6_result):
+        records = {r["method"]: r for r in result_records(fig6_result)}
+        assert "seed_roots" in records["mrpf"]
+        assert "seed_roots" not in records["simple"]
+
+    def test_table1_records(self):
+        result = run_table1(filter_indices=[0])
+        records = result_records(result)
+        assert len(records) == 1
+        assert records[0]["seed_spt_roots"] >= 0
+        assert records[0]["band"] == "LP"
+
+
+class TestCsv:
+    def test_round_trips_through_csv_reader(self, fig6_result):
+        text = to_csv(fig6_result)
+        rows = list(csv.DictReader(io.StringIO(text)))
+        assert len(rows) == 2
+        assert rows[0]["experiment"] == "fig6"
+        assert int(rows[0]["adders"]) >= 0
+
+    def test_empty_result(self):
+        empty = ExperimentResult(experiment_id="x", title="t")
+        assert to_csv(empty) == ""
+
+    def test_union_of_fieldnames(self, fig6_result):
+        """Methods without seed sizes still share the same header row."""
+        text = to_csv(fig6_result)
+        header = text.splitlines()[0]
+        assert "seed_roots" in header
+
+
+class TestJson:
+    def test_parses_and_matches(self, fig6_result):
+        payload = json.loads(to_json(fig6_result))
+        assert payload["experiment"] == "fig6"
+        assert payload["title"] == fig6_result.title
+        assert len(payload["records"]) == 2
+        assert "mean_reduction" in payload["summary"]
+
+    def test_summary_values_numeric(self, fig6_result):
+        payload = json.loads(to_json(fig6_result))
+        for value in payload["summary"].values():
+            assert isinstance(value, (int, float))

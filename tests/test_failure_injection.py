@@ -1,0 +1,109 @@
+"""Failure-injection tests: the validators must catch corrupted structures.
+
+A reproduction whose checkers cannot catch a broken architecture proves
+nothing when they pass.  These tests corrupt netlists, forests and CSE
+networks on purpose and assert the validation layer rejects each corruption.
+"""
+
+import pytest
+
+from repro.arch import Node, Ref, ShiftAddNetlist
+from repro.arch.simulate import verify_against_convolution
+from repro.core import synthesize_mrpf
+from repro.cse import Pattern, Term, eliminate
+from repro.cse.hartley import CseNetwork
+from repro.errors import NetlistError, SimulationError, SynthesisError
+from repro.graph import SpanningForest, TreeAssignment
+
+
+class TestNetlistCorruption:
+    def test_tampered_node_value_caught(self):
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(45)
+        # Corrupt a node's declared fundamental behind the API's back.
+        victim = nl._nodes[1]
+        nl._nodes[1] = Node.__new__(Node)
+        object.__setattr__(nl._nodes[1], "id", victim.id)
+        object.__setattr__(nl._nodes[1], "value", victim.value + 1)
+        object.__setattr__(nl._nodes[1], "a", victim.a)
+        object.__setattr__(nl._nodes[1], "b", victim.b)
+        object.__setattr__(nl._nodes[1], "label", victim.label)
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_non_dense_ids_caught(self):
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(45)
+        nl._nodes.pop(1)
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+    def test_dangling_output_caught(self):
+        nl = ShiftAddNetlist()
+        nl._outputs["ghost"] = Ref(node=57)
+        with pytest.raises(NetlistError):
+            nl.validate()
+
+
+class TestSimulationMismatch:
+    def test_wrong_coefficient_vector_caught(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        wrong = list(paper_coefficients)
+        wrong[3] += 1
+        with pytest.raises(SimulationError):
+            verify_against_convolution(
+                arch.netlist, arch.tap_names, wrong, [1, 2, 3]
+            )
+
+    def test_swapped_tap_order_caught(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        names = list(arch.tap_names)
+        names[0], names[1] = names[1], names[0]
+        with pytest.raises(SimulationError):
+            verify_against_convolution(
+                arch.netlist, names, list(paper_coefficients), [1, 2, 3]
+            )
+
+
+class TestForestCorruption:
+    def test_wrong_child_depth_caught(self):
+        root = TreeAssignment(vertex=3, kind="root", depth=0)
+        from repro.graph import ColorEdge
+
+        edge = ColorEdge(src=3, dst=11, shift=2, src_sign=1,
+                         color=1, color_shift=0, color_sign=-1, weight=1)
+        child = TreeAssignment(vertex=11, kind="child", depth=2,
+                               parent=3, edge=edge)
+        with pytest.raises(Exception):
+            SpanningForest(assignments=(root, child))
+
+
+class TestCseCorruption:
+    def test_tampered_terms_caught(self):
+        network = eliminate([45, 89])
+        broken_terms = list(network.constant_terms)
+        broken_terms[0] = broken_terms[0] + (Term(pos=9, sign=1),)
+        broken = CseNetwork(
+            constants=network.constants,
+            subexpressions=network.subexpressions,
+            symbol_values=network.symbol_values,
+            constant_terms=tuple(broken_terms),
+        )
+        with pytest.raises(SynthesisError):
+            broken.validate()
+
+    def test_tampered_symbol_value_caught(self):
+        network = eliminate([0b101, 0b10100, 0b1010000], )
+        if not network.subexpressions:
+            pytest.skip("no subexpression extracted for this input")
+        symbol = next(iter(network.subexpressions))
+        values = dict(network.symbol_values)
+        values[symbol] += 2
+        broken = CseNetwork(
+            constants=network.constants,
+            subexpressions=network.subexpressions,
+            symbol_values=values,
+            constant_terms=network.constant_terms,
+        )
+        with pytest.raises(SynthesisError):
+            broken.validate()

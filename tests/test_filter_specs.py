@@ -1,0 +1,154 @@
+"""Unit tests for filter specifications and design backends."""
+
+import numpy as np
+import pytest
+
+from repro.errors import FilterDesignError
+from repro.filters import (
+    BandType,
+    DesignMethod,
+    FilterSpec,
+    design_fir,
+    firls_bands,
+    measure_response,
+    meets_spec,
+    remez_bands,
+)
+
+
+def lp_spec(**overrides):
+    base = dict(
+        name="lp",
+        band=BandType.LOWPASS,
+        method=DesignMethod.PARKS_MCCLELLAN,
+        numtaps=25,
+        passband=(0.0, 0.2),
+        stopband=(0.3, 1.0),
+        ripple_db=0.5,
+        atten_db=40.0,
+    )
+    base.update(overrides)
+    return FilterSpec(**base)
+
+
+class TestSpecValidation:
+    def test_valid_lowpass(self):
+        spec = lp_spec()
+        assert spec.order == 24
+
+    def test_even_numtaps_rejected(self):
+        with pytest.raises(FilterDesignError):
+            lp_spec(numtaps=24)
+
+    def test_tiny_numtaps_rejected(self):
+        with pytest.raises(FilterDesignError):
+            lp_spec(numtaps=1)
+
+    def test_band_edges_out_of_range(self):
+        with pytest.raises(FilterDesignError):
+            lp_spec(passband=(0.0, 1.5))
+
+    def test_reversed_edges_rejected(self):
+        with pytest.raises(FilterDesignError):
+            lp_spec(passband=(0.4, 0.2))
+
+    def test_lowpass_order_violation(self):
+        with pytest.raises(FilterDesignError):
+            lp_spec(passband=(0.0, 0.5), stopband=(0.3, 1.0))
+
+    def test_bandpass_order_violation(self):
+        with pytest.raises(FilterDesignError):
+            FilterSpec(
+                name="bp", band=BandType.BANDPASS,
+                method=DesignMethod.PARKS_MCCLELLAN, numtaps=31,
+                passband=(0.1, 0.6), stopband=(0.2, 0.5),
+            )
+
+    def test_bandstop_order_violation(self):
+        with pytest.raises(FilterDesignError):
+            FilterSpec(
+                name="bs", band=BandType.BANDSTOP,
+                method=DesignMethod.PARKS_MCCLELLAN, numtaps=31,
+                passband=(0.3, 0.5), stopband=(0.2, 0.6),
+            )
+
+    def test_negative_ripple_rejected(self):
+        with pytest.raises(FilterDesignError):
+            lp_spec(ripple_db=-1.0)
+
+    def test_deltas_positive(self):
+        spec = lp_spec()
+        assert 0 < spec.passband_delta < 1
+        assert 0 < spec.stopband_delta < 1
+
+    def test_describe_mentions_method_and_band(self):
+        text = lp_spec().describe()
+        assert "PM" in text and "LP" in text
+
+    def test_abbreviations(self):
+        assert BandType.BANDSTOP.abbreviation == "BS"
+        assert DesignMethod.BUTTERWORTH.abbreviation == "BW"
+
+
+class TestBandConstruction:
+    def test_remez_lowpass_bands(self):
+        bands, desired, weights = remez_bands(lp_spec())
+        assert bands == pytest.approx([0.0, 0.2, 0.3, 1.0 - 1e-6])
+        assert desired == [1.0, 0.0]
+        assert weights[0] < weights[1]  # stopband weighted harder (Rs >> Rp)
+
+    def test_remez_bandstop_bands(self):
+        spec = FilterSpec(
+            name="bs", band=BandType.BANDSTOP,
+            method=DesignMethod.PARKS_MCCLELLAN, numtaps=31,
+            passband=(0.2, 0.7), stopband=(0.3, 0.6),
+        )
+        bands, desired, _ = remez_bands(spec)
+        assert desired == [1.0, 0.0, 1.0]
+        assert len(bands) == 6
+
+    def test_firls_doubles_desired(self):
+        bands, desired, weights = firls_bands(lp_spec())
+        assert desired == [1.0, 1.0, 0.0, 0.0]
+        assert len(weights) == 2
+
+
+class TestDesign:
+    @pytest.mark.parametrize("method", list(DesignMethod))
+    def test_lowpass_all_methods(self, method):
+        spec = lp_spec(method=method, ripple_db=3.0, atten_db=20.0)
+        taps = design_fir(spec)
+        assert taps.shape == (25,)
+        assert np.allclose(taps, taps[::-1])  # symmetric
+
+    def test_bandpass_design(self):
+        spec = FilterSpec(
+            name="bp", band=BandType.BANDPASS,
+            method=DesignMethod.PARKS_MCCLELLAN, numtaps=41,
+            passband=(0.3, 0.5), stopband=(0.2, 0.6), atten_db=40.0,
+        )
+        taps = design_fir(spec)
+        report = measure_response(taps, spec)
+        assert report.stopband_atten_db > 30.0
+
+    def test_highpass_design(self):
+        spec = FilterSpec(
+            name="hp", band=BandType.HIGHPASS,
+            method=DesignMethod.PARKS_MCCLELLAN, numtaps=41,
+            passband=(0.5, 1.0), stopband=(0.0, 0.35), atten_db=40.0,
+        )
+        taps = design_fir(spec)
+        assert meets_spec(taps, spec, margin_db=3.0)
+
+    def test_pm_lowpass_meets_spec(self):
+        spec = lp_spec(numtaps=41)
+        taps = design_fir(spec)
+        assert meets_spec(taps, spec, margin_db=0.1)
+
+    def test_butterworth_monotone_passband_tendency(self):
+        """BW passband ripple is smooth — far smaller than the stop deviation."""
+        spec = lp_spec(method=DesignMethod.BUTTERWORTH, numtaps=41,
+                       ripple_db=3.0, atten_db=25.0)
+        taps = design_fir(spec)
+        report = measure_response(taps, spec)
+        assert report.stopband_atten_db > 15.0

@@ -1,0 +1,79 @@
+"""Unit + property tests for the Hcub-style MCM baseline."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    simple_adder_count,
+    synthesize_bhm,
+    synthesize_hcub,
+)
+from repro.errors import SynthesisError
+
+# Hcub's candidate search is heavier than BHM's; keep property inputs small.
+COEFFS = st.lists(
+    st.integers(min_value=-(2**8), max_value=2**8), min_size=1, max_size=6
+).filter(lambda cs: any(cs))
+SAMPLES = [1, -1, 3, 255, -128, 12345, -999]
+
+
+class TestHcubBasics:
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_hcub([])
+
+    def test_free_taps_cost_nothing(self):
+        arch = synthesize_hcub([0, 1, -2, 64])
+        assert arch.adder_count == 0
+        arch.verify(SAMPLES)
+
+    def test_single_constant_optimal_cases(self):
+        """Known 2-adder values that naive CSD needs 3+ adders for."""
+        # 45 = 5 * 9 = (1+4)(1+8): two adders via the intermediate 5 or 9.
+        arch = synthesize_hcub([45])
+        arch.verify(SAMPLES)
+        assert arch.adder_count <= 2
+
+    def test_intermediate_fundamental_shared(self):
+        """105 = 3*35 and 75 = 3*25: the 3 should be built once."""
+        arch = synthesize_hcub([105, 75])
+        arch.verify(SAMPLES)
+        separate = (
+            synthesize_hcub([105]).adder_count + synthesize_hcub([75]).adder_count
+        )
+        assert arch.adder_count <= separate
+
+    def test_paper_example(self, paper_coefficients):
+        arch = synthesize_hcub(paper_coefficients)
+        arch.verify(SAMPLES)
+        assert arch.adder_count <= simple_adder_count(paper_coefficients)
+
+    def test_targets_in_fundamentals(self):
+        arch = synthesize_hcub([7, 23, 45])
+        for odd in (7, 23, 45):
+            assert odd in arch.fundamentals
+
+
+class TestHcubProperties:
+    @given(COEFFS)
+    @settings(max_examples=30, deadline=None)
+    def test_bit_exact(self, coeffs):
+        arch = synthesize_hcub(coeffs)
+        arch.verify(SAMPLES)
+
+    @given(COEFFS)
+    @settings(max_examples=20, deadline=None)
+    def test_never_worse_than_simple(self, coeffs):
+        arch = synthesize_hcub(coeffs)
+        assert arch.adder_count <= simple_adder_count(coeffs)
+
+    @given(st.lists(st.integers(min_value=3, max_value=255)
+                    .filter(lambda n: n % 2 == 1),
+                    min_size=2, max_size=4, unique=True))
+    @settings(max_examples=15, deadline=None)
+    def test_competitive_with_bhm(self, targets):
+        """Hcub's lookahead should not lose badly to BHM's greedy."""
+        hcub = synthesize_hcub(targets).adder_count
+        bhm = synthesize_bhm(targets).adder_count
+        assert hcub <= bhm + 2

@@ -1,0 +1,160 @@
+"""Unit tests for the hardware cost models (adders, power, interconnect)."""
+
+import pytest
+
+from repro.arch import Ref, ShiftAddNetlist
+from repro.baselines import synthesize_simple
+from repro.core import synthesize_mrpf
+from repro.hwcost import (
+    ADDER_MODELS,
+    CARRY_LOOKAHEAD,
+    CARRY_SAVE,
+    RIPPLE_CARRY,
+    estimate_power,
+    fanout_counts,
+    interconnect_cost,
+    lcg_stream,
+    netlist_area,
+    netlist_critical_path,
+    recommended_beta,
+    toggle_activity,
+    weighted_adder_cost,
+)
+
+
+class TestAdderModels:
+    def test_registry_complete(self):
+        assert set(ADDER_MODELS) == {"ripple_carry", "carry_lookahead", "carry_save"}
+
+    def test_ripple_delay_linear(self):
+        assert RIPPLE_CARRY.delay(32) == pytest.approx(2 * RIPPLE_CARRY.delay(16))
+
+    def test_cla_delay_logarithmic(self):
+        """Doubling width adds one lookahead level, not double delay."""
+        d16, d32 = CARRY_LOOKAHEAD.delay(16), CARRY_LOOKAHEAD.delay(32)
+        assert d32 > d16
+        assert d32 < 1.5 * d16
+
+    def test_cla_faster_than_ripple_at_width(self):
+        assert CARRY_LOOKAHEAD.delay(32) < RIPPLE_CARRY.delay(32)
+
+    def test_cla_area_premium(self):
+        assert CARRY_LOOKAHEAD.area(16) > RIPPLE_CARRY.area(16)
+
+    def test_carry_save_constant_delay(self):
+        assert CARRY_SAVE.delay(8) == CARRY_SAVE.delay(64)
+
+    def test_zero_width_clamped(self):
+        assert RIPPLE_CARRY.area(0) == RIPPLE_CARRY.area(1)
+
+
+class TestNetlistCosts:
+    def test_empty_netlist_zero_area(self):
+        assert netlist_area(ShiftAddNetlist(), 16) == 0.0
+
+    def test_area_grows_with_adders(self, paper_coefficients):
+        simple = synthesize_simple(paper_coefficients)
+        mrpf = synthesize_mrpf(paper_coefficients, 7)
+        assert netlist_area(mrpf.netlist, 16) < netlist_area(simple.netlist, 16)
+
+    def test_critical_path_positive(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        assert netlist_critical_path(arch.netlist, 16) > 0
+
+    def test_critical_path_monotone_in_depth(self):
+        nl = ShiftAddNetlist()
+        a = nl.add(Ref(node=0, shift=1), Ref(node=0))
+        shallow = netlist_critical_path(nl, 16)
+        nl.add(a, Ref(node=0, shift=5))
+        assert netlist_critical_path(nl, 16) > shallow
+
+    def test_weighted_cost_normalized(self):
+        """One input-width adder weighs ~1."""
+        nl = ShiftAddNetlist()
+        nl.add(Ref(node=0, shift=1), Ref(node=0))
+        cost = weighted_adder_cost(nl, 16)
+        assert 0.9 < cost < 1.5
+
+
+class TestPower:
+    def test_lcg_deterministic(self):
+        assert lcg_stream(10) == lcg_stream(10)
+
+    def test_lcg_spans_width(self):
+        samples = lcg_stream(200, input_bits=8)
+        assert all(-128 <= s < 128 for s in samples)
+        assert min(samples) < 0 < max(samples)
+
+    def test_toggle_activity_zero_for_constant_input(self):
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(45)
+        toggles = toggle_activity(nl, [7, 7, 7], input_bits=8)
+        assert sum(toggles) == 0
+
+    def test_toggle_activity_positive_for_changing_input(self):
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(45)
+        toggles = toggle_activity(nl, [0, -1, 0, -1], input_bits=8)
+        assert sum(toggles) > 0
+
+    def test_estimate_power_report(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        report = estimate_power(arch.netlist, input_bits=10, num_samples=64)
+        assert report.total_toggles > 0
+        assert report.energy_pj > 0
+        assert report.toggles_per_sample > 0
+        assert len(report.toggles_per_node) == len(arch.netlist)
+
+    def test_fewer_adders_less_power(self, paper_coefficients):
+        simple = synthesize_simple(paper_coefficients)
+        mrpf = synthesize_mrpf(paper_coefficients, 7)
+        p_simple = estimate_power(simple.netlist, 12, 64).total_toggles
+        p_mrpf = estimate_power(mrpf.netlist, 12, 64).total_toggles
+        assert p_mrpf < p_simple
+
+
+class TestInterconnect:
+    def test_fanout_counts(self):
+        nl = ShiftAddNetlist()
+        nl.add(Ref(node=0, shift=1), Ref(node=0))  # input used twice
+        report = fanout_counts(nl)
+        assert report.fanout[0] == 2
+        assert report.max_fanout == 2
+
+    def test_outputs_count_as_fanout(self):
+        nl = ShiftAddNetlist()
+        ref = nl.add(Ref(node=0, shift=1), Ref(node=0))
+        nl.mark_output("y", ref)
+        report = fanout_counts(nl)
+        assert report.fanout[ref.node] == 1
+
+    def test_interconnect_cost_matches_fanout_formula(self):
+        nl = ShiftAddNetlist()
+        hub = nl.add(Ref(node=0, shift=1), Ref(node=0))
+        nl.add(hub, Ref(node=0, shift=6))
+        report = fanout_counts(nl)
+        expected = sum(f**1.5 for f in report.fanout if f > 0)
+        assert interconnect_cost(nl) == pytest.approx(expected)
+
+    def test_interconnect_cost_convex_in_fanout(self):
+        """Each extra consumer of the same hub costs more than the last."""
+        increments = []
+        nl = ShiftAddNetlist()
+        hub = nl.add(Ref(node=0, shift=1), Ref(node=0))
+        previous = interconnect_cost(nl)
+        for k in range(3):
+            nl.add(hub, Ref(node=0, shift=6 + k))
+            now = interconnect_cost(nl)
+            increments.append(now - previous)
+            previous = now
+        assert increments[0] < increments[1] < increments[2]
+
+    def test_recommended_beta_range(self):
+        assert recommended_beta(0.0) == 0.5
+        assert recommended_beta(1.0) == 0.25
+        assert recommended_beta(10.0) == 0.25
+        assert 0.25 <= recommended_beta(0.5) <= 0.5
+
+    def test_recommended_beta_rejects_negative(self):
+        with pytest.raises(ValueError):
+            recommended_beta(-0.1)

@@ -1,0 +1,159 @@
+"""Tests for the IIR extension and the general vector-scaling API."""
+
+import numpy as np
+import pytest
+from fractions import Fraction
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MrpOptions, synthesize_vector_scaler
+from repro.errors import FilterDesignError, QuantizationError, SimulationError
+from repro.filters import (
+    IirSpec,
+    design_iir,
+    iir_direct_output,
+    iir_tdf2_output,
+    quantize_iir,
+)
+
+CONSTS = st.lists(
+    st.integers(min_value=-(2**12), max_value=2**12), min_size=1, max_size=10
+).filter(lambda cs: any(cs))
+
+
+class TestIirSpec:
+    def test_valid(self):
+        spec = IirSpec("lp", "lowpass", 4, (0.3,))
+        assert spec.order == 4
+
+    def test_bad_btype(self):
+        with pytest.raises(FilterDesignError):
+            IirSpec("x", "comb", 4, (0.3,))
+
+    def test_bad_order(self):
+        with pytest.raises(FilterDesignError):
+            IirSpec("x", "lowpass", 0, (0.3,))
+
+    def test_bad_cutoff(self):
+        with pytest.raises(FilterDesignError):
+            IirSpec("x", "lowpass", 2, (1.5,))
+
+    def test_bad_design(self):
+        with pytest.raises(FilterDesignError):
+            IirSpec("x", "lowpass", 2, (0.3,), design="elliptic")
+
+
+class TestIirDesign:
+    @pytest.mark.parametrize("design", ["butter", "cheby1"])
+    def test_lowpass_design_stable(self, design):
+        spec = IirSpec("lp", "lowpass", 4, (0.3,), design=design)
+        b, a = design_iir(spec)
+        assert len(a) == 5
+        # All poles inside the unit circle.
+        assert np.all(np.abs(np.roots(a)) < 1.0)
+
+    def test_bandstop_design(self):
+        spec = IirSpec("notch", "bandstop", 2, (0.4, 0.6))
+        b, a = design_iir(spec)
+        assert len(a) == 5  # order doubles for band designs
+
+
+class TestIirQuantization:
+    def test_leading_denominator_power_of_two(self):
+        b, a = design_iir(IirSpec("lp", "lowpass", 4, (0.3,)))
+        q = quantize_iir(b, a, 12)
+        a0 = q.a_int[0]
+        assert a0 > 0 and (a0 & (a0 - 1)) == 0
+
+    def test_integers_fit_wordlength(self):
+        b, a = design_iir(IirSpec("lp", "lowpass", 6, (0.25,)))
+        q = quantize_iir(b, a, 10)
+        limit = (1 << 9) - 1
+        assert all(abs(v) <= limit for v in q.b_int + q.a_int)
+
+    def test_zero_denominator_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_iir([1.0], [0.0], 8)
+
+    def test_all_integers_excludes_leading_a(self):
+        b, a = design_iir(IirSpec("lp", "lowpass", 2, (0.3,)))
+        q = quantize_iir(b, a, 10)
+        assert len(q.all_integers) == len(q.b_int) + len(q.a_int) - 1
+
+    def test_quantized_response_close_to_float(self):
+        b, a = design_iir(IirSpec("lp", "lowpass", 4, (0.3,)))
+        q = quantize_iir(b, a, 14)
+        impulse = [1] + [0] * 63
+        exact = iir_direct_output(q.b_int, q.a_int, impulse)
+        scale = Fraction(1 << q.b_frac, 1)  # b scaling
+        got = [float(y * Fraction(1 << q.a_frac) / scale) for y in exact]
+        reference = np.zeros(64)
+        reference[0] = 1.0
+        from scipy import signal as sp
+
+        want = sp.lfilter(b, a, reference)
+        assert np.max(np.abs(np.array(got) - want)) < 1e-2
+
+
+class TestIirStructures:
+    @given(
+        st.lists(st.integers(-50, 50), min_size=1, max_size=5),
+        st.lists(st.integers(-20, 20), min_size=0, max_size=4),
+        st.lists(st.integers(-100, 100), min_size=1, max_size=20),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_tdf2_equals_direct_recursion(self, b, a_tail, samples):
+        """Structural identity, exact rational arithmetic."""
+        a = [8] + a_tail  # stable-ish leading term; identity holds regardless
+        assert iir_tdf2_output(b, a, samples) == iir_direct_output(b, a, samples)
+
+    def test_fir_degenerate_case(self):
+        """With a = [1], the IIR structures reduce to plain convolution."""
+        b = [3, -2, 5]
+        xs = [1, 4, -1, 0, 2]
+        got = iir_direct_output(b, [1], xs)
+        expected = np.convolve(b, xs)[: len(xs)]
+        assert [int(y) for y in got] == list(expected)
+
+
+class TestVectorScaler:
+    def test_products_exact(self):
+        scaler = synthesize_vector_scaler([23, 45, 89, -101])
+        assert scaler.scale(7) == [161, 315, 623, -707]
+
+    def test_verify_catches_mismatch(self):
+        scaler = synthesize_vector_scaler([3, 5])
+        broken = type(scaler)(
+            constants=(3, 7), architecture=scaler.architecture
+        )
+        with pytest.raises(SimulationError):
+            broken.verify()
+
+    def test_beats_naive_on_shareable_vector(self):
+        constants = [23, 46, 92, 69, 115]  # rich in shared structure
+        scaler = synthesize_vector_scaler(constants)
+        from repro.baselines import simple_adder_count
+
+        assert scaler.adder_count < simple_adder_count(constants)
+
+    def test_options_forwarded(self):
+        scaler = synthesize_vector_scaler(
+            [23, 45], options=MrpOptions(beta=0.3), seed_compression="cse"
+        )
+        assert scaler.architecture.seed_compression == "cse"
+
+    @given(CONSTS)
+    @settings(max_examples=40, deadline=None)
+    def test_any_vector_verifies(self, constants):
+        scaler = synthesize_vector_scaler(constants)
+        scaler.verify([2, -3, 1000])
+
+    def test_iir_joint_vector(self):
+        """The paper's IIR claim: jointly optimize b and a[1:]."""
+        b, a = design_iir(IirSpec("lp", "lowpass", 4, (0.3,)))
+        q = quantize_iir(b, a, 12)
+        scaler = synthesize_vector_scaler(q.all_integers, wordlength=12)
+        scaler.verify()
+        from repro.baselines import simple_adder_count
+
+        assert scaler.adder_count <= simple_adder_count(q.all_integers)

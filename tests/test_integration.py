@@ -1,0 +1,135 @@
+"""End-to-end integration tests: spec -> design -> quantize -> synthesize ->
+simulate -> verify, across methods, scalings and representations.
+
+These are the "does the whole reproduction hang together" tests: every path a
+user of the library would take, exercised on real benchmark filters with
+bit-exact verification at the end.
+"""
+
+import numpy as np
+import pytest
+
+from repro import (
+    MrpOptions,
+    Representation,
+    ScalingScheme,
+    quantize,
+    synthesize_cse_filter,
+    synthesize_mrpf,
+    synthesize_mst_diff,
+    synthesize_simple,
+)
+from repro.arch import emit_verilog, simulate_tdf_filter
+from repro.core import schedule_pipeline, simulate_pipelined
+from repro.eval import best_mrpf
+from repro.filters import benchmark_filter, measure_response, unfold_symmetric
+from repro.hwcost import estimate_power, netlist_area
+
+
+SCALINGS = [ScalingScheme.UNIFORM, ScalingScheme.MAXIMAL]
+
+
+@pytest.fixture(scope="module", params=[0, 1])
+def designed(request):
+    return benchmark_filter(request.param)
+
+
+@pytest.fixture(scope="module", params=SCALINGS, ids=["uniform", "maximal"])
+def quantized(request, designed):
+    return quantize(designed.folded, 12, request.param)
+
+
+class TestFullFlow:
+    def test_all_methods_bit_exact(self, quantized, verify_samples):
+        w = quantized.wordlength
+        integers = quantized.integers
+        synthesize_simple(integers).verify(verify_samples)
+        synthesize_cse_filter(integers).verify(verify_samples)
+        synthesize_mst_diff(integers, w, verify=False).verify(verify_samples)
+        for mode in ("none", "cse", "recursive"):
+            synthesize_mrpf(
+                integers, w, seed_compression=mode, verify=False
+            ).verify(verify_samples)
+
+    def test_method_ordering(self, quantized):
+        """The expected complexity ordering on real filters:
+        best MRPF+CSE <= CSE-or-MRPF <= simple."""
+        w = quantized.wordlength
+        integers = quantized.integers
+        simple = synthesize_simple(integers).adder_count
+        cse = synthesize_cse_filter(integers).adder_count
+        mrpf = best_mrpf(integers, w).adder_count
+        mrpf_cse = best_mrpf(integers, w, seed_compression="cse").adder_count
+        assert mrpf <= simple
+        assert cse <= simple
+        assert mrpf_cse <= simple
+
+    def test_quantized_filter_still_meets_spec(self, designed):
+        """12-bit uniform quantization must not destroy the response."""
+        q = quantize(designed.folded, 12, ScalingScheme.UNIFORM)
+        full = unfold_symmetric(q.reconstruct(), designed.spec.numtaps)
+        report = measure_response(full, designed.spec)
+        assert report.satisfies(designed.spec, margin_db=1.0)
+
+    def test_netlist_filter_matches_float_filter_scaled(self, designed):
+        """The integer netlist output, rescaled, approximates the float
+        filter output to quantization accuracy."""
+        q = quantize(designed.folded, 14, ScalingScheme.UNIFORM)
+        arch = synthesize_mrpf(q.integers, 14, verify=False)
+        rng_samples = [((i * 37) % 201) - 100 for i in range(60)]
+        got = simulate_tdf_filter(arch.netlist, arch.tap_names, rng_samples)
+        reference = np.convolve(
+            np.asarray(designed.folded), np.asarray(rng_samples, dtype=float)
+        )[: len(rng_samples)]
+        rescaled = np.asarray(got, dtype=float) / q.scale
+        tolerance = len(q.integers) * 100 * (0.5 / q.scale)
+        assert np.max(np.abs(rescaled - reference)) <= tolerance + 1e-9
+
+    def test_maximal_scaling_alignment_end_to_end(self, designed):
+        """Aligned integers from maximal scaling synthesize and verify."""
+        q = quantize(designed.folded, 10, ScalingScheme.MAXIMAL)
+        aligned = q.aligned_integers()
+        arch = synthesize_mrpf(aligned, 10 + q.max_shift, verify=False)
+        arch.verify([3, -7, 100, 0, 55])
+
+
+class TestPipelineIntegration:
+    def test_pipelined_benchmark_filter(self, designed):
+        q = quantize(designed.folded, 12, ScalingScheme.UNIFORM)
+        arch = best_mrpf(q.integers, 12)
+        schedule = schedule_pipeline(arch.netlist, max_stage_depth=2)
+        samples = list(range(-10, 30))
+        flat = simulate_tdf_filter(arch.netlist, arch.tap_names, samples)
+        piped = simulate_pipelined(arch.netlist, arch.tap_names, samples, schedule)
+        k = schedule.latency
+        assert piped[k:] == flat[: len(flat) - k]
+
+
+class TestCostIntegration:
+    def test_mrpf_cheaper_in_area_and_power(self, quantized):
+        integers = quantized.integers
+        w = quantized.wordlength
+        simple = synthesize_simple(integers)
+        mrpf = best_mrpf(integers, w)
+        assert netlist_area(mrpf.netlist, 16) <= netlist_area(simple.netlist, 16)
+        p_simple = estimate_power(simple.netlist, 12, 48).total_toggles
+        p_mrpf = estimate_power(mrpf.netlist, 12, 48).total_toggles
+        assert p_mrpf <= p_simple
+
+    def test_verilog_emission_for_benchmark(self, quantized):
+        integers = quantized.integers
+        arch = synthesize_mrpf(integers, quantized.wordlength, verify=False)
+        text = emit_verilog(arch.netlist, arch.tap_names, input_bits=16)
+        assert text.count("wire signed") >= arch.adder_count
+        assert "endmodule" in text
+
+
+class TestRepresentationMatrix:
+    @pytest.mark.parametrize("rep", list(Representation))
+    @pytest.mark.parametrize("scaling", SCALINGS)
+    def test_all_rep_scaling_combinations(self, designed, rep, scaling, verify_samples):
+        q = quantize(designed.folded, 10, scaling)
+        arch = synthesize_mrpf(
+            q.integers, 10, MrpOptions(representation=rep), verify=False
+        )
+        arch.verify(verify_samples)

@@ -1,0 +1,159 @@
+"""Unit + property tests for MRP stage A (cover + forest = plan)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import MrpOptions, optimize
+from repro.errors import SynthesisError
+from repro.graph import build_colored_graph
+from repro.numrep import Representation
+
+COEFFS = st.lists(
+    st.integers(min_value=-(2**10), max_value=2**10), min_size=1, max_size=14
+).filter(lambda cs: any(c for c in cs))
+
+
+class TestOptions:
+    def test_bad_beta(self):
+        with pytest.raises(SynthesisError):
+            MrpOptions(beta=1.5)
+
+    def test_bad_depth(self):
+        with pytest.raises(SynthesisError):
+            MrpOptions(depth_limit=0)
+
+    def test_bad_shift(self):
+        with pytest.raises(SynthesisError):
+            MrpOptions(max_shift=-1)
+
+    def test_bad_strategy(self):
+        with pytest.raises(SynthesisError):
+            MrpOptions(strategy="magic")
+
+
+class TestDegenerateInputs:
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            optimize([], 8)
+
+    def test_bad_wordlength_rejected(self):
+        with pytest.raises(SynthesisError):
+            optimize([3], 0)
+
+    def test_all_free_taps(self):
+        plan = optimize([0, 1, -4, 16], 8)
+        assert plan.vertices == ()
+        assert plan.seed == ()
+        assert plan.total_adders == 0
+
+    def test_single_vertex_is_root(self):
+        plan = optimize([12], 8)  # oddpart 3
+        assert plan.vertices == (3,)
+        assert plan.roots == (3,)
+        assert plan.solution_colors == ()
+        assert plan.total_adders == 1  # CSD chain for 3
+
+    def test_repeated_single_vertex(self):
+        plan = optimize([3, 6, -12], 8)
+        assert plan.vertices == (3,)
+        assert plan.total_adders == 1
+
+
+class TestPaperExample:
+    def test_seed_and_overhead_structure(self):
+        plan = optimize([7, 66, 17, 9, 27, 41, 56, 11], 7)
+        assert set(plan.vertices) == {7, 9, 11, 17, 27, 33, 41}
+        # Every vertex accounted for: roots + aliases + children
+        forest = plan.forest
+        assert len(forest.assignments) == 7
+        # SEED covers all solution colors used plus roots
+        for color in plan.used_colors:
+            assert color in plan.seed
+
+    def test_total_beats_paper_solution(self):
+        """The paper's {3,5} + roots {7,66} solution costs 9 adders; the
+        greedy must do at least as well."""
+        plan = optimize([7, 66, 17, 9, 27, 41, 56, 11], 7)
+        assert plan.total_adders <= 9
+
+
+class TestGraphReuse:
+    def test_prebuilt_graph_accepted(self):
+        coeffs = [7, 66, 17, 9, 27, 41, 56, 11]
+        from repro.core import normalize_taps
+
+        vertices, _ = normalize_taps(coeffs)
+        graph = build_colored_graph(vertices, 7, Representation.CSD)
+        plan_a = optimize(coeffs, 7)
+        plan_b = optimize(coeffs, 7, graph=graph)
+        assert plan_a.total_adders == plan_b.total_adders
+
+    def test_mismatched_graph_rejected(self):
+        graph = build_colored_graph([3, 5], 7)
+        with pytest.raises(SynthesisError):
+            optimize([7, 66, 17], 7, graph=graph)
+
+
+class TestPlanInvariants:
+    @given(COEFFS, st.sampled_from([0.0, 0.3, 0.5, 1.0]))
+    @settings(max_examples=40, deadline=None)
+    def test_cover_and_forest_consistent(self, coeffs, beta):
+        plan = optimize(coeffs, 11, MrpOptions(beta=beta))
+        forest = plan.forest
+        assigned = {a.vertex for a in forest.assignments}
+        assert assigned == set(plan.vertices)
+        assert set(plan.used_colors) <= set(plan.solution_colors) | set(
+            forest.aliases
+        )
+        assert plan.total_adders >= 0
+
+    @given(COEFFS)
+    @settings(max_examples=30, deadline=None)
+    def test_structural_cost_bound(self, coeffs):
+        """A single greedy run is heuristic, but its cost is structurally
+        bounded: each vertex contributes at most one overhead adder, and the
+        SEED holds at most one constant per vertex plus one per cover step."""
+        from repro.numrep import adder_cost
+
+        plan = optimize(coeffs, 11)
+        n = len(plan.vertices)
+        max_chain = max((adder_cost(v) for v in plan.seed), default=0)
+        assert plan.overhead_adders <= n
+        assert len(plan.seed) <= n + len(plan.solution_colors)
+        assert plan.total_adders <= len(plan.seed) * max_chain + n
+
+    @given(COEFFS)
+    @settings(max_examples=15, deadline=None)
+    def test_best_mrpf_never_worse_than_simple(self, coeffs):
+        """The β-sweep with trivial-plan floor is a hard guarantee."""
+        from repro.baselines import simple_adder_count
+        from repro.eval import best_mrpf
+
+        arch = best_mrpf(coeffs, 11)
+        assert arch.adder_count <= simple_adder_count(coeffs)
+
+    @given(COEFFS, st.sampled_from([1, 2, 3]))
+    @settings(max_examples=30, deadline=None)
+    def test_depth_limit_respected(self, coeffs, depth):
+        plan = optimize(coeffs, 11, MrpOptions(depth_limit=depth))
+        assert plan.tree_height <= depth
+
+    @given(COEFFS)
+    @settings(max_examples=30, deadline=None)
+    def test_savings_strategy_valid(self, coeffs):
+        plan = optimize(coeffs, 11, MrpOptions(strategy="savings"))
+        assigned = {a.vertex for a in plan.forest.assignments}
+        assert assigned == set(plan.vertices)
+
+    @given(COEFFS)
+    @settings(max_examples=20, deadline=None)
+    def test_sm_representation_valid(self, coeffs):
+        plan = optimize(coeffs, 11, MrpOptions(representation=Representation.SM))
+        assigned = {a.vertex for a in plan.forest.assignments}
+        assert assigned == set(plan.vertices)
+
+    def test_describe_contains_counts(self):
+        plan = optimize([7, 66, 17, 9, 27, 41, 56, 11], 7)
+        text = plan.describe()
+        assert "SEED" in text and "overhead" in text

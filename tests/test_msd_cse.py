@@ -1,0 +1,73 @@
+"""Tests for the MSD-aware CSE representation search."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.cse import choose_encodings, cse_adder_count, eliminate, eliminate_msd
+from repro.errors import SynthesisError
+from repro.numrep import encode_csd, minimal_nonzero_count
+
+CONSTS = st.lists(
+    st.integers(min_value=-(2**12), max_value=2**12).filter(lambda n: n != 0),
+    min_size=1, max_size=8,
+)
+
+
+class TestChooseEncodings:
+    def test_one_encoding_per_constant(self):
+        constants = [45, 89, 173]
+        encodings = choose_encodings(constants)
+        assert len(encodings) == 3
+        for c, e in zip(constants, encodings):
+            assert e.value == c
+
+    def test_encodings_are_minimal(self):
+        for c, e in zip([45, 89, 173], choose_encodings([45, 89, 173])):
+            assert e.nonzero_count == minimal_nonzero_count(c)
+
+    def test_single_constant_gets_csd(self):
+        """With no pool to overlap, ties break to the canonical form."""
+        assert choose_encodings([45]) == [encode_csd(45)]
+
+    @given(CONSTS)
+    @settings(max_examples=60, deadline=None)
+    def test_values_and_minimality_preserved(self, constants):
+        encodings = choose_encodings(constants)
+        for c, e in zip(constants, encodings):
+            assert e.value == c
+            assert e.nonzero_count == minimal_nonzero_count(c)
+
+
+class TestEliminateMsd:
+    def test_zero_rejected(self):
+        with pytest.raises(SynthesisError):
+            eliminate_msd([5, 0])
+
+    def test_reconstruction_exact(self):
+        network = eliminate_msd([45, 89, 173, 205])
+        network.validate()
+
+    @given(CONSTS)
+    @settings(max_examples=50, deadline=None)
+    def test_never_worse_than_csd_cse(self, constants):
+        """The CSD assignment is in the search space, so MSD-CSE >= CSD-CSE
+        never happens (in adder count)."""
+        msd = eliminate_msd(constants)
+        csd = eliminate(constants)
+        assert msd.adder_count <= csd.adder_count
+
+    @given(CONSTS)
+    @settings(max_examples=40, deadline=None)
+    def test_constants_reconstruct(self, constants):
+        network = eliminate_msd(constants)
+        for i, c in enumerate(constants):
+            assert network.reconstruct(i) == c
+
+    def test_finds_cross_representation_sharing(self):
+        """A case where a non-canonical form exposes sharing CSD hides:
+        23 = 10111b has CSD 10N00N (pattern deltas {3,5,...}); choosing
+        3 = 11b's non-canonical form can align with other constants."""
+        constants = [23, 46, 92, 184, 368]  # shifts: one odd fundamental
+        msd = eliminate_msd(constants)
+        assert msd.adder_count <= cse_adder_count(constants) + len(constants)

@@ -1,0 +1,136 @@
+"""Tests for the multirate subpackage: polyphase structures, half-band design."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FilterDesignError, SynthesisError
+from repro.filters import measure_response, FilterSpec, BandType, DesignMethod
+from repro.multirate import (
+    decimate_reference,
+    design_halfband,
+    interpolate_reference,
+    is_halfband,
+    polyphase_decompose,
+    synthesize_polyphase_decimator,
+    synthesize_polyphase_interpolator,
+)
+from repro.quantize import quantize_uniform
+
+TAPS = st.lists(st.integers(min_value=-255, max_value=255), min_size=1, max_size=16)
+SAMPLES = st.lists(st.integers(min_value=-(2**12), max_value=2**12),
+                   min_size=1, max_size=24)
+FACTORS = st.integers(min_value=1, max_value=4)
+
+
+class TestDecomposition:
+    def test_round_trip_partition(self):
+        taps = list(range(10))
+        parts = polyphase_decompose(taps, 3)
+        assert parts == [[0, 3, 6, 9], [1, 4, 7], [2, 5, 8]]
+
+    def test_bad_factor(self):
+        with pytest.raises(SynthesisError):
+            polyphase_decompose([1, 2], 0)
+
+    @given(TAPS, FACTORS)
+    def test_decomposition_covers_all_taps(self, taps, factor):
+        parts = polyphase_decompose(taps, factor)
+        assert sorted(t for part in parts for t in part) == sorted(taps)
+
+
+class TestReferences:
+    def test_decimate_identity_factor(self):
+        taps = [1]
+        xs = [5, -2, 7]
+        assert decimate_reference(taps, 1, xs) == xs
+
+    def test_interpolate_identity_factor(self):
+        assert interpolate_reference([1], 1, [5, -2]) == [5, -2]
+
+    def test_interpolate_length(self):
+        assert len(interpolate_reference([1, 0], 3, [1, 2])) == 6
+
+
+class TestPolyphaseDecimator:
+    @given(TAPS.filter(lambda t: any(t)), FACTORS, SAMPLES)
+    @settings(max_examples=40, deadline=None)
+    def test_structure_equals_golden_model(self, taps, factor, samples):
+        dec = synthesize_polyphase_decimator(taps, factor, 10)
+        dec.verify(samples)
+
+    def test_halfband_branch_degenerates(self):
+        """One branch of a quantized half-band is a single center tap."""
+        taps = design_halfband(15, 0.12)
+        q = quantize_uniform(taps, 12)
+        dec = synthesize_polyphase_decimator(q.integers, 2, 12)
+        # Branch 1 holds the odd-indexed taps: all zero except the center.
+        parts = polyphase_decompose(q.integers, 2)
+        sparse = min(parts, key=lambda p: sum(1 for v in p if v))
+        assert sum(1 for v in sparse if v) == 1
+        dec.verify([3, -1, 400, 0, -250, 99, 123, -67])
+
+    def test_adder_count_sums_branches(self):
+        dec = synthesize_polyphase_decimator([3, 5, 7, 9], 2, 8)
+        assert dec.adder_count == sum(b.adder_count for b in dec.branches)
+
+
+class TestPolyphaseInterpolator:
+    @given(TAPS.filter(lambda t: any(t)), FACTORS, SAMPLES)
+    @settings(max_examples=40, deadline=None)
+    def test_structure_equals_golden_model(self, taps, factor, samples):
+        interp = synthesize_polyphase_interpolator(taps, factor, 10)
+        interp.verify(samples)
+
+    def test_zero_taps_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_polyphase_interpolator([0, 0], 2, 8)
+
+    def test_joint_sharing_beats_per_branch(self):
+        """The interpolator's joint scaler shares across branches, so it can
+        never need more adders than the per-branch decimator split."""
+        taps = quantize_uniform(design_halfband(19, 0.1), 14).integers
+        interp = synthesize_polyphase_interpolator(taps, 2, 14)
+        dec = synthesize_polyphase_decimator(taps, 2, 14)
+        assert interp.adder_count <= dec.adder_count + 2
+
+
+class TestHalfband:
+    def test_length_constraint(self):
+        with pytest.raises(FilterDesignError):
+            design_halfband(16)
+        with pytest.raises(FilterDesignError):
+            design_halfband(17)
+
+    def test_transition_constraint(self):
+        with pytest.raises(FilterDesignError):
+            design_halfband(19, 0.6)
+
+    @pytest.mark.parametrize("numtaps", [7, 11, 15, 19, 31])
+    def test_structure(self, numtaps):
+        taps = design_halfband(numtaps, 0.12)
+        assert is_halfband(taps)
+        assert taps[numtaps // 2] == pytest.approx(0.5)
+
+    def test_symmetric(self):
+        taps = design_halfband(19, 0.1)
+        assert np.allclose(taps, taps[::-1])
+
+    def test_frequency_response(self):
+        """Passband at DC, ~ -6 dB point at fs/4, stopband at Nyquist."""
+        taps = design_halfband(31, 0.08)
+        spec = FilterSpec(
+            name="hb", band=BandType.LOWPASS,
+            method=DesignMethod.PARKS_MCCLELLAN, numtaps=31,
+            passband=(0.0, 0.40), stopband=(0.60, 1.0),
+            ripple_db=0.5, atten_db=35.0,
+        )
+        report = measure_response(taps, spec)
+        assert report.satisfies(spec, margin_db=1.0)
+
+    def test_is_halfband_rejects_dense(self):
+        assert not is_halfband(np.ones(11))
+
+    def test_is_halfband_rejects_even_length(self):
+        assert not is_halfband(np.zeros(10))

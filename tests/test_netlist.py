@@ -1,0 +1,182 @@
+"""Unit + property tests for the shift-add netlist IR."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import INPUT_ID, Node, Ref, ShiftAddNetlist
+from repro.errors import NetlistError
+from repro.numrep import Representation, adder_cost, oddpart
+
+NONZERO = st.integers(min_value=-(2**16), max_value=2**16).filter(lambda n: n != 0)
+
+
+class TestRef:
+    def test_negative_shift_rejected(self):
+        with pytest.raises(NetlistError):
+            Ref(node=0, shift=-1)
+
+    def test_bad_sign_rejected(self):
+        with pytest.raises(NetlistError):
+            Ref(node=0, sign=0)
+
+    def test_value(self):
+        assert Ref(node=0, shift=3, sign=-1).value(5) == -40
+
+    def test_shifted_and_negated(self):
+        r = Ref(node=0, shift=1, sign=1)
+        assert r.shifted(2).shift == 3
+        assert r.negated().sign == -1
+
+
+class TestNode:
+    def test_input_node(self):
+        n = Node(id=INPUT_ID, value=1)
+        assert n.is_input and n.operands == ()
+
+    def test_input_must_have_value_one(self):
+        with pytest.raises(NetlistError):
+            Node(id=INPUT_ID, value=3)
+
+    def test_adder_needs_operands(self):
+        with pytest.raises(NetlistError):
+            Node(id=1, value=3)
+
+    def test_forward_reference_rejected(self):
+        with pytest.raises(NetlistError):
+            Node(id=1, value=3, a=Ref(node=1), b=Ref(node=0, shift=1))
+
+    def test_zero_value_rejected(self):
+        with pytest.raises(NetlistError):
+            Node(id=1, value=0, a=Ref(node=0), b=Ref(node=0, sign=-1))
+
+
+class TestNetlistBuilder:
+    def test_fresh_netlist(self):
+        nl = ShiftAddNetlist()
+        assert nl.adder_count == 0
+        assert nl.value_of(0) == 1
+        assert len(nl) == 1
+
+    def test_add_computes_value(self):
+        nl = ShiftAddNetlist()
+        ref = nl.add(Ref(node=0, shift=2), Ref(node=0, sign=-1))  # 4x - x
+        assert nl.ref_value(ref) == 3
+        assert nl.adder_count == 1
+
+    def test_add_zero_result_rejected(self):
+        nl = ShiftAddNetlist()
+        with pytest.raises(NetlistError):
+            nl.add(Ref(node=0), Ref(node=0, sign=-1))
+
+    def test_unknown_node_rejected(self):
+        nl = ShiftAddNetlist()
+        with pytest.raises(NetlistError):
+            nl.node(5)
+
+    def test_fundamental_registration(self):
+        nl = ShiftAddNetlist()
+        ref = nl.add(Ref(node=0, shift=2), Ref(node=0, sign=-1))
+        assert nl.lookup_fundamental(3) == ref.node
+
+    def test_ensure_constant_zero_rejected(self):
+        with pytest.raises(NetlistError):
+            ShiftAddNetlist().ensure_constant(0)
+
+    def test_ensure_constant_power_of_two_is_wiring(self):
+        nl = ShiftAddNetlist()
+        ref = nl.ensure_constant(-16)
+        assert nl.adder_count == 0
+        assert nl.ref_value(ref) == -16
+
+    def test_ensure_constant_reuses_fundamental(self):
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(3)
+        count = nl.adder_count
+        ref = nl.ensure_constant(-24)  # -(3 << 3): same fundamental
+        assert nl.adder_count == count
+        assert nl.ref_value(ref) == -24
+
+    def test_outputs_unique_names(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("y", nl.input)
+        with pytest.raises(NetlistError):
+            nl.mark_output("y", nl.input)
+
+    def test_zero_output(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("z", None)
+        assert nl.output_values() == {"z": 0}
+
+    def test_tap_refs_order_and_missing(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("a", nl.input)
+        nl.mark_output("b", None)
+        refs = nl.tap_refs(["b", "a"])
+        assert refs[0] is None and refs[1] is not None
+        with pytest.raises(NetlistError):
+            nl.tap_refs(["c"])
+
+    def test_validate_clean(self):
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(45)
+        nl.mark_output("y", nl.ensure_constant(45))
+        nl.validate()
+
+    def test_depths(self):
+        nl = ShiftAddNetlist()
+        a = nl.add(Ref(node=0, shift=1), Ref(node=0))        # depth 1
+        b = nl.add(a, Ref(node=0, shift=4))                  # depth 2
+        assert nl.depths() == [0, 1, 2]
+        assert nl.depth_of(b.node) == 2
+
+    def test_max_depth_over_outputs_only(self):
+        nl = ShiftAddNetlist()
+        deep = nl.add(Ref(node=0, shift=1), Ref(node=0))
+        deep = nl.add(deep, Ref(node=0, shift=5))
+        shallow = nl.add(Ref(node=0, shift=2), Ref(node=0))
+        nl.mark_output("y", shallow)
+        assert nl.max_depth == 1  # the deep node feeds no output
+
+
+class TestConstantChains:
+    @given(NONZERO, st.sampled_from(list(Representation)))
+    @settings(max_examples=150)
+    def test_ensure_constant_exact(self, value, rep):
+        nl = ShiftAddNetlist()
+        ref = nl.ensure_constant(value, rep)
+        assert nl.ref_value(ref) == value
+        nl.validate()
+
+    @given(NONZERO)
+    @settings(max_examples=100)
+    def test_chain_length_matches_adder_cost(self, value):
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(value, Representation.CSD)
+        assert nl.adder_count == adder_cost(value, Representation.CSD)
+
+    @given(st.lists(NONZERO, min_size=1, max_size=10))
+    @settings(max_examples=60)
+    def test_many_constants_all_exact_and_valid(self, values):
+        nl = ShiftAddNetlist()
+        refs = [nl.ensure_constant(v) for v in values]
+        for v, r in zip(values, refs):
+            assert nl.ref_value(r) == v
+        nl.validate()
+
+    @given(NONZERO)
+    @settings(max_examples=60)
+    def test_shared_fundamentals_never_increase_cost(self, value):
+        """Asking for v, 2v, -4v must cost exactly one chain."""
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(value)
+        base = nl.adder_count
+        nl.ensure_constant(value * 2)
+        nl.ensure_constant(value * -4)
+        assert nl.adder_count == base
+
+    def test_depth_is_linear_in_digits(self):
+        """Plain digit chains have depth == adder count (no balancing)."""
+        nl = ShiftAddNetlist()
+        ref = nl.ensure_constant(0b101010101)
+        assert nl.depth_of(ref.node) == nl.adder_count

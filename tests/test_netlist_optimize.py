@@ -1,0 +1,128 @@
+"""Unit + property tests for the netlist optimization passes."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    Ref,
+    ShiftAddNetlist,
+    optimize_netlist,
+    reachable_nodes,
+    verify_against_convolution,
+)
+from repro.core import synthesize_mrpf
+
+COEFFS = st.lists(
+    st.integers(min_value=-(2**11), max_value=2**11), min_size=1, max_size=12
+).filter(lambda cs: any(cs))
+SAMPLES = [1, -1, 3, 255, -128, 12345, -999]
+
+
+class TestReachability:
+    def test_input_always_reachable(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("y", None)
+        assert reachable_nodes(nl) == [0]
+
+    def test_dead_node_excluded(self):
+        nl = ShiftAddNetlist()
+        live = nl.add(Ref(node=0, shift=2), Ref(node=0, sign=-1))
+        nl.add(Ref(node=0, shift=5), Ref(node=0))  # dead
+        nl.mark_output("y", live)
+        assert reachable_nodes(nl) == [0, live.node]
+
+    def test_transitive_reachability(self):
+        nl = ShiftAddNetlist()
+        a = nl.add(Ref(node=0, shift=2), Ref(node=0, sign=-1))
+        b = nl.add(a, Ref(node=0, shift=5))
+        nl.mark_output("y", b)
+        assert reachable_nodes(nl) == [0, a.node, b.node]
+
+
+class TestOptimizePass:
+    def test_dead_nodes_removed(self):
+        nl = ShiftAddNetlist()
+        live = nl.add(Ref(node=0, shift=2), Ref(node=0, sign=-1))
+        nl.add(Ref(node=0, shift=5), Ref(node=0))  # dead
+        nl.mark_output("y", live)
+        optimized = optimize_netlist(nl)
+        assert optimized.adder_count == 1
+
+    def test_duplicate_fundamentals_merged(self):
+        nl = ShiftAddNetlist()
+        a = nl.add(Ref(node=0, shift=2), Ref(node=0, sign=-1))  # 3
+        # Privately built 3 << 4 = 48 via a separate chain:
+        b = nl.add(Ref(node=0, shift=6), Ref(node=0, shift=4, sign=-1))  # 48
+        nl.mark_output("y0", a)
+        nl.mark_output("y1", b)
+        optimized = optimize_netlist(nl)
+        assert optimized.adder_count == 1  # 48 = 3 << 4 reuses the 3 node
+        assert optimized.output_values() == {"y0": 3, "y1": 48}
+
+    def test_chain_rebalanced_to_log_depth(self):
+        nl = ShiftAddNetlist()
+        # 8-term linear chain: depth 7.
+        acc = Ref(node=0, shift=0, sign=1)
+        for k in range(1, 8):
+            acc = nl.add(acc, Ref(node=0, shift=2 * k))
+        nl.mark_output("y", acc)
+        assert nl.max_depth == 7
+        optimized = optimize_netlist(nl)
+        assert optimized.adder_count == 7  # same adders
+        assert optimized.max_depth == 3    # ceil(log2 8)
+        assert optimized.output_values() == nl.output_values()
+
+    def test_shared_nodes_stay_shared(self):
+        nl = ShiftAddNetlist()
+        shared = nl.add(Ref(node=0, shift=2), Ref(node=0, sign=-1))  # 3
+        c1 = nl.add(shared, Ref(node=0, shift=4))   # 19
+        c2 = nl.add(shared, Ref(node=0, shift=5))   # 35
+        nl.mark_output("y0", c1)
+        nl.mark_output("y1", c2)
+        optimized = optimize_netlist(nl)
+        assert optimized.adder_count == 3  # no duplication of the shared 3
+
+    def test_zero_outputs_preserved(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("y", None)
+        optimized = optimize_netlist(nl)
+        assert optimized.output_values() == {"y": 0}
+
+    @given(COEFFS)
+    @settings(max_examples=60, deadline=None)
+    def test_optimization_preserves_filter_function(self, coeffs):
+        arch = synthesize_mrpf(coeffs, 11, verify=False)
+        optimized = optimize_netlist(arch.netlist)
+        verify_against_convolution(
+            optimized, arch.tap_names, arch.coefficients, SAMPLES
+        )
+
+    @given(COEFFS)
+    @settings(max_examples=60, deadline=None)
+    def test_dedup_never_more_adders(self, coeffs):
+        arch = synthesize_mrpf(coeffs, 11, verify=False)
+        optimized = optimize_netlist(arch.netlist)
+        assert optimized.adder_count <= arch.netlist.adder_count
+
+    @given(COEFFS)
+    @settings(max_examples=60, deadline=None)
+    def test_structural_pass_never_deeper(self, coeffs):
+        """Without dedup, rebalancing is a pure win on both axes."""
+        arch = synthesize_mrpf(coeffs, 11, verify=False)
+        optimized = optimize_netlist(arch.netlist, dedup=False)
+        assert optimized.adder_count <= arch.netlist.adder_count
+        assert optimized.max_depth <= arch.netlist.max_depth
+        verify_against_convolution(
+            optimized, arch.tap_names, arch.coefficients, SAMPLES
+        )
+
+    @given(COEFFS)
+    @settings(max_examples=30, deadline=None)
+    def test_idempotent(self, coeffs):
+        arch = synthesize_mrpf(coeffs, 11, verify=False)
+        once = optimize_netlist(arch.netlist)
+        twice = optimize_netlist(once)
+        assert twice.adder_count == once.adder_count
+        assert twice.max_depth == once.max_depth
+        assert twice.output_values() == once.output_values()

@@ -1,0 +1,107 @@
+"""Stateful property testing of the netlist builder.
+
+Hypothesis drives random sequences of builder operations (adds with random
+wiring, constant materialization, output marking) against a parallel Python
+model; after every step the netlist must validate structurally, all declared
+fundamentals must be reachable/reusable, and a final simulation must agree
+with the model.  This hunts for interaction bugs that the scenario tests
+can't reach.
+"""
+
+from hypothesis import settings
+from hypothesis import strategies as st
+from hypothesis.stateful import (
+    RuleBasedStateMachine,
+    initialize,
+    invariant,
+    rule,
+)
+
+from repro.arch import ShiftAddNetlist, Ref, evaluate_nodes
+from repro.numrep import Representation, oddpart
+
+
+class NetlistMachine(RuleBasedStateMachine):
+    """Build a random shift-add DAG; mirror expected values in a dict."""
+
+    @initialize()
+    def fresh(self):
+        self.netlist = ShiftAddNetlist()
+        self.expected = {0: 1}  # node id -> integer fundamental
+        self.outputs = {}
+
+    @rule(
+        data=st.data(),
+        shift_a=st.integers(0, 6),
+        shift_b=st.integers(0, 6),
+        sign_a=st.sampled_from([1, -1]),
+        sign_b=st.sampled_from([1, -1]),
+    )
+    def add_node(self, data, shift_a, shift_b, sign_a, sign_b):
+        ids = sorted(self.expected)
+        a = data.draw(st.sampled_from(ids))
+        b = data.draw(st.sampled_from(ids))
+        value = sign_a * (self.expected[a] << shift_a) + sign_b * (
+            self.expected[b] << shift_b
+        )
+        if value == 0:
+            return  # builder rejects useless nodes; nothing to model
+        ref = self.netlist.add(
+            Ref(node=a, shift=shift_a, sign=sign_a),
+            Ref(node=b, shift=shift_b, sign=sign_b),
+        )
+        self.expected[ref.node] = value
+
+    @rule(value=st.integers(min_value=-4096, max_value=4096).filter(bool),
+          rep=st.sampled_from(list(Representation)))
+    def materialize_constant(self, value, rep):
+        before = self.netlist.adder_count
+        ref = self.netlist.ensure_constant(value, rep)
+        assert self.netlist.ref_value(ref) == value
+        for node in self.netlist.nodes[before + 1:]:
+            self.expected[node.id] = node.value
+
+    @rule(data=st.data(), shift=st.integers(0, 4),
+          sign=st.sampled_from([1, -1]))
+    def mark_output(self, data, shift, sign):
+        name = f"out{len(self.outputs)}"
+        node = data.draw(st.sampled_from(sorted(self.expected)))
+        ref = Ref(node=node, shift=shift, sign=sign)
+        self.netlist.mark_output(name, ref)
+        self.outputs[name] = sign * (self.expected[node] << shift)
+
+    @invariant()
+    def structurally_valid(self):
+        if hasattr(self, "netlist"):
+            self.netlist.validate()
+
+    @invariant()
+    def declared_values_match_model(self):
+        if not hasattr(self, "netlist"):
+            return
+        for node_id, value in self.expected.items():
+            assert self.netlist.value_of(node_id) == value
+
+    @invariant()
+    def fundamentals_table_sound(self):
+        if not hasattr(self, "netlist"):
+            return
+        for odd, node_id in self.netlist.fundamentals().items():
+            node_value = self.netlist.value_of(node_id)
+            assert abs(oddpart(node_value)) == odd or node_value == odd
+
+    @invariant()
+    def simulation_is_linear(self):
+        if not hasattr(self, "netlist") or len(self.netlist) > 60:
+            return
+        for x in (1, -3, 17):
+            outputs = evaluate_nodes(self.netlist, x, check_linearity=True)
+            for name, value in self.outputs.items():
+                ref = self.netlist.outputs[name]
+                assert ref.value(outputs[ref.node]) == value * x
+
+
+NetlistMachine.TestCase.settings = settings(
+    max_examples=30, stateful_step_count=25, deadline=None
+)
+TestNetlistStateful = NetlistMachine.TestCase

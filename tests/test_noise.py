@@ -1,0 +1,68 @@
+"""Tests for coefficient-quantization noise analysis."""
+
+import pytest
+
+from repro.errors import QuantizationError
+from repro.filters import benchmark_filter
+from repro.quantize import (
+    ScalingScheme,
+    coefficient_noise,
+    quantize,
+    simulated_snr_db,
+)
+
+
+@pytest.fixture(scope="module")
+def folded():
+    return benchmark_filter(1).folded
+
+
+class TestAnalyticNoise:
+    def test_snr_grows_with_wordlength(self, folded):
+        snrs = [coefficient_noise(quantize(folded, w)).snr_db
+                for w in (6, 10, 14, 18)]
+        assert snrs == sorted(snrs)
+
+    def test_roughly_six_db_per_bit(self, folded):
+        """Each coefficient bit buys ~6 dB of SNR (the classic rule)."""
+        a = coefficient_noise(quantize(folded, 8)).snr_db
+        b = coefficient_noise(quantize(folded, 16)).snr_db
+        per_bit = (b - a) / 8.0
+        assert 4.0 < per_bit < 8.0
+
+    def test_maximal_scaling_at_least_as_clean(self, folded):
+        for w in (8, 12):
+            uniform = coefficient_noise(quantize(folded, w))
+            maximal = coefficient_noise(
+                quantize(folded, w, ScalingScheme.MAXIMAL)
+            )
+            assert maximal.error_power <= uniform.error_power + 1e-15
+
+    def test_effective_bits_tracks_snr(self, folded):
+        report = coefficient_noise(quantize(folded, 12))
+        assert report.effective_bits == pytest.approx(report.snr_db / 6.02)
+
+    def test_exact_quantization_infinite_snr(self):
+        # Taps already exactly representable: integers / full-scale.
+        q = quantize([1.0, -0.5, 0.25], 10)
+        report = coefficient_noise(q)
+        assert report.snr_db > 60  # representable almost exactly
+
+
+class TestSimulatedSnr:
+    def test_matches_analytic_within_tolerance(self, folded):
+        """White-input empirical SNR tracks the analytic estimate."""
+        for w in (8, 12):
+            q = quantize(folded, w)
+            analytic = coefficient_noise(q).snr_db
+            empirical = simulated_snr_db(q, num_samples=8192)
+            assert abs(empirical - analytic) < 2.0
+
+    def test_too_short_stimulus_rejected(self, folded):
+        q = quantize(folded, 10)
+        with pytest.raises(QuantizationError):
+            simulated_snr_db(q, num_samples=len(folded))
+
+    def test_deterministic(self, folded):
+        q = quantize(folded, 10)
+        assert simulated_snr_db(q) == simulated_snr_db(q)

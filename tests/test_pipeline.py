@@ -1,0 +1,94 @@
+"""Unit + property tests for the pipelining transform."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import simulate_tdf_filter
+from repro.core import schedule_pipeline, simulate_pipelined, synthesize_mrpf
+from repro.errors import SynthesisError
+from repro.hwcost import RIPPLE_CARRY
+
+COEFFS = st.lists(
+    st.integers(min_value=-(2**9), max_value=2**9), min_size=2, max_size=10
+).filter(lambda cs: any(cs))
+SAMPLES = [5, -3, 17, 0, 2, -9, 100, 42, -7, 13, 1, 1, 1, 8, -8]
+
+
+class TestScheduleValidation:
+    def test_bad_stage_depth(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        with pytest.raises(SynthesisError):
+            schedule_pipeline(arch.netlist, max_stage_depth=0)
+
+
+class TestScheduleStructure:
+    def test_stage_zero_for_input(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        schedule = schedule_pipeline(arch.netlist, max_stage_depth=2)
+        assert schedule.stage_of_node[0] == 0
+
+    def test_stage_depth_budget_respected(self, paper_coefficients):
+        """No stage contains an adder chain longer than the budget."""
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        for budget in (1, 2, 3):
+            schedule = schedule_pipeline(arch.netlist, max_stage_depth=budget)
+            # Recompute within-stage depth and check the budget.
+            local = [0] * len(arch.netlist)
+            for node in arch.netlist.nodes[1:]:
+                same = [
+                    local[op.node]
+                    for op in node.operands
+                    if schedule.stage_of_node[op.node]
+                    == schedule.stage_of_node[node.id]
+                ]
+                local[node.id] = 1 + max(same, default=0)
+                assert local[node.id] <= budget
+
+    def test_stages_monotone_along_edges(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        schedule = schedule_pipeline(arch.netlist, max_stage_depth=1)
+        for node in arch.netlist.nodes[1:]:
+            for op in node.operands:
+                assert schedule.stage_of_node[op.node] <= schedule.stage_of_node[
+                    node.id
+                ]
+
+    def test_tighter_budget_more_stages(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        loose = schedule_pipeline(arch.netlist, max_stage_depth=8)
+        tight = schedule_pipeline(arch.netlist, max_stage_depth=1)
+        assert tight.num_stages >= loose.num_stages
+        assert tight.clock_period_ns <= loose.clock_period_ns
+
+    def test_speedup_at_least_one(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        schedule = schedule_pipeline(arch.netlist, max_stage_depth=1)
+        assert schedule.throughput_speedup >= 1.0
+
+    def test_register_bits_positive_when_multi_stage(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        schedule = schedule_pipeline(arch.netlist, max_stage_depth=1)
+        if schedule.num_stages > 1:
+            assert schedule.register_bits > 0
+
+    def test_alternative_adder_model(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        schedule = schedule_pipeline(
+            arch.netlist, max_stage_depth=2, model=RIPPLE_CARRY
+        )
+        assert schedule.clock_period_ns > 0
+
+
+class TestPipelinedEquivalence:
+    @given(COEFFS, st.sampled_from([1, 2, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_latency_shifted_equivalence(self, coeffs, budget):
+        """Pipelined output == combinational output delayed by the latency."""
+        arch = synthesize_mrpf(coeffs, 10, verify=False)
+        schedule = schedule_pipeline(arch.netlist, max_stage_depth=budget)
+        flat = simulate_tdf_filter(arch.netlist, arch.tap_names, SAMPLES)
+        piped = simulate_pipelined(arch.netlist, arch.tap_names, SAMPLES, schedule)
+        k = schedule.latency
+        assert piped[k:] == flat[: len(flat) - k]
+        assert piped[:k] == [0] * k

@@ -1,0 +1,63 @@
+"""Tests for MRP plan visualization (paper Figures 2/3 as Graphviz)."""
+
+import pytest
+
+from repro.core import cover_to_dot, optimize, plan_to_dot, trivial_plan
+
+
+@pytest.fixture(scope="module")
+def plan(paper_coefficients):
+    return optimize(paper_coefficients, 7)
+
+
+class TestPlanToDot:
+    def test_digraph_structure(self, plan):
+        text = plan_to_dot(plan, "p")
+        assert text.startswith("digraph p {")
+        assert text.rstrip().endswith("}")
+
+    def test_every_vertex_rendered(self, plan):
+        text = plan_to_dot(plan)
+        for vertex in plan.vertices:
+            assert f"v{vertex} [" in text
+
+    def test_roots_doublecircled(self, plan):
+        text = plan_to_dot(plan)
+        for root in plan.roots:
+            assert f'v{root} [label="{root}", shape=doublecircle];' in text
+
+    def test_one_edge_per_child(self, plan):
+        text = plan_to_dot(plan)
+        assert text.count(" -> ") == len(plan.forest.children)
+
+    def test_edge_labels_carry_sidc_identity(self, plan):
+        text = plan_to_dot(plan)
+        for child in plan.forest.children:
+            assert f"v{child.parent} -> v{child.vertex}" in text
+
+    def test_seed_in_label(self, plan):
+        assert "SEED" in plan_to_dot(plan)
+
+    def test_trivial_plan_renders(self, paper_coefficients):
+        text = plan_to_dot(trivial_plan(paper_coefficients))
+        assert "doublecircle" in text
+        assert " -> " not in text  # all roots, no tree edges
+
+
+class TestCoverToDot:
+    def test_colors_clustered(self, plan):
+        text = cover_to_dot(plan)
+        assert "cluster_colors" in text
+        for color in plan.solution_colors:
+            assert f'c{color} [label="{color}", shape=box];' in text
+
+    def test_every_vertex_covered_once(self, plan):
+        text = cover_to_dot(plan)
+        count = sum(
+            text.count(f"-> v{vertex};") for vertex in plan.vertices
+        )
+        assert count == len(plan.vertices)
+
+    def test_trivial_plan_no_cover_edges(self, paper_coefficients):
+        text = cover_to_dot(trivial_plan(paper_coefficients))
+        assert "-> v" not in text

@@ -1,0 +1,82 @@
+"""Tests for ASCII chart rendering and the consolidated cost report."""
+
+import pytest
+
+from repro.baselines import synthesize_simple
+from repro.core import synthesize_mrpf
+from repro.eval import ascii_bar_chart, figure_chart, run_figure6
+from repro.hwcost import CARRY_LOOKAHEAD, RIPPLE_CARRY, compare_costs, cost_report
+
+
+class TestAsciiBarChart:
+    def test_basic_render(self):
+        text = ascii_bar_chart(["a", "bb"], [0.5, 1.0], width=10, title="t")
+        lines = text.splitlines()
+        assert lines[0] == "t"
+        assert lines[1].startswith(" a |")
+        assert lines[2].count("#") == 10  # full bar for the max
+
+    def test_proportionality(self):
+        text = ascii_bar_chart(["x", "y"], [1.0, 0.5], width=20)
+        bars = [line.count("#") for line in text.splitlines()]
+        assert bars[0] == 2 * bars[1]
+
+    def test_explicit_max(self):
+        text = ascii_bar_chart(["x"], [0.5], width=10, max_value=1.0)
+        assert text.count("#") == 5
+
+    def test_mismatched_lengths(self):
+        with pytest.raises(ValueError):
+            ascii_bar_chart(["a"], [1.0, 2.0])
+
+    def test_empty(self):
+        assert ascii_bar_chart([], [], title="empty") == "empty"
+
+
+class TestFigureChart:
+    def test_renders_groups_per_wordlength(self):
+        result = run_figure6(filter_indices=[0, 1], wordlengths=[8, 12])
+        chart = figure_chart(result)
+        assert "W = 8" in chart and "W = 12" in chart
+        assert "ex01" in chart and "ex02" in chart
+        assert result.title in chart
+
+    def test_bars_bounded_by_one(self):
+        """Normalized complexity <= 1 (MRPF never loses), so no bar exceeds
+        the full width."""
+        result = run_figure6(filter_indices=[0], wordlengths=[8])
+        chart = figure_chart(result, width=40)
+        for line in chart.splitlines():
+            assert line.count("#") <= 40
+
+
+class TestCostReport:
+    @pytest.fixture(scope="class")
+    def arch(self, paper_coefficients):
+        return synthesize_mrpf(paper_coefficients, 7)
+
+    def test_fields_populated(self, arch):
+        report = cost_report(arch.netlist, arch.tap_names, input_bits=12)
+        data = report.as_dict()
+        assert data["adders"] == arch.adder_count
+        assert data["area_um2"] > 0
+        assert data["critical_path_ns"] > 0
+        assert data["energy_pj"] > 0
+        assert data["register_bits_tdf"] > 0
+
+    def test_model_changes_costs(self, arch):
+        cla = cost_report(arch.netlist, arch.tap_names, 12, CARRY_LOOKAHEAD)
+        rca = cost_report(arch.netlist, arch.tap_names, 12, RIPPLE_CARRY)
+        assert cla.area_um2 > rca.area_um2          # CLA area premium
+        assert cla.critical_path_ns < rca.critical_path_ns  # CLA speed win
+        assert cla.adders == rca.adders             # structure unchanged
+
+    def test_compare_costs_labels(self, arch, paper_coefficients):
+        simple = synthesize_simple(paper_coefficients)
+        reports = compare_costs({
+            "mrpf": (arch.netlist, arch.tap_names),
+            "simple": (simple.netlist, simple.tap_names),
+        }, input_bits=12)
+        assert set(reports) == {"mrpf", "simple"}
+        assert reports["mrpf"].adders < reports["simple"].adders
+        assert reports["mrpf"].area_um2 < reports["simple"].area_um2

@@ -1,0 +1,116 @@
+"""Tests for frequency-response measurement across every band type."""
+
+import numpy as np
+import pytest
+from scipy import signal
+
+from repro.filters import (
+    BandType,
+    DesignMethod,
+    FilterSpec,
+    ResponseReport,
+    design_fir,
+    frequency_response,
+    measure_response,
+    meets_spec,
+)
+
+
+def spec_for(band, passband, stopband, numtaps=41, rp=0.5, rs=40.0):
+    return FilterSpec(
+        name="t", band=band, method=DesignMethod.PARKS_MCCLELLAN,
+        numtaps=numtaps, passband=passband, stopband=stopband,
+        ripple_db=rp, atten_db=rs,
+    )
+
+
+class TestFrequencyResponse:
+    def test_grid_normalized_to_nyquist(self):
+        freqs, response = frequency_response([1.0, 0.0, 1.0])
+        assert freqs[0] == pytest.approx(0.0)
+        assert freqs[-1] <= 1.0
+        assert len(freqs) == len(response)
+
+    def test_allpass_impulse(self):
+        freqs, response = frequency_response([1.0])
+        assert np.allclose(np.abs(response), 1.0)
+
+    def test_dc_gain_is_tap_sum(self):
+        taps = [0.2, 0.3, 0.3, 0.2]
+        _, response = frequency_response(taps)
+        assert abs(response[0]) == pytest.approx(sum(taps))
+
+
+class TestBandMasks:
+    """measure_response must select the right grid regions per band type."""
+
+    def test_lowpass(self):
+        spec = spec_for(BandType.LOWPASS, (0.0, 0.2), (0.3, 1.0))
+        taps = design_fir(spec)
+        report = measure_response(taps, spec)
+        assert report.stopband_atten_db > 30
+
+    def test_highpass(self):
+        spec = spec_for(BandType.HIGHPASS, (0.5, 1.0), (0.0, 0.35))
+        taps = design_fir(spec)
+        report = measure_response(taps, spec)
+        assert report.stopband_atten_db > 30
+
+    def test_bandpass(self):
+        spec = spec_for(BandType.BANDPASS, (0.35, 0.55), (0.22, 0.68),
+                        numtaps=51)
+        taps = design_fir(spec)
+        report = measure_response(taps, spec)
+        assert report.stopband_atten_db > 30
+
+    def test_bandstop(self):
+        spec = spec_for(BandType.BANDSTOP, (0.2, 0.8), (0.35, 0.65),
+                        numtaps=51)
+        taps = design_fir(spec)
+        report = measure_response(taps, spec)
+        assert report.stopband_atten_db > 30
+
+    def test_wrong_band_fails_spec(self):
+        """A low-pass filter measured against a high-pass spec must fail."""
+        lp_spec = spec_for(BandType.LOWPASS, (0.0, 0.2), (0.3, 1.0))
+        taps = design_fir(lp_spec)
+        hp_spec = spec_for(BandType.HIGHPASS, (0.5, 1.0), (0.0, 0.35))
+        assert not meets_spec(taps, hp_spec)
+
+
+class TestGainInvariance:
+    def test_scaling_does_not_change_measurement(self):
+        """Coefficient scaling must not register as a spec change."""
+        spec = spec_for(BandType.LOWPASS, (0.0, 0.2), (0.3, 1.0))
+        taps = design_fir(spec)
+        base = measure_response(taps, spec)
+        scaled = measure_response([t * 37.5 for t in taps], spec)
+        assert scaled.passband_ripple_db == pytest.approx(
+            base.passband_ripple_db, abs=1e-9
+        )
+        assert scaled.stopband_atten_db == pytest.approx(
+            base.stopband_atten_db, abs=1e-9
+        )
+
+    def test_negated_filter_equivalent(self):
+        spec = spec_for(BandType.LOWPASS, (0.0, 0.2), (0.3, 1.0))
+        taps = design_fir(spec)
+        base = measure_response(taps, spec)
+        flipped = measure_response([-t for t in taps], spec)
+        assert flipped.stopband_atten_db == pytest.approx(
+            base.stopband_atten_db, abs=1e-6
+        )
+
+
+class TestReportSatisfies:
+    def test_margin_semantics(self):
+        report = ResponseReport(passband_ripple_db=0.6, stopband_atten_db=39.0)
+        spec = spec_for(BandType.LOWPASS, (0.0, 0.2), (0.3, 1.0),
+                        rp=0.5, rs=40.0)
+        assert not report.satisfies(spec)
+        assert report.satisfies(spec, margin_db=1.0)
+
+    def test_degenerate_zero_gain(self):
+        spec = spec_for(BandType.LOWPASS, (0.0, 0.2), (0.3, 1.0))
+        report = measure_response([0.0] * 11 + [1e-15], spec)
+        assert not report.satisfies(spec)

@@ -1,0 +1,101 @@
+"""Unit tests for Verilog RTL emission and Graphviz export."""
+
+import re
+
+import pytest
+
+from repro.arch import Ref, ShiftAddNetlist, emit_verilog, to_dot
+from repro.core import synthesize_mrpf
+
+
+@pytest.fixture(scope="module")
+def paper_arch():
+    return synthesize_mrpf([7, 66, 17, 9, 27, 41, 56, 11], wordlength=7)
+
+
+class TestVerilog:
+    def test_module_header_and_ports(self, paper_arch):
+        text = emit_verilog(paper_arch.netlist, paper_arch.tap_names,
+                            module_name="mrpf8", input_bits=12)
+        assert "module mrpf8 #(" in text
+        assert "parameter IN_W = 12" in text
+        assert "input  wire signed [IN_W-1:0] x" in text
+        assert "output wire signed [OUT_W-1:0] y" in text
+        assert text.rstrip().endswith("endmodule")
+
+    def test_one_wire_per_adder(self, paper_arch):
+        text = emit_verilog(paper_arch.netlist, paper_arch.tap_names)
+        adder_wires = re.findall(r"wire signed \[\d+:0\] n\d+ = .* \+ .*;", text)
+        assert len(adder_wires) == paper_arch.adder_count
+
+    def test_one_product_per_tap(self, paper_arch):
+        text = emit_verilog(paper_arch.netlist, paper_arch.tap_names)
+        products = re.findall(r"wire signed \[OUT_W-1:0\] p\d+ = ", text)
+        assert len(products) == len(paper_arch.tap_names)
+
+    def test_register_chain_length(self, paper_arch):
+        text = emit_verilog(paper_arch.netlist, paper_arch.tap_names)
+        registers = re.findall(r"reg signed \[OUT_W-1:0\] r\d+;", text)
+        assert len(registers) == len(paper_arch.tap_names) - 1
+
+    def test_coefficients_in_comments(self, paper_arch):
+        text = emit_verilog(paper_arch.netlist, paper_arch.tap_names)
+        for coefficient in paper_arch.coefficients:
+            assert f"coefficient {coefficient}" in text
+
+    def test_zero_tap_emitted_as_zero(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", nl.ensure_constant(5))
+        nl.mark_output("tap1", None)
+        text = emit_verilog(nl, ["tap0", "tap1"])
+        assert "zero tap" in text
+
+    def test_single_tap_no_registers(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", nl.ensure_constant(5))
+        text = emit_verilog(nl, ["tap0"])
+        assert "reg signed" not in text
+        assert "assign y = p0;" in text
+
+    def test_shift_rendered_arithmetic(self, paper_arch):
+        text = emit_verilog(paper_arch.netlist, paper_arch.tap_names)
+        assert "<<<" in text
+
+    def test_out_width_covers_accumulation(self, paper_arch):
+        text = emit_verilog(paper_arch.netlist, paper_arch.tap_names,
+                            input_bits=12)
+        match = re.search(r"parameter OUT_W = (\d+)", text)
+        out_w = int(match.group(1))
+        acc = sum(abs(c) for c in paper_arch.coefficients)
+        assert out_w >= acc.bit_length() + 12
+
+
+class TestDot:
+    def test_digraph_structure(self, paper_arch):
+        text = to_dot(paper_arch.netlist, paper_arch.tap_names, "g")
+        assert text.startswith("digraph g {")
+        assert text.rstrip().endswith("}")
+
+    def test_input_node_present(self, paper_arch):
+        assert 'n0 [label="x(n)"' in to_dot(paper_arch.netlist)
+
+    def test_one_box_per_adder(self, paper_arch):
+        text = to_dot(paper_arch.netlist)
+        assert text.count("shape=box") == paper_arch.adder_count
+
+    def test_outputs_rendered(self, paper_arch):
+        text = to_dot(paper_arch.netlist, paper_arch.tap_names)
+        for name in paper_arch.tap_names:
+            assert f'out_{name} [label="{name}"' in text
+
+    def test_zero_outputs_skipped(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", None)
+        text = to_dot(nl, ["tap0"])
+        assert "out_tap0" not in text
+
+    def test_edge_labels_show_shift(self):
+        nl = ShiftAddNetlist()
+        nl.add(Ref(node=0, shift=3), Ref(node=0, sign=-1))
+        text = to_dot(nl)
+        assert "<<3" in text

@@ -1,0 +1,170 @@
+"""Unit + property tests for coefficient quantization (uniform/maximal)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import QuantizationError
+from repro.quantize import (
+    QuantizedTaps,
+    ScalingScheme,
+    error_bounded_wordlength,
+    quantize,
+    quantize_maximal,
+    quantize_uniform,
+    search_wordlength,
+)
+
+TAP_LISTS = st.lists(
+    st.floats(min_value=-1.0, max_value=1.0, allow_nan=False, width=32),
+    min_size=1,
+    max_size=24,
+).filter(lambda taps: max(abs(t) for t in taps) > 1e-6)
+
+WORDLENGTHS = st.integers(min_value=4, max_value=20)
+
+
+class TestValidation:
+    def test_empty_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_uniform([], 8)
+
+    def test_all_zero_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_uniform([0.0, 0.0], 8)
+
+    def test_nan_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_uniform([0.5, float("nan")], 8)
+
+    def test_tiny_wordlength_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize_uniform([0.5], 1)
+
+    def test_unknown_scheme_rejected(self):
+        with pytest.raises(QuantizationError):
+            quantize([0.5], 8, "bogus")  # type: ignore[arg-type]
+
+
+class TestUniform:
+    def test_largest_tap_hits_limit(self):
+        q = quantize_uniform([0.25, -1.0, 0.5], 8)
+        assert max(abs(v) for v in q.integers) == 127
+
+    def test_shifts_all_zero(self):
+        q = quantize_uniform([0.25, -1.0, 0.5], 8)
+        assert q.shifts == (0, 0, 0)
+
+    def test_scheme_recorded(self):
+        q = quantize_uniform([1.0], 8)
+        assert q.scheme is ScalingScheme.UNIFORM
+
+    def test_sign_preserved(self):
+        q = quantize_uniform([-0.7, 0.7], 10)
+        assert q.integers[0] == -q.integers[1]
+
+    @given(TAP_LISTS, WORDLENGTHS)
+    @settings(max_examples=50)
+    def test_integers_fit_wordlength(self, taps, w):
+        q = quantize_uniform(taps, w)
+        limit = (1 << (w - 1)) - 1
+        assert all(abs(v) <= limit for v in q.integers)
+
+    @given(TAP_LISTS, WORDLENGTHS)
+    @settings(max_examples=50)
+    def test_reconstruction_error_bounded(self, taps, w):
+        q = quantize_uniform(taps, w)
+        # Rounding error is at most half an LSB of the shared scale.
+        assert q.quantization_error() <= 0.5 / q.scale + 1e-12
+
+
+class TestMaximal:
+    def test_scheme_recorded(self):
+        q = quantize_maximal([0.5, 0.01], 8)
+        assert q.scheme is ScalingScheme.MAXIMAL
+
+    def test_small_taps_get_large_shifts(self):
+        q = quantize_maximal([1.0, 0.001], 12)
+        assert q.shifts[1] > q.shifts[0]
+
+    def test_zero_tap_untouched(self):
+        q = quantize_maximal([1.0, 0.0], 8)
+        assert q.integers[1] == 0
+        assert q.shifts[1] == 0
+
+    def test_mantissas_msb_aligned(self):
+        """Every nonzero mantissa occupies the top half of the word."""
+        q = quantize_maximal([1.0, 0.3, 0.07, 0.004], 12)
+        limit = (1 << 11) - 1
+        for v in q.integers:
+            if v:
+                assert limit // 2 <= abs(v) <= limit
+
+    @given(TAP_LISTS, WORDLENGTHS)
+    @settings(max_examples=50)
+    def test_integers_fit_wordlength(self, taps, w):
+        q = quantize_maximal(taps, w)
+        limit = (1 << (w - 1)) - 1
+        assert all(abs(v) <= limit for v in q.integers)
+
+    @given(TAP_LISTS, WORDLENGTHS)
+    @settings(max_examples=50)
+    def test_maximal_at_least_as_precise_as_uniform(self, taps, w):
+        qu = quantize_uniform(taps, w)
+        qm = quantize_maximal(taps, w)
+        assert qm.quantization_error() <= qu.quantization_error() + 1e-12
+
+
+class TestAlignedIntegers:
+    def test_uniform_alignment_is_identity(self):
+        q = quantize_uniform([0.5, 1.0], 8)
+        assert q.aligned_integers() == q.integers
+
+    def test_maximal_alignment_restores_ratios(self):
+        q = quantize_maximal([1.0, 0.25], 10)
+        aligned = q.aligned_integers()
+        # After alignment, the values must represent the same common scale:
+        # aligned[i] / 2**max_shift == integers[i] / 2**shifts[i]
+        for a, v, s in zip(aligned, q.integers, q.shifts):
+            assert a == v << (q.max_shift - s)
+
+    @given(TAP_LISTS, WORDLENGTHS)
+    @settings(max_examples=50)
+    def test_aligned_reconstruction_matches(self, taps, w):
+        q = quantize_maximal(taps, w)
+        aligned = q.aligned_integers()
+        scale = q.scale * (2.0**q.max_shift)
+        rec = np.array(aligned, dtype=float) / scale
+        assert np.allclose(rec, q.reconstruct())
+
+
+class TestWordlengthSearch:
+    def test_finds_minimal_width(self):
+        taps = [1.0, -0.5, 0.25]
+        w = error_bounded_wordlength(taps, max_abs_error=1e-3)
+        assert 4 <= w <= 24
+        # One bit fewer must violate the bound (minimality), unless at floor.
+        if w > 4:
+            q = quantize(taps, w - 1)
+            assert q.quantization_error() > 1e-3
+
+    def test_impossible_bound_raises(self):
+        with pytest.raises(QuantizationError):
+            error_bounded_wordlength([1.0, 0.333], 0.0, max_wordlength=8)
+
+    def test_bad_range_raises(self):
+        with pytest.raises(QuantizationError):
+            search_wordlength([1.0], lambda t: True, 8, 4)
+
+    def test_predicate_receives_reconstruction(self):
+        seen = []
+
+        def predicate(taps):
+            seen.append(taps.copy())
+            return True
+
+        w = search_wordlength([1.0, 0.5], predicate, 6, 8)
+        assert w == 6
+        assert len(seen) == 1
+        assert seen[0].shape == (2,)

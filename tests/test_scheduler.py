@@ -1,0 +1,97 @@
+"""Unit + property tests for resource-constrained netlist scheduling."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ShiftAddNetlist
+from repro.arch.scheduler import alap_schedule, asap_schedule, list_schedule
+from repro.core import synthesize_mrpf
+from repro.errors import SynthesisError
+
+COEFFS = st.lists(
+    st.integers(min_value=-(2**10), max_value=2**10), min_size=1, max_size=10
+).filter(lambda cs: any(cs))
+
+
+@pytest.fixture(scope="module")
+def arch(request):
+    return synthesize_mrpf([7, 66, 17, 9, 27, 41, 56, 11], 7)
+
+
+class TestAsapAlap:
+    def test_asap_makespan_is_depth(self, arch):
+        schedule = asap_schedule(arch.netlist)
+        depths = arch.netlist.depths()
+        assert schedule.makespan == max(depths)
+        schedule_depths = schedule.cycle_of_node
+        assert list(schedule_depths) == depths
+
+    def test_alap_default_meets_asap_makespan(self, arch):
+        asap = asap_schedule(arch.netlist)
+        alap = alap_schedule(arch.netlist)
+        assert alap.makespan <= asap.makespan
+        alap.validate(arch.netlist)
+
+    def test_alap_with_extra_latency(self, arch):
+        asap = asap_schedule(arch.netlist)
+        alap = alap_schedule(arch.netlist, latency=asap.makespan + 3)
+        alap.validate(arch.netlist)
+
+    def test_alap_below_critical_path_rejected(self, arch):
+        asap = asap_schedule(arch.netlist)
+        with pytest.raises(SynthesisError):
+            alap_schedule(arch.netlist, latency=asap.makespan - 1)
+
+    def test_slack_nonnegative(self, arch):
+        asap = asap_schedule(arch.netlist)
+        alap = alap_schedule(arch.netlist)
+        for a, l in zip(asap.cycle_of_node, alap.cycle_of_node):
+            assert l >= a
+
+    def test_empty_netlist(self):
+        nl = ShiftAddNetlist()
+        assert asap_schedule(nl).makespan == 0
+
+
+class TestListScheduling:
+    def test_budget_validated(self, arch):
+        with pytest.raises(SynthesisError):
+            list_schedule(arch.netlist, 0)
+
+    def test_single_adder_serializes(self, arch):
+        schedule = list_schedule(arch.netlist, 1)
+        assert schedule.makespan >= arch.netlist.adder_count
+        for cycle in range(1, schedule.makespan + 1):
+            assert schedule.adders_busy(cycle) <= 1
+
+    def test_unbounded_budget_reaches_critical_path(self, arch):
+        schedule = list_schedule(arch.netlist, arch.netlist.adder_count)
+        assert schedule.makespan == asap_schedule(arch.netlist).makespan
+
+    def test_makespan_monotone_in_budget(self, arch):
+        spans = [
+            list_schedule(arch.netlist, k).makespan for k in (1, 2, 4, 8)
+        ]
+        assert spans == sorted(spans, reverse=True)
+
+    def test_lower_bounds(self, arch):
+        """makespan >= max(ceil(adders/k), critical path)."""
+        adders = arch.netlist.adder_count
+        depth = arch.netlist.max_depth
+        for k in (1, 2, 3):
+            schedule = list_schedule(arch.netlist, k)
+            assert schedule.makespan >= max(-(-adders // k), depth)
+
+    @given(COEFFS, st.integers(min_value=1, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_schedules_always_valid(self, coeffs, budget):
+        netlist = synthesize_mrpf(coeffs, 11, verify=False).netlist
+        schedule = list_schedule(netlist, budget)
+        schedule.validate(netlist)  # dependencies + resource budget
+
+    @given(COEFFS)
+    @settings(max_examples=30, deadline=None)
+    def test_asap_always_valid(self, coeffs):
+        netlist = synthesize_mrpf(coeffs, 11, verify=False).netlist
+        asap_schedule(netlist).validate(netlist)

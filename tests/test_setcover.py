@@ -1,0 +1,152 @@
+"""Unit + property tests for the greedy weighted minimum set cover."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import GraphError
+from repro.graph import benefit, greedy_weighted_set_cover
+
+
+class TestBenefitFunction:
+    def test_neutral_beta(self):
+        assert benefit(4, 2, 0.5) == pytest.approx(1.0)
+
+    def test_beta_one_ignores_cost(self):
+        assert benefit(4, 100, 1.0) == pytest.approx(4.0)
+
+    def test_beta_zero_ignores_frequency(self):
+        assert benefit(100, 3, 0.0) == pytest.approx(-3.0)
+
+
+class TestGreedyCover:
+    def test_trivial_single_set(self):
+        sol = greedy_weighted_set_cover({1, 2}, {"a": frozenset({1, 2})}, {"a": 1.0})
+        assert sol.colors == ("a",)
+        assert sol.covered_by == {1: "a", 2: "a"}
+
+    def test_unreachable_element_raises(self):
+        with pytest.raises(GraphError):
+            greedy_weighted_set_cover({1, 2}, {"a": frozenset({1})}, {"a": 1.0})
+
+    def test_invalid_beta_raises(self):
+        with pytest.raises(GraphError):
+            greedy_weighted_set_cover({1}, {"a": frozenset({1})}, {"a": 1.0}, beta=2.0)
+
+    def test_invalid_strategy_raises(self):
+        with pytest.raises(GraphError):
+            greedy_weighted_set_cover(
+                {1}, {"a": frozenset({1})}, {"a": 1.0}, strategy="bogus"
+            )
+
+    def test_prefers_high_frequency_at_equal_cost(self):
+        sets = {"big": frozenset({1, 2, 3}), "small": frozenset({1})}
+        costs = {"big": 1.0, "small": 1.0}
+        sol = greedy_weighted_set_cover({1, 2, 3}, sets, costs)
+        assert sol.colors == ("big",)
+
+    def test_beta_skews_toward_cheap_sets(self):
+        """Low beta picks two cheap sets over one expensive covering set."""
+        universe = {1, 2}
+        sets = {"both": frozenset({1, 2}), "c1": frozenset({1}), "c2": frozenset({2})}
+        costs = {"both": 10.0, "c1": 1.0, "c2": 1.0}
+        low = greedy_weighted_set_cover(universe, sets, costs, beta=0.1)
+        assert "both" not in low.colors
+        high = greedy_weighted_set_cover(universe, sets, costs, beta=1.0)
+        assert high.colors == ("both",)
+
+    def test_second_pick_uses_updated_frequency(self):
+        """Paper step 5c: frequencies are recomputed after each selection."""
+        universe = {1, 2, 3, 4}
+        sets = {
+            "a": frozenset({1, 2, 3}),
+            "b": frozenset({2, 3, 4}),
+            "c": frozenset({4}),
+        }
+        costs = {"a": 1.0, "b": 1.0, "c": 0.5}
+        sol = greedy_weighted_set_cover(universe, sets, costs, beta=0.5)
+        # 'a' first (freq 3); then 'b' has residual freq 1 == 'c' but higher cost
+        assert sol.colors[0] == "a"
+        assert sol.colors[1] == "c"
+
+    def test_steps_record_newly_covered(self):
+        sets = {"a": frozenset({1, 2}), "b": frozenset({2, 3})}
+        costs = {"a": 1.0, "b": 1.0}
+        sol = greedy_weighted_set_cover({1, 2, 3}, sets, costs)
+        union = set()
+        for step in sol.steps:
+            assert not (step.newly_covered & union)  # disjoint increments
+            union |= step.newly_covered
+        assert union == {1, 2, 3}
+
+    def test_total_cost(self):
+        sets = {"a": frozenset({1}), "b": frozenset({2})}
+        costs = {"a": 1.5, "b": 2.5}
+        sol = greedy_weighted_set_cover({1, 2}, sets, costs)
+        assert sol.total_cost == pytest.approx(4.0)
+
+    def test_savings_strategy_uses_weights(self):
+        """With savings weights, covering heavy elements wins despite cost."""
+        universe = {1, 2}
+        sets = {"heavy": frozenset({1}), "light": frozenset({2}),
+                "both": frozenset({1, 2})}
+        costs = {"heavy": 1.0, "light": 1.0, "both": 3.0}
+        weights = {1: 10.0, 2: 10.0}
+        sol = greedy_weighted_set_cover(
+            universe, sets, costs, element_weights=weights, strategy="savings"
+        )
+        assert sol.colors == ("both",)
+
+    def test_deterministic_tiebreak(self):
+        sets = {"x": frozenset({1}), "y": frozenset({1})}
+        costs = {"x": 1.0, "y": 1.0}
+        first = greedy_weighted_set_cover({1}, sets, costs)
+        second = greedy_weighted_set_cover({1}, sets, costs)
+        assert first.colors == second.colors
+
+
+@st.composite
+def cover_instances(draw):
+    universe = draw(st.sets(st.integers(0, 20), min_size=1, max_size=12))
+    num_sets = draw(st.integers(min_value=1, max_value=8))
+    sets = {}
+    for i in range(num_sets):
+        members = draw(
+            st.sets(st.sampled_from(sorted(universe)), min_size=1, max_size=8)
+        )
+        sets[f"s{i}"] = frozenset(members)
+    # Guarantee feasibility with one catch-all set.
+    sets["all"] = frozenset(universe)
+    costs = {k: float(draw(st.integers(1, 6))) for k in sets}
+    beta = draw(st.sampled_from([0.0, 0.3, 0.5, 0.8, 1.0]))
+    return universe, sets, costs, beta
+
+
+class TestGreedyCoverProperties:
+    @given(cover_instances())
+    @settings(max_examples=80, deadline=None)
+    def test_always_produces_a_cover(self, instance):
+        universe, sets, costs, beta = instance
+        sol = greedy_weighted_set_cover(universe, sets, costs, beta=beta)
+        covered = set()
+        for step in sol.steps:
+            covered |= step.newly_covered
+        assert covered == universe
+
+    @given(cover_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_covered_by_maps_into_selected(self, instance):
+        universe, sets, costs, beta = instance
+        sol = greedy_weighted_set_cover(universe, sets, costs, beta=beta)
+        selected = set(sol.colors)
+        for element, key in sol.covered_by.items():
+            assert key in selected
+            assert element in sets[key]
+
+    @given(cover_instances())
+    @settings(max_examples=50, deadline=None)
+    def test_no_selection_is_useless(self, instance):
+        universe, sets, costs, beta = instance
+        sol = greedy_weighted_set_cover(universe, sets, costs, beta=beta)
+        for step in sol.steps:
+            assert step.newly_covered  # every pick makes progress

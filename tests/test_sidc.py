@@ -1,0 +1,80 @@
+"""Unit + property tests for tap normalization (paper steps 1-2)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import normalize_taps
+from repro.errors import GraphError
+from repro.core.sidc import TapBinding
+
+COEFFS = st.lists(st.integers(min_value=-(2**15), max_value=2**15),
+                  min_size=1, max_size=20)
+
+
+class TestTapBinding:
+    def test_consistency_enforced(self):
+        with pytest.raises(GraphError):
+            TapBinding(index=0, coefficient=12, vertex=5, shift=1, sign=1)
+
+    def test_zero_binding(self):
+        b = TapBinding(index=0, coefficient=0, vertex=None, shift=0, sign=0)
+        assert b.is_zero and b.is_free
+
+    def test_power_of_two_binding_free(self):
+        b = TapBinding(index=1, coefficient=-8, vertex=None, shift=3, sign=-1)
+        assert b.is_free and not b.is_zero
+
+    def test_vertex_binding_not_free(self):
+        b = TapBinding(index=2, coefficient=12, vertex=3, shift=2, sign=1)
+        assert not b.is_free
+
+
+class TestNormalizeTaps:
+    def test_paper_example(self):
+        """56 = 7<<3 is secondary to 7: only 7 unique odd magnitudes."""
+        vertices, bindings = normalize_taps([7, 66, 17, 9, 27, 41, 56, 11])
+        assert vertices == [7, 9, 11, 17, 27, 33, 41]
+        by_index = {b.index: b for b in bindings}
+        assert by_index[7].coefficient == 11
+        assert by_index[5].vertex == 41
+        # 56 maps to vertex 7 with shift 3
+        assert by_index[6].vertex == 7 and by_index[6].shift == 3
+
+    def test_zeros_skipped(self):
+        vertices, bindings = normalize_taps([0, 3, 0])
+        assert vertices == [3]
+        assert bindings[0].is_zero and bindings[2].is_zero
+
+    def test_powers_of_two_free(self):
+        vertices, bindings = normalize_taps([1, -2, 64, -1024])
+        assert vertices == []
+        assert all(b.is_free for b in bindings)
+
+    def test_negative_coefficient_sign(self):
+        vertices, bindings = normalize_taps([-12])
+        assert vertices == [3]
+        assert bindings[0].sign == -1 and bindings[0].shift == 2
+
+    def test_duplicate_magnitudes_one_vertex(self):
+        vertices, _ = normalize_taps([3, -3, 6, 12, 48])
+        assert vertices == [3]
+
+    @given(COEFFS)
+    @settings(max_examples=100)
+    def test_bindings_reconstruct_every_tap(self, coeffs):
+        vertices, bindings = normalize_taps(coeffs)
+        assert len(bindings) == len(coeffs)
+        for binding, coefficient in zip(bindings, coeffs):
+            base = binding.vertex if binding.vertex is not None else (
+                1 if binding.sign else 0
+            )
+            assert binding.sign * (base << binding.shift) == coefficient
+
+    @given(COEFFS)
+    @settings(max_examples=50)
+    def test_vertices_odd_gt_one_sorted_unique(self, coeffs):
+        vertices, _ = normalize_taps(coeffs)
+        assert vertices == sorted(set(vertices))
+        for v in vertices:
+            assert v > 1 and v % 2 == 1

@@ -1,0 +1,121 @@
+"""Unit + property tests for bit-accurate netlist/filter simulation."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import (
+    Ref,
+    ShiftAddNetlist,
+    evaluate_nodes,
+    evaluate_ref,
+    simulate_tdf_filter,
+    tap_products,
+    verify_against_convolution,
+)
+from repro.errors import SimulationError
+
+SAMPLES = st.lists(st.integers(min_value=-(2**20), max_value=2**20),
+                   min_size=1, max_size=40)
+CONSTS = st.lists(
+    st.integers(min_value=-(2**12), max_value=2**12).filter(lambda n: n != 0),
+    min_size=1, max_size=8,
+)
+
+
+def build_filter(constants):
+    nl = ShiftAddNetlist()
+    names = []
+    for i, c in enumerate(constants):
+        name = f"tap{i}"
+        nl.mark_output(name, nl.ensure_constant(c))
+        names.append(name)
+    return nl, names
+
+
+class TestNodeEvaluation:
+    def test_input_passthrough(self):
+        nl = ShiftAddNetlist()
+        assert evaluate_nodes(nl, 42) == [42]
+
+    def test_adder_evaluation(self):
+        nl = ShiftAddNetlist()
+        nl.add(Ref(node=0, shift=2), Ref(node=0, sign=-1))  # 3x
+        assert evaluate_nodes(nl, 10) == [10, 30]
+
+    @given(st.integers(min_value=-(2**24), max_value=2**24), CONSTS)
+    @settings(max_examples=80)
+    def test_linearity(self, sample, constants):
+        """Every node output equals fundamental * sample — checked inline."""
+        nl, _ = build_filter(constants)
+        evaluate_nodes(nl, sample, check_linearity=True)
+
+    def test_evaluate_ref_zero(self):
+        nl = ShiftAddNetlist()
+        assert evaluate_ref(nl, None, [7]) == 0
+
+    def test_evaluate_ref_wiring(self):
+        nl = ShiftAddNetlist()
+        outputs = evaluate_nodes(nl, 5)
+        assert evaluate_ref(nl, Ref(node=0, shift=3, sign=-1), outputs) == -40
+
+
+class TestTapProducts:
+    @given(CONSTS, st.integers(min_value=-(2**16), max_value=2**16))
+    @settings(max_examples=60)
+    def test_products_are_coefficient_times_sample(self, constants, sample):
+        nl, names = build_filter(constants)
+        products = tap_products(nl, names, sample)
+        assert products == [c * sample for c in constants]
+
+
+class TestFilterSimulation:
+    def test_needs_taps(self):
+        nl = ShiftAddNetlist()
+        with pytest.raises(SimulationError):
+            simulate_tdf_filter(nl, [], [1, 2])
+
+    def test_negative_latency_rejected(self):
+        nl, names = build_filter([3])
+        with pytest.raises(SimulationError):
+            simulate_tdf_filter(nl, names, [1], pipeline_latency=-1)
+
+    @given(CONSTS, SAMPLES)
+    @settings(max_examples=60, deadline=None)
+    def test_matches_exact_convolution(self, constants, samples):
+        nl, names = build_filter(constants)
+        got = simulate_tdf_filter(nl, names, samples)
+        expected = []
+        for n in range(len(samples)):
+            acc = 0
+            for i, c in enumerate(constants):
+                if n - i >= 0:
+                    acc += c * samples[n - i]
+            expected.append(acc)
+        assert got == expected
+
+    @given(CONSTS, SAMPLES, st.integers(min_value=0, max_value=4))
+    @settings(max_examples=40, deadline=None)
+    def test_latency_shifts_output(self, constants, samples, latency):
+        nl, names = build_filter(constants)
+        flat = simulate_tdf_filter(nl, names, samples)
+        piped = simulate_tdf_filter(nl, names, samples, pipeline_latency=latency)
+        assert piped[:latency] == [0] * min(latency, len(samples))
+        assert piped[latency:] == flat[: max(0, len(flat) - latency)]
+
+
+class TestVerification:
+    def test_passes_for_correct_filter(self):
+        nl, names = build_filter([7, -3, 12])
+        verify_against_convolution(nl, names, [7, -3, 12], [1, -5, 100, 3])
+
+    def test_detects_wrong_declared_coefficient(self):
+        nl, names = build_filter([7, -3])
+        with pytest.raises(SimulationError):
+            verify_against_convolution(nl, names, [7, 3], [1, 2, 3])
+
+    def test_zero_tap_handled(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", nl.ensure_constant(5))
+        nl.mark_output("tap1", None)
+        verify_against_convolution(nl, ["tap0", "tap1"], [5, 0], [9, -9, 4])

@@ -1,0 +1,122 @@
+"""Unit + property tests for FIR filter structures (DF/TDF/folding)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import FilterDesignError
+from repro.filters import (
+    TransposedDirectForm,
+    direct_form_output,
+    fold_symmetric,
+    is_symmetric,
+    transposed_direct_form_output,
+    unfold_symmetric,
+)
+
+INT_TAPS = st.lists(st.integers(min_value=-255, max_value=255), min_size=1, max_size=12)
+INT_SAMPLES = st.lists(st.integers(min_value=-(2**15), max_value=2**15), min_size=1, max_size=30)
+
+
+class TestSymmetry:
+    def test_symmetric_detected(self):
+        assert is_symmetric([1.0, 2.0, 3.0, 2.0, 1.0])
+
+    def test_asymmetric_detected(self):
+        assert not is_symmetric([1.0, 2.0, 3.0])
+
+    def test_empty_not_symmetric(self):
+        assert not is_symmetric([])
+
+    def test_fold_odd_length(self):
+        folded, n = fold_symmetric([1.0, 2.0, 3.0, 2.0, 1.0])
+        assert list(folded) == [1.0, 2.0, 3.0]
+        assert n == 5
+
+    def test_fold_even_length(self):
+        folded, n = fold_symmetric([1.0, 2.0, 2.0, 1.0])
+        assert list(folded) == [1.0, 2.0]
+        assert n == 4
+
+    def test_fold_rejects_asymmetric(self):
+        with pytest.raises(FilterDesignError):
+            fold_symmetric([1.0, 2.0, 3.0])
+
+    def test_unfold_roundtrip_odd(self):
+        taps = [1.0, -2.0, 5.0, -2.0, 1.0]
+        folded, n = fold_symmetric(taps)
+        assert np.allclose(unfold_symmetric(folded, n), taps)
+
+    def test_unfold_roundtrip_even(self):
+        taps = [3.0, 7.0, 7.0, 3.0]
+        folded, n = fold_symmetric(taps)
+        assert np.allclose(unfold_symmetric(folded, n), taps)
+
+    def test_unfold_wrong_size_rejected(self):
+        with pytest.raises(FilterDesignError):
+            unfold_symmetric([1.0, 2.0], 7)
+
+    @given(st.lists(st.integers(min_value=-100, max_value=100), min_size=1, max_size=8))
+    def test_fold_unfold_identity(self, half):
+        taps = half + half[::-1]
+        folded, n = fold_symmetric([float(t) for t in taps])
+        assert list(unfold_symmetric(folded, n)) == [float(t) for t in taps]
+
+
+class TestStructuralIdentity:
+    def test_impulse_response_recovers_taps(self):
+        taps = [3, -1, 4, 1, -5]
+        impulse = [1, 0, 0, 0, 0]
+        assert direct_form_output(taps, impulse) == taps
+
+    def test_known_convolution(self):
+        assert direct_form_output([1, 2], [1, 1, 1]) == [1, 3, 3]
+
+    @given(INT_TAPS, INT_SAMPLES)
+    @settings(max_examples=60)
+    def test_tdf_equals_direct_form(self, taps, samples):
+        """Structural identity: register-level TDF == direct convolution."""
+        assert transposed_direct_form_output(taps, samples) == direct_form_output(
+            taps, samples
+        )
+
+    @given(INT_TAPS, INT_SAMPLES)
+    @settings(max_examples=30)
+    def test_tdf_matches_numpy(self, taps, samples):
+        expected = np.convolve(taps, samples)[: len(samples)]
+        got = transposed_direct_form_output(taps, samples)
+        assert got == list(expected)
+
+
+class TestStreamingEngine:
+    def test_needs_taps(self):
+        with pytest.raises(FilterDesignError):
+            TransposedDirectForm([])
+
+    def test_step_matches_block(self):
+        taps = [2, -3, 1]
+        samples = [5, 7, -2, 0, 9]
+        engine = TransposedDirectForm(taps)
+        stepped = [engine.step(x) for x in samples]
+        assert stepped == direct_form_output(taps, samples)
+
+    def test_process_block(self):
+        engine = TransposedDirectForm([1, 1])
+        assert engine.process([1, 2, 3]) == [1, 3, 5]
+
+    def test_reset_clears_state(self):
+        engine = TransposedDirectForm([1, 1])
+        engine.process([10, 20])
+        engine.reset()
+        assert engine.process([1, 2, 3]) == [1, 3, 5]
+
+    def test_single_tap(self):
+        engine = TransposedDirectForm([5])
+        assert engine.process([1, -2]) == [5, -10]
+
+    def test_taps_accessor_copies(self):
+        engine = TransposedDirectForm([1, 2])
+        taps = engine.taps
+        taps.append(99)
+        assert engine.taps == [1, 2]

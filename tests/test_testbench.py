@@ -1,0 +1,71 @@
+"""Tests for the self-checking Verilog testbench emitter."""
+
+import re
+
+import pytest
+
+from repro.arch import ShiftAddNetlist, emit_testbench, emit_verilog, output_width
+from repro.core import synthesize_mrpf
+from repro.errors import NetlistError
+
+
+@pytest.fixture(scope="module")
+def arch():
+    return synthesize_mrpf([7, 66, 17, 9, 27, 41, 56, 11], wordlength=7)
+
+
+class TestOutputWidth:
+    def test_covers_accumulation(self, arch):
+        out = output_width(arch.netlist, arch.tap_names, 12)
+        acc = sum(abs(c) for c in arch.coefficients)
+        assert out >= acc.bit_length() + 12
+
+    def test_zero_taps(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", None)
+        assert output_width(nl, ["tap0"], 8) >= 9
+
+
+class TestTestbench:
+    def test_structure(self, arch):
+        tb = emit_testbench(arch.netlist, arch.tap_names,
+                            module_name="mrpf8", input_bits=12)
+        assert "module mrpf8_tb;" in tb
+        assert "mrpf8 dut (.clk(clk), .rst(rst), .x(x), .y(y));" in tb
+        assert tb.rstrip().endswith("endmodule")
+        assert "$finish;" in tb
+
+    def test_expected_values_from_simulator(self, arch):
+        stimulus = [1, -1, 5, 0, 100]
+        from repro.arch import simulate_tdf_filter
+
+        expected = simulate_tdf_filter(arch.netlist, arch.tap_names, stimulus)
+        tb = emit_testbench(arch.netlist, arch.tap_names, input_bits=12,
+                            stimulus=stimulus)
+        for index, value in enumerate(expected):
+            assert f"expect_y[{index}] = {value};" in tb
+
+    def test_stimulus_count_matches(self, arch):
+        stimulus = [3, -3, 7]
+        tb = emit_testbench(arch.netlist, arch.tap_names, input_bits=12,
+                            stimulus=stimulus)
+        assert "localparam integer N = 3;" in tb
+        assert len(re.findall(r"stim\[\d+\] = ", tb)) == 3
+
+    def test_out_of_range_stimulus_rejected(self, arch):
+        with pytest.raises(NetlistError):
+            emit_testbench(arch.netlist, arch.tap_names, input_bits=8,
+                           stimulus=[1000])
+
+    def test_default_stimulus_fits_width(self, arch):
+        for bits in (8, 12, 16):
+            tb = emit_testbench(arch.netlist, arch.tap_names, input_bits=bits)
+            assert "PASS" in tb
+
+    def test_pairs_with_module_port_names(self, arch):
+        module = emit_verilog(arch.netlist, arch.tap_names,
+                              module_name="pairme", input_bits=10)
+        tb = emit_testbench(arch.netlist, arch.tap_names,
+                            module_name="pairme", input_bits=10)
+        for port in ("clk", "rst", "x", "y"):
+            assert port in module and port in tb

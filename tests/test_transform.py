@@ -1,0 +1,160 @@
+"""Unit + property tests for MRPF synthesis (plan lowering) and baselines.
+
+The central invariant of the whole library lives here: every synthesized
+architecture — MRPF in all compression modes, simple, CSE, MST — computes
+*bit-exactly* the same filter as direct convolution by its coefficients.
+"""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.baselines import (
+    simple_adder_count,
+    synthesize_cse_filter,
+    synthesize_mst_diff,
+    synthesize_simple,
+)
+from repro.core import MrpOptions, lower_plan, optimize, synthesize_mrpf, trivial_plan
+from repro.errors import SynthesisError
+from repro.numrep import Representation
+
+COEFFS = st.lists(
+    st.integers(min_value=-(2**10), max_value=2**10), min_size=1, max_size=12
+).filter(lambda cs: any(cs))
+SAMPLES = [1, -1, 3, 255, -128, 12345, -999, 0, 77]
+
+
+class TestSynthesizeMrpf:
+    def test_bad_compression_mode(self):
+        with pytest.raises(SynthesisError):
+            synthesize_mrpf([3, 5], 8, seed_compression="zip")
+
+    def test_paper_example_verified(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        assert arch.coefficients == tuple(paper_coefficients)
+        assert arch.adder_count <= 9
+        arch.verify(SAMPLES)
+
+    @pytest.mark.parametrize("mode", ["none", "cse", "recursive"])
+    def test_all_modes_verified(self, paper_coefficients, mode):
+        arch = synthesize_mrpf(paper_coefficients, 7, seed_compression=mode)
+        arch.verify(SAMPLES)
+
+    def test_stats(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        stats = arch.stats(input_bits=12)
+        assert stats.adders == arch.adder_count
+        assert stats.num_outputs == len(paper_coefficients)
+        assert stats.adders_per_tap == pytest.approx(
+            arch.adder_count / len(paper_coefficients)
+        )
+
+    def test_zero_and_free_taps(self):
+        arch = synthesize_mrpf([0, 4, -1, 6], 6)
+        arch.verify(SAMPLES)
+        values = arch.netlist.output_values()
+        assert values["tap0"] == 0
+        assert values["tap1"] == 4
+        assert values["tap2"] == -1
+
+    @given(COEFFS, st.sampled_from(["none", "cse", "recursive"]))
+    @settings(max_examples=60, deadline=None)
+    def test_synthesis_always_bit_exact(self, coeffs, mode):
+        """THE invariant: MRPF output == convolution, for any taps, any mode."""
+        arch = synthesize_mrpf(coeffs, 11, seed_compression=mode, verify=False)
+        arch.verify(SAMPLES)
+
+    @given(COEFFS, st.sampled_from(list(Representation)),
+           st.sampled_from([None, 2, 3]))
+    @settings(max_examples=40, deadline=None)
+    def test_options_bit_exact(self, coeffs, rep, depth):
+        arch = synthesize_mrpf(
+            coeffs, 11,
+            MrpOptions(representation=rep, depth_limit=depth),
+            verify=False,
+        )
+        arch.verify(SAMPLES)
+
+    @given(COEFFS)
+    @settings(max_examples=30, deadline=None)
+    def test_cse_compression_never_hurts(self, coeffs):
+        plan = optimize(coeffs, 11)
+        plain = lower_plan(plan, "none")
+        compressed = lower_plan(plan, "cse")
+        assert compressed.adder_count <= plain.adder_count
+
+
+class TestTrivialPlanLowering:
+    def test_trivial_plan_is_simple_with_sharing(self, paper_coefficients):
+        arch = lower_plan(trivial_plan(paper_coefficients))
+        arch.verify(SAMPLES)
+        assert arch.adder_count <= simple_adder_count(paper_coefficients)
+
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            trivial_plan([])
+
+
+class TestSimpleBaseline:
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_simple([])
+
+    def test_adder_count_formula(self, paper_coefficients):
+        arch = synthesize_simple(paper_coefficients)
+        assert arch.adder_count == simple_adder_count(paper_coefficients)
+
+    def test_no_sharing_even_for_duplicates(self):
+        arch = synthesize_simple([7, 7])
+        assert arch.adder_count == 2  # each 7 = 8-1 built privately
+
+    @given(COEFFS, st.sampled_from(list(Representation)))
+    @settings(max_examples=60, deadline=None)
+    def test_simple_bit_exact(self, coeffs, rep):
+        arch = synthesize_simple(coeffs, rep)
+        arch.verify(SAMPLES)
+
+
+class TestCseBaseline:
+    def test_empty_rejected(self):
+        with pytest.raises(SynthesisError):
+            synthesize_cse_filter([])
+
+    def test_all_free_taps(self):
+        arch = synthesize_cse_filter([0, 1, -8])
+        assert arch.adder_count == 0
+        arch.verify(SAMPLES)
+
+    @given(COEFFS)
+    @settings(max_examples=60, deadline=None)
+    def test_cse_bit_exact(self, coeffs):
+        arch = synthesize_cse_filter(coeffs)
+        arch.verify(SAMPLES)
+
+    @given(COEFFS)
+    @settings(max_examples=40, deadline=None)
+    def test_cse_never_worse_than_simple_on_unique_odds(self, coeffs):
+        """CSE shares fundamentals, so it beats the per-tap baseline."""
+        arch = synthesize_cse_filter(coeffs)
+        assert arch.adder_count <= simple_adder_count(coeffs)
+
+
+class TestMstDiffBaseline:
+    def test_shift_range_pinned(self, paper_coefficients):
+        arch = synthesize_mst_diff(paper_coefficients, 7)
+        assert arch.plan.options.max_shift == 0
+
+    def test_options_propagated(self, paper_coefficients):
+        arch = synthesize_mst_diff(
+            paper_coefficients, 7, MrpOptions(beta=0.3, depth_limit=2)
+        )
+        assert arch.plan.options.beta == 0.3
+        assert arch.plan.options.depth_limit == 2
+        assert arch.plan.options.max_shift == 0
+
+    @given(COEFFS)
+    @settings(max_examples=40, deadline=None)
+    def test_mst_bit_exact(self, coeffs):
+        arch = synthesize_mst_diff(coeffs, 11, verify=False)
+        arch.verify(SAMPLES)
