@@ -36,15 +36,25 @@ from .baselines import (
     synthesize_mst_diff,
     synthesize_simple,
 )
-from .errors import ReproError
+from .errors import BudgetExceeded, DegradationError, ReproError
 from .filters import BandType, DesignMethod, FilterSpec, design_fir
 from .numrep import Representation
 from .quantize import QuantizedTaps, ScalingScheme, quantize
+from .robust import (
+    ChaosHarness,
+    RobustConfig,
+    RobustResult,
+    SolverBudget,
+)
+from .robust import synthesize as robust_synthesize
 
 __version__ = "1.0.0"
 
 __all__ = [
     "BandType",
+    "BudgetExceeded",
+    "ChaosHarness",
+    "DegradationError",
     "DesignMethod",
     "FilterSpec",
     "MrpOptions",
@@ -54,10 +64,14 @@ __all__ = [
     "QuantizedTaps",
     "Representation",
     "ReproError",
+    "RobustConfig",
+    "RobustResult",
     "ScalingScheme",
+    "SolverBudget",
     "design_fir",
     "optimize",
     "quantize",
+    "robust_synthesize",
     "schedule_pipeline",
     "simple_adder_count",
     "simulate_pipelined",

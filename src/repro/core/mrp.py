@@ -17,9 +17,12 @@ The result — an :class:`MrpPlan` — is a pure *architectural* description;
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, Optional, Sequence, Tuple
 
 from ..errors import SynthesisError
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from ..robust.budget import SolverBudget
 from ..graph import (
     ColoredGraph,
     CoverSolution,
@@ -164,6 +167,8 @@ def optimize(
     wordlength: int,
     options: Optional[MrpOptions] = None,
     graph: Optional[ColoredGraph] = None,
+    budget: Optional["SolverBudget"] = None,
+    cover_fn: Optional[Callable[..., CoverSolution]] = None,
 ) -> MrpPlan:
     """Run MRP stage A on integer taps quantized to ``wordlength`` bits.
 
@@ -171,6 +176,15 @@ def optimize(
     when ``options.max_shift`` is ``None``.  A prebuilt ``graph`` over the
     same vertex set / shift range / representation may be supplied to avoid
     rebuilding it across β sweeps; it is validated before use.
+
+    ``budget`` is an optional cooperative :class:`~repro.robust.SolverBudget`
+    threaded into the cover solver (and checkpointed around the graph build)
+    so an oversized instance raises :class:`~repro.errors.BudgetExceeded`
+    instead of hanging.  ``cover_fn`` swaps the greedy cover for another
+    solver — the robust degradation layer uses it to try the exact
+    branch-and-bound first; it is called as
+    ``cover_fn(universe, sets, costs, options)`` and must return a
+    :class:`~repro.graph.CoverSolution`.
     """
     opts = options or MrpOptions()
     coefficients = tuple(int(c) for c in coefficients)
@@ -206,7 +220,9 @@ def optimize(
         )
 
     if graph is None:
-        graph = build_colored_graph(vertices, max_shift, opts.representation)
+        graph = build_colored_graph(
+            vertices, max_shift, opts.representation, budget=budget
+        )
     elif (
         set(graph.vertices) != set(vertices)
         or graph.max_shift != max_shift
@@ -226,10 +242,18 @@ def optimize(
             v: max(0.0, adder_cost(v, opts.representation) - 1.0)
             for v in vertices
         }
-    cover = greedy_weighted_set_cover(
-        set(vertices), color_sets, costs, beta=opts.beta,
-        element_weights=element_weights, strategy=opts.strategy,
-    )
+    if budget is not None:
+        budget.checkpoint()
+    if cover_fn is not None:
+        cover = cover_fn(set(vertices), color_sets, costs, opts)
+    else:
+        cover = greedy_weighted_set_cover(
+            set(vertices), color_sets, costs, beta=opts.beta,
+            element_weights=element_weights, strategy=opts.strategy,
+            budget=budget,
+        )
+    if budget is not None:
+        budget.checkpoint()
     forest = build_spanning_forest(
         graph, cover.colors, depth_limit=opts.depth_limit
     )

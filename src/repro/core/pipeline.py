@@ -39,8 +39,21 @@ class PipelineSchedule:
 
     @property
     def throughput_speedup(self) -> float:
-        """Unpipelined critical path / pipelined clock period (>= 1)."""
-        return self._unpipelined_ns / self.clock_period_ns if self.clock_period_ns else 1.0
+        """Unpipelined critical path / pipelined clock period (>= 1).
+
+        A zero clock period with a nonzero unpipelined reference path means
+        the schedule is inconsistent (a stage claims zero delay for real
+        adders); that is an error, not an infinite — or silently 1.0 —
+        speedup.
+        """
+        if self.clock_period_ns == 0.0:
+            if self._unpipelined_ns != 0.0:
+                raise SynthesisError(
+                    "pipeline schedule has zero clock period but a nonzero "
+                    f"unpipelined critical path ({self._unpipelined_ns} ns)"
+                )
+            return 1.0
+        return self._unpipelined_ns / self.clock_period_ns
 
     # populated by schedule_pipeline via object.__setattr__ (frozen dataclass)
     _unpipelined_ns: float = 0.0

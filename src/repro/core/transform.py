@@ -17,7 +17,7 @@ and the result is validated structurally and functionally before return.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..arch.metrics import NetlistStats, analyze
 from ..arch.netlist import ShiftAddNetlist
@@ -28,11 +28,20 @@ from ..errors import SynthesisError
 from ..numrep import odd_normalize
 from .mrp import MrpOptions, MrpPlan, optimize
 
-__all__ = ["MrpfArchitecture", "synthesize_mrpf", "SEED_COMPRESSION_MODES"]
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from ..robust.budget import SolverBudget
+
+__all__ = [
+    "MrpfArchitecture",
+    "synthesize_mrpf",
+    "SEED_COMPRESSION_MODES",
+    "VERIFY_SAMPLES",
+]
 
 SEED_COMPRESSION_MODES = ("none", "cse", "recursive")
 
-_VERIFY_SAMPLES = (1, -1, 3, 127, -128, 255, 1024, -777, 12345, -54321)
+VERIFY_SAMPLES = (1, -1, 3, 127, -128, 255, 1024, -777, 12345, -54321)
+_VERIFY_SAMPLES = VERIFY_SAMPLES  # backwards-compatible alias
 
 
 @dataclass(frozen=True)
@@ -79,19 +88,23 @@ def synthesize_mrpf(
     options: Optional[MrpOptions] = None,
     seed_compression: str = "none",
     verify: bool = True,
+    budget: Optional["SolverBudget"] = None,
 ) -> MrpfArchitecture:
     """Optimize and lower ``coefficients`` into an MRPF netlist.
 
     ``seed_compression`` selects how the SEED multiplication network is
     built; see the module docstring.  With ``verify`` (default) the lowered
     netlist is simulated against exact convolution before being returned.
+    ``budget`` is threaded into the optimizer's cover solver; see
+    :func:`repro.core.mrp.optimize`.  For automatic degradation and retry on
+    failure use :func:`repro.robust.synthesize` instead.
     """
     if seed_compression not in SEED_COMPRESSION_MODES:
         raise SynthesisError(
             f"seed_compression must be one of {SEED_COMPRESSION_MODES}, "
             f"got {seed_compression!r}"
         )
-    plan = optimize(coefficients, wordlength, options)
+    plan = optimize(coefficients, wordlength, options, budget=budget)
     architecture = lower_plan(plan, seed_compression)
     if verify:
         architecture.verify()

@@ -38,3 +38,40 @@ class NetlistError(ReproError):
 
 class SimulationError(ReproError):
     """Bit-accurate simulation detected an inconsistency."""
+
+
+class BudgetExceeded(ReproError):
+    """A cooperative solver exhausted its :class:`~repro.robust.SolverBudget`.
+
+    Raised from a solver's budget checkpoint when the wall-clock deadline
+    passes or the node/iteration cap is hit, so unbounded searches become
+    interruptible instead of hanging.  ``partial`` optionally carries the
+    best feasible result found before exhaustion (e.g. an incumbent
+    :class:`~repro.graph.CoverSolution` or a partially improved coefficient
+    vector) so degradation tiers can reuse it instead of recomputing.
+    """
+
+    def __init__(self, message: str, partial: object = None) -> None:
+        super().__init__(message)
+        self.partial = partial
+
+
+class CoverBudgetError(BudgetExceeded, GraphError):
+    """The exact-cover branch and bound ran out of budget mid-search.
+
+    Subclasses both :class:`BudgetExceeded` (it is a budget exhaustion) and
+    :class:`GraphError` (historical contract of the exact solver).  When a
+    complete-but-unproven cover was already found, ``partial`` holds it.
+    """
+
+
+class DegradationError(SynthesisError):
+    """Every tier of the robust synthesis cascade failed.
+
+    ``attempts`` holds the full :class:`~repro.robust.AttemptRecord` history
+    (tier, perturbed options, failing stage, error) for post-mortem triage.
+    """
+
+    def __init__(self, message: str, attempts: tuple = ()) -> None:
+        super().__init__(message)
+        self.attempts = tuple(attempts)

@@ -16,7 +16,14 @@ from .experiments import (
     run_table1,
 )
 from .export import result_records, to_csv, to_json
-from .harness import EXPERIMENTS, PAPER_CLAIMS, paper_comparison, run_experiment
+from .harness import (
+    EXPERIMENTS,
+    PAPER_CLAIMS,
+    SweepOutcome,
+    paper_comparison,
+    run_experiment,
+    run_sweep,
+)
 from .plots import ascii_bar_chart, figure_chart
 from .report import format_experiment, format_table
 
@@ -27,6 +34,7 @@ __all__ = [
     "ExperimentRow",
     "MethodResult",
     "PAPER_CLAIMS",
+    "SweepOutcome",
     "Table1Row",
     "WORDLENGTHS",
     "ascii_bar_chart",
@@ -42,6 +50,7 @@ __all__ = [
     "run_figure7",
     "run_figure8",
     "run_summary",
+    "run_sweep",
     "run_table1",
     "to_csv",
     "to_json",

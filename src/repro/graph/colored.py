@@ -19,10 +19,13 @@ cheapest set of primary colors.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Iterable, List, Set, Tuple
+from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set, Tuple
 
 from ..errors import GraphError
 from ..numrep import Representation, digit_cost, oddpart
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from ..robust.budget import SolverBudget
 
 __all__ = ["ColorEdge", "ColoredGraph", "build_colored_graph"]
 
@@ -159,13 +162,16 @@ def build_colored_graph(
     vertices: Iterable[int],
     max_shift: int,
     representation: Representation = Representation.CSD,
+    budget: Optional["SolverBudget"] = None,
 ) -> ColoredGraph:
     """Construct the full SIDC graph over ``vertices``.
 
     For ``M`` vertices this materializes up to ``2 * (max_shift + 1) * M *
     (M - 1)`` colored edges (paper §3.1).  Edges whose SID coefficient is zero
     are skipped — a zero color means ``dst`` is a shift of ``src``, which
-    cannot happen between distinct odd vertices.
+    cannot happen between distinct odd vertices.  The optional cooperative
+    ``budget`` is charged per vertex pair so oversized builds raise
+    :class:`~repro.errors.BudgetExceeded` instead of stalling the pipeline.
     """
     vertex_list = sorted(set(vertices))
     if max_shift < 0:
@@ -175,6 +181,8 @@ def build_colored_graph(
         for dst in vertex_list:
             if src == dst:
                 continue
+            if budget is not None:
+                budget.spend()
             for shift in range(max_shift + 1):
                 shifted = src << shift
                 for src_sign in (1, -1):

@@ -20,10 +20,23 @@ than silently running forever.
 
 from __future__ import annotations
 
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Optional, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
-from ..errors import GraphError
+from ..errors import BudgetExceeded, CoverBudgetError, GraphError
 from .setcover import CoverSolution, CoverStep
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from ..robust.budget import SolverBudget
 
 __all__ = ["exact_weighted_set_cover", "prune_dominated_sets"]
 
@@ -57,12 +70,17 @@ def exact_weighted_set_cover(
     costs: Mapping[Hashable, float],
     max_universe: int = 18,
     max_nodes: int = 2_000_000,
+    budget: Optional["SolverBudget"] = None,
 ) -> CoverSolution:
     """Provably minimum-cost cover of ``universe`` (small instances only).
 
-    Raises :class:`GraphError` when the universe exceeds ``max_universe``,
-    when an element is uncoverable, or when the node budget is exhausted
-    (so a runaway instance fails loudly instead of hanging).
+    Raises :class:`GraphError` when the universe exceeds ``max_universe`` or
+    when an element is uncoverable.  When the ``max_nodes`` cap — or the
+    optional cooperative ``budget`` (wall clock and/or nodes) — is exhausted
+    mid-search, raises :class:`CoverBudgetError` whose ``partial`` attribute
+    carries the best *incumbent* cover found so far (a complete cover whose
+    optimality is simply unproven), letting callers degrade gracefully
+    instead of recomputing from scratch.
     """
     universe = set(universe)
     if len(universe) > max_universe:
@@ -101,7 +119,9 @@ def exact_weighted_set_cover(
     def search(uncovered: Set, cost: float, picked: Tuple[Hashable, ...]) -> None:
         nodes[0] += 1
         if nodes[0] > max_nodes:
-            raise GraphError("exact cover exceeded its node budget")
+            raise BudgetExceeded("exact cover exceeded its node budget")
+        if budget is not None:
+            budget.spend()
         if not uncovered:
             if cost < best_cost[0]:
                 best_cost[0] = cost
@@ -118,25 +138,37 @@ def exact_weighted_set_cover(
                 continue
             search(uncovered - sets[key], cost + costs[key], picked + (key,))
 
-    search(set(universe), 0.0, ())
+    def solution_from(picked: Tuple[Hashable, ...]) -> CoverSolution:
+        steps: List[CoverStep] = []
+        covered_by: Dict = {}
+        remaining = set(universe)
+        for key in picked:
+            newly = sets[key] & remaining
+            steps.append(
+                CoverStep(
+                    color=key,
+                    benefit=0.0,
+                    frequency=len(newly),
+                    cost=costs[key],
+                    newly_covered=frozenset(newly),
+                )
+            )
+            for element in newly:
+                covered_by[element] = key
+            remaining -= newly
+        return CoverSolution(steps=tuple(steps), covered_by=covered_by)
+
+    try:
+        search(set(universe), 0.0, ())
+    except BudgetExceeded as exc:
+        incumbent = (
+            solution_from(best_pick[0]) if best_pick[0] is not None else None
+        )
+        suffix = (
+            " (incumbent cover attached)" if incumbent is not None
+            else " (no incumbent found)"
+        )
+        raise CoverBudgetError(str(exc) + suffix, partial=incumbent) from exc
     if best_pick[0] is None:  # pragma: no cover - guarded by reachability
         raise GraphError("exact cover found no solution")
-
-    steps: List[CoverStep] = []
-    covered_by: Dict = {}
-    remaining = set(universe)
-    for key in best_pick[0]:
-        newly = sets[key] & remaining
-        steps.append(
-            CoverStep(
-                color=key,
-                benefit=0.0,
-                frequency=len(newly),
-                cost=costs[key],
-                newly_covered=frozenset(newly),
-            )
-        )
-        for element in newly:
-            covered_by[element] = key
-        remaining -= newly
-    return CoverSolution(steps=tuple(steps), covered_by=covered_by)
+    return solution_from(best_pick[0])

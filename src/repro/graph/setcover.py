@@ -15,9 +15,22 @@ modeling deep-submicron interconnect/drive cost).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Hashable, List, Mapping, Set, Tuple
+from typing import (
+    TYPE_CHECKING,
+    Dict,
+    FrozenSet,
+    Hashable,
+    List,
+    Mapping,
+    Optional,
+    Set,
+    Tuple,
+)
 
-from ..errors import GraphError
+from ..errors import BudgetExceeded, GraphError
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from ..robust.budget import SolverBudget
 
 __all__ = ["CoverStep", "CoverSolution", "benefit", "greedy_weighted_set_cover"]
 
@@ -63,6 +76,7 @@ def greedy_weighted_set_cover(
     beta: float = 0.5,
     element_weights: Mapping = None,
     strategy: str = "benefit",
+    budget: Optional["SolverBudget"] = None,
 ) -> CoverSolution:
     """Cover ``universe`` greedily using ``sets`` weighted by the benefit function.
 
@@ -77,6 +91,11 @@ def greedy_weighted_set_cover(
     Ties on the score break toward higher frequency, then lower cost, then the
     smaller key (total order -> deterministic output).  Raises
     :class:`GraphError` if some element of the universe appears in no set.
+
+    An optional cooperative ``budget`` is charged one unit per candidate set
+    scanned; on exhaustion the raised :class:`BudgetExceeded` carries the
+    partial :class:`CoverSolution` built so far (covering only part of the
+    universe) as its ``partial`` attribute.
     """
     if not 0.0 <= beta <= 1.0:
         raise GraphError(f"beta must be in [0, 1], got {beta}")
@@ -106,6 +125,18 @@ def greedy_weighted_set_cover(
     steps: List[CoverStep] = []
     covered_by: Dict = {}
     while uncovered:
+        if budget is not None:
+            try:
+                budget.spend(max(1, len(remaining_count)))
+            except BudgetExceeded as exc:
+                raise BudgetExceeded(
+                    f"greedy cover interrupted with {len(uncovered)} of "
+                    f"{len(covered_by) + len(uncovered)} elements uncovered: "
+                    f"{exc}",
+                    partial=CoverSolution(
+                        steps=tuple(steps), covered_by=dict(covered_by)
+                    ),
+                ) from exc
         best_key = None
         best_rank: Tuple[float, float, float] = (float("-inf"), 0.0, 0.0)
         for key, frequency in remaining_count.items():

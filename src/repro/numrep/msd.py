@@ -11,9 +11,12 @@ word lengths of filter coefficients (<= 24 bits), not for bignums.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import List, Tuple
+from typing import TYPE_CHECKING, List, Optional, Tuple
 
 from .digits import SignedDigits
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from ..robust.budget import SolverBudget
 
 __all__ = ["minimal_nonzero_count", "enumerate_msd", "msd_count"]
 
@@ -40,13 +43,19 @@ def minimal_nonzero_count(value: int) -> int:
     )
 
 
-def enumerate_msd(value: int, max_width: int | None = None) -> List[SignedDigits]:
+def enumerate_msd(
+    value: int,
+    max_width: int | None = None,
+    budget: Optional["SolverBudget"] = None,
+) -> List[SignedDigits]:
     """Enumerate every minimal signed-digit encoding of ``value``.
 
     ``max_width`` bounds the digit positions considered; by default one digit
     beyond the binary width of the value (CSD never needs more).  The result
     is sorted by string form for determinism and always contains the CSD
-    encoding of the value.
+    encoding of the value.  The optional cooperative ``budget`` is charged one
+    unit per enumeration node and raises
+    :class:`~repro.errors.BudgetExceeded` on exhaustion.
     """
     if value == 0:
         return [SignedDigits(())]
@@ -54,7 +63,7 @@ def enumerate_msd(value: int, max_width: int | None = None) -> List[SignedDigits
         max_width = abs(value).bit_length() + 1
     target_cost = minimal_nonzero_count(value)
     results: List[Tuple[int, ...]] = []
-    _search(value, 0, max_width, target_cost, (), results)
+    _search(value, 0, max_width, target_cost, (), results, budget)
     encodings = sorted({SignedDigits(r) for r in results}, key=str)
     return list(encodings)
 
@@ -68,22 +77,25 @@ def _search(
     remaining: int,
     position: int,
     max_width: int,
-    budget: int,
+    digits_left: int,
     prefix: Tuple[int, ...],
     results: List[Tuple[int, ...]],
+    budget: Optional["SolverBudget"] = None,
 ) -> None:
     """Depth-first enumeration of digit choices at ``position``.
 
     ``remaining`` is the value still to be represented by positions
     ``>= position`` divided by ``2**position`` — i.e. we peel one digit per
-    level and halve.  ``budget`` is the number of nonzero digits we may still
-    spend while staying minimal.
+    level and halve.  ``digits_left`` is the number of nonzero digits we may
+    still spend while staying minimal.
     """
+    if budget is not None:
+        budget.spend()
     if remaining == 0:
-        if budget == 0:
+        if digits_left == 0:
             results.append(prefix)
         return
-    if position >= max_width or budget == 0:
+    if position >= max_width or digits_left == 0:
         return
     # A digit d at this position leaves (remaining - d) / 2 for higher ones.
     if remaining % 2 == 0:
@@ -94,5 +106,6 @@ def _search(
         rest = (remaining - d) // 2
         cost = 1 if d else 0
         # Prune: the remainder needs at least its own minimal digit count.
-        if cost <= budget and minimal_nonzero_count(rest) <= budget - cost:
-            _search(rest, position + 1, max_width, budget - cost, prefix + (d,), results)
+        if cost <= digits_left and minimal_nonzero_count(rest) <= digits_left - cost:
+            _search(rest, position + 1, max_width, digits_left - cost,
+                    prefix + (d,), results, budget)

@@ -16,13 +16,16 @@ for transform-aware search (see ``benchmarks/bench_ablation_coeff_search.py``).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Callable, List, Sequence, Tuple
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..errors import QuantizationError
+from ..errors import BudgetExceeded, QuantizationError
 from ..numrep import Representation, digit_cost
 from .scaling import QuantizedTaps
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from ..robust.budget import SolverBudget
 
 __all__ = ["CoefficientSearchResult", "search_coefficients", "csd_digit_cost"]
 
@@ -60,6 +63,7 @@ def search_coefficients(
     cost_fn: CostFunction = csd_digit_cost,
     max_delta: int = 2,
     max_passes: int = 4,
+    budget: Optional["SolverBudget"] = None,
 ) -> CoefficientSearchResult:
     """Coordinate-descent LSB search around a quantized tap vector.
 
@@ -71,6 +75,13 @@ def search_coefficients(
     The predicate sees taps reconstructed with the *original* per-tap scale
     factors (perturbing the mantissa, not the exponent), so maximal-scaled
     vectors search correctly too.
+
+    The optional cooperative ``budget`` is charged one unit per candidate
+    evaluation; on exhaustion the raised
+    :class:`~repro.errors.BudgetExceeded` carries the best
+    :class:`CoefficientSearchResult` reached so far as its ``partial``
+    attribute (the search only ever improves on the starting vector, so the
+    partial result is always valid).
     """
     if max_delta < 1:
         raise QuantizationError(f"max_delta must be >= 1, got {max_delta}")
@@ -95,39 +106,52 @@ def search_coefficients(
     original_cost = current_cost
     changes = 0
     passes = 0
-    for _ in range(max_passes):
-        passes += 1
-        changed_this_pass = False
-        for index in range(len(current)):
-            best_value = current[index]
-            best_cost = current_cost
-            for delta in range(-max_delta, max_delta + 1):
-                if delta == 0:
-                    continue
-                candidate_value = current[index] + delta
-                if abs(candidate_value) > limit:
-                    continue
-                candidate = list(current)
-                candidate[index] = candidate_value
-                candidate_cost = cost_fn(candidate)
-                if candidate_cost >= best_cost:
-                    continue
-                if not predicate(reconstruct(candidate)):
-                    continue
-                best_value = candidate_value
-                best_cost = candidate_cost
-            if best_value != current[index]:
-                current[index] = best_value
-                current_cost = best_cost
-                changes += 1
-                changed_this_pass = True
-        if not changed_this_pass:
-            break
-    return CoefficientSearchResult(
-        original=quantized.integers,
-        improved=tuple(current),
-        original_cost=original_cost,
-        improved_cost=current_cost,
-        num_changes=changes,
-        passes=passes,
-    )
+
+    def result_so_far() -> CoefficientSearchResult:
+        return CoefficientSearchResult(
+            original=quantized.integers,
+            improved=tuple(current),
+            original_cost=original_cost,
+            improved_cost=current_cost,
+            num_changes=changes,
+            passes=passes,
+        )
+
+    try:
+        for _ in range(max_passes):
+            passes += 1
+            changed_this_pass = False
+            for index in range(len(current)):
+                best_value = current[index]
+                best_cost = current_cost
+                for delta in range(-max_delta, max_delta + 1):
+                    if delta == 0:
+                        continue
+                    if budget is not None:
+                        budget.spend()
+                    candidate_value = current[index] + delta
+                    if abs(candidate_value) > limit:
+                        continue
+                    candidate = list(current)
+                    candidate[index] = candidate_value
+                    candidate_cost = cost_fn(candidate)
+                    if candidate_cost >= best_cost:
+                        continue
+                    if not predicate(reconstruct(candidate)):
+                        continue
+                    best_value = candidate_value
+                    best_cost = candidate_cost
+                if best_value != current[index]:
+                    current[index] = best_value
+                    current_cost = best_cost
+                    changes += 1
+                    changed_this_pass = True
+            if not changed_this_pass:
+                break
+    except BudgetExceeded as exc:
+        raise BudgetExceeded(
+            f"coefficient search interrupted after {passes} passes / "
+            f"{changes} changes: {exc}",
+            partial=result_so_far(),
+        ) from exc
+    return result_so_far()

@@ -1,0 +1,38 @@
+"""Resilient synthesis: solver budgets, tiered degradation, chaos testing.
+
+The production-facing entry point is :func:`synthesize`, which runs the
+exact → greedy → trivial tier cascade with retry-with-perturbation and
+releases only convolution-verified architectures.  :class:`SolverBudget`
+makes every NP-hard search in the library interruptible;
+:class:`ChaosHarness` injects deterministic faults to prove the cascade
+catches and reroutes every failure mode.
+"""
+
+from ..errors import BudgetExceeded, CoverBudgetError, DegradationError
+from .budget import SolverBudget
+from .chaos import FAULT_CLASSES, ChaosFault, ChaosHarness, Injection
+from .degrade import (
+    STAGES,
+    TIERS,
+    AttemptRecord,
+    RobustConfig,
+    RobustResult,
+    synthesize,
+)
+
+__all__ = [
+    "AttemptRecord",
+    "BudgetExceeded",
+    "ChaosFault",
+    "ChaosHarness",
+    "CoverBudgetError",
+    "DegradationError",
+    "FAULT_CLASSES",
+    "Injection",
+    "RobustConfig",
+    "RobustResult",
+    "STAGES",
+    "SolverBudget",
+    "TIERS",
+    "synthesize",
+]

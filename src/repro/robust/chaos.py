@@ -1,0 +1,174 @@
+"""Deterministic, seedable fault injection for the robust synthesis cascade.
+
+``tests/test_failure_injection.py`` corrupts *data* structures and asserts
+the validators notice; this module extends that philosophy to *control
+flow*: a :class:`ChaosHarness` hooks the stage boundaries of
+:func:`repro.robust.synthesize` and injects three fault classes —
+
+* ``"exception"`` — raise a :class:`ChaosFault` (deliberately **not** a
+  :class:`~repro.errors.ReproError`, proving the cascade survives arbitrary
+  exception types, not just its own);
+* ``"deadline"`` — force the attempt's :class:`~repro.robust.SolverBudget`
+  into exhaustion so the *solver's own cooperative checkpoint* raises
+  mid-search (stages without a budget raise directly);
+* ``"corruption"`` — silently corrupt the stage's output structure (a tap
+  binding's shift, a netlist output wire) so only the end-to-end
+  convolution self-check can catch it.
+
+Injection is driven by a seeded :class:`random.Random`, so a given seed
+replays the exact same fault sequence; ``injections`` records every fault
+actually fired for test assertions.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, replace
+from typing import List, Optional, Tuple
+
+from ..arch.nodes import Ref
+from ..core.sidc import TapBinding
+from ..errors import BudgetExceeded, ReproError
+from .budget import SolverBudget
+from .degrade import STAGES
+
+__all__ = ["FAULT_CLASSES", "ChaosFault", "ChaosHarness", "Injection"]
+
+FAULT_CLASSES = ("exception", "deadline", "corruption")
+
+
+class ChaosFault(RuntimeError):
+    """An injected failure — intentionally outside the ReproError hierarchy."""
+
+
+@dataclass(frozen=True)
+class Injection:
+    """One fault that actually fired: where, what, and in which order."""
+
+    index: int
+    stage: str
+    fault: str
+
+
+class ChaosHarness:
+    """Injects faults at the stage boundaries of the robust cascade.
+
+    ``rate`` is the per-stage-visit injection probability; ``max_injections``
+    caps the total faults fired (``None`` = unlimited, which with
+    ``rate=1.0`` guarantees every attempt fails and the cascade must raise
+    :class:`~repro.errors.DegradationError`).  ``stages`` and ``faults``
+    restrict where and what to inject, enabling the exhaustive
+    stage × fault-class test matrix.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        stages: Tuple[str, ...] = STAGES,
+        faults: Tuple[str, ...] = FAULT_CLASSES,
+        rate: float = 1.0,
+        max_injections: Optional[int] = None,
+    ) -> None:
+        unknown = [s for s in stages if s not in STAGES]
+        if unknown:
+            raise ReproError(f"unknown stages {unknown!r}; choose from {STAGES}")
+        unknown = [f for f in faults if f not in FAULT_CLASSES]
+        if unknown:
+            raise ReproError(
+                f"unknown fault classes {unknown!r}; choose from {FAULT_CLASSES}"
+            )
+        if not stages or not faults:
+            raise ReproError("need at least one stage and one fault class")
+        if not 0.0 <= rate <= 1.0:
+            raise ReproError(f"rate must be in [0, 1], got {rate}")
+        self.stages = tuple(stages)
+        self.faults = tuple(faults)
+        self.rate = rate
+        self.max_injections = max_injections
+        self.injections: List[Injection] = []
+        self._rng = random.Random(seed)
+        self._pending_corruption: Optional[str] = None
+
+    def _draw(self, stage: str) -> Optional[str]:
+        if stage not in self.stages:
+            return None
+        armed = 1 if self._pending_corruption is not None else 0
+        if (
+            self.max_injections is not None
+            and len(self.injections) + armed >= self.max_injections
+        ):
+            return None
+        if self._rng.random() >= self.rate:
+            return None
+        return self.faults[self._rng.randrange(len(self.faults))]
+
+    def _record(self, stage: str, fault: str) -> None:
+        self.injections.append(
+            Injection(index=len(self.injections), stage=stage, fault=fault)
+        )
+
+    def before(self, stage: str, budget: Optional[SolverBudget] = None) -> None:
+        """Stage-entry hook: may raise, exhaust the budget, or arm corruption."""
+        fault = self._draw(stage)
+        if fault is None:
+            return
+        if fault == "corruption":
+            # Fires in transform() on this stage's output.
+            self._pending_corruption = stage
+            return
+        self._record(stage, fault)
+        if fault == "exception":
+            raise ChaosFault(f"injected exception at stage {stage!r}")
+        # fault == "deadline"
+        if budget is not None:
+            budget.exhaust(f"chaos-injected deadline at stage {stage!r}")
+            # The solver's own cooperative checkpoint will raise mid-search;
+            # stages that never consult the budget must still fail, so check
+            # once here too.
+            budget.checkpoint()
+        else:
+            raise BudgetExceeded(f"injected deadline at stage {stage!r}")
+
+    def transform(self, stage: str, value):
+        """Stage-exit hook: corrupt the stage's output if armed."""
+        if self._pending_corruption != stage:
+            return value
+        self._pending_corruption = None
+        self._record(stage, "corruption")
+        if stage == "plan":
+            return _corrupt_plan(value)
+        return _corrupt_architecture(value)
+
+
+def _corrupt_plan(plan):
+    """Bump one tap binding's shift, bypassing its consistency check.
+
+    The corrupted plan still lowers cleanly — the netlist simply computes the
+    wrong coefficient for that tap — so only the convolution self-check in
+    the robust cascade can catch it.
+    """
+    for i, binding in enumerate(plan.bindings):
+        if binding.is_zero:
+            continue
+        broken = TapBinding.__new__(TapBinding)
+        object.__setattr__(broken, "index", binding.index)
+        object.__setattr__(broken, "coefficient", binding.coefficient)
+        object.__setattr__(broken, "vertex", binding.vertex)
+        object.__setattr__(broken, "shift", binding.shift + 1)
+        object.__setattr__(broken, "sign", binding.sign)
+        bindings = plan.bindings[:i] + (broken,) + plan.bindings[i + 1:]
+        return replace(plan, bindings=bindings)
+    raise ChaosFault("no corruptible binding: every tap is zero")
+
+
+def _corrupt_architecture(architecture):
+    """Re-wire one netlist output with an extra shift (silent data fault)."""
+    netlist = architecture.netlist
+    for name, ref in netlist.outputs.items():
+        if ref is None:
+            continue
+        netlist._outputs[name] = Ref(
+            node=ref.node, shift=ref.shift + 1, sign=ref.sign
+        )
+        return architecture
+    raise ChaosFault("no corruptible output: every tap is zero")

@@ -1,0 +1,130 @@
+"""Error-path coverage for pipelining and resource-constrained scheduling.
+
+Asserts exact exception types *and* messages so a refactor cannot silently
+swap a meaningful failure for a generic one.
+"""
+
+import pytest
+
+from repro.arch import ShiftAddNetlist
+from repro.arch.scheduler import Schedule, alap_schedule, list_schedule
+from repro.core import schedule_pipeline
+from repro.core.pipeline import PipelineSchedule
+from repro.errors import SynthesisError
+
+
+def two_independent_adders() -> ShiftAddNetlist:
+    """Input + two adders that do not depend on each other."""
+    netlist = ShiftAddNetlist()
+    netlist.ensure_constant(3)
+    netlist.ensure_constant(5)
+    assert len(netlist) == 3
+    return netlist
+
+
+class TestPipelineErrorPaths:
+    def test_invalid_max_stage_depth(self):
+        netlist = two_independent_adders()
+        with pytest.raises(
+            SynthesisError, match=r"max_stage_depth must be >= 1, got 0"
+        ):
+            schedule_pipeline(netlist, max_stage_depth=0)
+        with pytest.raises(
+            SynthesisError, match=r"max_stage_depth must be >= 1, got -3"
+        ):
+            schedule_pipeline(netlist, max_stage_depth=-3)
+
+    def test_zero_clock_with_nonzero_path_raises(self):
+        """Satellite fix: a zero-delay schedule is an error, not speedup 1.0."""
+        schedule = PipelineSchedule(
+            stage_of_node=(0,),
+            num_stages=1,
+            max_stage_depth=1,
+            register_bits=0,
+            clock_period_ns=0.0,
+        )
+        object.__setattr__(schedule, "_unpipelined_ns", 5.0)
+        with pytest.raises(
+            SynthesisError,
+            match=r"zero clock period but a nonzero unpipelined critical path",
+        ):
+            schedule.throughput_speedup
+
+    def test_zero_clock_with_zero_path_is_unit_speedup(self):
+        schedule = PipelineSchedule(
+            stage_of_node=(0,),
+            num_stages=1,
+            max_stage_depth=1,
+            register_bits=0,
+            clock_period_ns=0.0,
+        )
+        assert schedule.throughput_speedup == 1.0
+
+    def test_real_schedule_speedup_still_works(self):
+        netlist = two_independent_adders()
+        schedule = schedule_pipeline(netlist, max_stage_depth=1)
+        assert schedule.throughput_speedup >= 1.0
+
+
+class TestSchedulerErrorPaths:
+    def test_list_schedule_needs_an_adder(self):
+        netlist = two_independent_adders()
+        with pytest.raises(
+            SynthesisError, match=r"need at least one adder, got 0"
+        ):
+            list_schedule(netlist, num_adders=0)
+
+    def test_alap_latency_below_critical_path(self):
+        netlist = two_independent_adders()
+        with pytest.raises(
+            SynthesisError, match=r"latency 0 below the critical path 1"
+        ):
+            alap_schedule(netlist, latency=0)
+
+    def test_over_budget_cycle_usage(self):
+        """A schedule packing more adders into a cycle than the budget."""
+        netlist = two_independent_adders()
+        schedule = Schedule(cycle_of_node=(0, 1, 1), num_adders=1)
+        with pytest.raises(
+            SynthesisError, match=r"cycle 1 uses 2 adders, budget 1"
+        ):
+            schedule.validate(netlist)
+
+    def test_over_budget_is_fine_with_larger_budget(self):
+        netlist = two_independent_adders()
+        Schedule(cycle_of_node=(0, 1, 1), num_adders=2).validate(netlist)
+
+    def test_input_must_be_cycle_zero(self):
+        netlist = two_independent_adders()
+        schedule = Schedule(cycle_of_node=(1, 2, 2), num_adders=None)
+        with pytest.raises(
+            SynthesisError, match=r"input must be scheduled at cycle 0"
+        ):
+            schedule.validate(netlist)
+
+    def test_adder_before_cycle_one(self):
+        netlist = two_independent_adders()
+        schedule = Schedule(cycle_of_node=(0, 0, 1), num_adders=None)
+        with pytest.raises(
+            SynthesisError, match=r"adder 1 scheduled before cycle 1"
+        ):
+            schedule.validate(netlist)
+
+    def test_schedule_length_mismatch(self):
+        netlist = two_independent_adders()
+        schedule = Schedule(cycle_of_node=(0, 1), num_adders=None)
+        with pytest.raises(
+            SynthesisError, match=r"schedule length != netlist length"
+        ):
+            schedule.validate(netlist)
+
+    def test_dependency_violation(self):
+        netlist = ShiftAddNetlist()
+        netlist.ensure_constant(45)  # builds a dependent adder chain
+        assert len(netlist) >= 3
+        cycles = [0] * len(netlist)
+        cycles[1] = 2  # producer...
+        cycles[2] = 1  # ...after its consumer
+        schedule = Schedule(cycle_of_node=tuple(cycles), num_adders=None)
+        with pytest.raises(SynthesisError, match=r"depends on node"):
+            schedule.validate(netlist)

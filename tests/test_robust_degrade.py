@@ -1,0 +1,178 @@
+"""The degradation cascade: tiers, perturbation retries, quarantine, deadline."""
+
+import time
+
+import pytest
+
+from repro.arch.simulate import verify_against_convolution
+from repro.errors import DegradationError, ReproError, SynthesisError
+from repro.robust import (
+    ChaosHarness,
+    RobustConfig,
+    SolverBudget,
+    synthesize,
+)
+from repro.robust.degrade import _exact_cover_fn, _perturbations
+from repro.core.mrp import MrpOptions
+from repro.numrep import Representation
+
+COEFFS = [5, 22, 45, 89, 45, 22, 5]
+WORDLENGTH = 7
+
+
+def assert_released_architecture_correct(result, coefficients):
+    """Re-verify the released architecture independently of the cascade."""
+    verify_against_convolution(
+        result.architecture.netlist,
+        result.architecture.tap_names,
+        list(coefficients),
+        [1, -1, 3, 255, -777, 12345],
+    )
+    assert tuple(result.architecture.coefficients) == tuple(coefficients)
+
+
+class TestHappyPath:
+    def test_exact_tier_wins_clean(self, paper_coefficients):
+        result = synthesize(paper_coefficients, 7)
+        assert result.tier == "exact"
+        assert result.num_attempts == 1
+        assert not result.degraded
+        assert result.attempts[0].outcome == "ok"
+        assert result.attempts[0].stage == "done"
+        assert_released_architecture_correct(result, paper_coefficients)
+
+    def test_large_filter_skips_exact_tier(self):
+        coeffs = [3, 11, 23, 45, 77, 89, 101, 115, 13, 57, 119, 121,
+                  33, 67, 99, 71, 43, 85, 29, 39, 51]
+        result = synthesize(coeffs, 8)
+        assert result.tier == "greedy"
+        assert any("exact_max_universe" in w for w in result.warnings)
+        assert_released_architecture_correct(result, coeffs)
+
+    def test_single_tier_config(self):
+        result = synthesize(
+            COEFFS, WORDLENGTH, config=RobustConfig(tiers=("trivial",))
+        )
+        assert result.tier == "trivial"
+        assert_released_architecture_correct(result, COEFFS)
+
+    def test_exact_tier_no_worse_than_greedy(self, paper_coefficients):
+        exact = synthesize(
+            paper_coefficients, 7, config=RobustConfig(tiers=("exact",))
+        )
+        greedy = synthesize(
+            paper_coefficients, 7, config=RobustConfig(tiers=("greedy",))
+        )
+        assert exact.architecture.plan.cover.total_cost \
+            <= greedy.architecture.plan.cover.total_cost
+
+
+class TestRetryWithPerturbation:
+    def test_schedule_starts_with_base_and_varies_knobs(self):
+        base = MrpOptions(beta=0.5)
+        schedule = list(_perturbations(base, 12, max_retries=4))
+        assert schedule[0] == base
+        assert len(schedule) == 5
+        betas = {opts.beta for opts in schedule}
+        assert len(betas) > 1  # beta is actually perturbed
+        for opts in schedule:  # every variant is a valid configuration
+            MrpOptions(beta=opts.beta, max_shift=opts.max_shift,
+                       representation=opts.representation)
+
+    def test_zero_retries(self):
+        schedule = list(_perturbations(MrpOptions(), 12, max_retries=0))
+        assert len(schedule) == 1
+
+    def test_representation_and_shift_perturbed(self):
+        base = MrpOptions(beta=0.5, max_shift=8)
+        schedule = list(_perturbations(base, 12, max_retries=6))
+        assert any(o.representation == Representation.SM for o in schedule)
+        assert any(o.max_shift == 4 for o in schedule)
+
+    def test_failed_attempt_triggers_retry(self):
+        chaos = ChaosHarness(
+            seed=1, stages=("plan",), faults=("exception",), max_injections=1
+        )
+        result = synthesize(COEFFS, WORDLENGTH, chaos=chaos)
+        assert result.degraded
+        assert result.num_attempts == 2
+        assert result.attempts[0].outcome == "failed"
+        assert result.attempts[1].outcome == "ok"
+        # Retry happened inside the same tier, with perturbed options.
+        assert result.attempts[0].tier == result.attempts[1].tier
+        assert (result.attempts[0].beta, result.attempts[0].representation) \
+            != (result.attempts[1].beta, result.attempts[1].representation) or \
+            result.attempts[0].max_shift != result.attempts[1].max_shift
+        assert_released_architecture_correct(result, COEFFS)
+
+
+class TestIncumbentReuse:
+    def test_exact_cover_fn_reuses_incumbent(self):
+        """Satellite: the budget error's partial cover is reused, not wasted."""
+        universe = {1, 2, 3, 4, 5, 6}
+        sets = {
+            "half1": frozenset({1, 2, 3}),
+            "half2": frozenset({4, 5, 6}),
+            "trap1": frozenset({1, 4}),
+            "trap2": frozenset({2, 5}),
+            "trap3": frozenset({3, 6}),
+        }
+        costs = {"half1": 2.0, "half2": 2.0, "trap1": 1.0, "trap2": 1.0,
+                 "trap3": 1.0}
+        warnings = []
+        cover = _exact_cover_fn(
+            RobustConfig(), SolverBudget(max_nodes=4), warnings
+        )
+        solution = cover(universe, sets, costs, MrpOptions())
+        covered = set()
+        for step in solution.steps:
+            covered |= step.newly_covered
+        assert covered == universe
+        assert any("incumbent" in w for w in warnings)
+
+
+class TestExhaustion:
+    def test_all_tiers_fail_raises_typed_error_with_history(self):
+        chaos = ChaosHarness(seed=11, rate=1.0)  # unlimited faults
+        with pytest.raises(DegradationError) as info:
+            synthesize(COEFFS, WORDLENGTH, chaos=chaos)
+        error = info.value
+        assert isinstance(error, ReproError)
+        assert {a.tier for a in error.attempts} == {"exact", "greedy", "trivial"}
+        assert all(a.outcome in ("failed", "quarantined") for a in error.attempts)
+        assert all(a.error_type is not None for a in error.attempts)
+
+    def test_config_validation(self):
+        with pytest.raises(SynthesisError):
+            RobustConfig(tiers=())
+        with pytest.raises(SynthesisError):
+            RobustConfig(tiers=("exact", "bogus"))
+        with pytest.raises(SynthesisError):
+            RobustConfig(max_retries=-1)
+        with pytest.raises(SynthesisError):
+            RobustConfig(deadline_s=-0.5)
+
+
+class TestDeadline:
+    def test_expired_deadline_still_returns_verified_trivial(self):
+        result = synthesize(
+            COEFFS, WORDLENGTH, config=RobustConfig(deadline_s=0.0)
+        )
+        assert result.tier == "trivial"
+        assert any("skipping tier" in w for w in result.warnings)
+        assert_released_architecture_correct(result, COEFFS)
+
+    def test_completes_within_twice_the_budget(self):
+        """Acceptance: a deadline-bound run finishes within 2x the budget."""
+        import random
+
+        rng = random.Random(42)
+        coeffs = [rng.randrange(3, 1 << 14) | 1 for _ in range(40)]
+        deadline = 1.0
+        started = time.monotonic()
+        result = synthesize(
+            coeffs, 14, config=RobustConfig(deadline_s=deadline)
+        )
+        elapsed = time.monotonic() - started
+        assert elapsed < 2.0 * deadline
+        assert_released_architecture_correct(result, coeffs)
