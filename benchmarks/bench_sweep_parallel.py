@@ -1,0 +1,238 @@
+"""Sweep benchmark + regression gate: serial vs parallel vs warm cache.
+
+Runs the same restricted sweep three ways — cold serial, cold parallel
+(process-pool precompute), and fully warm (persistent disk cache) — checks
+the exports are byte-identical, collects per-stage synthesis timings, and
+writes everything to ``benchmarks/results/BENCH_sweep.json``.
+
+The gate then compares against the checked-in baseline
+(``benchmarks/results/BENCH_sweep_baseline.json``) and fails (exit 1) on a
+regression of more than ``--threshold`` (default 20%).
+
+Only *machine-portable ratio metrics* are gated:
+
+- ``warm_speedup_capped`` — cold-serial wall-clock over fully-warm
+                        wall-clock, saturated at 10×.  A healthy cache sits
+                        at the cap on any machine (the raw ratio is 100×+
+                        here but jitters wildly because the warm run is
+                        milliseconds); a broken cache collapses to ~1×,
+                        which the 20% threshold catches decisively.
+- ``warm_hit_rate``   — disk-cache hit rate of the warm run (≈ 1.0).
+- ``byte_identical``  — parallel and warm exports must equal serial bytes.
+
+Absolute wall-clocks, the parallel speedup (meaningless on single-core CI
+runners: ``min(jobs, cpus)`` bounds it), and per-stage timings are recorded
+for inspection but deliberately NOT gated — they do not transfer across
+machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_sweep_parallel.py --jobs 2
+    PYTHONPATH=src python benchmarks/bench_sweep_parallel.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import tempfile
+import time
+
+from repro.eval import cache as disk_cache
+from repro.eval import experiments
+from repro.eval.export import sweep_to_json
+from repro.eval.harness import run_sweep
+from repro.eval.parallel import run_sweep_parallel
+
+from bench_synthesis_speed import stage_operations
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_sweep_baseline.json"
+OUTPUT_PATH = RESULTS_DIR / "BENCH_sweep.json"
+
+# The gated workload: a restricted but representative slice of the full
+# figure/table sweep — two figure families plus Table 1 — kept small so the
+# gate stays under a minute on CI runners.
+EXPERIMENTS = ["fig6", "fig8a", "table1"]
+RESTRICT = dict(filter_indices=[0, 1], wordlengths=[8, 10])
+
+GATED_METRICS = ("warm_speedup_capped", "warm_hit_rate")
+
+# Saturation point for the gated warm-cache speedup: far below the raw
+# ratio on a healthy cache (so timer jitter cannot trip the gate) yet far
+# above the ~1x a broken cache produces.
+WARM_SPEEDUP_CAP = 10.0
+
+
+def _cold():
+    experiments.clear_cache()
+    disk_cache.configure(None)
+
+
+def _time_stage_operations(repeats: int = 3):
+    """Best-of-N wall-clock per synthesis stage (seconds)."""
+    timings = {}
+    for name, op in stage_operations().items():
+        best = float("inf")
+        for _ in range(repeats):
+            started = time.perf_counter()
+            op()
+            best = min(best, time.perf_counter() - started)
+        timings[name] = round(best, 6)
+    return timings
+
+
+def run_benchmark(jobs: int) -> dict:
+    # 1. Cold serial: the reference for both bytes and wall-clock.
+    _cold()
+    started = time.perf_counter()
+    serial_outcomes = run_sweep(EXPERIMENTS, **RESTRICT)
+    serial_s = time.perf_counter() - started
+    serial_json = sweep_to_json(serial_outcomes)
+
+    with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as tmp:
+        cache_dir = pathlib.Path(tmp)
+
+        # 2. Cold parallel: pool precompute into an empty disk cache.
+        _cold()
+        started = time.perf_counter()
+        parallel_report = run_sweep_parallel(
+            EXPERIMENTS, jobs=jobs, cache_dir=cache_dir, **RESTRICT
+        )
+        parallel_s = time.perf_counter() - started
+        parallel_json = sweep_to_json(parallel_report.outcomes)
+
+        # 3. Fully warm: memory cleared, disk cache intact.
+        experiments.clear_cache()
+        started = time.perf_counter()
+        warm_report = run_sweep_parallel(
+            EXPERIMENTS, jobs=jobs, cache_dir=cache_dir, **RESTRICT
+        )
+        warm_s = time.perf_counter() - started
+        warm_json = sweep_to_json(warm_report.outcomes)
+        warm_cache = warm_report.cache
+
+    _cold()
+
+    byte_identical = parallel_json == serial_json and warm_json == serial_json
+    warm_disk = warm_cache.get("disk") or {}
+    warm_hits = warm_disk.get("hits", 0)
+    warm_misses = warm_disk.get("misses", 0)
+    probes = warm_hits + warm_misses
+    return {
+        "workload": {
+            "experiments": EXPERIMENTS,
+            "filter_indices": RESTRICT["filter_indices"],
+            "wordlengths": RESTRICT["wordlengths"],
+        },
+        "environment": {
+            "jobs": jobs,
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "wall_clock_s": {
+            "serial_cold": round(serial_s, 4),
+            "parallel_cold": round(parallel_s, 4),
+            "warm": round(warm_s, 4),
+        },
+        "metrics": {
+            "parallel_speedup": round(serial_s / max(parallel_s, 1e-9), 4),
+            "warm_speedup": round(serial_s / max(warm_s, 1e-9), 4),
+            "warm_speedup_capped": round(
+                min(serial_s / max(warm_s, 1e-9), WARM_SPEEDUP_CAP), 4
+            ),
+            "warm_hit_rate": round(warm_hits / probes, 4) if probes else 0.0,
+            "byte_identical": byte_identical,
+        },
+        "parallel": parallel_report.stats(),
+        "warm": warm_report.stats(),
+        "stage_timings_s": _time_stage_operations(),
+    }
+
+
+def gate(result: dict, baseline: dict, threshold: float):
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures = []
+    if not result["metrics"]["byte_identical"]:
+        failures.append(
+            "byte_identical: parallel/warm exports differ from serial"
+        )
+    base_metrics = baseline.get("metrics", {})
+    for name in GATED_METRICS:
+        base = base_metrics.get(name)
+        current = result["metrics"].get(name)
+        if base is None or not isinstance(base, (int, float)) or base <= 0:
+            continue
+        floor = base * (1.0 - threshold)
+        if current < floor:
+            failures.append(
+                f"{name}: {current:.4f} < {floor:.4f} "
+                f"(baseline {base:.4f}, threshold {threshold:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--jobs", type=int, default=2,
+        help="worker processes for the parallel runs (default: 2)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.20,
+        help="max allowed relative regression on gated metrics (default 0.20)",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=OUTPUT_PATH,
+        help=f"where to write the report (default {OUTPUT_PATH})",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=BASELINE_PATH,
+        help=f"baseline to gate against (default {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the measured result as the new baseline and skip gating",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(jobs=args.jobs)
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_sweep] report written to {args.output}")
+    for name, value in result["metrics"].items():
+        print(f"[bench_sweep]   {name} = {value}")
+    for name, value in result["wall_clock_s"].items():
+        print(f"[bench_sweep]   {name} = {value}s")
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[bench_sweep] baseline updated at {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"[bench_sweep] no baseline at {args.baseline}; "
+            "run with --update-baseline to create one", file=sys.stderr,
+        )
+        return 1
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = gate(result, baseline, args.threshold)
+    if failures:
+        for message in failures:
+            print(f"[bench_sweep] REGRESSION {message}", file=sys.stderr)
+        return 1
+    print(f"[bench_sweep] gate passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

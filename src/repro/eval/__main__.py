@@ -63,11 +63,51 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="W",
         help="restrict coefficient wordlengths (default 8 12 16 20)",
     )
+    parser.add_argument(
+        "--jobs",
+        type=int,
+        default=None,
+        metavar="N",
+        help="precompute design points across N worker processes "
+             "(results are byte-identical to a serial run)",
+    )
+    parser.add_argument(
+        "--cache-dir",
+        metavar="DIR",
+        default=None,
+        help="persistent result cache shared across runs and workers",
+    )
+    parser.add_argument(
+        "--task-deadline",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="per-design-point solver budget during parallel precompute",
+    )
     args = parser.parse_args(argv)
 
     experiment_ids = (
         sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
+    if args.jobs is not None or args.cache_dir is not None:
+        from .parallel import run_sweep_parallel
+
+        report = run_sweep_parallel(
+            experiment_ids,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            filter_indices=args.filters,
+            wordlengths=args.wordlengths,
+            task_deadline_s=args.task_deadline,
+            replay=False,
+        )
+        stats = report.stats()
+        print(
+            f"[precomputed {stats['tasks_computed']} design points "
+            f"with {report.jobs} jobs in {report.precompute_s:.2f}s; "
+            f"{stats['tasks_precached']}/{stats['tasks_planned']} were "
+            f"already cached; {stats['tasks_failed']} failed]"
+        )
     for experiment_id in experiment_ids:
         result = run_experiment(
             experiment_id,

@@ -1,0 +1,240 @@
+"""Persistent, content-addressed result cache for the evaluation engine.
+
+The in-memory ``experiments._CACHE`` dies with the process and is keyed by
+*position* (benchmark index).  This module adds a second, durable layer keyed
+by *content*: a stable SHA-256 over the quantized coefficients, every option
+that affects the synthesis result, and a code-relevant version tag — so a
+result can never be served to a design point it was not computed for, and
+bumping :data:`CACHE_SCHEMA_VERSION` (or the package version) invalidates
+every stale entry at once.
+
+Entries are one JSON file each, sharded by key prefix, written atomically
+(tmp + rename) so concurrent writers — the process-pool workers of
+:mod:`repro.eval.parallel` — can share one directory without locks: both
+sides compute identical bytes for identical keys, so a lost race is merely a
+wasted write.
+
+The active cache is process-global (:func:`configure` / :func:`active_cache`)
+because the memoization sits under :func:`repro.eval.experiments._method_result`,
+deep below the experiment runners' call graph.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import os
+import tempfile
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, Iterator, Mapping, Optional
+
+from ..errors import ReproError
+
+__all__ = [
+    "CACHE_SCHEMA_VERSION",
+    "CacheStats",
+    "DiskCache",
+    "active_cache",
+    "cache_key",
+    "clear_cache",
+    "configure",
+    "version_tag",
+]
+
+#: Bump when the cached payload's meaning changes (new fields, changed
+#: semantics of an existing one) to orphan every previously written entry.
+CACHE_SCHEMA_VERSION = 1
+
+
+def version_tag() -> str:
+    """The code-relevant version folded into every cache key."""
+    from .. import __version__
+
+    return f"{__version__}+schema{CACHE_SCHEMA_VERSION}"
+
+
+def cache_key(payload: Mapping[str, Any]) -> str:
+    """Stable content hash of a key payload (version tag included).
+
+    The payload must be JSON-serializable; canonical serialization
+    (sorted keys, no whitespace) makes the hash independent of dict
+    construction order.
+    """
+    tagged = dict(payload)
+    tagged["__version__"] = version_tag()
+    canonical = json.dumps(
+        tagged, sort_keys=True, separators=(",", ":"), allow_nan=False
+    )
+    return hashlib.sha256(canonical.encode("utf-8")).hexdigest()
+
+
+@dataclass
+class CacheStats:
+    """Hit/miss/store counters for one cache layer."""
+
+    hits: int = 0
+    misses: int = 0
+    stores: int = 0
+
+    @property
+    def lookups(self) -> int:
+        """Total get() calls observed."""
+        return self.hits + self.misses
+
+    @property
+    def hit_rate(self) -> float:
+        """Fraction of lookups served from the cache (0.0 when unused)."""
+        return self.hits / self.lookups if self.lookups else 0.0
+
+    def as_dict(self) -> Dict[str, float]:
+        """Plain-dict view for reports and JSON export."""
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "stores": self.stores,
+            "hit_rate": self.hit_rate,
+        }
+
+
+class DiskCache:
+    """A directory of content-addressed JSON entries.
+
+    Layout: ``<root>/<key[:2]>/<key>.json`` — the two-character shard keeps
+    directory listings tractable for large sweeps.
+    """
+
+    def __init__(self, directory: os.PathLike) -> None:
+        self.root = Path(directory)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.stats = CacheStats()
+
+    def _path(self, key: str) -> Path:
+        if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
+            raise ReproError(f"malformed cache key {key!r}")
+        return self.root / key[:2] / f"{key}.json"
+
+    def get(self, key: str) -> Optional[Dict[str, Any]]:
+        """Return the stored payload for ``key``, or ``None`` on a miss.
+
+        A corrupt entry (truncated write from a killed process, manual
+        tampering) counts as a miss and is removed.
+        """
+        path = self._path(key)
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                payload = json.load(fh)
+        except FileNotFoundError:
+            self.stats.misses += 1
+            return None
+        except (json.JSONDecodeError, OSError):
+            self.stats.misses += 1
+            try:
+                path.unlink()
+            except OSError:
+                pass
+            return None
+        self.stats.hits += 1
+        return payload
+
+    def put(self, key: str, payload: Mapping[str, Any]) -> None:
+        """Atomically persist ``payload`` under ``key``."""
+        path = self._path(key)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".json"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+
+    def keys(self) -> Iterator[str]:
+        """Iterate over every stored key (filesystem order, not sorted)."""
+        for shard in self.root.iterdir():
+            if shard.is_dir():
+                for entry in shard.glob("*.json"):
+                    yield entry.stem
+
+    def __len__(self) -> int:
+        return sum(1 for _ in self.keys())
+
+    def clear(self) -> int:
+        """Remove every entry; returns the number removed."""
+        removed = 0
+        for shard in list(self.root.iterdir()):
+            if not shard.is_dir():
+                continue
+            for entry in list(shard.glob("*.json")):
+                entry.unlink()
+                removed += 1
+            try:
+                shard.rmdir()
+            except OSError:
+                pass
+        return removed
+
+
+# --- process-global active cache -------------------------------------------
+
+_ACTIVE: Optional[DiskCache] = None
+
+
+def configure(directory: Optional[os.PathLike]) -> Optional[DiskCache]:
+    """Install (or, with ``None``, uninstall) the process-wide disk cache.
+
+    Returns the installed cache so callers can inspect ``.stats``.
+    """
+    global _ACTIVE
+    _ACTIVE = DiskCache(directory) if directory is not None else None
+    return _ACTIVE
+
+
+def active_cache() -> Optional[DiskCache]:
+    """The currently installed disk cache, if any."""
+    return _ACTIVE
+
+
+def clear_cache(directory: Optional[os.PathLike] = None) -> int:
+    """Clear the given cache directory, or the active one; returns entry count.
+
+    Clearing never uninstalls the cache — subsequent results repopulate it.
+    """
+    if directory is not None:
+        return DiskCache(directory).clear()
+    if _ACTIVE is not None:
+        return _ACTIVE.clear()
+    return 0
+
+
+# --- MethodResult (de)serialization ----------------------------------------
+
+
+def encode_method_result(result: Any) -> Dict[str, Any]:
+    """JSON-safe dict form of an ``experiments.MethodResult``."""
+    payload = dataclasses.asdict(result)
+    if payload.get("seed_size") is not None:
+        payload["seed_size"] = list(payload["seed_size"])
+    return payload
+
+
+def decode_method_result(payload: Mapping[str, Any]) -> Any:
+    """Inverse of :func:`encode_method_result`."""
+    from .experiments import MethodResult
+
+    seed_size = payload.get("seed_size")
+    return MethodResult(
+        method=payload["method"],
+        adders=int(payload["adders"]),
+        depth=int(payload["depth"]),
+        cla_weighted=float(payload["cla_weighted"]),
+        seed_size=tuple(seed_size) if seed_size is not None else None,
+    )

@@ -15,7 +15,7 @@ design point, the β minimizing the lowered adder count — the choice a designe
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
 from ..baselines import (
     synthesize_cse_filter,
@@ -30,6 +30,10 @@ from ..hwcost import CARRY_LOOKAHEAD, weighted_adder_cost
 from ..numrep import Representation
 from ..quantize import ScalingScheme, quantize
 from .. import errors
+from . import cache as disk_cache
+
+if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
+    from ..robust.budget import SolverBudget
 
 __all__ = [
     "BETA_SWEEP",
@@ -44,6 +48,7 @@ __all__ = [
     "run_figure8",
     "run_table1",
     "run_summary",
+    "cache_info",
     "clear_cache",
 ]
 
@@ -52,11 +57,31 @@ WORDLENGTHS: Tuple[int, ...] = (8, 12, 16, 20)
 
 # (filter_index, wordlength, scaling, representation, method, compression)
 _CACHE: Dict[Tuple, "MethodResult"] = {}
+_MEMORY_STATS = disk_cache.CacheStats()
 
 
 def clear_cache() -> None:
-    """Drop all memoized synthesis results (used by benchmarks)."""
+    """Drop all memoized synthesis results and reset in-memory statistics.
+
+    Only the in-memory layer is dropped; the persistent layer (if one is
+    configured via :func:`repro.eval.cache.configure`) is cleared separately
+    with :func:`repro.eval.cache.clear_cache`.
+    """
     _CACHE.clear()
+    _MEMORY_STATS.hits = _MEMORY_STATS.misses = _MEMORY_STATS.stores = 0
+
+
+def cache_info() -> Dict[str, object]:
+    """Statistics for both cache layers (memory always, disk when active)."""
+    info: Dict[str, object] = {
+        "memory_entries": len(_CACHE),
+        "memory": _MEMORY_STATS.as_dict(),
+    }
+    active = disk_cache.active_cache()
+    if active is not None:
+        info["disk_dir"] = str(active.root)
+        info["disk"] = active.stats.as_dict()
+    return info
 
 
 @dataclass(frozen=True)
@@ -131,18 +156,25 @@ def best_mrpf(
     depth_limit: Optional[int] = None,
     seed_compression: str = "none",
     betas: Sequence[float] = BETA_SWEEP,
+    budget: Optional["SolverBudget"] = None,
 ) -> MrpfArchitecture:
     """Sweep β, lower each plan, return the cheapest architecture.
 
     The SIDC graph is built once and shared across the sweep — it does not
     depend on β.  The all-roots trivial plan participates as a floor, so the
     result is never worse than the (fundamental-sharing) simple baseline.
+
+    An optional cooperative ``budget`` is threaded through the graph build
+    and every per-β cover/forest optimization; on exhaustion the in-flight
+    solver raises :class:`~repro.errors.BudgetExceeded` (sweep shards use
+    this so one pathological instance fails fast instead of stalling the
+    worker).
     """
     from ..core.sidc import normalize_taps
 
     vertices, _ = normalize_taps([int(c) for c in coefficients])
     graph = (
-        build_colored_graph(vertices, wordlength, representation)
+        build_colored_graph(vertices, wordlength, representation, budget=budget)
         if len(vertices) > 1
         else None
     )
@@ -157,11 +189,38 @@ def best_mrpf(
         options = MrpOptions(
             beta=beta, representation=representation, depth_limit=depth_limit
         )
-        plan = optimize(coefficients, wordlength, options, graph=graph)
+        plan = optimize(
+            coefficients, wordlength, options, graph=graph, budget=budget
+        )
         architecture = lower_plan(plan, seed_compression)
         if architecture.adder_count < best.adder_count:
             best = architecture
     return best
+
+
+def _content_key(
+    integers: Sequence[int],
+    wordlength: int,
+    method: str,
+    representation: Representation,
+    depth_limit: Optional[int],
+    input_bits: int,
+) -> str:
+    """Disk-cache key: every input that affects the MethodResult, by content.
+
+    ``BETA_SWEEP`` is included because :func:`best_mrpf` folds it into the
+    result; a code change to the sweep must orphan old entries.
+    """
+    return disk_cache.cache_key({
+        "kind": "method_result",
+        "coefficients": [int(c) for c in integers],
+        "wordlength": wordlength,
+        "method": method,
+        "representation": representation.value,
+        "depth_limit": depth_limit,
+        "input_bits": input_bits,
+        "betas": list(BETA_SWEEP),
+    })
 
 
 def _method_result(
@@ -173,14 +232,30 @@ def _method_result(
     representation: Representation = Representation.CSD,
     depth_limit: Optional[int] = None,
     input_bits: int = 16,
+    budget: Optional["SolverBudget"] = None,
 ) -> MethodResult:
     key = (filter_index, wordlength, scaling.value, representation.value,
            method, depth_limit)
     cached = _CACHE.get(key)
     if cached is not None:
+        _MEMORY_STATS.hits += 1
         return cached
+    _MEMORY_STATS.misses += 1
     q = _quantized(designed, wordlength, scaling)
     integers = q.integers
+    persistent = disk_cache.active_cache()
+    content_key = None
+    if persistent is not None:
+        content_key = _content_key(
+            integers, wordlength, method, representation, depth_limit,
+            input_bits,
+        )
+        payload = persistent.get(content_key)
+        if payload is not None:
+            result = disk_cache.decode_method_result(payload)
+            _CACHE[key] = result
+            _MEMORY_STATS.stores += 1
+            return result
     seed_size: Optional[Tuple[int, int]] = None
     if method == "simple":
         arch = synthesize_simple(integers, representation)
@@ -202,6 +277,7 @@ def _method_result(
         arch = best_mrpf(
             integers, wordlength, representation,
             depth_limit=depth_limit, seed_compression=compression,
+            budget=budget,
         )
         netlist, names = arch.netlist, arch.tap_names
         adders, depth = arch.adder_count, arch.adder_depth
@@ -216,6 +292,9 @@ def _method_result(
         seed_size=seed_size,
     )
     _CACHE[key] = result
+    _MEMORY_STATS.stores += 1
+    if persistent is not None and content_key is not None:
+        persistent.put(content_key, disk_cache.encode_method_result(result))
     return result
 
 
@@ -354,13 +433,14 @@ def run_table1(
     table_rows: List[Table1Row] = []
     for index in indices:
         designed = suite[index]
-        q = _quantized(designed, wordlength, ScalingScheme.MAXIMAL)
         seeds = {}
+        # Through _method_result (not best_mrpf directly) so Table-1 SEED
+        # sizes share both cache layers and the parallel precompute path.
         for representation in (Representation.CSD, Representation.SM):
-            arch = best_mrpf(
-                q.integers, wordlength, representation, depth_limit=depth_limit
-            )
-            seeds[representation] = arch.plan.seed_size
+            seeds[representation] = _method_result(
+                designed, index, wordlength, ScalingScheme.MAXIMAL, "mrpf",
+                representation=representation, depth_limit=depth_limit,
+            ).seed_size
         spec = designed.spec
         table_rows.append(
             Table1Row(

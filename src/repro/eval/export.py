@@ -10,11 +10,11 @@ from __future__ import annotations
 import csv
 import io
 import json
-from typing import Any, Dict, List
+from typing import Any, Dict, List, Sequence
 
 from .experiments import ExperimentResult
 
-__all__ = ["to_csv", "to_json", "result_records"]
+__all__ = ["to_csv", "to_json", "result_records", "sweep_records", "sweep_to_json"]
 
 
 def result_records(result: ExperimentResult) -> List[Dict[str, Any]]:
@@ -80,3 +80,34 @@ def to_json(result: ExperimentResult, indent: int = 2) -> str:
         "summary": dict(result.summary),
     }
     return json.dumps(payload, indent=indent, sort_keys=False)
+
+
+def sweep_records(outcomes: Sequence[Any]) -> List[Dict[str, Any]]:
+    """Flatten sweep outcomes into deterministic records.
+
+    Timing fields (``elapsed_s``) are deliberately excluded so that two runs
+    of the same sweep — serial or parallel, cold or warm cache — serialize
+    to *identical bytes*; the equivalence tests and the benchmark gate's
+    byte-identity check rely on this.
+    """
+    records: List[Dict[str, Any]] = []
+    for outcome in outcomes:
+        record: Dict[str, Any] = {
+            "experiment": outcome.experiment_id,
+            "ok": outcome.ok,
+            "error_type": outcome.error_type,
+            "error": outcome.error,
+        }
+        if outcome.result is not None:
+            record["title"] = outcome.result.title
+            record["records"] = result_records(outcome.result)
+            record["summary"] = dict(outcome.result.summary)
+        records.append(record)
+    return records
+
+
+def sweep_to_json(outcomes: Sequence[Any], indent: int = 2) -> str:
+    """Deterministic JSON for a whole sweep (see :func:`sweep_records`)."""
+    return json.dumps(
+        {"sweep": sweep_records(outcomes)}, indent=indent, sort_keys=True
+    )

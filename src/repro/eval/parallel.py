@@ -1,0 +1,372 @@
+"""Process-pool sweep execution with byte-identical serial semantics.
+
+The sweep engine splits :func:`repro.eval.run_sweep` into two phases:
+
+1. **Precompute** — every (filter, wordlength, scaling, representation,
+   method, depth-limit) design point needed by the requested experiments is
+   enumerated (deterministically, deduplicated), and the points not already
+   in a cache layer are scattered across a
+   :class:`concurrent.futures.ProcessPoolExecutor`.  Each worker computes
+   the point through the very same :func:`~repro.eval.experiments._method_result`
+   code path as a serial run, under an optional per-task
+   :class:`~repro.robust.SolverBudget` so one pathological instance fails
+   fast instead of stalling its shard, and persists the result to the shared
+   disk cache (:mod:`repro.eval.cache`).
+
+2. **Replay** — the experiments then run serially in the parent over the
+   warm caches.  Because the replay *is* the serial code path (synthesis is
+   fully deterministic, and any point a worker failed to produce is simply
+   recomputed inline), parallel output is byte-identical to a serial run by
+   construction — there is no merge step that could reorder or reformat
+   anything.
+
+On a single-core host the pool degenerates gracefully: the engine still
+works, the disk cache still eliminates recomputation across runs, and
+``jobs=1`` runs the same two phases without a pool (useful for
+apples-to-apples benchmarking of the engine overhead).
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import ReproError
+from ..filters import TABLE1_SPECS
+from ..numrep import Representation
+from ..quantize import ScalingScheme
+from . import cache as disk_cache
+from . import experiments
+from .experiments import WORDLENGTHS
+
+__all__ = [
+    "ParallelSweepReport",
+    "SweepTask",
+    "TaskOutcome",
+    "plan_tasks",
+    "run_sweep_parallel",
+]
+
+
+@dataclass(frozen=True, order=True)
+class SweepTask:
+    """One design point of a sweep — the unit of parallel work."""
+
+    filter_index: int
+    wordlength: int
+    scaling: str
+    representation: str
+    method: str
+    depth_limit: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class TaskOutcome:
+    """How one precompute task ended (picklable, JSON-friendly payload)."""
+
+    task: SweepTask
+    payload: Optional[Dict[str, object]]
+    error_type: Optional[str]
+    error: Optional[str]
+    elapsed_s: float
+
+    @property
+    def ok(self) -> bool:
+        """True when the worker produced a result for this design point."""
+        return self.payload is not None
+
+
+# Which (scaling, methods) each figure experiment needs; table1/summary are
+# handled explicitly in plan_tasks.
+_FIGURE_TASKS: Dict[str, Tuple[ScalingScheme, Tuple[str, ...]]] = {
+    "fig6": (ScalingScheme.UNIFORM, ("simple", "mrpf")),
+    "fig7": (ScalingScheme.MAXIMAL, ("simple", "mrpf")),
+    "fig8a": (ScalingScheme.UNIFORM, ("simple", "cse", "mrpf_cse")),
+    "fig8b": (ScalingScheme.MAXIMAL, ("simple", "cse", "mrpf_cse")),
+}
+
+
+def plan_tasks(
+    experiment_ids: Sequence[str],
+    filter_indices: Optional[Sequence[int]] = None,
+    wordlengths: Optional[Sequence[int]] = None,
+) -> Tuple[SweepTask, ...]:
+    """Enumerate the deduplicated design points the experiments will visit.
+
+    The order is deterministic (sorted), so sharding is reproducible run to
+    run regardless of dict iteration or completion order.
+    """
+    indices = (
+        list(filter_indices) if filter_indices is not None
+        else list(range(len(TABLE1_SPECS)))
+    )
+    widths = list(wordlengths) if wordlengths is not None else list(WORDLENGTHS)
+    tasks = set()
+    for experiment_id in experiment_ids:
+        figure_ids = (
+            list(_FIGURE_TASKS) if experiment_id == "summary"
+            else [experiment_id]
+        )
+        for figure_id in figure_ids:
+            if figure_id == "table1":
+                continue
+            if figure_id not in _FIGURE_TASKS:
+                raise ReproError(
+                    f"cannot plan tasks for unknown experiment {figure_id!r}"
+                )
+            scaling, methods = _FIGURE_TASKS[figure_id]
+            for index in indices:
+                for wordlength in widths:
+                    for method in methods:
+                        tasks.add(SweepTask(
+                            filter_index=index,
+                            wordlength=wordlength,
+                            scaling=scaling.value,
+                            representation=Representation.CSD.value,
+                            method=method,
+                        ))
+        if experiment_id == "table1":
+            for index in indices:
+                for representation in (Representation.CSD, Representation.SM):
+                    tasks.add(SweepTask(
+                        filter_index=index,
+                        wordlength=16,
+                        scaling=ScalingScheme.MAXIMAL.value,
+                        representation=representation.value,
+                        method="mrpf",
+                        depth_limit=3,
+                    ))
+    return tuple(sorted(tasks))
+
+
+def _memory_key(task: SweepTask) -> Tuple:
+    """The experiments._CACHE key for a task (same shape as _method_result)."""
+    return (task.filter_index, task.wordlength, task.scaling,
+            task.representation, task.method, task.depth_limit)
+
+
+def _compute_task(
+    task: SweepTask, deadline_s: Optional[float]
+) -> TaskOutcome:
+    """Compute one design point through the serial code path."""
+    from ..filters import benchmark_filter
+    from ..robust.budget import SolverBudget
+
+    started = time.monotonic()
+    try:
+        budget = (
+            SolverBudget(deadline_s=deadline_s).start()
+            if deadline_s is not None else None
+        )
+        designed = benchmark_filter(task.filter_index)
+        result = experiments._method_result(
+            designed,
+            task.filter_index,
+            task.wordlength,
+            ScalingScheme(task.scaling),
+            task.method,
+            representation=Representation(task.representation),
+            depth_limit=task.depth_limit,
+            budget=budget,
+        )
+    except Exception as exc:  # noqa: BLE001 — shard must survive any instance
+        return TaskOutcome(
+            task=task,
+            payload=None,
+            error_type=type(exc).__name__,
+            error=str(exc),
+            elapsed_s=time.monotonic() - started,
+        )
+    return TaskOutcome(
+        task=task,
+        payload=disk_cache.encode_method_result(result),
+        error_type=None,
+        error=None,
+        elapsed_s=time.monotonic() - started,
+    )
+
+
+def _worker_init(cache_dir: Optional[str]) -> None:
+    """Pool initializer: point the worker at the shared disk cache."""
+    disk_cache.configure(cache_dir)
+
+
+def _worker_run(args: Tuple[SweepTask, Optional[float]]) -> TaskOutcome:
+    task, deadline_s = args
+    return _compute_task(task, deadline_s)
+
+
+@dataclass(frozen=True)
+class ParallelSweepReport:
+    """Everything a parallel sweep did: results, sharding story, timings."""
+
+    outcomes: Tuple  # SweepOutcome per experiment ('' replay skipped → empty)
+    tasks: Tuple[TaskOutcome, ...]
+    jobs: int
+    tasks_planned: int
+    tasks_precached: int
+    precompute_s: float
+    replay_s: float
+    total_s: float
+    stage_timings: Dict[str, float]
+    cache: Dict[str, object]
+
+    @property
+    def failed_tasks(self) -> Tuple[TaskOutcome, ...]:
+        """Precompute tasks that errored (replay recomputes them inline)."""
+        return tuple(t for t in self.tasks if not t.ok)
+
+    def stats(self) -> Dict[str, object]:
+        """JSON-friendly summary (used by the benchmark gate and the CLI)."""
+        return {
+            "jobs": self.jobs,
+            "tasks_planned": self.tasks_planned,
+            "tasks_precached": self.tasks_precached,
+            "tasks_computed": len(self.tasks),
+            "tasks_failed": len(self.failed_tasks),
+            "precompute_s": self.precompute_s,
+            "replay_s": self.replay_s,
+            "total_s": self.total_s,
+            "stage_timings": dict(self.stage_timings),
+            "cache": dict(self.cache),
+        }
+
+
+def run_sweep_parallel(
+    experiment_ids: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    robust: bool = True,
+    filter_indices: Optional[Sequence[int]] = None,
+    wordlengths: Optional[Sequence[int]] = None,
+    task_deadline_s: Optional[float] = None,
+    replay: bool = True,
+) -> ParallelSweepReport:
+    """Run a sweep with parallel precompute; results match serial bytes.
+
+    ``jobs`` defaults to the host CPU count; ``jobs <= 1`` precomputes
+    in-process (no pool).  ``cache_dir`` installs a persistent
+    :class:`~repro.eval.cache.DiskCache` shared by parent and workers for
+    the duration of the call (and left installed afterwards, so subsequent
+    serial runs stay warm).  ``task_deadline_s`` bounds each design point
+    with a :class:`~repro.robust.SolverBudget`; a point that exhausts its
+    budget is recorded in ``report.tasks`` and recomputed — unbudgeted,
+    exactly as a serial run would — during replay.  With ``replay=False``
+    only the precompute phase runs (``report.outcomes`` is empty); use this
+    to warm caches before driving experiments through other entry points.
+    """
+    from .harness import EXPERIMENTS, run_sweep
+
+    ids = (
+        sorted(experiment_ids) if experiment_ids is not None
+        else sorted(EXPERIMENTS)
+    )
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise ReproError(
+            f"unknown experiments {unknown!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+
+    started = time.monotonic()
+    if cache_dir is not None:
+        disk_cache.configure(cache_dir)
+
+    tasks = plan_tasks(ids, filter_indices, wordlengths)
+    # A disk-cache probe here both counts warm points and promotes them to
+    # the in-memory layer, so the replay phase touches no files for them.
+    pending: List[SweepTask] = []
+    precached = 0
+    active = disk_cache.active_cache()
+    for task in tasks:
+        if _memory_key(task) in experiments._CACHE:
+            precached += 1
+            continue
+        if active is not None:
+            payload = active.get(experiments._content_key(
+                _task_integers(task), task.wordlength, task.method,
+                Representation(task.representation), task.depth_limit, 16,
+            ))
+            if payload is not None:
+                experiments._CACHE[_memory_key(task)] = (
+                    disk_cache.decode_method_result(payload)
+                )
+                experiments._MEMORY_STATS.stores += 1
+                precached += 1
+                continue
+        pending.append(task)
+
+    precompute_started = time.monotonic()
+    results: List[TaskOutcome] = []
+    if pending:
+        if jobs > 1:
+            worker_dir = str(active.root) if active is not None else None
+            with ProcessPoolExecutor(
+                max_workers=min(jobs, len(pending)),
+                initializer=_worker_init,
+                initargs=(worker_dir,),
+            ) as pool:
+                results = list(pool.map(
+                    _worker_run,
+                    [(task, task_deadline_s) for task in pending],
+                ))
+        else:
+            results = [_compute_task(t, task_deadline_s) for t in pending]
+    precompute_s = time.monotonic() - precompute_started
+
+    # Reduce: fold worker results into the parent's caches.  Disk writes
+    # already happened worker-side when a cache is active; here we only
+    # hydrate the in-memory layer (and the disk layer when there was no
+    # pool to write it, i.e. results computed in-process already did).
+    for outcome in results:
+        if outcome.payload is not None:
+            key = _memory_key(outcome.task)
+            if key not in experiments._CACHE:
+                experiments._CACHE[key] = (
+                    disk_cache.decode_method_result(outcome.payload)
+                )
+                experiments._MEMORY_STATS.stores += 1
+
+    stage_timings: Dict[str, float] = {}
+    for outcome in results:
+        stage = outcome.task.method
+        stage_timings[stage] = stage_timings.get(stage, 0.0) + outcome.elapsed_s
+
+    replay_started = time.monotonic()
+    outcomes: Tuple = ()
+    if replay:
+        outcomes = run_sweep(
+            ids, robust=robust, filter_indices=filter_indices,
+            wordlengths=wordlengths,
+        )
+    replay_s = time.monotonic() - replay_started
+
+    return ParallelSweepReport(
+        outcomes=outcomes,
+        tasks=tuple(results),
+        jobs=jobs,
+        tasks_planned=len(tasks),
+        tasks_precached=precached,
+        precompute_s=precompute_s,
+        replay_s=replay_s,
+        total_s=time.monotonic() - started,
+        stage_timings=stage_timings,
+        cache=experiments.cache_info(),
+    )
+
+
+def _task_integers(task: SweepTask) -> Tuple[int, ...]:
+    """The quantized integer coefficients a task's content key hashes."""
+    from ..filters import benchmark_filter
+    from ..quantize import quantize
+
+    designed = benchmark_filter(task.filter_index)
+    return quantize(
+        designed.folded, task.wordlength, ScalingScheme(task.scaling)
+    ).integers

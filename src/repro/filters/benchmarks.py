@@ -94,9 +94,11 @@ TABLE1_SPECS: List[FilterSpec] = [
 ]
 
 
+# Keyed on the (frozen, hashable) spec itself rather than a positional index:
+# the design depends on nothing else, so an edited/substituted TABLE1_SPECS
+# entry can never be served a stale result designed for the old spec.
 @lru_cache(maxsize=None)
-def _design_cached(index: int) -> DesignedFilter:
-    spec = TABLE1_SPECS[index]
+def _design_cached(spec: FilterSpec) -> DesignedFilter:
     taps = design_fir(spec)
     folded, _ = fold_symmetric(taps)
     return DesignedFilter(
@@ -110,7 +112,7 @@ def benchmark_filter(index: int) -> DesignedFilter:
     """Return benchmark filter ``index`` (0-based), designed and folded."""
     if not 0 <= index < len(TABLE1_SPECS):
         raise IndexError(f"benchmark index {index} out of range 0..{len(TABLE1_SPECS) - 1}")
-    return _design_cached(index)
+    return _design_cached(TABLE1_SPECS[index])
 
 
 def benchmark_suite() -> List[DesignedFilter]:

@@ -55,10 +55,23 @@ class QuantizedTaps:
     scale: float
     wordlength: int
     scheme: ScalingScheme
-    _cached: dict = field(default_factory=dict, repr=False, compare=False)
+    # Per-instance memo for derived values.  ``init=False`` is load-bearing:
+    # an init field would be carried over verbatim by ``dataclasses.replace``,
+    # so a replaced instance (different integers/shifts) would serve the donor
+    # instance's stale entries.  Keys are (method, inputs) tuples so a wrong
+    # key can never alias a different computation.
+    _cached: dict = field(
+        default_factory=dict, init=False, repr=False, compare=False
+    )
 
     def __len__(self) -> int:
         return len(self.integers)
+
+    def _memo(self, key, compute):
+        try:
+            return self._cached[key]
+        except KeyError:
+            return self._cached.setdefault(key, compute())
 
     def reconstruct(self) -> np.ndarray:
         """Float tap values represented by the fixed-point image."""
@@ -68,7 +81,12 @@ class QuantizedTaps:
 
     def quantization_error(self) -> float:
         """Max absolute tap error introduced by quantization."""
-        return float(np.max(np.abs(self.reconstruct() - np.asarray(self.original))))
+        return self._memo(
+            ("quantization_error",),
+            lambda: float(
+                np.max(np.abs(self.reconstruct() - np.asarray(self.original)))
+            ),
+        )
 
     def aligned_integers(self) -> Tuple[int, ...]:
         """Integer taps aligned to one common binary point.
@@ -79,6 +97,9 @@ class QuantizedTaps:
         bit-accurate simulator); they may exceed ``wordlength`` bits, which is
         fine — alignment is wiring, not arithmetic.
         """
+        return self._memo(("aligned_integers",), self._compute_aligned)
+
+    def _compute_aligned(self) -> Tuple[int, ...]:
         if not self.integers:
             return ()
         max_shift = max(self.shifts)

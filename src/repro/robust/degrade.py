@@ -221,6 +221,7 @@ def synthesize(
     options: Optional[MrpOptions] = None,
     config: Optional[RobustConfig] = None,
     chaos=None,
+    budget: Optional[SolverBudget] = None,
 ) -> RobustResult:
     """Synthesize ``coefficients`` through the degradation cascade.
 
@@ -232,12 +233,17 @@ def synthesize(
     ``chaos`` is an optional :class:`~repro.robust.ChaosHarness`; when given,
     its fault hooks run at every stage boundary — production callers leave it
     ``None``.
+
+    ``budget`` supplies an *external* overall budget for the cascade instead
+    of one derived from ``config.deadline_s`` — a sweep worker passes the
+    same budget to every call so its whole shard, not each instance, is
+    bounded (``config.deadline_s`` is ignored in that case).
     """
     cfg = config or RobustConfig()
     base_options = options or MrpOptions()
     coefficients = tuple(int(c) for c in coefficients)
     started = time.monotonic()
-    overall = SolverBudget(deadline_s=cfg.deadline_s).start()
+    overall = (budget or SolverBudget(deadline_s=cfg.deadline_s)).start()
     attempts: List[AttemptRecord] = []
     warnings: List[str] = []
     samples = list(cfg.verify_samples)

@@ -72,3 +72,36 @@ class TestDesignedSuite:
             spec = designed.spec
             if spec.band in (BandType.BANDPASS, BandType.BANDSTOP):
                 assert spec.passband[0] > 0.0 or spec.band is BandType.BANDSTOP
+
+
+class TestDesignCacheKeying:
+    """Regression: the design cache keys on spec content, not list position.
+
+    ``_design_cached`` used to be keyed by benchmark index, so substituting
+    a TABLE1_SPECS entry (ablation studies, spec experiments) silently
+    served the design of the *old* spec at that slot.
+    """
+
+    def test_substituted_spec_is_not_served_stale(self):
+        import dataclasses
+
+        original = benchmark_filter(0)
+        altered_spec = dataclasses.replace(
+            TABLE1_SPECS[0], name="ex01-altered", numtaps=21
+        )
+        saved = TABLE1_SPECS[0]
+        TABLE1_SPECS[0] = altered_spec
+        try:
+            altered = benchmark_filter(0)
+        finally:
+            TABLE1_SPECS[0] = saved
+        assert altered.spec is altered_spec
+        assert altered.spec.numtaps == 21
+        assert len(altered.taps) == 21
+        assert altered.taps != original.taps
+
+    def test_restored_spec_restores_design(self):
+        # After the monkeypatched test above, index 0 designs as originally.
+        designed = benchmark_filter(0)
+        assert designed.spec is TABLE1_SPECS[0]
+        assert len(designed.taps) == TABLE1_SPECS[0].numtaps

@@ -1,0 +1,120 @@
+"""Property-based tests for the number-representation layer.
+
+Hypothesis sweeps wide integer ranges through every encoder; small ranges are
+additionally checked exhaustively.  One deliberate deviation from folklore:
+minimal signed-digit (MSD) encodings *can* carry adjacent nonzero digits
+(``11`` is a perfectly minimal encoding of 3) — non-adjacency uniquely
+characterizes the CSD/NAF member of the MSD set, and that uniqueness is the
+property tested here.
+"""
+
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.numrep import (
+    SignedDigits,
+    binary_nonzero_count,
+    csd_nonzero_count,
+    encode_binary,
+    encode_csd,
+    encode_sign_magnitude,
+    enumerate_msd,
+    is_csd,
+    minimal_nonzero_count,
+    split_sign_magnitude,
+)
+
+WIDE = st.integers(min_value=-(2**31), max_value=2**31)
+MSD_RANGE = st.integers(min_value=-(2**12), max_value=2**12)
+
+
+class TestCsdRoundtrip:
+    @given(WIDE)
+    def test_encode_decode_roundtrip(self, value):
+        assert encode_csd(value).value == value
+
+    @given(WIDE)
+    def test_canonical_form_has_no_adjacent_nonzeros(self, value):
+        assert is_csd(encode_csd(value))
+
+    @given(WIDE)
+    def test_negation_symmetry(self, value):
+        assert encode_csd(-value) == encode_csd(value).negated()
+
+    @given(WIDE)
+    def test_csd_is_minimal(self, value):
+        # Cross-checked against the independent recurrence-based oracle.
+        assert csd_nonzero_count(value) == minimal_nonzero_count(value)
+
+    @given(WIDE)
+    def test_csd_never_denser_than_binary(self, value):
+        assert csd_nonzero_count(value) <= binary_nonzero_count(value)
+
+
+class TestBinaryAndSignMagnitude:
+    @given(WIDE)
+    def test_binary_roundtrip(self, value):
+        assert encode_binary(value).value == value
+
+    @given(WIDE)
+    def test_sign_magnitude_roundtrip(self, value):
+        assert encode_sign_magnitude(value).value == value
+
+    @given(WIDE)
+    def test_split_reassembles(self, value):
+        sign, magnitude = split_sign_magnitude(value)
+        assert sign * magnitude == value
+        assert magnitude >= 0
+        assert sign in (-1, 0, 1)
+        assert (sign == 0) == (value == 0)
+
+
+class TestMsdEnumeration:
+    @given(MSD_RANGE)
+    def test_every_encoding_decodes_to_value(self, value):
+        for encoding in enumerate_msd(value):
+            assert encoding.value == value
+
+    @given(MSD_RANGE)
+    def test_every_encoding_is_minimal(self, value):
+        want = minimal_nonzero_count(value)
+        for encoding in enumerate_msd(value):
+            assert encoding.nonzero_count == want
+
+    @given(MSD_RANGE)
+    def test_encodings_are_distinct_and_sorted(self, value):
+        encodings = enumerate_msd(value)
+        assert len(set(encodings)) == len(encodings)
+        assert [str(e) for e in encodings] == sorted(str(e) for e in encodings)
+
+    @given(MSD_RANGE)
+    def test_exactly_one_nonadjacent_encoding_and_it_is_csd(self, value):
+        # NAF uniqueness: the CSD string is the single member of the MSD set
+        # free of adjacent nonzero digits.  (The MSD set as a whole may
+        # contain adjacent nonzeros — e.g. "11" for 3 — so "never adjacent"
+        # is NOT an MSD invariant; uniqueness of the non-adjacent member is.)
+        nonadjacent = [
+            e for e in enumerate_msd(value) if not e.has_adjacent_nonzeros()
+        ]
+        assert nonadjacent == [encode_csd(value)]
+
+    def test_exhaustive_small_range(self):
+        for value in range(-512, 513):
+            encodings = enumerate_msd(value)
+            assert encode_csd(value) in encodings
+            assert len(set(encodings)) == len(encodings)
+            for encoding in encodings:
+                assert encoding.value == value
+                assert encoding.nonzero_count == minimal_nonzero_count(value)
+
+
+class TestSignedDigitsInvariants:
+    @given(st.lists(st.sampled_from([-1, 0, 1]), max_size=24))
+    def test_value_shift_consistency(self, digits):
+        sd = SignedDigits(tuple(digits))
+        assert sd.shifted(3).value == sd.value * 8
+
+    @given(st.lists(st.sampled_from([-1, 0, 1]), max_size=24))
+    def test_negated_value(self, digits):
+        sd = SignedDigits(tuple(digits))
+        assert sd.negated().value == -sd.value

@@ -168,3 +168,36 @@ class TestWordlengthSearch:
         assert w == 6
         assert len(seen) == 1
         assert seen[0].shape == (2,)
+
+
+class TestDerivedValueMemoStaysFresh:
+    """Regression: the per-instance memo must never leak across instances.
+
+    ``_cached`` used to be an ``init`` field, so ``dataclasses.replace``
+    carried the donor's populated memo into the new instance — a replaced
+    QuantizedTaps with different integers/shifts could serve the donor's
+    stale ``aligned_integers``.
+    """
+
+    def test_replace_does_not_inherit_stale_entries(self):
+        import dataclasses
+
+        q = quantize([0.9, 0.1, 0.45], 8, ScalingScheme.MAXIMAL)
+        original_aligned = q.aligned_integers()  # populate the memo
+        doubled = dataclasses.replace(
+            q, integers=tuple(i * 2 for i in q.integers)
+        )
+        assert doubled.aligned_integers() == tuple(
+            a * 2 for a in original_aligned
+        )
+        # The donor's memo is untouched by the replacement.
+        assert q.aligned_integers() == original_aligned
+
+    def test_memo_returns_consistent_values(self):
+        q = quantize([0.5, -0.25, 0.125], 10, ScalingScheme.MAXIMAL)
+        assert q.aligned_integers() == q.aligned_integers()
+        assert q.quantization_error() == q.quantization_error()
+        # Cached values match a fresh computation of the same image.
+        fresh = quantize([0.5, -0.25, 0.125], 10, ScalingScheme.MAXIMAL)
+        assert q.aligned_integers() == fresh.aligned_integers()
+        assert q.quantization_error() == fresh.quantization_error()
