@@ -65,6 +65,26 @@ class CoverBudgetError(BudgetExceeded, GraphError):
     """
 
 
+class SupervisorError(ReproError):
+    """The supervised sweep layer was misconfigured or cannot proceed.
+
+    Raised for contract violations of :mod:`repro.eval.supervisor` — e.g.
+    ``resume=True`` without a journal directory, or a negative retry
+    budget — never for worker-side failures, which are always folded into
+    :class:`~repro.eval.TaskOutcome` records instead of raised.
+    """
+
+
+class JournalError(SupervisorError):
+    """A sweep journal is unreadable or belongs to a different sweep/version.
+
+    The write-ahead log replayed by ``--resume`` carries a header binding it
+    to one sweep signature and one code version; resuming against a journal
+    written by different code (whose cached results could be stale) or for a
+    different sweep raises this instead of silently mixing results.
+    """
+
+
 class DegradationError(SynthesisError):
     """Every tier of the robust synthesis cascade failed.
 

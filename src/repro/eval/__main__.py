@@ -5,6 +5,22 @@ Examples::
     python -m repro.eval fig6
     python -m repro.eval table1
     python -m repro.eval all --filters 0 1 2 --wordlengths 8 12
+    python -m repro.eval all --jobs 4 --cache-dir .cache \\
+        --journal-dir .journal --resume --max-retries 3
+
+Exit codes map the error taxonomy so schedulers and scripts can branch on
+*why* a run ended without parsing stderr:
+
+====  =====================================================================
+code  meaning
+====  =====================================================================
+0     success
+1     library error (any other :class:`~repro.errors.ReproError`)
+2     usage error (argparse: unknown experiment, bad flag combination)
+3     a solver budget was exhausted (:class:`~repro.errors.BudgetExceeded`)
+4     every degradation tier failed (:class:`~repro.errors.DegradationError`)
+5     sweep finished but the supervisor quarantined poison tasks
+====  =====================================================================
 """
 
 from __future__ import annotations
@@ -13,14 +29,33 @@ import argparse
 import sys
 from typing import List, Optional
 
+from ..errors import BudgetExceeded, DegradationError, ReproError
 from .harness import EXPERIMENTS, paper_comparison, run_experiment
 from .export import to_csv, to_json
 from .plots import figure_chart
 from .report import format_experiment
 
+__all__ = [
+    "EXIT_OK",
+    "EXIT_FAILURE",
+    "EXIT_USAGE",
+    "EXIT_BUDGET",
+    "EXIT_DEGRADATION",
+    "EXIT_PARTIAL",
+    "build_parser",
+    "main",
+]
 
-def main(argv: Optional[List[str]] = None) -> int:
-    """CLI entry point; returns a process exit code."""
+EXIT_OK = 0
+EXIT_FAILURE = 1
+EXIT_USAGE = 2  # argparse's own exit code, listed here for completeness
+EXIT_BUDGET = 3
+EXIT_DEGRADATION = 4
+EXIT_PARTIAL = 5
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """The CLI's argument parser (exposed for tests and docs tooling)."""
     parser = argparse.ArgumentParser(
         prog="python -m repro.eval",
         description="Regenerate the paper's tables and figures.",
@@ -84,12 +119,69 @@ def main(argv: Optional[List[str]] = None) -> int:
         metavar="SECONDS",
         help="per-design-point solver budget during parallel precompute",
     )
-    args = parser.parse_args(argv)
+    parser.add_argument(
+        "--journal-dir",
+        metavar="DIR",
+        default=None,
+        help="journal every completed design point to a crash-safe WAL "
+             "in DIR (enables the supervised engine and --resume)",
+    )
+    parser.add_argument(
+        "--resume",
+        action="store_true",
+        help="replay completed points from the journal and continue an "
+             "interrupted sweep (requires --journal-dir)",
+    )
+    parser.add_argument(
+        "--max-retries",
+        type=int,
+        default=None,
+        metavar="N",
+        help="requeue a task at most N times after worker loss before "
+             "quarantining it (supervised engine; default 2)",
+    )
+    return parser
 
+
+def _run(args: argparse.Namespace) -> int:
     experiment_ids = (
         sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
     )
-    if args.jobs is not None or args.cache_dir is not None:
+    supervised = (
+        args.journal_dir is not None
+        or args.resume
+        or args.max_retries is not None
+    )
+    quarantined = 0
+    if supervised:
+        from .supervisor import run_sweep_supervised
+
+        report = run_sweep_supervised(
+            experiment_ids,
+            jobs=args.jobs,
+            cache_dir=args.cache_dir,
+            filter_indices=args.filters,
+            wordlengths=args.wordlengths,
+            task_deadline_s=args.task_deadline,
+            replay=False,
+            journal_dir=args.journal_dir,
+            resume=args.resume,
+            max_retries=args.max_retries if args.max_retries is not None else 2,
+        )
+        stats = report.stats()
+        quarantined = stats["tasks_quarantined"]
+        print(
+            f"[supervised: {stats['tasks_computed']} design points with "
+            f"{report.jobs} jobs in {report.precompute_s:.2f}s; "
+            f"{stats['tasks_precached']}/{stats['tasks_planned']} cached "
+            f"({stats['tasks_resumed']} from journal); "
+            f"{stats['tasks_failed']} failed, {quarantined} quarantined, "
+            f"{stats['retries']} retries, "
+            f"{stats['pool_rebuilds']} pool rebuilds]"
+        )
+        for outcome in report.quarantined_tasks:
+            print(f"[quarantined: {outcome.error}]", file=sys.stderr)
+    elif args.jobs is not None or args.cache_dir is not None:
         from .parallel import run_sweep_parallel
 
         report = run_sweep_parallel(
@@ -133,7 +225,26 @@ def main(argv: Optional[List[str]] = None) -> int:
             for metric, paper_value, measured in comparison:
                 print(f"  {metric}: paper={paper_value:.2f} measured={measured:.2f}")
         print()
-    return 0
+    return EXIT_PARTIAL if quarantined else EXIT_OK
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    """CLI entry point; returns a process exit code (see module docstring)."""
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    if args.resume and args.journal_dir is None:
+        parser.error("--resume requires --journal-dir")
+    try:
+        return _run(args)
+    except BudgetExceeded as exc:
+        print(f"error: solver budget exhausted: {exc}", file=sys.stderr)
+        return EXIT_BUDGET
+    except DegradationError as exc:
+        print(f"error: degradation cascade failed: {exc}", file=sys.stderr)
+        return EXIT_DEGRADATION
+    except ReproError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return EXIT_FAILURE
 
 
 if __name__ == "__main__":

@@ -36,12 +36,18 @@ __all__ = [
     "CACHE_SCHEMA_VERSION",
     "CacheStats",
     "DiskCache",
+    "QUARANTINE_DIR",
     "active_cache",
     "cache_key",
     "clear_cache",
     "configure",
+    "install_fault_injector",
     "version_tag",
 ]
+
+#: Subdirectory (under the cache root) holding corrupt entries moved aside
+#: by :meth:`DiskCache.get` — preserved for forensics, never served.
+QUARANTINE_DIR = "quarantine"
 
 #: Bump when the cached payload's meaning changes (new fields, changed
 #: semantics of an existing one) to orphan every previously written entry.
@@ -77,6 +83,8 @@ class CacheStats:
     hits: int = 0
     misses: int = 0
     stores: int = 0
+    quarantined: int = 0
+    put_errors: int = 0
 
     @property
     def lookups(self) -> int:
@@ -94,6 +102,8 @@ class CacheStats:
             "hits": self.hits,
             "misses": self.misses,
             "stores": self.stores,
+            "quarantined": self.quarantined,
+            "put_errors": self.put_errors,
             "hit_rate": self.hit_rate,
         }
 
@@ -115,11 +125,48 @@ class DiskCache:
             raise ReproError(f"malformed cache key {key!r}")
         return self.root / key[:2] / f"{key}.json"
 
+    @property
+    def quarantine_dir(self) -> Path:
+        """Where corrupt entries are moved aside (may not exist yet)."""
+        return self.root / QUARANTINE_DIR
+
+    def _quarantine(self, path: Path) -> None:
+        """Move a corrupt entry into ``quarantine/``, preserving its bytes.
+
+        A crashed or chaos-faulted writer leaves evidence worth keeping;
+        silently unlinking it would destroy the only forensic record.  A
+        numeric suffix keeps repeated corruptions of the same key apart.
+        """
+        target_dir = self.quarantine_dir
+        try:
+            target_dir.mkdir(parents=True, exist_ok=True)
+            target = target_dir / path.name
+            suffix = 0
+            while target.exists():
+                suffix += 1
+                target = target_dir / f"{path.name}.{suffix}"
+            os.replace(path, target)
+        except OSError:
+            # Quarantine is best-effort: on a sick filesystem fall back to
+            # unlinking so the corrupt entry at least stops shadowing puts.
+            try:
+                path.unlink()
+            except OSError:
+                return
+        self.stats.quarantined += 1
+
+    def quarantined_entries(self) -> int:
+        """Number of corrupt entries currently held in ``quarantine/``."""
+        if not self.quarantine_dir.is_dir():
+            return 0
+        return sum(1 for p in self.quarantine_dir.iterdir() if p.is_file())
+
     def get(self, key: str) -> Optional[Dict[str, Any]]:
         """Return the stored payload for ``key``, or ``None`` on a miss.
 
         A corrupt entry (truncated write from a killed process, manual
-        tampering) counts as a miss and is removed.
+        tampering, simulated filesystem corruption) counts as a miss and is
+        moved to ``quarantine/`` for post-mortem inspection.
         """
         path = self._path(key)
         try:
@@ -130,16 +177,17 @@ class DiskCache:
             return None
         except (json.JSONDecodeError, OSError):
             self.stats.misses += 1
-            try:
-                path.unlink()
-            except OSError:
-                pass
+            self._quarantine(path)
             return None
         self.stats.hits += 1
         return payload
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
         """Atomically persist ``payload`` under ``key``."""
+        injector = _FAULT_INJECTOR
+        fault = injector.draw_put(key) if injector is not None else None
+        if fault == "enospc":
+            raise injector.enospc_error(key)
         path = self._path(key)
         path.parent.mkdir(parents=True, exist_ok=True)
         fd, tmp = tempfile.mkstemp(
@@ -147,7 +195,10 @@ class DiskCache:
         )
         try:
             with os.fdopen(fd, "w", encoding="utf-8") as fh:
-                json.dump(payload, fh, sort_keys=True, separators=(",", ":"))
+                body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
+                if fault == "truncate":
+                    body = body[: max(1, len(body) // 2)]
+                fh.write(body)
             os.replace(tmp, path)
         except BaseException:
             try:
@@ -157,22 +208,29 @@ class DiskCache:
             raise
         self.stats.stores += 1
 
+    def _shards(self) -> Iterator[Path]:
+        """The two-hex-character shard directories (quarantine excluded)."""
+        for shard in self.root.iterdir():
+            if (
+                shard.is_dir()
+                and len(shard.name) == 2
+                and all(c in "0123456789abcdef" for c in shard.name)
+            ):
+                yield shard
+
     def keys(self) -> Iterator[str]:
         """Iterate over every stored key (filesystem order, not sorted)."""
-        for shard in self.root.iterdir():
-            if shard.is_dir():
-                for entry in shard.glob("*.json"):
-                    yield entry.stem
+        for shard in self._shards():
+            for entry in shard.glob("*.json"):
+                yield entry.stem
 
     def __len__(self) -> int:
         return sum(1 for _ in self.keys())
 
     def clear(self) -> int:
-        """Remove every entry; returns the number removed."""
+        """Remove every live entry (quarantined ones stay); returns the count."""
         removed = 0
-        for shard in list(self.root.iterdir()):
-            if not shard.is_dir():
-                continue
+        for shard in list(self._shards()):
             for entry in list(shard.glob("*.json")):
                 entry.unlink()
                 removed += 1
@@ -186,6 +244,23 @@ class DiskCache:
 # --- process-global active cache -------------------------------------------
 
 _ACTIVE: Optional[DiskCache] = None
+
+# Consulted by DiskCache.put; anything with draw_put(key) / enospc_error(key)
+# qualifies (canonically repro.robust.chaos.CacheFaultInjector).  Kept here,
+# not on the cache instance, so pool workers can arm it from their
+# initializer regardless of which DiskCache object they construct.
+_FAULT_INJECTOR: Optional[Any] = None
+
+
+def install_fault_injector(injector: Optional[Any]) -> Optional[Any]:
+    """Arm (or with ``None`` disarm) chaos faults for every cache write.
+
+    Returns the previously installed injector so tests can restore it.
+    """
+    global _FAULT_INJECTOR
+    previous = _FAULT_INJECTOR
+    _FAULT_INJECTOR = injector
+    return previous
 
 
 def configure(directory: Optional[os.PathLike]) -> Optional[DiskCache]:

@@ -81,6 +81,7 @@ def cache_info() -> Dict[str, object]:
     if active is not None:
         info["disk_dir"] = str(active.root)
         info["disk"] = active.stats.as_dict()
+        info["disk_quarantine"] = active.quarantined_entries()
     return info
 
 
@@ -294,7 +295,13 @@ def _method_result(
     _CACHE[key] = result
     _MEMORY_STATS.stores += 1
     if persistent is not None and content_key is not None:
-        persistent.put(content_key, disk_cache.encode_method_result(result))
+        # A failed persist (ENOSPC, permissions, chaos fault) must never
+        # fail the computation that succeeded — the result is already in
+        # hand; only durability is lost, and the counter records it.
+        try:
+            persistent.put(content_key, disk_cache.encode_method_result(result))
+        except OSError:
+            persistent.stats.put_errors += 1
     return result
 
 

@@ -30,6 +30,7 @@ from __future__ import annotations
 
 import os
 import time
+import traceback as _traceback
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
@@ -65,13 +66,24 @@ class SweepTask:
 
 @dataclass(frozen=True)
 class TaskOutcome:
-    """How one precompute task ended (picklable, JSON-friendly payload)."""
+    """How one precompute task ended (picklable, JSON-friendly payload).
+
+    ``traceback`` carries the full worker-side traceback string for failed
+    tasks — ``repr(exc)`` alone is useless when the exception crossed a
+    process boundary and the frames are gone.  ``attempts`` counts how many
+    times the supervisor scheduled the task (1 for unsupervised runs);
+    ``quarantined`` marks a task the supervisor gave up on after it
+    repeatedly killed workers.
+    """
 
     task: SweepTask
     payload: Optional[Dict[str, object]]
     error_type: Optional[str]
     error: Optional[str]
     elapsed_s: float
+    traceback: Optional[str] = None
+    attempts: int = 1
+    quarantined: bool = False
 
     @property
     def ok(self) -> bool:
@@ -179,6 +191,7 @@ def _compute_task(
             error_type=type(exc).__name__,
             error=str(exc),
             elapsed_s=time.monotonic() - started,
+            traceback=_traceback.format_exc(),
         )
     return TaskOutcome(
         task=task,
@@ -201,7 +214,14 @@ def _worker_run(args: Tuple[SweepTask, Optional[float]]) -> TaskOutcome:
 
 @dataclass(frozen=True)
 class ParallelSweepReport:
-    """Everything a parallel sweep did: results, sharding story, timings."""
+    """Everything a parallel sweep did: results, sharding story, timings.
+
+    The supervised layer (:mod:`repro.eval.supervisor`) reuses this shape
+    and additionally fills the recovery counters: ``retries`` (task
+    re-executions after worker loss), ``pool_rebuilds`` (executors replaced
+    after a ``BrokenProcessPool``), ``tasks_resumed`` (outcomes replayed
+    from the journal instead of recomputed), and ``journal_path``.
+    """
 
     outcomes: Tuple  # SweepOutcome per experiment ('' replay skipped → empty)
     tasks: Tuple[TaskOutcome, ...]
@@ -213,11 +233,20 @@ class ParallelSweepReport:
     total_s: float
     stage_timings: Dict[str, float]
     cache: Dict[str, object]
+    retries: int = 0
+    pool_rebuilds: int = 0
+    tasks_resumed: int = 0
+    journal_path: Optional[str] = None
 
     @property
     def failed_tasks(self) -> Tuple[TaskOutcome, ...]:
         """Precompute tasks that errored (replay recomputes them inline)."""
         return tuple(t for t in self.tasks if not t.ok)
+
+    @property
+    def quarantined_tasks(self) -> Tuple[TaskOutcome, ...]:
+        """Tasks the supervisor gave up on after repeated worker kills."""
+        return tuple(t for t in self.tasks if t.quarantined)
 
     def stats(self) -> Dict[str, object]:
         """JSON-friendly summary (used by the benchmark gate and the CLI)."""
@@ -227,12 +256,92 @@ class ParallelSweepReport:
             "tasks_precached": self.tasks_precached,
             "tasks_computed": len(self.tasks),
             "tasks_failed": len(self.failed_tasks),
+            "tasks_quarantined": len(self.quarantined_tasks),
+            "tasks_resumed": self.tasks_resumed,
+            "retries": self.retries,
+            "pool_rebuilds": self.pool_rebuilds,
+            "journal_path": self.journal_path,
             "precompute_s": self.precompute_s,
             "replay_s": self.replay_s,
             "total_s": self.total_s,
             "stage_timings": dict(self.stage_timings),
             "cache": dict(self.cache),
         }
+
+
+def _resolve_experiment_ids(
+    experiment_ids: Optional[Sequence[str]],
+) -> List[str]:
+    """Validate and canonicalize (sort) the requested experiment ids."""
+    from .harness import EXPERIMENTS
+
+    ids = (
+        sorted(experiment_ids) if experiment_ids is not None
+        else sorted(EXPERIMENTS)
+    )
+    unknown = [i for i in ids if i not in EXPERIMENTS]
+    if unknown:
+        raise ReproError(
+            f"unknown experiments {unknown!r}; choose from {sorted(EXPERIMENTS)}"
+        )
+    return ids
+
+
+def _partition_tasks(
+    tasks: Sequence[SweepTask],
+) -> Tuple[List[SweepTask], int]:
+    """Split planned tasks into (pending, already-cached count).
+
+    The disk-cache probe both counts warm points and promotes them to the
+    in-memory layer, so the replay phase touches no files for them.  Shared
+    by the plain parallel engine and the supervised layer.
+    """
+    pending: List[SweepTask] = []
+    precached = 0
+    active = disk_cache.active_cache()
+    for task in tasks:
+        if _memory_key(task) in experiments._CACHE:
+            precached += 1
+            continue
+        if active is not None:
+            payload = active.get(experiments._content_key(
+                _task_integers(task), task.wordlength, task.method,
+                Representation(task.representation), task.depth_limit, 16,
+            ))
+            if payload is not None:
+                experiments._CACHE[_memory_key(task)] = (
+                    disk_cache.decode_method_result(payload)
+                )
+                experiments._MEMORY_STATS.stores += 1
+                precached += 1
+                continue
+        pending.append(task)
+    return pending, precached
+
+
+def _fold_results(results: Sequence[TaskOutcome]) -> None:
+    """Hydrate the parent's in-memory cache from worker payloads.
+
+    Disk writes already happened worker-side when a cache is active; here we
+    only fill the in-memory layer (results computed in-process already did).
+    """
+    for outcome in results:
+        if outcome.payload is not None:
+            key = _memory_key(outcome.task)
+            if key not in experiments._CACHE:
+                experiments._CACHE[key] = (
+                    disk_cache.decode_method_result(outcome.payload)
+                )
+                experiments._MEMORY_STATS.stores += 1
+
+
+def _stage_timings(results: Sequence[TaskOutcome]) -> Dict[str, float]:
+    """Aggregate worker-side elapsed time per synthesis method."""
+    timings: Dict[str, float] = {}
+    for outcome in results:
+        stage = outcome.task.method
+        timings[stage] = timings.get(stage, 0.0) + outcome.elapsed_s
+    return timings
 
 
 def run_sweep_parallel(
@@ -258,17 +367,9 @@ def run_sweep_parallel(
     only the precompute phase runs (``report.outcomes`` is empty); use this
     to warm caches before driving experiments through other entry points.
     """
-    from .harness import EXPERIMENTS, run_sweep
+    from .harness import run_sweep
 
-    ids = (
-        sorted(experiment_ids) if experiment_ids is not None
-        else sorted(EXPERIMENTS)
-    )
-    unknown = [i for i in ids if i not in EXPERIMENTS]
-    if unknown:
-        raise ReproError(
-            f"unknown experiments {unknown!r}; choose from {sorted(EXPERIMENTS)}"
-        )
+    ids = _resolve_experiment_ids(experiment_ids)
     if jobs is None:
         jobs = os.cpu_count() or 1
     if jobs < 1:
@@ -279,30 +380,10 @@ def run_sweep_parallel(
         disk_cache.configure(cache_dir)
 
     tasks = plan_tasks(ids, filter_indices, wordlengths)
-    # A disk-cache probe here both counts warm points and promotes them to
-    # the in-memory layer, so the replay phase touches no files for them.
-    pending: List[SweepTask] = []
-    precached = 0
-    active = disk_cache.active_cache()
-    for task in tasks:
-        if _memory_key(task) in experiments._CACHE:
-            precached += 1
-            continue
-        if active is not None:
-            payload = active.get(experiments._content_key(
-                _task_integers(task), task.wordlength, task.method,
-                Representation(task.representation), task.depth_limit, 16,
-            ))
-            if payload is not None:
-                experiments._CACHE[_memory_key(task)] = (
-                    disk_cache.decode_method_result(payload)
-                )
-                experiments._MEMORY_STATS.stores += 1
-                precached += 1
-                continue
-        pending.append(task)
+    pending, precached = _partition_tasks(tasks)
 
     precompute_started = time.monotonic()
+    active = disk_cache.active_cache()
     results: List[TaskOutcome] = []
     if pending:
         if jobs > 1:
@@ -320,23 +401,8 @@ def run_sweep_parallel(
             results = [_compute_task(t, task_deadline_s) for t in pending]
     precompute_s = time.monotonic() - precompute_started
 
-    # Reduce: fold worker results into the parent's caches.  Disk writes
-    # already happened worker-side when a cache is active; here we only
-    # hydrate the in-memory layer (and the disk layer when there was no
-    # pool to write it, i.e. results computed in-process already did).
-    for outcome in results:
-        if outcome.payload is not None:
-            key = _memory_key(outcome.task)
-            if key not in experiments._CACHE:
-                experiments._CACHE[key] = (
-                    disk_cache.decode_method_result(outcome.payload)
-                )
-                experiments._MEMORY_STATS.stores += 1
-
-    stage_timings: Dict[str, float] = {}
-    for outcome in results:
-        stage = outcome.task.method
-        stage_timings[stage] = stage_timings.get(stage, 0.0) + outcome.elapsed_s
+    _fold_results(results)
+    stage_timings = _stage_timings(results)
 
     replay_started = time.monotonic()
     outcomes: Tuple = ()

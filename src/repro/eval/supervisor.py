@@ -1,0 +1,620 @@
+"""Crash-resilient supervised execution over the parallel sweep engine.
+
+:func:`repro.eval.parallel.run_sweep_parallel` assumes a well-behaved world:
+every worker lives to return its :class:`~repro.eval.parallel.TaskOutcome`,
+and the parent survives to fold them.  A worker taken out by the OOM killer
+(or any SIGKILL) raises :class:`~concurrent.futures.process.BrokenProcessPool`
+and aborts the whole sweep, discarding every completed point; a killed
+parent loses everything not yet in the disk cache.  For sweeps that run for
+hours, both are unacceptable.  This module supervises the precompute phase:
+
+* **Journaling** — every terminal :class:`TaskOutcome` is appended to a
+  per-sweep write-ahead log (:class:`SweepJournal`): one checksummed JSON
+  line per record, flushed and ``fsync``'d before the outcome is considered
+  durable.  ``resume=True`` replays the journal — discarding a torn tail
+  from a mid-write crash — hydrates the in-memory cache from completed
+  points, and schedules only what is left.
+
+* **Worker-loss recovery** — tasks are submitted individually; when the
+  pool breaks, the executor is rebuilt after an exponential backoff and the
+  lost tasks are requeued with a bounded retry budget.  Attribution is
+  conservative (a broken pool fails every in-flight future, so innocent
+  bystanders of a poison task also burn an attempt), which is exactly what
+  bounds the damage: a task that exceeds ``max_retries`` lost attempts is
+  **quarantined** — recorded in the report with ``quarantined=True`` instead
+  of retried forever or allowed to crash the sweep.
+
+* **Chaos validation** — a :class:`~repro.robust.ProcessFaultPlan` threads
+  deterministic process-level faults (real worker SIGKILLs, straggler
+  sleeps, cache-write corruption/ENOSPC) through the workers, so the
+  supervisor itself is tested under replayable fault sequences.
+
+The replay phase is untouched: experiments still run serially in the parent
+over warm caches, so supervised output remains byte-identical to a serial
+run — quarantined or failed points are simply recomputed inline, exactly as
+the unsupervised engine does.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import time
+from collections import deque
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import asdict, replace
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..errors import JournalError, ReproError, SupervisorError
+from ..robust.chaos import ProcessFaultPlan
+from . import cache as disk_cache
+from . import experiments
+from .parallel import (
+    ParallelSweepReport,
+    SweepTask,
+    TaskOutcome,
+    _compute_task,
+    _fold_results,
+    _memory_key,
+    _partition_tasks,
+    _resolve_experiment_ids,
+    _stage_timings,
+    plan_tasks,
+)
+
+__all__ = [
+    "JOURNAL_FORMAT_VERSION",
+    "SweepJournal",
+    "run_sweep_supervised",
+    "sweep_signature",
+    "task_key",
+]
+
+#: Bump when the journal line format or record schema changes; a resumed
+#: journal with a different format is rejected, never guessed at.
+JOURNAL_FORMAT_VERSION = 1
+
+_HEADER_KIND = "header"
+_OUTCOME_KIND = "outcome"
+
+
+def task_key(task: SweepTask) -> str:
+    """Stable string identity of a design point.
+
+    Used to key chaos-plan decisions (which must agree between parent and
+    workers) and readable enough to name tasks in reports and logs.
+    """
+    return "|".join(str(v) for v in (
+        task.filter_index, task.wordlength, task.scaling,
+        task.representation, task.method, task.depth_limit,
+    ))
+
+
+def sweep_signature(
+    experiment_ids: Sequence[str],
+    filter_indices: Optional[Sequence[int]] = None,
+    wordlengths: Optional[Sequence[int]] = None,
+) -> str:
+    """Content hash identifying one sweep's task universe and code version.
+
+    Folded into the journal filename and header so a ``--resume`` can only
+    replay outcomes produced by the *same* sweep shape under the *same*
+    code (:func:`~repro.eval.cache.cache_key` mixes in the version tag).
+    """
+    return disk_cache.cache_key({
+        "experiments": list(experiment_ids),
+        "filters": (
+            list(filter_indices) if filter_indices is not None else None
+        ),
+        "wordlengths": (
+            list(wordlengths) if wordlengths is not None else None
+        ),
+    })
+
+
+def _checksum(body: str) -> str:
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+def _encode_outcome(outcome: TaskOutcome) -> Dict[str, object]:
+    record = asdict(outcome)
+    record["kind"] = _OUTCOME_KIND
+    return record
+
+
+def _decode_outcome(record: Dict[str, object]) -> TaskOutcome:
+    task = SweepTask(**record["task"])
+    return TaskOutcome(
+        task=task,
+        payload=record["payload"],
+        error_type=record["error_type"],
+        error=record["error"],
+        elapsed_s=record["elapsed_s"],
+        traceback=record.get("traceback"),
+        attempts=record.get("attempts", 1),
+        quarantined=record.get("quarantined", False),
+    )
+
+
+class SweepJournal:
+    """Append-only, fsync'd, checksummed WAL of sweep task outcomes.
+
+    Format: one record per line, ``<sha256-of-body> <canonical-json>\\n``.
+    The first record is a header binding the file to a sweep signature and
+    journal format version.  Reads verify each line's checksum and stop at
+    the first bad one — an append-only log can only tear at the tail, and a
+    torn tail (killed parent mid-``write``) is truncated away on resume so
+    the file is again well-formed for further appends.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def path_for(cls, directory: os.PathLike, signature: str) -> Path:
+        """Where the journal for ``signature`` lives under ``directory``."""
+        return Path(directory) / f"sweep-{signature[:16]}.wal"
+
+    @classmethod
+    def create(cls, directory: os.PathLike, signature: str) -> "SweepJournal":
+        """Start a fresh journal (truncating any previous one)."""
+        journal = cls(cls.path_for(directory, signature))
+        journal.path.parent.mkdir(parents=True, exist_ok=True)
+        journal._fh = open(journal.path, "w", encoding="utf-8")
+        journal._append_record({
+            "kind": _HEADER_KIND,
+            "format": JOURNAL_FORMAT_VERSION,
+            "signature": signature,
+            "version": disk_cache.version_tag(),
+        })
+        return journal
+
+    @classmethod
+    def resume(
+        cls, directory: os.PathLike, signature: str
+    ) -> Tuple["SweepJournal", List[TaskOutcome]]:
+        """Reopen a journal for appending, returning its replayed outcomes.
+
+        A missing journal is not an error — the "interrupted before the
+        first fsync" case — it simply starts fresh.  A journal whose header
+        disagrees on format, signature, or code version raises
+        :class:`~repro.errors.JournalError` rather than mixing results
+        computed by different code into one sweep.
+        """
+        path = cls.path_for(directory, signature)
+        if not path.exists():
+            return cls.create(directory, signature), []
+        journal = cls(path)
+        records, valid_bytes = journal._read_records()
+        if not records or records[0].get("kind") != _HEADER_KIND:
+            raise JournalError(
+                f"journal {path} has no valid header; delete it (or drop "
+                f"--resume) to start over"
+            )
+        header = records[0]
+        expected = {
+            "format": JOURNAL_FORMAT_VERSION,
+            "signature": signature,
+            "version": disk_cache.version_tag(),
+        }
+        for field, want in expected.items():
+            have = header.get(field)
+            if have != want:
+                raise JournalError(
+                    f"journal {path} was written for {field}={have!r} but "
+                    f"this run expects {want!r}; delete it (or drop "
+                    f"--resume) to start over"
+                )
+        # Truncate any torn tail so future appends land on a clean boundary.
+        if valid_bytes < path.stat().st_size:
+            with open(path, "r+b") as fh:
+                fh.truncate(valid_bytes)
+        journal._fh = open(path, "a", encoding="utf-8")
+        outcomes = [
+            _decode_outcome(r) for r in records[1:]
+            if r.get("kind") == _OUTCOME_KIND
+        ]
+        return journal, outcomes
+
+    # -- I/O -----------------------------------------------------------------
+
+    def _read_records(self) -> Tuple[List[Dict[str, object]], int]:
+        """Parse the valid prefix: (records, byte length of that prefix)."""
+        records: List[Dict[str, object]] = []
+        valid_bytes = 0
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                if not raw.endswith(b"\n"):
+                    break  # torn final line (no newline made it to disk)
+                try:
+                    line = raw.decode("utf-8")
+                    digest, body = line.rstrip("\n").split(" ", 1)
+                    if _checksum(body) != digest:
+                        break
+                    records.append(json.loads(body))
+                except (UnicodeDecodeError, ValueError):
+                    break
+                valid_bytes += len(raw)
+        return records, valid_bytes
+
+    def _append_record(self, record: Dict[str, object]) -> None:
+        if self._fh is None:
+            raise JournalError(f"journal {self.path} is not open for append")
+        body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._fh.write(f"{_checksum(body)} {body}\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def append(self, outcome: TaskOutcome) -> None:
+        """Durably record one terminal task outcome (flushed + fsync'd)."""
+        self._append_record(_encode_outcome(outcome))
+
+    def close(self) -> None:
+        """Close the underlying file (append after close raises)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "SweepJournal":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+
+class _NullJournal:
+    """Journal stand-in when no ``journal_dir`` was given: records nothing."""
+
+    path = None
+
+    def append(self, outcome: TaskOutcome) -> None:
+        pass
+
+    def close(self) -> None:
+        pass
+
+
+# -- supervised precompute ---------------------------------------------------
+
+
+def _worker_init_supervised(
+    cache_dir: Optional[str], chaos: Optional[ProcessFaultPlan]
+) -> None:
+    """Pool initializer: shared disk cache + worker-side chaos arming."""
+    disk_cache.configure(cache_dir)
+    if chaos is not None:
+        injector = chaos.cache_injector()
+        if injector is not None:
+            disk_cache.install_fault_injector(injector)
+
+
+def _worker_run_supervised(
+    args: Tuple[SweepTask, Optional[float], int, Optional[ProcessFaultPlan]],
+) -> TaskOutcome:
+    task, deadline_s, attempt, chaos = args
+    if chaos is not None:
+        chaos.apply_worker_faults(task_key(task), attempt)
+    return _compute_task(task, deadline_s)
+
+
+def _quarantine_outcome(task: SweepTask, attempts: int) -> TaskOutcome:
+    return TaskOutcome(
+        task=task,
+        payload=None,
+        error_type="WorkerLost",
+        error=(
+            f"task {task_key(task)} was in flight for {attempts} broken "
+            f"pools; quarantined as a suspected worker killer"
+        ),
+        elapsed_s=0.0,
+        attempts=attempts,
+        quarantined=True,
+    )
+
+
+def _precompute_in_process(
+    pending: Sequence[SweepTask],
+    deadline_s: Optional[float],
+    journal,
+    chaos: Optional[ProcessFaultPlan],
+) -> List[TaskOutcome]:
+    """``jobs=1`` path: no pool to lose, but journaling still applies.
+
+    Worker-kill faults are *not* fired here — they would SIGKILL the parent
+    itself, which is the scenario the journal (not the supervisor loop)
+    protects against; slow and cache-write faults still fire.
+    """
+    injector = chaos.cache_injector() if chaos is not None else None
+    previous = (
+        disk_cache.install_fault_injector(injector)
+        if injector is not None else None
+    )
+    results: List[TaskOutcome] = []
+    try:
+        for task in pending:
+            if chaos is not None:
+                delay = chaos.slow_delay(task_key(task))
+                if delay > 0.0:
+                    time.sleep(delay)
+            outcome = _compute_task(task, deadline_s)
+            journal.append(outcome)
+            results.append(outcome)
+    finally:
+        if injector is not None:
+            disk_cache.install_fault_injector(previous)
+    return results
+
+
+def _run_wave(
+    batch: Sequence[SweepTask],
+    workers: int,
+    worker_dir: Optional[str],
+    deadline_s: Optional[float],
+    attempts: Dict[SweepTask, int],
+    chaos: Optional[ProcessFaultPlan],
+    journal,
+    results: List[TaskOutcome],
+) -> List[SweepTask]:
+    """Submit one batch to a fresh pool; returns the tasks lost to a break.
+
+    Completed outcomes (including worker-side failures, which arrive as
+    error-carrying :class:`TaskOutcome`\\ s, and submission-side errors such
+    as unpicklable arguments) are journaled and appended to ``results``
+    immediately; only tasks whose future died with
+    :class:`BrokenProcessPool` are returned for the caller to triage.
+    """
+    executor = ProcessPoolExecutor(
+        max_workers=workers,
+        initializer=_worker_init_supervised,
+        initargs=(worker_dir, chaos),
+    )
+    future_map = {
+        executor.submit(
+            _worker_run_supervised,
+            (task, deadline_s, attempts[task], chaos),
+        ): task
+        for task in batch
+    }
+    lost: List[SweepTask] = []
+    try:
+        for future, task in future_map.items():
+            try:
+                outcome = future.result()
+            except BrokenProcessPool:
+                lost.append(task)
+            except Exception as exc:  # noqa: BLE001 — e.g. pickling
+                outcome = TaskOutcome(
+                    task=task,
+                    payload=None,
+                    error_type=type(exc).__name__,
+                    error=str(exc),
+                    elapsed_s=0.0,
+                    attempts=attempts[task] + 1,
+                )
+                journal.append(outcome)
+                results.append(outcome)
+            else:
+                outcome = replace(outcome, attempts=attempts[task] + 1)
+                journal.append(outcome)
+                results.append(outcome)
+    finally:
+        executor.shutdown(wait=True, cancel_futures=True)
+    return lost
+
+
+def _precompute_supervised(
+    pending: Sequence[SweepTask],
+    jobs: int,
+    deadline_s: Optional[float],
+    journal,
+    chaos: Optional[ProcessFaultPlan],
+    max_retries: int,
+    backoff_s: float,
+    backoff_factor: float,
+    max_backoff_s: float,
+) -> Tuple[List[TaskOutcome], int, int]:
+    """Pool execution with worker-loss recovery and poison attribution.
+
+    Returns ``(results, retries, pool_rebuilds)``.  Fresh tasks run in
+    shared waves at full width.  A broken pool fails *every* in-flight
+    future, so a shared-wave loss cannot tell the poison task from innocent
+    bystanders; lost tasks are therefore re-probed in **isolation** — one
+    task, one worker, one pool — where a second break implicates exactly
+    that task.  Each loss adds a strike to the task's ledger; a task
+    exceeding ``max_retries`` strikes is quarantined.  Innocents collect at
+    most the one shared-wave strike, so with ``max_retries >= 1`` only a
+    repeatedly-killing task can be quarantined.  Executor rebuilds are
+    spaced by exponential backoff to ride out transient resource pressure
+    (the OOM-killer case) instead of thrashing.
+    """
+    active = disk_cache.active_cache()
+    worker_dir = str(active.root) if active is not None else None
+    attempts: Dict[SweepTask, int] = {task: 0 for task in pending}
+    queue = deque(sorted(pending))
+    suspects: deque = deque()
+    results: List[TaskOutcome] = []
+    retries = 0
+    pool_rebuilds = 0
+
+    def strike(task: SweepTask) -> None:
+        nonlocal retries
+        attempts[task] += 1
+        if attempts[task] > max_retries:
+            outcome = _quarantine_outcome(task, attempts[task])
+            journal.append(outcome)
+            results.append(outcome)
+        else:
+            retries += 1
+            suspects.append(task)
+
+    def backoff() -> None:
+        delay = min(
+            backoff_s * backoff_factor ** max(pool_rebuilds - 1, 0),
+            max_backoff_s,
+        )
+        if delay > 0.0:
+            time.sleep(delay)
+
+    while queue or suspects:
+        # Isolation probes first: settle every suspect before committing a
+        # full-width pool that one of them could break again.
+        while suspects:
+            task = suspects.popleft()
+            lost = _run_wave(
+                [task], 1, worker_dir, deadline_s, attempts, chaos,
+                journal, results,
+            )
+            if lost:
+                pool_rebuilds += 1
+                strike(task)
+                backoff()
+        if queue:
+            batch = sorted(queue)
+            queue.clear()
+            lost = _run_wave(
+                batch, min(jobs, len(batch)), worker_dir, deadline_s,
+                attempts, chaos, journal, results,
+            )
+            if lost:
+                pool_rebuilds += 1
+                for task in sorted(lost):
+                    strike(task)
+                backoff()
+    return results, retries, pool_rebuilds
+
+
+def run_sweep_supervised(
+    experiment_ids: Optional[Sequence[str]] = None,
+    jobs: Optional[int] = None,
+    cache_dir: Optional[os.PathLike] = None,
+    robust: bool = True,
+    filter_indices: Optional[Sequence[int]] = None,
+    wordlengths: Optional[Sequence[int]] = None,
+    task_deadline_s: Optional[float] = None,
+    replay: bool = True,
+    journal_dir: Optional[os.PathLike] = None,
+    resume: bool = False,
+    max_retries: int = 2,
+    backoff_s: float = 0.05,
+    backoff_factor: float = 2.0,
+    max_backoff_s: float = 2.0,
+    chaos: Optional[ProcessFaultPlan] = None,
+) -> ParallelSweepReport:
+    """Run a sweep under supervision; results still match serial bytes.
+
+    Superset of :func:`~repro.eval.parallel.run_sweep_parallel`: same
+    planning, cache layering, and replay semantics, plus journaling
+    (``journal_dir``/``resume``), bounded worker-loss recovery
+    (``max_retries``, ``backoff_*``), and optional process-level fault
+    injection (``chaos``).  The returned
+    :class:`~repro.eval.parallel.ParallelSweepReport` carries the recovery
+    counters and any quarantined tasks.
+    """
+    from .harness import run_sweep
+
+    ids = _resolve_experiment_ids(experiment_ids)
+    if jobs is None:
+        jobs = os.cpu_count() or 1
+    if jobs < 1:
+        raise ReproError(f"jobs must be >= 1, got {jobs}")
+    if max_retries < 0:
+        raise SupervisorError(f"max_retries must be >= 0, got {max_retries}")
+    if backoff_s < 0.0 or max_backoff_s < 0.0 or backoff_factor < 1.0:
+        raise SupervisorError(
+            "backoff_s/max_backoff_s must be >= 0 and backoff_factor >= 1"
+        )
+    if resume and journal_dir is None:
+        raise SupervisorError("resume=True requires journal_dir")
+
+    started = time.monotonic()
+    if cache_dir is not None:
+        disk_cache.configure(cache_dir)
+
+    tasks = plan_tasks(ids, filter_indices, wordlengths)
+    signature = sweep_signature(ids, filter_indices, wordlengths)
+
+    journal = _NullJournal()
+    resumed_outcomes: List[TaskOutcome] = []
+    if journal_dir is not None:
+        if resume:
+            journal, resumed_outcomes = SweepJournal.resume(
+                journal_dir, signature
+            )
+        else:
+            journal = SweepJournal.create(journal_dir, signature)
+
+    # Hydrate the in-memory cache from journaled completions, then let the
+    # ordinary partition count them as precached.  Failed or quarantined
+    # journal records are *not* replayed — a crash environment is exactly
+    # when transient failures happen, so those points get a fresh chance.
+    tasks_resumed = 0
+    task_set = set(tasks)
+    seen: set = set()
+    for outcome in resumed_outcomes:
+        if outcome.task not in task_set or outcome.task in seen:
+            continue
+        if outcome.ok:
+            seen.add(outcome.task)
+            tasks_resumed += 1
+            key = _memory_key(outcome.task)
+            if key not in experiments._CACHE:
+                experiments._CACHE[key] = (
+                    disk_cache.decode_method_result(outcome.payload)
+                )
+                experiments._MEMORY_STATS.stores += 1
+
+    pending, precached = _partition_tasks(tasks)
+
+    precompute_started = time.monotonic()
+    retries = 0
+    pool_rebuilds = 0
+    try:
+        if not pending:
+            results: List[TaskOutcome] = []
+        elif jobs > 1:
+            results, retries, pool_rebuilds = _precompute_supervised(
+                pending, jobs, task_deadline_s, journal, chaos,
+                max_retries, backoff_s, backoff_factor, max_backoff_s,
+            )
+        else:
+            results = _precompute_in_process(
+                pending, task_deadline_s, journal, chaos,
+            )
+    finally:
+        journal.close()
+    precompute_s = time.monotonic() - precompute_started
+
+    _fold_results(results)
+    stage_timings = _stage_timings(results)
+
+    replay_started = time.monotonic()
+    outcomes: Tuple = ()
+    if replay:
+        outcomes = run_sweep(
+            ids, robust=robust, filter_indices=filter_indices,
+            wordlengths=wordlengths,
+        )
+    replay_s = time.monotonic() - replay_started
+
+    return ParallelSweepReport(
+        outcomes=outcomes,
+        tasks=tuple(results),
+        jobs=jobs,
+        tasks_planned=len(tasks),
+        tasks_precached=precached,
+        precompute_s=precompute_s,
+        replay_s=replay_s,
+        total_s=time.monotonic() - started,
+        stage_timings=stage_timings,
+        cache=experiments.cache_info(),
+        retries=retries,
+        pool_rebuilds=pool_rebuilds,
+        tasks_resumed=tasks_resumed,
+        journal_path=str(journal.path) if journal.path is not None else None,
+    )

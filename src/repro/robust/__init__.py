@@ -10,7 +10,15 @@ catches and reroutes every failure mode.
 
 from ..errors import BudgetExceeded, CoverBudgetError, DegradationError
 from .budget import SolverBudget
-from .chaos import FAULT_CLASSES, ChaosFault, ChaosHarness, Injection
+from .chaos import (
+    FAULT_CLASSES,
+    PROCESS_FAULT_CLASSES,
+    CacheFaultInjector,
+    ChaosFault,
+    ChaosHarness,
+    Injection,
+    ProcessFaultPlan,
+)
 from .degrade import (
     STAGES,
     TIERS,
@@ -23,12 +31,15 @@ from .degrade import (
 __all__ = [
     "AttemptRecord",
     "BudgetExceeded",
+    "CacheFaultInjector",
     "ChaosFault",
     "ChaosHarness",
     "CoverBudgetError",
     "DegradationError",
     "FAULT_CLASSES",
     "Injection",
+    "PROCESS_FAULT_CLASSES",
+    "ProcessFaultPlan",
     "RobustConfig",
     "RobustResult",
     "STAGES",

@@ -18,11 +18,24 @@ flow*: a :class:`ChaosHarness` hooks the stage boundaries of
 Injection is driven by a seeded :class:`random.Random`, so a given seed
 replays the exact same fault sequence; ``injections`` records every fault
 actually fired for test assertions.
+
+Beyond in-process stage faults, :class:`ProcessFaultPlan` describes
+*process-level* fault schedules for the supervised sweep layer
+(:mod:`repro.eval.supervisor`): seeded worker SIGKILLs, injected slow tasks,
+and cache-write corruption / ENOSPC simulation.  Decisions are pure
+functions of ``(seed, task key, attempt)`` via SHA-256 — independent of
+execution order, interning, or ``PYTHONHASHSEED`` — so a fault sequence
+replays identically across processes and runs.
 """
 
 from __future__ import annotations
 
+import errno
+import hashlib
+import os
 import random
+import signal
+import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
@@ -32,9 +45,20 @@ from ..errors import BudgetExceeded, ReproError
 from .budget import SolverBudget
 from .degrade import STAGES
 
-__all__ = ["FAULT_CLASSES", "ChaosFault", "ChaosHarness", "Injection"]
+__all__ = [
+    "FAULT_CLASSES",
+    "PROCESS_FAULT_CLASSES",
+    "CacheFaultInjector",
+    "ChaosFault",
+    "ChaosHarness",
+    "Injection",
+    "ProcessFaultPlan",
+]
 
 FAULT_CLASSES = ("exception", "deadline", "corruption")
+
+#: Fault classes a :class:`ProcessFaultPlan` can schedule.
+PROCESS_FAULT_CLASSES = ("kill", "slow", "cache_truncate", "cache_enospc")
 
 
 class ChaosFault(RuntimeError):
@@ -172,3 +196,133 @@ def _corrupt_architecture(architecture):
         )
         return architecture
     raise ChaosFault("no corruptible output: every tap is zero")
+
+
+# --- process-level fault schedules ------------------------------------------
+
+
+def _stable_unit(seed: int, salt: str, key: str) -> float:
+    """A uniform draw in [0, 1) that is a pure function of its arguments.
+
+    SHA-256 based so the same (seed, salt, key) triple draws the same value
+    in every process — the property that makes process-level fault
+    sequences replayable regardless of worker scheduling.
+    """
+    digest = hashlib.sha256(f"{seed}\x00{salt}\x00{key}".encode()).digest()
+    return int.from_bytes(digest[:8], "big") / 2**64
+
+
+@dataclass(frozen=True)
+class ProcessFaultPlan:
+    """A deterministic schedule of process-level faults for one sweep.
+
+    Picklable (sent to pool workers via the task tuple) and stateless:
+    every decision is a pure function of ``(seed, task key, attempt)``, so
+    the parent and any worker agree on what fails where, and a rerun with
+    the same plan replays the identical fault sequence.
+
+    ``kill_rate`` selects tasks whose first ``kills_per_task`` attempts
+    SIGKILL their worker (recoverable: retries succeed); ``poison_tasks``
+    lists task keys that kill on *every* attempt (the supervisor must
+    quarantine them).  ``slow_rate``/``slow_s`` injects sleeps to simulate
+    stragglers, and the ``cache_*_rate`` knobs arm a
+    :class:`CacheFaultInjector` that corrupts or ENOSPC-fails disk-cache
+    writes.
+    """
+
+    seed: int = 0
+    kill_rate: float = 0.0
+    kills_per_task: int = 1
+    poison_tasks: Tuple[str, ...] = ()
+    slow_rate: float = 0.0
+    slow_s: float = 0.05
+    cache_truncate_rate: float = 0.0
+    cache_enospc_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("kill_rate", "slow_rate", "cache_truncate_rate",
+                     "cache_enospc_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {value}")
+        if self.kills_per_task < 0:
+            raise ReproError(
+                f"kills_per_task must be >= 0, got {self.kills_per_task}"
+            )
+        if self.slow_s < 0.0:
+            raise ReproError(f"slow_s must be >= 0, got {self.slow_s}")
+
+    def should_kill(self, key: str, attempt: int) -> bool:
+        """Whether this attempt of task ``key`` SIGKILLs its worker."""
+        if key in self.poison_tasks:
+            return True
+        if attempt >= self.kills_per_task:
+            return False
+        return _stable_unit(self.seed, "kill", key) < self.kill_rate
+
+    def slow_delay(self, key: str) -> float:
+        """Seconds of injected straggler delay for task ``key`` (0 = none)."""
+        if _stable_unit(self.seed, "slow", key) < self.slow_rate:
+            return self.slow_s
+        return 0.0
+
+    def apply_worker_faults(self, key: str, attempt: int) -> None:
+        """Fire this task's worker-side faults: sleep, then maybe die.
+
+        Called at task entry inside the worker.  The kill is a genuine
+        ``SIGKILL`` of the worker's own process — the supervisor under test
+        sees a real :class:`~concurrent.futures.process.BrokenProcessPool`,
+        not a simulated exception.
+        """
+        delay = self.slow_delay(key)
+        if delay > 0.0:
+            time.sleep(delay)
+        if self.should_kill(key, attempt):
+            os.kill(os.getpid(), signal.SIGKILL)
+
+    def cache_injector(self) -> Optional["CacheFaultInjector"]:
+        """The cache-write fault injector this plan calls for, if any."""
+        if self.cache_truncate_rate <= 0.0 and self.cache_enospc_rate <= 0.0:
+            return None
+        return CacheFaultInjector(
+            seed=self.seed,
+            truncate_rate=self.cache_truncate_rate,
+            enospc_rate=self.cache_enospc_rate,
+        )
+
+
+@dataclass(frozen=True)
+class CacheFaultInjector:
+    """Deterministic write-fault decisions for :class:`~repro.eval.cache.DiskCache`.
+
+    Installed via :func:`repro.eval.cache.install_fault_injector`; consulted
+    once per ``put``.  ``"truncate"`` persists a torn JSON body (simulating
+    filesystem corruption under a crash), ``"enospc"`` raises
+    ``OSError(ENOSPC)`` before any byte is written (simulating a full disk).
+    Draws are keyed by the cache key, so the same entry fails the same way
+    in every process.
+    """
+
+    seed: int = 0
+    truncate_rate: float = 0.0
+    enospc_rate: float = 0.0
+
+    def __post_init__(self) -> None:
+        for name in ("truncate_rate", "enospc_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {value}")
+
+    def draw_put(self, key: str) -> Optional[str]:
+        """``"truncate"``, ``"enospc"``, or ``None`` for this cache write."""
+        if _stable_unit(self.seed, "cache_enospc", key) < self.enospc_rate:
+            return "enospc"
+        if _stable_unit(self.seed, "cache_truncate", key) < self.truncate_rate:
+            return "truncate"
+        return None
+
+    def enospc_error(self, key: str) -> OSError:
+        """The ENOSPC ``OSError`` to raise for ``key``'s write."""
+        return OSError(
+            errno.ENOSPC, f"chaos: no space left on device (cache key {key})"
+        )

@@ -1,0 +1,145 @@
+"""CLI argument parsing and the exit-code contract of ``python -m repro.eval``.
+
+The exit codes are part of the tool's interface — schedulers retry on a
+budget exhaustion (3), page on a degradation failure (4), and collect
+forensics on a partial sweep (5) — so each mapping is pinned here.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.errors import BudgetExceeded, DegradationError, ReproError
+from repro.eval import cache as disk_cache
+from repro.eval.__main__ import (
+    EXIT_BUDGET,
+    EXIT_DEGRADATION,
+    EXIT_FAILURE,
+    EXIT_OK,
+    EXIT_PARTIAL,
+    EXIT_USAGE,
+    build_parser,
+    main,
+)
+from repro.eval.experiments import clear_cache
+from repro.eval.parallel import ParallelSweepReport, SweepTask, TaskOutcome
+
+
+@pytest.fixture(autouse=True)
+def _pristine_caches():
+    clear_cache()
+    disk_cache.configure(None)
+    yield
+    clear_cache()
+    disk_cache.configure(None)
+
+
+class TestParsing:
+    def test_defaults(self):
+        args = build_parser().parse_args(["fig6"])
+        assert args.experiment == "fig6"
+        assert args.jobs is None and args.cache_dir is None
+        assert args.journal_dir is None and not args.resume
+        assert args.max_retries is None
+
+    def test_supervisor_flags(self):
+        args = build_parser().parse_args([
+            "all", "--jobs", "4", "--cache-dir", "c", "--journal-dir", "j",
+            "--resume", "--max-retries", "7", "--task-deadline", "1.5",
+        ])
+        assert args.jobs == 4
+        assert args.cache_dir == "c"
+        assert args.journal_dir == "j"
+        assert args.resume is True
+        assert args.max_retries == 7
+        assert args.task_deadline == 1.5
+
+    def test_filters_and_wordlengths(self):
+        args = build_parser().parse_args(
+            ["table1", "--filters", "0", "3", "--wordlengths", "8", "12"]
+        )
+        assert args.filters == [0, 3]
+        assert args.wordlengths == [8, 12]
+
+    def test_unknown_experiment_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["not-an-experiment"])
+        assert excinfo.value.code == EXIT_USAGE
+
+    def test_resume_without_journal_dir_is_usage_error(self, capsys):
+        with pytest.raises(SystemExit) as excinfo:
+            main(["fig6", "--resume"])
+        assert excinfo.value.code == EXIT_USAGE
+        assert "--journal-dir" in capsys.readouterr().err
+
+
+class TestExitCodes:
+    def test_success_returns_zero(self, capsys):
+        code = main(["fig6", "--filters", "0", "--wordlengths", "8"])
+        assert code == EXIT_OK
+        assert "Figure 6" in capsys.readouterr().out
+
+    def test_supervised_success_returns_zero(self, tmp_path, capsys):
+        code = main([
+            "fig6", "--filters", "0", "--wordlengths", "8",
+            "--jobs", "1", "--journal-dir", str(tmp_path),
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "supervised:" in out
+
+    def test_budget_exceeded_maps_to_3(self, monkeypatch, capsys):
+        import repro.eval.__main__ as cli
+
+        def boom(*a, **kw):
+            raise BudgetExceeded("deadline passed")
+
+        monkeypatch.setattr(cli, "run_experiment", boom)
+        assert main(["fig6"]) == EXIT_BUDGET
+        assert "budget" in capsys.readouterr().err
+
+    def test_degradation_maps_to_4(self, monkeypatch, capsys):
+        import repro.eval.__main__ as cli
+
+        def boom(*a, **kw):
+            raise DegradationError("all tiers failed")
+
+        monkeypatch.setattr(cli, "run_experiment", boom)
+        assert main(["fig6"]) == EXIT_DEGRADATION
+        assert "degradation" in capsys.readouterr().err
+
+    def test_other_repro_error_maps_to_1(self, monkeypatch, capsys):
+        import repro.eval.__main__ as cli
+
+        def boom(*a, **kw):
+            raise ReproError("something structural")
+
+        monkeypatch.setattr(cli, "run_experiment", boom)
+        assert main(["fig6"]) == EXIT_FAILURE
+        assert "something structural" in capsys.readouterr().err
+
+    def test_quarantined_tasks_map_to_5(self, monkeypatch, capsys):
+        import repro.eval.supervisor as supervisor
+
+        task = SweepTask(0, 8, "uniform", "csd", "mrpf")
+        report = ParallelSweepReport(
+            outcomes=(),
+            tasks=(TaskOutcome(
+                task=task, payload=None, error_type="WorkerLost",
+                error="poison", elapsed_s=0.0, attempts=3, quarantined=True,
+            ),),
+            jobs=2, tasks_planned=1, tasks_precached=0,
+            precompute_s=0.0, replay_s=0.0, total_s=0.0,
+            stage_timings={}, cache={},
+        )
+        monkeypatch.setattr(
+            supervisor, "run_sweep_supervised", lambda *a, **kw: report
+        )
+        code = main([
+            "fig6", "--filters", "0", "--wordlengths", "8",
+            "--journal-dir", "unused",
+        ])
+        assert code == EXIT_PARTIAL
+        captured = capsys.readouterr()
+        assert "quarantined" in captured.out
+        assert "poison" in captured.err

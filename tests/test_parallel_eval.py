@@ -96,6 +96,12 @@ class TestByteIdenticalEquivalence:
         )
         failed = report.failed_tasks
         assert any(t.error_type == "BudgetExceeded" for t in failed)
+        # Failed outcomes carry the full worker-side traceback, not just
+        # the exception repr — essential once frames died with the worker.
+        for t in failed:
+            assert t.traceback is not None
+            assert "BudgetExceeded" in t.traceback
+            assert "Traceback (most recent call last)" in t.traceback
         full = run_sweep_parallel(IDS, jobs=1, **RESTRICT)
         assert sweep_to_json(full.outcomes) == want
 
@@ -144,7 +150,7 @@ class TestDiskCache:
         assert cache.stats.stores == 1
         assert 0.0 < cache.stats.hit_rate < 1.0
 
-    def test_corrupt_entry_is_a_miss_and_removed(self, tmp_path):
+    def test_corrupt_entry_is_a_miss_and_quarantined(self, tmp_path):
         cache = disk_cache.DiskCache(tmp_path)
         key = disk_cache.cache_key({"x": 2})
         cache.put(key, {"ok": True})
@@ -152,6 +158,37 @@ class TestDiskCache:
         path.write_text("{truncated", encoding="utf-8")
         assert cache.get(key) is None
         assert not path.exists()
+        # The corrupt bytes survive in quarantine/ for forensics.
+        moved = cache.quarantine_dir / path.name
+        assert moved.read_text(encoding="utf-8") == "{truncated"
+        assert cache.stats.quarantined == 1
+        assert cache.quarantined_entries() == 1
+
+    def test_repeated_corruption_keeps_every_specimen(self, tmp_path):
+        cache = disk_cache.DiskCache(tmp_path)
+        key = disk_cache.cache_key({"x": 3})
+        for generation in range(3):
+            cache.put(key, {"ok": generation})
+            cache._path(key).write_text(f"{{gen {generation}", encoding="utf-8")
+            assert cache.get(key) is None
+        assert cache.quarantined_entries() == 3
+
+    def test_quarantine_not_listed_or_cleared_as_entries(self, tmp_path):
+        cache = disk_cache.DiskCache(tmp_path)
+        key = disk_cache.cache_key({"x": 4})
+        cache.put(key, {"ok": True})
+        cache._path(key).write_text("junk", encoding="utf-8")
+        assert cache.get(key) is None
+        assert len(cache) == 0  # quarantined files are not live entries
+        assert cache.clear() == 0
+        assert cache.quarantined_entries() == 1  # clear() spares forensics
+
+    def test_cache_info_reports_quarantine(self, tmp_path):
+        disk_cache.configure(tmp_path)
+        info = experiments.cache_info()
+        assert info["disk_quarantine"] == 0
+        assert info["disk"]["quarantined"] == 0
+        assert info["disk"]["put_errors"] == 0
 
     def test_clear_removes_everything(self, tmp_path):
         cache = disk_cache.DiskCache(tmp_path)

@@ -151,3 +151,102 @@ class TestPartialChaos:
         except DegradationError:
             pass
         assert time.monotonic() - started < 2.0 * deadline
+
+
+class TestProcessFaultPlan:
+    """Process-level fault schedules: deterministic, validated, replayable."""
+
+    def test_rates_validated(self):
+        from repro.robust import ProcessFaultPlan
+
+        with pytest.raises(ReproError):
+            ProcessFaultPlan(kill_rate=1.5)
+        with pytest.raises(ReproError):
+            ProcessFaultPlan(slow_rate=-0.1)
+        with pytest.raises(ReproError):
+            ProcessFaultPlan(kills_per_task=-1)
+        with pytest.raises(ReproError):
+            ProcessFaultPlan(slow_s=-1.0)
+
+    def test_kill_decisions_are_pure_functions(self):
+        from repro.robust import ProcessFaultPlan
+
+        plan = ProcessFaultPlan(seed=42, kill_rate=0.5, kills_per_task=2)
+        keys = [f"task-{i}" for i in range(64)]
+        first = [plan.should_kill(k, 0) for k in keys]
+        assert first == [plan.should_kill(k, 0) for k in keys]
+        # Same seed in a "different process" (fresh object): same decisions.
+        clone = ProcessFaultPlan(seed=42, kill_rate=0.5, kills_per_task=2)
+        assert first == [clone.should_kill(k, 0) for k in keys]
+        # A different seed disagrees somewhere across 64 keys.
+        other = ProcessFaultPlan(seed=43, kill_rate=0.5, kills_per_task=2)
+        assert first != [other.should_kill(k, 0) for k in keys]
+
+    def test_kills_stop_after_budget(self):
+        from repro.robust import ProcessFaultPlan
+
+        plan = ProcessFaultPlan(seed=0, kill_rate=1.0, kills_per_task=2)
+        assert plan.should_kill("k", 0)
+        assert plan.should_kill("k", 1)
+        assert not plan.should_kill("k", 2)
+
+    def test_poison_tasks_always_kill(self):
+        from repro.robust import ProcessFaultPlan
+
+        plan = ProcessFaultPlan(seed=0, poison_tasks=("bad",))
+        for attempt in range(10):
+            assert plan.should_kill("bad", attempt)
+        assert not plan.should_kill("good", 0)
+
+    def test_slow_delay_deterministic_and_gated(self):
+        from repro.robust import ProcessFaultPlan
+
+        always = ProcessFaultPlan(seed=9, slow_rate=1.0, slow_s=0.25)
+        never = ProcessFaultPlan(seed=9, slow_rate=0.0, slow_s=0.25)
+        assert always.slow_delay("k") == 0.25
+        assert never.slow_delay("k") == 0.0
+
+    def test_cache_injector_derivation(self):
+        from repro.robust import CacheFaultInjector, ProcessFaultPlan
+
+        assert ProcessFaultPlan(seed=1).cache_injector() is None
+        injector = ProcessFaultPlan(
+            seed=1, cache_truncate_rate=0.5, cache_enospc_rate=0.25
+        ).cache_injector()
+        assert isinstance(injector, CacheFaultInjector)
+        assert injector.seed == 1
+
+    def test_fault_classes_exported(self):
+        from repro.robust import PROCESS_FAULT_CLASSES
+
+        assert set(PROCESS_FAULT_CLASSES) == {
+            "kill", "slow", "cache_truncate", "cache_enospc"
+        }
+
+
+class TestCacheFaultInjector:
+    def test_draws_deterministic(self):
+        from repro.robust import CacheFaultInjector
+
+        injector = CacheFaultInjector(seed=5, truncate_rate=0.5,
+                                      enospc_rate=0.25)
+        keys = [f"{i:064x}" for i in range(64)]
+        draws = [injector.draw_put(k) for k in keys]
+        assert draws == [injector.draw_put(k) for k in keys]
+        assert {"truncate", "enospc", None} >= set(draws)
+        assert any(d is not None for d in draws)
+
+    def test_rates_validated(self):
+        from repro.robust import CacheFaultInjector
+
+        with pytest.raises(ReproError):
+            CacheFaultInjector(truncate_rate=2.0)
+
+    def test_enospc_error_is_enospc(self):
+        import errno
+
+        from repro.robust import CacheFaultInjector
+
+        injector = CacheFaultInjector(seed=0, enospc_rate=1.0)
+        assert injector.draw_put("aa") == "enospc"
+        assert injector.enospc_error("aa").errno == errno.ENOSPC
