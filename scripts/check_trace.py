@@ -1,0 +1,106 @@
+#!/usr/bin/env python
+"""CI gate: validate a JSONL trace and scrape a metrics exposition.
+
+Usage::
+
+    python scripts/check_trace.py TRACE.jsonl [--metrics METRICS.prom]
+        [--require-span NAME ...] [--min-spans N]
+
+Exit codes: 0 when the trace parses, passes the schema check, and (when
+``--metrics`` is given) every required metric series is present in the
+exposition; 1 otherwise, with one line per problem on stderr.
+
+Kept dependency-free (stdlib + repro.obs) so the CI job needs nothing
+beyond the package itself.
+"""
+
+from __future__ import annotations
+
+import argparse
+import re
+import sys
+from pathlib import Path
+
+sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
+
+from repro.obs import load_trace, validate_trace  # noqa: E402
+
+#: Series every traced sweep must expose (predeclared at configure time, so
+#: they exist at 0 even when nothing failed).
+REQUIRED_SERIES = (
+    'repro_tasks_total{status="ok"}',
+    'repro_tasks_total{status="failed"}',
+    'repro_tasks_total{status="quarantined"}',
+    "repro_task_retries_total",
+    "repro_pool_rebuilds_total",
+    "repro_tasks_resumed_total",
+    "repro_tasks_precached_total",
+    "repro_cache_put_errors_total",
+    "repro_cache_quarantined_total",
+)
+
+
+def check_trace(path: str, require_spans, min_spans: int):
+    problems = []
+    try:
+        records = load_trace(path)
+    except (OSError, ValueError) as exc:
+        return [f"trace unreadable: {exc}"]
+    problems.extend(validate_trace(records))
+    spans = [r for r in records if r.get("kind") == "span"]
+    if len(spans) < min_spans:
+        problems.append(
+            f"trace has {len(spans)} spans, expected at least {min_spans}"
+        )
+    names = {s.get("name") for s in spans}
+    for name in require_spans:
+        if name not in names:
+            problems.append(f"required span {name!r} absent from trace")
+    return problems
+
+
+def check_metrics(path: str):
+    problems = []
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"metrics unreadable: {exc}"]
+    for series in REQUIRED_SERIES:
+        # A series line is "<name>[{labels}] <value>".
+        pattern = re.compile(
+            rf"^{re.escape(series)} [0-9.eE+-]+$", re.MULTILINE
+        )
+        if not pattern.search(text):
+            problems.append(f"required metric series {series!r} absent")
+    return problems
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("trace", help="JSONL trace file to validate")
+    parser.add_argument(
+        "--metrics", default=None,
+        help="Prometheus exposition to scrape for required series",
+    )
+    parser.add_argument(
+        "--require-span", action="append", default=[], metavar="NAME",
+        help="fail unless a span with this name appears (repeatable)",
+    )
+    parser.add_argument(
+        "--min-spans", type=int, default=1, metavar="N",
+        help="fail when the trace holds fewer than N spans (default 1)",
+    )
+    args = parser.parse_args(argv)
+
+    problems = check_trace(args.trace, args.require_span, args.min_spans)
+    if args.metrics is not None:
+        problems.extend(check_metrics(args.metrics))
+    for problem in problems:
+        print(f"check_trace: {problem}", file=sys.stderr)
+    if not problems:
+        print(f"check_trace: {args.trace} OK")
+    return 1 if problems else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -22,6 +22,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from ..errors import NetlistError
 from ..numrep import odd_normalize
+from ..obs import span as obs_span
 from .netlist import ShiftAddNetlist
 from .nodes import INPUT_ID, Ref
 
@@ -54,6 +55,13 @@ def optimize_netlist(
     node; with ``dedup=False`` the pass is purely structural (dead-code
     elimination + rebalancing) and guarantees depth never increases.
     """
+    with obs_span(
+        "netlist.optimize", nodes=len(netlist.nodes), dedup=dedup
+    ):
+        return _optimize_netlist(netlist, dedup)
+
+
+def _optimize_netlist(netlist: ShiftAddNetlist, dedup: bool) -> ShiftAddNetlist:
     alive = set(reachable_nodes(netlist))
 
     # Fanout among live nodes + output references decides what materializes.

@@ -7,6 +7,8 @@ Examples::
     python -m repro.eval all --filters 0 1 2 --wordlengths 8 12
     python -m repro.eval all --jobs 4 --cache-dir .cache \\
         --journal-dir .journal --resume --max-retries 3
+    python -m repro.eval fig6 --trace trace.jsonl --metrics metrics.prom
+    python -m repro.eval stats --trace trace.jsonl
 
 Exit codes map the error taxonomy so schedulers and scripts can branch on
 *why* a run ended without parsing stderr:
@@ -29,6 +31,7 @@ import argparse
 import sys
 from typing import List, Optional
 
+from .. import obs
 from ..errors import BudgetExceeded, DegradationError, ReproError
 from .harness import EXPERIMENTS, paper_comparison, run_experiment
 from .export import to_csv, to_json
@@ -62,8 +65,9 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all"],
-        help="which experiment to run",
+        choices=sorted(EXPERIMENTS) + ["all", "stats"],
+        help="which experiment to run ('stats' renders the per-phase time "
+             "breakdown of a trace recorded earlier with --trace)",
     )
     parser.add_argument(
         "--filters",
@@ -140,7 +144,41 @@ def build_parser() -> argparse.ArgumentParser:
         help="requeue a task at most N times after worker loss before "
              "quarantining it (supervised engine; default 2)",
     )
+    parser.add_argument(
+        "--trace",
+        metavar="FILE",
+        default=None,
+        help="record a JSONL phase trace to FILE (for the 'stats' "
+             "experiment: the trace to read instead)",
+    )
+    parser.add_argument(
+        "--metrics",
+        metavar="FILE",
+        default=None,
+        help="write a Prometheus text metrics exposition to FILE when "
+             "the run finishes",
+    )
+    parser.add_argument(
+        "--log-level",
+        choices=("debug", "info", "warning", "error"),
+        default=None,
+        help="route the repro logger hierarchy to stderr at this level",
+    )
     return parser
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: per-phase breakdown of a recorded trace."""
+    if args.trace is None:
+        raise ReproError(
+            "the stats subcommand needs --trace FILE pointing at a trace "
+            "recorded by an earlier run"
+        )
+    records = obs.load_trace(args.trace)
+    for problem in obs.validate_trace(records):
+        print(f"warning: {problem}", file=sys.stderr)
+    print(obs.format_breakdown(obs.phase_breakdown(records)))
+    return EXIT_OK
 
 
 def _run(args: argparse.Namespace) -> int:
@@ -234,7 +272,17 @@ def main(argv: Optional[List[str]] = None) -> int:
     args = parser.parse_args(argv)
     if args.resume and args.journal_dir is None:
         parser.error("--resume requires --journal-dir")
+    if args.log_level is not None:
+        obs.setup_logging(args.log_level)
+    # 'stats' reads an existing trace; everything else may record one.
+    observing = args.experiment != "stats" and (
+        args.trace is not None or args.metrics is not None
+    )
+    if observing:
+        obs.configure(trace_path=args.trace, metrics_path=args.metrics)
     try:
+        if args.experiment == "stats":
+            return _run_stats(args)
         return _run(args)
     except BudgetExceeded as exc:
         print(f"error: solver budget exhausted: {exc}", file=sys.stderr)
@@ -245,6 +293,10 @@ def main(argv: Optional[List[str]] = None) -> int:
     except ReproError as exc:
         print(f"error: {exc}", file=sys.stderr)
         return EXIT_FAILURE
+    finally:
+        if observing:
+            for kind, path in sorted(obs.finalize().items()):
+                print(f"[{kind} written to {path}]")
 
 
 if __name__ == "__main__":

@@ -24,6 +24,7 @@ from __future__ import annotations
 import dataclasses
 import hashlib
 import json
+import logging
 import os
 import tempfile
 from dataclasses import dataclass
@@ -31,6 +32,9 @@ from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional
 
 from ..errors import ReproError
+from ..obs import metrics as obs_metrics
+
+logger = logging.getLogger(__name__)
 
 __all__ = [
     "CACHE_SCHEMA_VERSION",
@@ -154,6 +158,8 @@ class DiskCache:
             except OSError:
                 return
         self.stats.quarantined += 1
+        obs_metrics.counter("repro_cache_quarantined_total").inc()
+        logger.warning("quarantined corrupt cache entry %s", path.name)
 
     def quarantined_entries(self) -> int:
         """Number of corrupt entries currently held in ``quarantine/``."""
@@ -174,12 +180,15 @@ class DiskCache:
                 payload = json.load(fh)
         except FileNotFoundError:
             self.stats.misses += 1
+            obs_metrics.counter("repro_cache_misses_total", layer="disk").inc()
             return None
         except (json.JSONDecodeError, OSError):
             self.stats.misses += 1
+            obs_metrics.counter("repro_cache_misses_total", layer="disk").inc()
             self._quarantine(path)
             return None
         self.stats.hits += 1
+        obs_metrics.counter("repro_cache_hits_total", layer="disk").inc()
         return payload
 
     def put(self, key: str, payload: Mapping[str, Any]) -> None:
@@ -207,6 +216,7 @@ class DiskCache:
                 pass
             raise
         self.stats.stores += 1
+        obs_metrics.counter("repro_cache_stores_total", layer="disk").inc()
 
     def _shards(self) -> Iterator[Path]:
         """The two-hex-character shard directories (quarantine excluded)."""

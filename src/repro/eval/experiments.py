@@ -28,6 +28,7 @@ from ..filters import DesignedFilter, benchmark_suite
 from ..graph import build_colored_graph
 from ..hwcost import CARRY_LOOKAHEAD, weighted_adder_cost
 from ..numrep import Representation
+from ..obs import metrics as obs_metrics
 from ..quantize import ScalingScheme, quantize
 from .. import errors
 from . import cache as disk_cache
@@ -72,16 +73,30 @@ def clear_cache() -> None:
 
 
 def cache_info() -> Dict[str, object]:
-    """Statistics for both cache layers (memory always, disk when active)."""
+    """Statistics for both cache layers (memory always, disk when active).
+
+    The top-level ``put_errors`` and ``quarantined`` keys are *uniform*:
+    always present and summed across layers (both 0 when no disk cache is
+    configured), so report consumers never need to probe for the optional
+    ``disk`` sub-dict before aggregating failure counts.
+    """
     info: Dict[str, object] = {
         "memory_entries": len(_CACHE),
         "memory": _MEMORY_STATS.as_dict(),
+        "put_errors": _MEMORY_STATS.put_errors,
+        "quarantined": _MEMORY_STATS.quarantined,
     }
     active = disk_cache.active_cache()
     if active is not None:
         info["disk_dir"] = str(active.root)
         info["disk"] = active.stats.as_dict()
         info["disk_quarantine"] = active.quarantined_entries()
+        info["put_errors"] = (
+            _MEMORY_STATS.put_errors + active.stats.put_errors
+        )
+        info["quarantined"] = (
+            _MEMORY_STATS.quarantined + active.stats.quarantined
+        )
     return info
 
 
@@ -240,8 +255,10 @@ def _method_result(
     cached = _CACHE.get(key)
     if cached is not None:
         _MEMORY_STATS.hits += 1
+        obs_metrics.counter("repro_cache_hits_total", layer="memory").inc()
         return cached
     _MEMORY_STATS.misses += 1
+    obs_metrics.counter("repro_cache_misses_total", layer="memory").inc()
     q = _quantized(designed, wordlength, scaling)
     integers = q.integers
     persistent = disk_cache.active_cache()
@@ -256,6 +273,9 @@ def _method_result(
             result = disk_cache.decode_method_result(payload)
             _CACHE[key] = result
             _MEMORY_STATS.stores += 1
+            obs_metrics.counter(
+                "repro_cache_stores_total", layer="memory"
+            ).inc()
             return result
     seed_size: Optional[Tuple[int, int]] = None
     if method == "simple":
@@ -294,6 +314,7 @@ def _method_result(
     )
     _CACHE[key] = result
     _MEMORY_STATS.stores += 1
+    obs_metrics.counter("repro_cache_stores_total", layer="memory").inc()
     if persistent is not None and content_key is not None:
         # A failed persist (ENOSPC, permissions, chaos fault) must never
         # fail the computation that succeeded — the result is already in
@@ -302,6 +323,7 @@ def _method_result(
             persistent.put(content_key, disk_cache.encode_method_result(result))
         except OSError:
             persistent.stats.put_errors += 1
+            obs_metrics.counter("repro_cache_put_errors_total").inc()
     return result
 
 

@@ -35,9 +35,12 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import ReproError
 from ..filters import TABLE1_SPECS
 from ..numrep import Representation
+from ..obs import metrics as obs_metrics
+from ..obs import span as obs_span
 from ..quantize import ScalingScheme
 from . import cache as disk_cache
 from . import experiments
@@ -84,6 +87,10 @@ class TaskOutcome:
     traceback: Optional[str] = None
     attempts: int = 1
     quarantined: bool = False
+    #: Wall time as measured by the tracer's ``sweep.task`` span (monotonic
+    #: fallback when tracing is off).  ``elapsed_s`` predates the tracer and
+    #: is kept for backward compatibility; the two agree up to granularity.
+    duration_s: float = 0.0
 
     @property
     def ok(self) -> bool:
@@ -168,48 +175,66 @@ def _compute_task(
     from ..robust.budget import SolverBudget
 
     started = time.monotonic()
-    try:
-        budget = (
-            SolverBudget(deadline_s=deadline_s).start()
-            if deadline_s is not None else None
-        )
-        designed = benchmark_filter(task.filter_index)
-        result = experiments._method_result(
-            designed,
-            task.filter_index,
-            task.wordlength,
-            ScalingScheme(task.scaling),
-            task.method,
-            representation=Representation(task.representation),
-            depth_limit=task.depth_limit,
-            budget=budget,
-        )
-    except Exception as exc:  # noqa: BLE001 — shard must survive any instance
+    with obs_span(
+        "sweep.task",
+        filter_index=task.filter_index,
+        wordlength=task.wordlength,
+        scaling=task.scaling,
+        representation=task.representation,
+        method=task.method,
+    ) as sp:
+        try:
+            budget = (
+                SolverBudget(deadline_s=deadline_s).start()
+                if deadline_s is not None else None
+            )
+            designed = benchmark_filter(task.filter_index)
+            result = experiments._method_result(
+                designed,
+                task.filter_index,
+                task.wordlength,
+                ScalingScheme(task.scaling),
+                task.method,
+                representation=Representation(task.representation),
+                depth_limit=task.depth_limit,
+                budget=budget,
+            )
+        except Exception as exc:  # noqa: BLE001 — shard must survive any instance
+            sp.set_tag("outcome", "failed")
+            return TaskOutcome(
+                task=task,
+                payload=None,
+                error_type=type(exc).__name__,
+                error=str(exc),
+                elapsed_s=time.monotonic() - started,
+                traceback=_traceback.format_exc(),
+                duration_s=sp.elapsed() or (time.monotonic() - started),
+            )
+        sp.set_tag("outcome", "ok")
         return TaskOutcome(
             task=task,
-            payload=None,
-            error_type=type(exc).__name__,
-            error=str(exc),
+            payload=disk_cache.encode_method_result(result),
+            error_type=None,
+            error=None,
             elapsed_s=time.monotonic() - started,
-            traceback=_traceback.format_exc(),
+            duration_s=sp.elapsed() or (time.monotonic() - started),
         )
-    return TaskOutcome(
-        task=task,
-        payload=disk_cache.encode_method_result(result),
-        error_type=None,
-        error=None,
-        elapsed_s=time.monotonic() - started,
-    )
 
 
-def _worker_init(cache_dir: Optional[str]) -> None:
-    """Pool initializer: point the worker at the shared disk cache."""
+def _worker_init(
+    cache_dir: Optional[str],
+    obs_args: Optional[Tuple[str, bool]] = None,
+) -> None:
+    """Pool initializer: shared disk cache + per-worker observability."""
     disk_cache.configure(cache_dir)
+    obs.worker_configure(obs_args)
 
 
 def _worker_run(args: Tuple[SweepTask, Optional[float]]) -> TaskOutcome:
     task, deadline_s = args
-    return _compute_task(task, deadline_s)
+    outcome = _compute_task(task, deadline_s)
+    obs.worker_checkpoint()
+    return outcome
 
 
 @dataclass(frozen=True)
@@ -249,7 +274,13 @@ class ParallelSweepReport:
         return tuple(t for t in self.tasks if t.quarantined)
 
     def stats(self) -> Dict[str, object]:
-        """JSON-friendly summary (used by the benchmark gate and the CLI)."""
+        """JSON-friendly summary (used by the benchmark gate and the CLI).
+
+        ``cache_put_errors`` and ``cache_quarantined`` surface the uniform
+        failure counters of :func:`repro.eval.experiments.cache_info` at the
+        top level, so supervised and unsupervised reports expose them the
+        same way regardless of which cache layers were active.
+        """
         return {
             "jobs": self.jobs,
             "tasks_planned": self.tasks_planned,
@@ -266,6 +297,8 @@ class ParallelSweepReport:
             "total_s": self.total_s,
             "stage_timings": dict(self.stage_timings),
             "cache": dict(self.cache),
+            "cache_put_errors": int(self.cache.get("put_errors", 0)),
+            "cache_quarantined": int(self.cache.get("quarantined", 0)),
         }
 
 
@@ -335,6 +368,35 @@ def _fold_results(results: Sequence[TaskOutcome]) -> None:
                 experiments._MEMORY_STATS.stores += 1
 
 
+def _record_sweep_metrics(report: "ParallelSweepReport") -> None:
+    """Fold a finished report's totals into the metrics registry.
+
+    Counters are recorded *from the report* (not incrementally along the
+    way), so the merged metrics snapshot equals ``report.stats()`` by
+    construction — the acceptance contract between the two observability
+    surfaces.  Called once per report; sweeps in one process accumulate.
+    """
+    quarantined = len(report.quarantined_tasks)
+    failed = len(report.failed_tasks) - quarantined
+    ok = len(report.tasks) - len(report.failed_tasks)
+    for status, count in (
+        ("ok", ok), ("failed", failed), ("quarantined", quarantined),
+    ):
+        if count:
+            obs_metrics.counter(
+                "repro_tasks_total", status=status
+            ).inc(count)
+    for name, count in (
+        ("repro_task_retries_total", report.retries),
+        ("repro_pool_rebuilds_total", report.pool_rebuilds),
+        ("repro_tasks_resumed_total", report.tasks_resumed),
+        ("repro_tasks_precached_total", report.tasks_precached),
+    ):
+        if count:
+            obs_metrics.counter(name).inc(count)
+    obs_metrics.gauge("repro_sweep_jobs").set(report.jobs)
+
+
 def _stage_timings(results: Sequence[TaskOutcome]) -> Dict[str, float]:
     """Aggregate worker-side elapsed time per synthesis method."""
     timings: Dict[str, float] = {}
@@ -388,17 +450,26 @@ def run_sweep_parallel(
     if pending:
         if jobs > 1:
             worker_dir = str(active.root) if active is not None else None
-            with ProcessPoolExecutor(
-                max_workers=min(jobs, len(pending)),
-                initializer=_worker_init,
-                initargs=(worker_dir,),
-            ) as pool:
-                results = list(pool.map(
-                    _worker_run,
-                    [(task, task_deadline_s) for task in pending],
-                ))
+            with obs_span(
+                "sweep.precompute", jobs=jobs, pending=len(pending)
+            ):
+                with ProcessPoolExecutor(
+                    max_workers=min(jobs, len(pending)),
+                    initializer=_worker_init,
+                    initargs=(worker_dir, obs.worker_args()),
+                ) as pool:
+                    results = list(pool.map(
+                        _worker_run,
+                        [(task, task_deadline_s) for task in pending],
+                    ))
+            obs.drain_spill()
         else:
-            results = [_compute_task(t, task_deadline_s) for t in pending]
+            with obs_span(
+                "sweep.precompute", jobs=1, pending=len(pending)
+            ):
+                results = [
+                    _compute_task(t, task_deadline_s) for t in pending
+                ]
     precompute_s = time.monotonic() - precompute_started
 
     _fold_results(results)
@@ -407,13 +478,14 @@ def run_sweep_parallel(
     replay_started = time.monotonic()
     outcomes: Tuple = ()
     if replay:
-        outcomes = run_sweep(
-            ids, robust=robust, filter_indices=filter_indices,
-            wordlengths=wordlengths,
-        )
+        with obs_span("sweep.replay", experiments=len(ids)):
+            outcomes = run_sweep(
+                ids, robust=robust, filter_indices=filter_indices,
+                wordlengths=wordlengths,
+            )
     replay_s = time.monotonic() - replay_started
 
-    return ParallelSweepReport(
+    report = ParallelSweepReport(
         outcomes=outcomes,
         tasks=tuple(results),
         jobs=jobs,
@@ -425,6 +497,8 @@ def run_sweep_parallel(
         stage_timings=stage_timings,
         cache=experiments.cache_info(),
     )
+    _record_sweep_metrics(report)
+    return report
 
 
 def _task_integers(task: SweepTask) -> Tuple[int, ...]:

@@ -48,7 +48,9 @@ from dataclasses import asdict, replace
 from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from .. import obs
 from ..errors import JournalError, ReproError, SupervisorError
+from ..obs import span as obs_span
 from ..robust.chaos import ProcessFaultPlan
 from . import cache as disk_cache
 from . import experiments
@@ -60,6 +62,7 @@ from .parallel import (
     _fold_results,
     _memory_key,
     _partition_tasks,
+    _record_sweep_metrics,
     _resolve_experiment_ids,
     _stage_timings,
     plan_tasks,
@@ -136,6 +139,7 @@ def _decode_outcome(record: Dict[str, object]) -> TaskOutcome:
         traceback=record.get("traceback"),
         attempts=record.get("attempts", 1),
         quarantined=record.get("quarantined", False),
+        duration_s=record.get("duration_s", 0.0),
     )
 
 
@@ -284,10 +288,13 @@ class _NullJournal:
 
 
 def _worker_init_supervised(
-    cache_dir: Optional[str], chaos: Optional[ProcessFaultPlan]
+    cache_dir: Optional[str],
+    chaos: Optional[ProcessFaultPlan],
+    obs_args: Optional[Tuple[str, bool]] = None,
 ) -> None:
-    """Pool initializer: shared disk cache + worker-side chaos arming."""
+    """Pool initializer: disk cache + chaos arming + per-worker obs."""
     disk_cache.configure(cache_dir)
+    obs.worker_configure(obs_args)
     if chaos is not None:
         injector = chaos.cache_injector()
         if injector is not None:
@@ -300,7 +307,9 @@ def _worker_run_supervised(
     task, deadline_s, attempt, chaos = args
     if chaos is not None:
         chaos.apply_worker_faults(task_key(task), attempt)
-    return _compute_task(task, deadline_s)
+    outcome = _compute_task(task, deadline_s)
+    obs.worker_checkpoint()
+    return outcome
 
 
 def _quarantine_outcome(task: SweepTask, attempts: int) -> TaskOutcome:
@@ -372,7 +381,7 @@ def _run_wave(
     executor = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init_supervised,
-        initargs=(worker_dir, chaos),
+        initargs=(worker_dir, chaos, obs.worker_args()),
     )
     future_map = {
         executor.submit(
@@ -472,8 +481,12 @@ def _precompute_supervised(
             )
             if lost:
                 pool_rebuilds += 1
-                strike(task)
-                backoff()
+                with obs_span(
+                    "supervisor.recover", kind="isolation", lost=1,
+                    rebuilds=pool_rebuilds,
+                ):
+                    strike(task)
+                    backoff()
         if queue:
             batch = sorted(queue)
             queue.clear()
@@ -483,9 +496,13 @@ def _precompute_supervised(
             )
             if lost:
                 pool_rebuilds += 1
-                for task in sorted(lost):
-                    strike(task)
-                backoff()
+                with obs_span(
+                    "supervisor.recover", kind="wave", lost=len(lost),
+                    rebuilds=pool_rebuilds,
+                ):
+                    for task in sorted(lost):
+                        strike(task)
+                    backoff()
     return results, retries, pool_rebuilds
 
 
@@ -568,6 +585,13 @@ def run_sweep_supervised(
                     disk_cache.decode_method_result(outcome.payload)
                 )
                 experiments._MEMORY_STATS.stores += 1
+    if resume and journal.path is not None:
+        obs.event(
+            "journal.resume",
+            journal=str(journal.path),
+            replayed=len(resumed_outcomes),
+            resumed=tasks_resumed,
+        )
 
     pending, precached = _partition_tasks(tasks)
 
@@ -578,14 +602,23 @@ def run_sweep_supervised(
         if not pending:
             results: List[TaskOutcome] = []
         elif jobs > 1:
-            results, retries, pool_rebuilds = _precompute_supervised(
-                pending, jobs, task_deadline_s, journal, chaos,
-                max_retries, backoff_s, backoff_factor, max_backoff_s,
-            )
+            with obs_span(
+                "sweep.precompute", jobs=jobs, pending=len(pending),
+                supervised=True,
+            ):
+                results, retries, pool_rebuilds = _precompute_supervised(
+                    pending, jobs, task_deadline_s, journal, chaos,
+                    max_retries, backoff_s, backoff_factor, max_backoff_s,
+                )
+            obs.drain_spill()
         else:
-            results = _precompute_in_process(
-                pending, task_deadline_s, journal, chaos,
-            )
+            with obs_span(
+                "sweep.precompute", jobs=1, pending=len(pending),
+                supervised=True,
+            ):
+                results = _precompute_in_process(
+                    pending, task_deadline_s, journal, chaos,
+                )
     finally:
         journal.close()
     precompute_s = time.monotonic() - precompute_started
@@ -596,13 +629,14 @@ def run_sweep_supervised(
     replay_started = time.monotonic()
     outcomes: Tuple = ()
     if replay:
-        outcomes = run_sweep(
-            ids, robust=robust, filter_indices=filter_indices,
-            wordlengths=wordlengths,
-        )
+        with obs_span("sweep.replay", experiments=len(ids)):
+            outcomes = run_sweep(
+                ids, robust=robust, filter_indices=filter_indices,
+                wordlengths=wordlengths,
+            )
     replay_s = time.monotonic() - replay_started
 
-    return ParallelSweepReport(
+    report = ParallelSweepReport(
         outcomes=outcomes,
         tasks=tuple(results),
         jobs=jobs,
@@ -618,3 +652,5 @@ def run_sweep_supervised(
         tasks_resumed=tasks_resumed,
         journal_path=str(journal.path) if journal.path is not None else None,
     )
+    _record_sweep_metrics(report)
+    return report

@@ -23,6 +23,7 @@ from typing import TYPE_CHECKING, Dict, FrozenSet, Iterable, List, Optional, Set
 
 from ..errors import GraphError
 from ..numrep import Representation, digit_cost, oddpart
+from ..obs import span as obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
     from ..robust.budget import SolverBudget
@@ -176,6 +177,21 @@ def build_colored_graph(
     vertex_list = sorted(set(vertices))
     if max_shift < 0:
         raise GraphError(f"max_shift must be >= 0, got {max_shift}")
+    with obs_span(
+        "graph.build",
+        vertices=len(vertex_list),
+        max_shift=max_shift,
+        representation=representation.value,
+    ):
+        return _build_edges(vertex_list, max_shift, representation, budget)
+
+
+def _build_edges(
+    vertex_list: List[int],
+    max_shift: int,
+    representation: Representation,
+    budget: Optional["SolverBudget"],
+) -> ColoredGraph:
     edges: List[ColorEdge] = []
     for src in vertex_list:
         for dst in vertex_list:

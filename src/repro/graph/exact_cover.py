@@ -33,6 +33,7 @@ from typing import (
 )
 
 from ..errors import BudgetExceeded, CoverBudgetError, GraphError
+from ..obs import span as obs_span
 from .setcover import CoverSolution, CoverStep
 
 if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
@@ -159,7 +160,13 @@ def exact_weighted_set_cover(
         return CoverSolution(steps=tuple(steps), covered_by=covered_by)
 
     try:
-        search(set(universe), 0.0, ())
+        with obs_span(
+            "cover.exact",
+            universe=len(universe),
+            sets=len(survivors),
+            max_nodes=max_nodes,
+        ):
+            search(set(universe), 0.0, ())
     except BudgetExceeded as exc:
         incumbent = (
             solution_from(best_pick[0]) if best_pick[0] is not None else None

@@ -28,6 +28,7 @@ from typing import (
 )
 
 from ..errors import BudgetExceeded, GraphError
+from ..obs import span as obs_span
 
 if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
     from ..robust.budget import SolverBudget
@@ -101,6 +102,27 @@ def greedy_weighted_set_cover(
         raise GraphError(f"beta must be in [0, 1], got {beta}")
     if strategy not in ("benefit", "savings"):
         raise GraphError(f"unknown cover strategy {strategy!r}")
+    with obs_span(
+        "cover.greedy",
+        universe=len(set(universe)),
+        sets=len(sets),
+        beta=beta,
+        strategy=strategy,
+    ):
+        return _greedy_cover(
+            universe, sets, costs, beta, element_weights, strategy, budget
+        )
+
+
+def _greedy_cover(
+    universe: Set,
+    sets: Mapping[Hashable, FrozenSet],
+    costs: Mapping[Hashable, float],
+    beta: float,
+    element_weights: Mapping,
+    strategy: str,
+    budget: Optional["SolverBudget"],
+) -> CoverSolution:
     weights = element_weights if element_weights is not None else {}
     uncovered: Set = set(universe)
     reachable: Set = set()

@@ -21,6 +21,7 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 import networkx as nx
 
 from ..errors import GraphError
+from ..obs import span as obs_span
 from .colored import ColorEdge, ColoredGraph
 
 __all__ = ["TreeAssignment", "SpanningForest", "build_spanning_forest"]
@@ -129,7 +130,18 @@ def build_spanning_forest(
     if depth_limit is not None and depth_limit < 1:
         raise GraphError(f"depth_limit must be >= 1, got {depth_limit}")
     limit = depth_limit if depth_limit is not None else len(graph.vertices) + 1
+    with obs_span(
+        "spanning.forest",
+        vertices=len(graph.vertices),
+        colors=len(colors),
+        depth_limit=depth_limit,
+    ):
+        return _build_forest(graph, colors, limit)
 
+
+def _build_forest(
+    graph: ColoredGraph, colors: Set[int], limit: int
+) -> SpanningForest:
     assignments: Dict[int, TreeAssignment] = {}
     # Paper step 6: vertices equal to a solution color are free aliases.
     for vertex in sorted(graph.vertices):

@@ -13,6 +13,7 @@ from __future__ import annotations
 from functools import lru_cache
 from typing import TYPE_CHECKING, List, Optional, Tuple
 
+from ..obs import span as obs_span
 from .digits import SignedDigits
 
 if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
@@ -63,9 +64,10 @@ def enumerate_msd(
         max_width = abs(value).bit_length() + 1
     target_cost = minimal_nonzero_count(value)
     results: List[Tuple[int, ...]] = []
-    _search(value, 0, max_width, target_cost, (), results, budget)
-    encodings = sorted({SignedDigits(r) for r in results}, key=str)
-    return list(encodings)
+    with obs_span("msd.enumerate", value=value, max_width=max_width):
+        _search(value, 0, max_width, target_cost, (), results, budget)
+        encodings = sorted({SignedDigits(r) for r in results}, key=str)
+        return list(encodings)
 
 
 def msd_count(value: int) -> int:

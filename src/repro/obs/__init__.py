@@ -1,0 +1,335 @@
+"""Dependency-free observability: tracing, metrics, and trace reporting.
+
+Three pieces, all optional at runtime and free when idle:
+
+* :mod:`repro.obs.trace` — hierarchical phase spans with a JSONL exporter.
+  Disabled by default: :func:`span` returns a shared no-op context until
+  :func:`configure` installs a tracer, so instrumented code pays one
+  ``None`` check on the disabled path and behavior never changes.
+* :mod:`repro.obs.metrics` — process-local counters/gauges/histograms with
+  Prometheus text exposition and snapshot *merging*, so parallel sweeps
+  aggregate worker-process metrics into the parent's report.
+* :mod:`repro.obs.report` — trace validation and the per-phase time
+  breakdown behind the ``stats`` CLI subcommand.
+
+Cross-process protocol: the parent passes :func:`worker_args` to each pool
+initializer; workers call :func:`worker_configure`, which discards the
+inherited (forked) parent sink, resets the inherited registry, and starts
+spilling per-worker trace lines and metric snapshots into a shared spill
+directory.  After the pool drains, the parent calls :func:`drain_spill` to
+fold worker files back into its own trace and registry.  Spill files are
+rewritten atomically at every task boundary, so a SIGKILL'd worker loses at
+most its in-flight task's telemetry — mirroring the sweep journal's
+durability story.
+"""
+
+from __future__ import annotations
+
+import atexit
+import json
+import logging
+import os
+import sys
+import tempfile
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+from . import metrics
+from .metrics import DEFAULT_REGISTRY, counter, gauge, histogram
+from .report import format_breakdown, load_trace, phase_breakdown, validate_trace
+from .trace import NULL_SPAN_CONTEXT, TRACE_FORMAT_VERSION, JsonlSink, Tracer
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "JsonlSink",
+    "Tracer",
+    "configure",
+    "counter",
+    "drain_spill",
+    "enabled",
+    "event",
+    "finalize",
+    "format_breakdown",
+    "gauge",
+    "histogram",
+    "load_trace",
+    "metrics",
+    "phase_breakdown",
+    "reset",
+    "setup_logging",
+    "span",
+    "tracing_enabled",
+    "validate_trace",
+    "worker_args",
+    "worker_configure",
+    "worker_checkpoint",
+]
+
+_TRACER: Optional[Tracer] = None
+_METRICS_PATH: Optional[Path] = None
+_SPILL_DIR: Optional[Path] = None
+_WORKER_METRICS_PATH: Optional[Path] = None
+
+#: Counter series pre-registered at configure() time so the exposition file
+#: always carries the full vocabulary (a scraper can rely on a series
+#: existing at 0 rather than appearing only once the first increment lands).
+_PREDECLARED_COUNTERS = (
+    ("repro_tasks_total", {"status": "ok"}),
+    ("repro_tasks_total", {"status": "failed"}),
+    ("repro_tasks_total", {"status": "quarantined"}),
+    ("repro_task_retries_total", {}),
+    ("repro_pool_rebuilds_total", {}),
+    ("repro_tasks_resumed_total", {}),
+    ("repro_tasks_precached_total", {}),
+    ("repro_cache_hits_total", {"layer": "memory"}),
+    ("repro_cache_hits_total", {"layer": "disk"}),
+    ("repro_cache_misses_total", {"layer": "memory"}),
+    ("repro_cache_misses_total", {"layer": "disk"}),
+    ("repro_cache_stores_total", {"layer": "memory"}),
+    ("repro_cache_stores_total", {"layer": "disk"}),
+    ("repro_cache_put_errors_total", {}),
+    ("repro_cache_quarantined_total", {}),
+    ("repro_budget_heartbeats_total", {}),
+    ("repro_budget_expirations_total", {"reason": "deadline"}),
+    ("repro_budget_expirations_total", {"reason": "nodes"}),
+    ("repro_budget_expirations_total", {"reason": "forced"}),
+)
+
+
+def _observe_span(name: str, wall_s: float) -> None:
+    DEFAULT_REGISTRY.histogram("repro_span_seconds", span=name).observe(wall_s)
+
+
+# -- parent-side configuration ------------------------------------------------
+
+
+def configure(
+    trace_path: Optional[os.PathLike] = None,
+    metrics_path: Optional[os.PathLike] = None,
+) -> None:
+    """Enable observability for this process.
+
+    ``trace_path`` installs a JSONL-exporting tracer; ``metrics_path``
+    records where :func:`finalize` should write the Prometheus exposition.
+    Either may be given alone.  Calling with both ``None`` is a no-op —
+    the disabled default stays disabled.
+    """
+    global _TRACER, _METRICS_PATH
+    if trace_path is not None:
+        if _TRACER is not None:
+            _TRACER.close()
+        _TRACER = Tracer(JsonlSink(trace_path), on_span=_observe_span)
+    if metrics_path is not None:
+        _METRICS_PATH = Path(metrics_path)
+    if trace_path is not None or metrics_path is not None:
+        for name, labels in _PREDECLARED_COUNTERS:
+            DEFAULT_REGISTRY.counter(name, **labels)
+
+
+def enabled() -> bool:
+    """True when tracing or metrics export is configured in this process."""
+    return _TRACER is not None or _METRICS_PATH is not None
+
+
+def tracing_enabled() -> bool:
+    """True when a tracer is installed (spans are being recorded)."""
+    return _TRACER is not None
+
+
+def span(name: str, **tags: Any):
+    """Open a phase span, or the shared no-op context when tracing is off."""
+    tracer = _TRACER
+    if tracer is None:
+        return NULL_SPAN_CONTEXT
+    return tracer.span(name, **tags)
+
+
+def event(name: str, **tags: Any) -> None:
+    """Emit a point event into the trace (no-op when tracing is off)."""
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.event(name, **tags)
+
+
+def _ensure_spill_dir() -> Optional[Path]:
+    """The shared spill directory for worker telemetry (created lazily)."""
+    global _SPILL_DIR
+    if not enabled():
+        return None
+    if _SPILL_DIR is None:
+        anchor = (
+            _TRACER.sink.path if _TRACER is not None else _METRICS_PATH
+        )
+        if anchor is not None:
+            spill = Path(f"{anchor}.spill.d")
+            spill.mkdir(parents=True, exist_ok=True)
+        else:  # pragma: no cover - enabled() implies an anchor exists
+            spill = Path(tempfile.mkdtemp(prefix="repro-obs-spill-"))
+        _SPILL_DIR = spill
+    return _SPILL_DIR
+
+
+def worker_args() -> Optional[Tuple[str, bool]]:
+    """Picklable obs setup for a pool initializer (None when disabled)."""
+    spill = _ensure_spill_dir()
+    if spill is None:
+        return None
+    return str(spill), _TRACER is not None
+
+
+def drain_spill() -> None:
+    """Fold worker spill files back into this process's trace and registry.
+
+    Only call once the pool has drained (worker files are rewritten at task
+    boundaries; a live writer could be mid-rename).  Merged files are
+    deleted so repeated drains never double-count.
+    """
+    spill = _SPILL_DIR
+    if spill is None or not spill.is_dir():
+        return
+    for path in sorted(spill.glob("metrics-*.json")):
+        try:
+            with open(path, "r", encoding="utf-8") as fh:
+                DEFAULT_REGISTRY.merge(json.load(fh))
+        except (OSError, json.JSONDecodeError, KeyError, ValueError):
+            counter("repro_obs_spill_errors_total").inc()
+            continue
+        path.unlink(missing_ok=True)
+    tracer = _TRACER
+    for path in sorted(spill.glob("trace-*.jsonl")):
+        if tracer is not None:
+            try:
+                with open(path, "r", encoding="utf-8") as fh:
+                    for line in fh:
+                        if line.endswith("\n"):  # drop a torn final line
+                            tracer.sink.write_raw(line)
+            except OSError:
+                counter("repro_obs_spill_errors_total").inc()
+                continue
+        path.unlink(missing_ok=True)
+
+
+def finalize() -> Dict[str, str]:
+    """Drain spill, write the metrics exposition, close the tracer.
+
+    Returns ``{"trace": path}`` / ``{"metrics": path}`` for whatever was
+    actually written.  Leaves the process disabled (fresh :func:`configure`
+    required), but keeps registry values readable for reports and tests.
+    """
+    global _TRACER, _METRICS_PATH, _SPILL_DIR
+    written: Dict[str, str] = {}
+    drain_spill()
+    if _TRACER is not None:
+        written["trace"] = str(_TRACER.sink.path)
+        _TRACER.close()
+        _TRACER = None
+    if _METRICS_PATH is not None:
+        _METRICS_PATH.parent.mkdir(parents=True, exist_ok=True)
+        tmp = _METRICS_PATH.with_name(_METRICS_PATH.name + ".tmp")
+        tmp.write_text(DEFAULT_REGISTRY.exposition(), encoding="utf-8")
+        os.replace(tmp, _METRICS_PATH)
+        written["metrics"] = str(_METRICS_PATH)
+        _METRICS_PATH = None
+    if _SPILL_DIR is not None:
+        try:
+            _SPILL_DIR.rmdir()
+        except OSError:
+            pass  # leftover files from a crashed worker stay for forensics
+        _SPILL_DIR = None
+    return written
+
+
+def reset() -> None:
+    """Tear down all obs state without exporting anything (test isolation)."""
+    global _TRACER, _METRICS_PATH, _SPILL_DIR, _WORKER_METRICS_PATH
+    if _TRACER is not None:
+        _TRACER.close()
+        _TRACER = None
+    _METRICS_PATH = None
+    _SPILL_DIR = None
+    _WORKER_METRICS_PATH = None
+    DEFAULT_REGISTRY.reset()
+
+
+# -- worker-side protocol ------------------------------------------------------
+
+
+def worker_configure(args: Optional[Tuple[str, bool]]) -> None:
+    """Arm observability inside a pool worker (from the pool initializer).
+
+    The forked child inherits the parent's open sink and populated registry;
+    both must be discarded — writing through the inherited handle would
+    interleave garbage into the parent's file, and spilling inherited
+    counters would double-count the parent's pre-fork work after the merge.
+    """
+    global _TRACER, _METRICS_PATH, _SPILL_DIR, _WORKER_METRICS_PATH
+    if _TRACER is not None:
+        _TRACER.sink.abandon()
+        _TRACER = None
+    _METRICS_PATH = None
+    _SPILL_DIR = None
+    _WORKER_METRICS_PATH = None
+    DEFAULT_REGISTRY.reset()
+    if args is None:
+        return
+    spill_dir, want_trace = args
+    token = f"{os.getpid()}-{time.monotonic_ns()}"
+    if want_trace:
+        _TRACER = Tracer(
+            JsonlSink(Path(spill_dir) / f"trace-{token}.jsonl"),
+            on_span=_observe_span,
+        )
+    _WORKER_METRICS_PATH = Path(spill_dir) / f"metrics-{token}.json"
+    atexit.register(_worker_shutdown)
+
+
+def worker_checkpoint() -> None:
+    """Persist this worker's telemetry at a task boundary (cheap when off).
+
+    Flushes the trace sink and atomically rewrites the cumulative metrics
+    snapshot, so a worker killed between tasks loses nothing already earned.
+    """
+    if _TRACER is not None:
+        _TRACER.flush()
+    path = _WORKER_METRICS_PATH
+    if path is not None:
+        tmp = path.with_name(path.name + ".tmp")
+        try:
+            with open(tmp, "w", encoding="utf-8") as fh:
+                json.dump(DEFAULT_REGISTRY.snapshot(), fh,
+                          sort_keys=True, separators=(",", ":"))
+            os.replace(tmp, path)
+        except OSError:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+
+
+def _worker_shutdown() -> None:
+    global _TRACER
+    worker_checkpoint()
+    if _TRACER is not None:
+        _TRACER.close()
+        _TRACER = None
+
+
+# -- logging -------------------------------------------------------------------
+
+
+def setup_logging(level: str = "warning") -> None:
+    """Route the ``repro`` logger hierarchy to stderr at ``level``."""
+    numeric = getattr(logging, level.upper(), None)
+    if not isinstance(numeric, int):
+        raise ValueError(f"unknown log level {level!r}")
+    logger = logging.getLogger("repro")
+    logger.setLevel(numeric)
+    if not any(
+        isinstance(h, logging.StreamHandler) for h in logger.handlers
+    ):
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(logging.Formatter(
+            "%(asctime)s %(levelname)s %(name)s: %(message)s"
+        ))
+        logger.addHandler(handler)

@@ -1,0 +1,294 @@
+"""Process-safe counters, gauges, and log-scale latency histograms.
+
+One :class:`MetricsRegistry` lives per process (:data:`DEFAULT_REGISTRY`).
+Collection is always on — an increment is a dict lookup plus an add, cheap
+enough to leave unconditional — while *export* only happens when the CLI or
+a test asks for it, so the default path writes nothing anywhere.
+
+Cross-process aggregation works by value, not by shared memory: a worker
+serializes its registry with :meth:`MetricsRegistry.snapshot` (plain JSON),
+and the parent folds every worker snapshot into its own registry with
+:meth:`MetricsRegistry.merge` — counters and histogram buckets add, gauges
+take the maximum (the only merge that is associative, commutative, and
+order-independent across workers).  :meth:`MetricsRegistry.exposition`
+renders the Prometheus text format, sorted for byte-stable output.
+"""
+
+from __future__ import annotations
+
+import bisect
+import json
+import math
+from typing import Any, Dict, List, Mapping, Optional, Tuple
+
+__all__ = [
+    "DEFAULT_BUCKETS",
+    "DEFAULT_REGISTRY",
+    "Counter",
+    "Gauge",
+    "Histogram",
+    "MetricsRegistry",
+    "counter",
+    "gauge",
+    "histogram",
+]
+
+#: Log-scale latency bounds: decades from 1 µs to 100 s (seconds).  A span
+#: that outlives the last bound lands in the implicit +Inf bucket.
+DEFAULT_BUCKETS: Tuple[float, ...] = tuple(10.0 ** e for e in range(-6, 3))
+
+_SeriesKey = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+class Counter:
+    """Monotonically increasing count."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def inc(self, amount: float = 1.0) -> None:
+        if amount < 0:
+            raise ValueError(f"counters only go up, got {amount}")
+        self.value += amount
+
+
+class Gauge:
+    """A value that can go up and down (pool width, queue depth)."""
+
+    __slots__ = ("value",)
+
+    def __init__(self) -> None:
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = float(value)
+
+    def inc(self, amount: float = 1.0) -> None:
+        self.value += amount
+
+    def dec(self, amount: float = 1.0) -> None:
+        self.value -= amount
+
+
+class Histogram:
+    """Cumulative-bucket histogram over log-scale bounds (seconds)."""
+
+    __slots__ = ("bounds", "counts", "sum", "count")
+
+    def __init__(self, bounds: Tuple[float, ...] = DEFAULT_BUCKETS) -> None:
+        if list(bounds) != sorted(bounds) or len(set(bounds)) != len(bounds):
+            raise ValueError(f"histogram bounds must be sorted unique: {bounds}")
+        self.bounds = tuple(float(b) for b in bounds)
+        self.counts = [0] * (len(self.bounds) + 1)  # last is +Inf
+        self.sum = 0.0
+        self.count = 0
+
+    def observe(self, value: float) -> None:
+        if not math.isfinite(value):
+            return
+        self.counts[bisect.bisect_left(self.bounds, value)] += 1
+        self.sum += value
+        self.count += 1
+
+
+def _series_key(name: str, labels: Mapping[str, Any]) -> _SeriesKey:
+    return name, tuple(sorted((k, str(v)) for k, v in labels.items()))
+
+
+def _encode_key(key: _SeriesKey) -> str:
+    """JSON-safe string form of a series key, reversible by `_decode_key`."""
+    name, labels = key
+    return json.dumps([name, list(labels)], sort_keys=False,
+                      separators=(",", ":"))
+
+
+def _decode_key(encoded: str) -> _SeriesKey:
+    name, labels = json.loads(encoded)
+    return name, tuple((k, v) for k, v in labels)
+
+
+def _escape_label(value: str) -> str:
+    return (
+        value.replace("\\", "\\\\").replace('"', '\\"').replace("\n", "\\n")
+    )
+
+
+def _format_series(name: str, labels: Tuple[Tuple[str, str], ...],
+                   extra: Tuple[Tuple[str, str], ...] = ()) -> str:
+    pairs = labels + extra
+    if not pairs:
+        return name
+    body = ",".join(f'{k}="{_escape_label(v)}"' for k, v in pairs)
+    return f"{name}{{{body}}}"
+
+
+def _format_value(value: float) -> str:
+    if value == int(value) and abs(value) < 1e15:
+        return str(int(value))
+    return repr(value)
+
+
+class MetricsRegistry:
+    """All metric series of one process, keyed by (name, sorted labels)."""
+
+    def __init__(self) -> None:
+        self._counters: Dict[_SeriesKey, Counter] = {}
+        self._gauges: Dict[_SeriesKey, Gauge] = {}
+        self._histograms: Dict[_SeriesKey, Histogram] = {}
+
+    # -- series access (create on first touch) -------------------------------
+
+    def counter(self, name: str, **labels: Any) -> Counter:
+        key = _series_key(name, labels)
+        metric = self._counters.get(key)
+        if metric is None:
+            metric = self._counters[key] = Counter()
+        return metric
+
+    def gauge(self, name: str, **labels: Any) -> Gauge:
+        key = _series_key(name, labels)
+        metric = self._gauges.get(key)
+        if metric is None:
+            metric = self._gauges[key] = Gauge()
+        return metric
+
+    def histogram(
+        self,
+        name: str,
+        bounds: Optional[Tuple[float, ...]] = None,
+        **labels: Any,
+    ) -> Histogram:
+        key = _series_key(name, labels)
+        metric = self._histograms.get(key)
+        if metric is None:
+            metric = self._histograms[key] = Histogram(
+                bounds if bounds is not None else DEFAULT_BUCKETS
+            )
+        return metric
+
+    def counter_value(self, name: str, **labels: Any) -> float:
+        """Current value of a counter series (0.0 when never touched)."""
+        metric = self._counters.get(_series_key(name, labels))
+        return metric.value if metric is not None else 0.0
+
+    def reset(self) -> None:
+        """Drop every series (fresh process state; used post-fork and in tests)."""
+        self._counters.clear()
+        self._gauges.clear()
+        self._histograms.clear()
+
+    # -- cross-process aggregation -------------------------------------------
+
+    def snapshot(self) -> Dict[str, Any]:
+        """JSON-safe dump of every series, mergeable with :meth:`merge`."""
+        return {
+            "counters": {
+                _encode_key(k): c.value for k, c in self._counters.items()
+            },
+            "gauges": {
+                _encode_key(k): g.value for k, g in self._gauges.items()
+            },
+            "histograms": {
+                _encode_key(k): {
+                    "bounds": list(h.bounds),
+                    "counts": list(h.counts),
+                    "sum": h.sum,
+                    "count": h.count,
+                }
+                for k, h in self._histograms.items()
+            },
+        }
+
+    def merge(self, snapshot: Mapping[str, Any]) -> None:
+        """Fold another process's snapshot into this registry.
+
+        Counters and histograms add; gauges keep the maximum.  A histogram
+        series whose bucket bounds disagree (snapshot from different code)
+        falls back to merging only ``sum``/``count`` into the +Inf bucket —
+        data is preserved, never silently dropped.
+        """
+        for encoded, value in snapshot.get("counters", {}).items():
+            name, labels = _decode_key(encoded)
+            self.counter(name, **dict(labels)).inc(float(value))
+        for encoded, value in snapshot.get("gauges", {}).items():
+            name, labels = _decode_key(encoded)
+            gauge = self.gauge(name, **dict(labels))
+            gauge.set(max(gauge.value, float(value)))
+        for encoded, payload in snapshot.get("histograms", {}).items():
+            name, labels = _decode_key(encoded)
+            bounds = tuple(float(b) for b in payload["bounds"])
+            hist = self._histograms.get(_series_key(name, dict(labels)))
+            if hist is None:
+                hist = self.histogram(name, bounds=bounds, **dict(labels))
+            if hist.bounds == bounds:
+                for i, c in enumerate(payload["counts"]):
+                    hist.counts[i] += int(c)
+            else:
+                hist.counts[-1] += int(payload["count"])
+            hist.sum += float(payload["sum"])
+            hist.count += int(payload["count"])
+
+    # -- exposition -----------------------------------------------------------
+
+    def exposition(self) -> str:
+        """Prometheus text format, deterministically ordered."""
+        lines: List[str] = []
+        by_name: Dict[str, List[str]] = {}
+        types: Dict[str, str] = {}
+        for key, metric in self._counters.items():
+            name, labels = key
+            types.setdefault(name, "counter")
+            by_name.setdefault(name, []).append(
+                f"{_format_series(name, labels)} {_format_value(metric.value)}"
+            )
+        for key, metric in self._gauges.items():
+            name, labels = key
+            types.setdefault(name, "gauge")
+            by_name.setdefault(name, []).append(
+                f"{_format_series(name, labels)} {_format_value(metric.value)}"
+            )
+        for key, hist in self._histograms.items():
+            name, labels = key
+            types.setdefault(name, "histogram")
+            rows = by_name.setdefault(name, [])
+            cumulative = 0
+            for bound, count in zip(hist.bounds, hist.counts):
+                cumulative += count
+                series = _format_series(
+                    f"{name}_bucket", labels, (("le", repr(bound)),)
+                )
+                rows.append(f"{series} {cumulative}")
+            series = _format_series(f"{name}_bucket", labels, (("le", "+Inf"),))
+            rows.append(f"{series} {hist.count}")
+            rows.append(
+                f"{_format_series(name + '_sum', labels)} "
+                f"{_format_value(hist.sum)}"
+            )
+            rows.append(
+                f"{_format_series(name + '_count', labels)} {hist.count}"
+            )
+        for name in sorted(by_name):
+            lines.append(f"# TYPE {name} {types[name]}")
+            lines.extend(sorted(by_name[name]))
+        return "\n".join(lines) + ("\n" if lines else "")
+
+
+#: The process-wide registry every instrumented module increments.
+DEFAULT_REGISTRY = MetricsRegistry()
+
+
+def counter(name: str, **labels: Any) -> Counter:
+    """Counter series on the default registry."""
+    return DEFAULT_REGISTRY.counter(name, **labels)
+
+
+def gauge(name: str, **labels: Any) -> Gauge:
+    """Gauge series on the default registry."""
+    return DEFAULT_REGISTRY.gauge(name, **labels)
+
+
+def histogram(name: str, **labels: Any) -> Histogram:
+    """Histogram series on the default registry (log-scale latency bounds)."""
+    return DEFAULT_REGISTRY.histogram(name, **labels)

@@ -1,0 +1,179 @@
+"""Read, validate, and summarize JSONL traces.
+
+Consumed by the ``stats`` CLI subcommand (per-phase breakdown table) and by
+``scripts/check_trace.py`` (the CI schema gate).  Kept dependency-free and
+read-only: everything operates on the list of plain-dict records
+:func:`load_trace` returns.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from typing import Any, Dict, List, Sequence, Tuple
+
+from .trace import TRACE_FORMAT_VERSION
+
+__all__ = [
+    "PhaseStats",
+    "format_breakdown",
+    "load_trace",
+    "phase_breakdown",
+    "validate_trace",
+]
+
+_REQUIRED_SPAN_FIELDS = ("name", "id", "pid", "wall_s", "cpu_s", "status", "tags")
+_REQUIRED_EVENT_FIELDS = ("name", "pid", "tags")
+
+
+def load_trace(path: os.PathLike) -> List[Dict[str, Any]]:
+    """Parse a JSONL trace into its records.
+
+    Raises ``ValueError`` on an unparseable line — a trace that cannot be
+    read end-to-end should fail loudly, not be half-summarized (a torn tail
+    from a killed process is the one expected exception, and even that is a
+    single final line, which the caller can drop by re-raising policy; the
+    CI gate wants strictness).
+    """
+    records: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for lineno, line in enumerate(fh, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{lineno}: unparseable line: {exc}")
+            records.append(record)
+    return records
+
+
+def validate_trace(records: Sequence[Dict[str, Any]]) -> List[str]:
+    """Schema-check a trace; returns a list of problems (empty when valid).
+
+    Checks: every record is a span or event of the current format version
+    with its required fields, ``(pid, id)`` is unique across spans,
+    durations are non-negative, and every parent reference points at a span
+    that exists in the same process.
+    """
+    problems: List[str] = []
+    span_ids: set = set()
+    for i, record in enumerate(records):
+        kind = record.get("kind")
+        if kind not in ("span", "event"):
+            problems.append(f"record {i}: unknown kind {kind!r}")
+            continue
+        if record.get("v") != TRACE_FORMAT_VERSION:
+            problems.append(
+                f"record {i}: format version {record.get('v')!r} != "
+                f"{TRACE_FORMAT_VERSION}"
+            )
+        required = (
+            _REQUIRED_SPAN_FIELDS if kind == "span" else _REQUIRED_EVENT_FIELDS
+        )
+        missing = [f for f in required if f not in record]
+        if missing:
+            problems.append(f"record {i}: missing fields {missing}")
+            continue
+        if kind == "span":
+            key = (record["pid"], record["id"])
+            if key in span_ids:
+                problems.append(f"record {i}: duplicate span id {key}")
+            span_ids.add(key)
+            if record["wall_s"] < 0 or record["cpu_s"] < 0:
+                problems.append(f"record {i}: negative duration")
+            if record["status"] not in ("ok", "error"):
+                problems.append(
+                    f"record {i}: bad status {record['status']!r}"
+                )
+            if not isinstance(record["tags"], dict):
+                problems.append(f"record {i}: tags is not an object")
+    # Parent resolution is a second pass: children are emitted before their
+    # parents (exit order), so the referenced span may appear later.
+    for i, record in enumerate(records):
+        if record.get("kind") not in ("span", "event"):
+            continue
+        parent = record.get("parent")
+        if parent is None:
+            continue
+        if (record.get("pid"), parent) not in span_ids:
+            problems.append(
+                f"record {i}: parent {parent} not found in pid "
+                f"{record.get('pid')}"
+            )
+    return problems
+
+
+class PhaseStats:
+    """Aggregate of every span sharing one name."""
+
+    __slots__ = ("name", "count", "errors", "wall_s", "self_s", "cpu_s", "max_s")
+
+    def __init__(self, name: str) -> None:
+        self.name = name
+        self.count = 0
+        self.errors = 0
+        self.wall_s = 0.0
+        self.self_s = 0.0
+        self.cpu_s = 0.0
+        self.max_s = 0.0
+
+    @property
+    def mean_s(self) -> float:
+        return self.wall_s / self.count if self.count else 0.0
+
+
+def phase_breakdown(
+    records: Sequence[Dict[str, Any]],
+) -> List[PhaseStats]:
+    """Per-phase totals, sorted by *self* time (wall minus child wall) desc.
+
+    Self time is what makes the table additive: nested spans double-count
+    wall time, but each second of execution belongs to exactly one phase's
+    self time, so the ``self_s`` column sums to the traced total.
+    """
+    spans = [r for r in records if r.get("kind") == "span"]
+    child_wall: Dict[Tuple[Any, Any], float] = {}
+    for record in spans:
+        parent = record.get("parent")
+        if parent is not None:
+            key = (record["pid"], parent)
+            child_wall[key] = child_wall.get(key, 0.0) + record["wall_s"]
+    phases: Dict[str, PhaseStats] = {}
+    for record in spans:
+        stats = phases.get(record["name"])
+        if stats is None:
+            stats = phases[record["name"]] = PhaseStats(record["name"])
+        wall = record["wall_s"]
+        stats.count += 1
+        stats.wall_s += wall
+        stats.cpu_s += record["cpu_s"]
+        stats.max_s = max(stats.max_s, wall)
+        stats.self_s += max(
+            0.0, wall - child_wall.get((record["pid"], record["id"]), 0.0)
+        )
+        if record.get("status") == "error":
+            stats.errors += 1
+    return sorted(
+        phases.values(), key=lambda s: (-s.self_s, -s.wall_s, s.name)
+    )
+
+
+def format_breakdown(phases: Sequence[PhaseStats]) -> str:
+    """Render the per-phase breakdown as an aligned text table."""
+    total_self = sum(p.self_s for p in phases) or 1.0
+    header = (
+        f"{'phase':<22} {'count':>7} {'errors':>6} {'wall_s':>10} "
+        f"{'self_s':>10} {'cpu_s':>10} {'mean_s':>10} {'max_s':>10} {'self%':>6}"
+    )
+    lines = [header, "-" * len(header)]
+    for p in phases:
+        lines.append(
+            f"{p.name:<22} {p.count:>7} {p.errors:>6} {p.wall_s:>10.4f} "
+            f"{p.self_s:>10.4f} {p.cpu_s:>10.4f} {p.mean_s:>10.4f} "
+            f"{p.max_s:>10.4f} {100.0 * p.self_s / total_self:>5.1f}%"
+        )
+    if not phases:
+        lines.append("(no spans)")
+    return "\n".join(lines)

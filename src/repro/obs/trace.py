@@ -1,0 +1,293 @@
+"""Hierarchical phase spans with a deterministic JSONL exporter.
+
+A :class:`Tracer` produces *spans* — named, nested intervals covering one
+phase of the synthesis pipeline (``graph.build``, ``cover.exact``,
+``sweep.task``, …) — and *events* — zero-duration markers attached to the
+enclosing span (``budget.heartbeat``, ``journal.resume``).  Every finished
+record is written as one JSON line, so a trace can be streamed, grepped,
+truncated, and concatenated without a reader that understands framing.
+
+Determinism: span ids are a per-tracer counter (not random), records are
+serialized with sorted keys, and each record carries the producing ``pid``
+so per-worker trace files can be concatenated into one trace while keeping
+``(pid, id)`` unique and parent references resolvable.  Wall-clock
+timestamps (``t``) are present for humans; every derived quantity
+(``wall_s``, ``cpu_s``) comes from monotonic/CPU clocks, both injectable
+for tests.
+
+The module-level :data:`NULL_SPAN_CONTEXT` is the disabled-path currency:
+entering it returns a shared, stateless :class:`_NullSpan`, so code can be
+instrumented unconditionally (``with span("cover.exact"): ...``) and pay
+only one ``None`` check when tracing is off.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional
+
+__all__ = [
+    "TRACE_FORMAT_VERSION",
+    "JsonlSink",
+    "NULL_SPAN_CONTEXT",
+    "Span",
+    "Tracer",
+]
+
+#: Bump when the record schema changes meaning; written into every record's
+#: ``v`` field so readers can reject traces from a different format.
+TRACE_FORMAT_VERSION = 1
+
+
+class _NullSpan:
+    """Stateless stand-in returned when tracing is disabled.
+
+    ``elapsed()`` returns 0.0 so callers can write
+    ``span.elapsed() or fallback`` and get a real measurement either way.
+    """
+
+    __slots__ = ()
+
+    def set_tag(self, key: str, value: Any) -> "_NullSpan":
+        return self
+
+    def elapsed(self) -> float:
+        return 0.0
+
+
+_NULL_SPAN = _NullSpan()
+
+
+class _NullSpanContext:
+    """Reusable no-op context manager — one shared instance, zero allocation."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> _NullSpan:
+        return _NULL_SPAN
+
+    def __exit__(self, *exc_info: object) -> bool:
+        return False
+
+
+NULL_SPAN_CONTEXT = _NullSpanContext()
+
+
+class JsonlSink:
+    """Buffered one-record-per-line JSON writer.
+
+    Flushes every :data:`FLUSH_EVERY` records and on :meth:`flush`/
+    :meth:`close`, trading a bounded tail loss on SIGKILL for not paying a
+    syscall per span in span-dense phases (MSD enumeration emits thousands).
+    """
+
+    FLUSH_EVERY = 64
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        self._fh = open(self.path, "w", encoding="utf-8")
+        self._pending = 0
+
+    def write(self, record: Dict[str, Any]) -> None:
+        """Serialize one record (sorted keys, compact separators)."""
+        if self._fh is None:
+            return
+        self._fh.write(
+            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
+        )
+        self._pending += 1
+        if self._pending >= self.FLUSH_EVERY:
+            self.flush()
+
+    def write_raw(self, line: str) -> None:
+        """Append an already-serialized record line (spill-file merging)."""
+        if self._fh is None:
+            return
+        if not line.endswith("\n"):
+            line += "\n"
+        self._fh.write(line)
+        self._pending += 1
+        if self._pending >= self.FLUSH_EVERY:
+            self.flush()
+
+    def flush(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._pending = 0
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.flush()
+            self._fh.close()
+            self._fh = None
+
+    def abandon(self) -> None:
+        """Drop the handle without touching it (post-fork child side).
+
+        A forked worker inherits the parent's open sink; closing it would
+        flush the child's copy of the buffer into the parent's file.  The
+        child must simply forget the handle.
+        """
+        self._fh = None
+
+
+class Span:
+    """One live phase interval; also its own context manager.
+
+    Exiting the span computes wall/CPU time, marks ``status`` (``"error"``
+    when an exception passed through), and emits the record.  Exceptions are
+    never swallowed.
+    """
+
+    __slots__ = (
+        "tracer", "name", "span_id", "parent_id", "tags",
+        "_t0", "_cpu0", "start_ts",
+    )
+
+    def __init__(
+        self,
+        tracer: "Tracer",
+        name: str,
+        span_id: int,
+        parent_id: Optional[int],
+        tags: Dict[str, Any],
+    ) -> None:
+        self.tracer = tracer
+        self.name = name
+        self.span_id = span_id
+        self.parent_id = parent_id
+        self.tags = tags
+        self.start_ts = time.time()
+        self._t0 = tracer._clock()
+        self._cpu0 = tracer._cpu_clock()
+
+    def set_tag(self, key: str, value: Any) -> "Span":
+        """Attach (or overwrite) one tag; chainable."""
+        self.tags[key] = value
+        return self
+
+    def elapsed(self) -> float:
+        """Seconds since the span opened (monotonic)."""
+        return self.tracer._clock() - self._t0
+
+    def __enter__(self) -> "Span":
+        self.tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self.tracer._pop(self)
+        status = "ok" if exc_type is None else "error"
+        error = None if exc is None else f"{exc_type.__name__}: {exc}"
+        self.tracer._emit_span(self, status, error)
+        return False
+
+
+class Tracer:
+    """Produces nested spans and point events, emitting JSONL records.
+
+    ``on_span`` (optional) is called with ``(name, wall_s)`` for every
+    finished span — the hook the metrics layer uses to feed its latency
+    histograms without the tracer importing metrics.
+    """
+
+    def __init__(
+        self,
+        sink: JsonlSink,
+        clock: Callable[[], float] = time.monotonic,
+        cpu_clock: Callable[[], float] = time.process_time,
+        on_span: Optional[Callable[[str, float], None]] = None,
+    ) -> None:
+        self.sink = sink
+        self._clock = clock
+        self._cpu_clock = cpu_clock
+        self._on_span = on_span
+        self._next_id = 1
+        self._local = threading.local()
+        self.pid = os.getpid()
+
+    # -- span stack ----------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = []
+            self._local.stack = stack
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # tolerate out-of-order exits, never corrupt
+            stack.remove(span)
+
+    def current_span_id(self) -> Optional[int]:
+        """Id of the innermost open span on this thread, if any."""
+        stack = self._stack()
+        return stack[-1].span_id if stack else None
+
+    # -- record production ---------------------------------------------------
+
+    def span(self, name: str, **tags: Any) -> Span:
+        """Open a span nested under the current one (context manager)."""
+        span_id = self._next_id
+        self._next_id += 1
+        return Span(self, name, span_id, self.current_span_id(), tags)
+
+    def event(self, name: str, **tags: Any) -> None:
+        """Emit a zero-duration marker attached to the enclosing span."""
+        self.sink.write({
+            "v": TRACE_FORMAT_VERSION,
+            "kind": "event",
+            "name": name,
+            "pid": self.pid,
+            "parent": self.current_span_id(),
+            "t": time.time(),
+            "tags": _json_safe_tags(tags),
+        })
+
+    def _emit_span(self, span: Span, status: str, error: Optional[str]) -> None:
+        wall_s = max(0.0, self._clock() - span._t0)
+        record: Dict[str, Any] = {
+            "v": TRACE_FORMAT_VERSION,
+            "kind": "span",
+            "name": span.name,
+            "id": span.span_id,
+            "parent": span.parent_id,
+            "pid": self.pid,
+            "t": span.start_ts,
+            "wall_s": wall_s,
+            "cpu_s": max(0.0, self._cpu_clock() - span._cpu0),
+            "status": status,
+            "tags": _json_safe_tags(span.tags),
+        }
+        if error is not None:
+            record["error"] = error
+        self.sink.write(record)
+        if self._on_span is not None:
+            self._on_span(span.name, wall_s)
+
+    def flush(self) -> None:
+        self.sink.flush()
+
+    def close(self) -> None:
+        self.sink.close()
+
+
+def _json_safe_tags(tags: Dict[str, Any]) -> Dict[str, Any]:
+    """Coerce tag values to JSON-serializable scalars (repr as last resort)."""
+    safe: Dict[str, Any] = {}
+    for key, value in tags.items():
+        if value is None or isinstance(value, (bool, int, float, str)):
+            safe[key] = value
+        else:
+            safe[key] = repr(value)
+    return safe

@@ -22,6 +22,7 @@ import numpy as np
 
 from ..errors import BudgetExceeded, QuantizationError
 from ..numrep import Representation, digit_cost
+from ..obs import span as obs_span
 from .scaling import QuantizedTaps
 
 if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
@@ -117,7 +118,8 @@ def search_coefficients(
             passes=passes,
         )
 
-    try:
+    def _descend() -> None:
+        nonlocal current_cost, changes, passes
         for _ in range(max_passes):
             passes += 1
             changed_this_pass = False
@@ -148,6 +150,15 @@ def search_coefficients(
                     changed_this_pass = True
             if not changed_this_pass:
                 break
+
+    try:
+        with obs_span(
+            "coeff.search",
+            taps=len(current),
+            max_delta=max_delta,
+            max_passes=max_passes,
+        ):
+            _descend()
     except BudgetExceeded as exc:
         raise BudgetExceeded(
             f"coefficient search interrupted after {passes} passes / "

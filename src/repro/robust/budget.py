@@ -17,8 +17,16 @@ import time
 from typing import Callable, Optional
 
 from ..errors import BudgetExceeded, ReproError
+from ..obs import event as obs_event
+from ..obs import metrics as obs_metrics
 
-__all__ = ["SolverBudget"]
+__all__ = ["HEARTBEAT_NODES", "SolverBudget"]
+
+#: Heartbeat cadence: one observability checkpoint per this many nodes.  The
+#: heartbeat keeps the hot :meth:`SolverBudget.spend` path at a single
+#: integer comparison while still surfacing long solver runs as trace events
+#: and a live metrics counter.
+HEARTBEAT_NODES = 4096
 
 
 class SolverBudget:
@@ -46,6 +54,7 @@ class SolverBudget:
         self._started_at: Optional[float] = None
         self._nodes = 0
         self._forced_reason: Optional[str] = None
+        self._next_heartbeat = HEARTBEAT_NODES
 
     def start(self) -> "SolverBudget":
         """Anchor the deadline now (idempotent); returns ``self`` for chaining."""
@@ -97,7 +106,21 @@ class SolverBudget:
     def spend(self, nodes: int = 1, partial: object = None) -> None:
         """Charge ``nodes`` units and checkpoint; raises on exhaustion."""
         self._nodes += nodes
+        if self._nodes >= self._next_heartbeat:
+            self._heartbeat()
         self.checkpoint(partial)
+
+    def _heartbeat(self) -> None:
+        """Periodic observability checkpoint (every :data:`HEARTBEAT_NODES`)."""
+        self._next_heartbeat = self._nodes + HEARTBEAT_NODES
+        obs_metrics.counter("repro_budget_heartbeats_total").inc()
+        obs_event(
+            "budget.heartbeat",
+            nodes=self._nodes,
+            elapsed_s=round(self.elapsed_s, 6),
+            deadline_s=self.deadline_s,
+            max_nodes=self.max_nodes,
+        )
 
     def checkpoint(self, partial: object = None) -> None:
         """Raise :class:`BudgetExceeded` if any limit has been reached.
@@ -108,10 +131,12 @@ class SolverBudget:
         """
         self.start()
         if self._forced_reason is not None:
+            self._expired("forced")
             raise BudgetExceeded(
                 f"solver budget exhausted: {self._forced_reason}", partial=partial
             )
         if self.max_nodes is not None and self._nodes > self.max_nodes:
+            self._expired("nodes")
             raise BudgetExceeded(
                 f"solver exceeded its node budget "
                 f"({self._nodes} > {self.max_nodes})",
@@ -120,11 +145,21 @@ class SolverBudget:
         if self.deadline_s is not None:
             elapsed = self.elapsed_s
             if elapsed > self.deadline_s:
+                self._expired("deadline")
                 raise BudgetExceeded(
                     f"solver exceeded its deadline "
                     f"({elapsed:.3f}s > {self.deadline_s:.3f}s)",
                     partial=partial,
                 )
+
+    def _expired(self, reason: str) -> None:
+        obs_metrics.counter(
+            "repro_budget_expirations_total", reason=reason
+        ).inc()
+        obs_event(
+            "budget.expired", reason=reason, nodes=self._nodes,
+            elapsed_s=round(self.elapsed_s, 6),
+        )
 
     def __repr__(self) -> str:
         return (

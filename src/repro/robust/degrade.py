@@ -39,6 +39,8 @@ from ..core.transform import VERIFY_SAMPLES, MrpfArchitecture, lower_plan
 from ..errors import CoverBudgetError, DegradationError, SynthesisError
 from ..graph import exact_weighted_set_cover
 from ..numrep import Representation
+from ..obs import metrics as obs_metrics
+from ..obs import span as obs_span
 from .budget import SolverBudget
 
 __all__ = [
@@ -112,6 +114,10 @@ class AttemptRecord:
     error_type: Optional[str] = None
     error: Optional[str] = None
     elapsed_s: float = 0.0
+    #: Wall time of this attempt as measured by the tracer's ``synth.attempt``
+    #: span (monotonic fallback when tracing is off).  ``elapsed_s`` is kept
+    #: for backward compatibility; the two agree up to clock granularity.
+    duration_s: float = 0.0
 
 
 @dataclass(frozen=True)
@@ -311,50 +317,65 @@ def _run_attempt(
     stage = "plan"
     attempt_started = time.monotonic()
 
-    def record(outcome: str, stage_name: str, error: Optional[BaseException]):
-        return AttemptRecord(
-            tier=tier,
-            stage=stage_name,
-            outcome=outcome,
-            beta=options.beta,
-            max_shift=options.max_shift,
-            representation=options.representation.value,
-            error_type=type(error).__name__ if error is not None else None,
-            error=str(error) if error is not None else None,
-            elapsed_s=time.monotonic() - attempt_started,
-        )
+    with obs_span(
+        "synth.attempt",
+        tier=tier,
+        beta=options.beta,
+        representation=options.representation.value,
+    ) as sp:
 
-    try:
-        if chaos is not None:
-            chaos.before("plan", budget)
-        plan = _plan_tier(
-            tier, coefficients, wordlength, options, config, budget, warnings
-        )
-        if chaos is not None:
-            plan = chaos.transform("plan", plan)
-
-        stage = "lower"
-        if chaos is not None:
-            chaos.before("lower", budget)
-        architecture = lower_plan(plan, config.seed_compression)
-        if chaos is not None:
-            architecture = chaos.transform("lower", architecture)
-
-        stage = "verify"
-        if chaos is not None:
-            chaos.before("verify", budget)
-            architecture = chaos.transform("verify", architecture)
-        if tuple(architecture.coefficients) != coefficients:
-            raise SynthesisError(
-                "architecture reports coefficients "
-                f"{architecture.coefficients!r} instead of the requested "
-                f"{coefficients!r}"
+        def record(outcome: str, stage_name: str,
+                   error: Optional[BaseException]):
+            duration = sp.elapsed() or (time.monotonic() - attempt_started)
+            sp.set_tag("outcome", outcome)
+            obs_metrics.counter(
+                "repro_degrade_attempts_total", tier=tier, outcome=outcome
+            ).inc()
+            return AttemptRecord(
+                tier=tier,
+                stage=stage_name,
+                outcome=outcome,
+                beta=options.beta,
+                max_shift=options.max_shift,
+                representation=options.representation.value,
+                error_type=type(error).__name__ if error is not None else None,
+                error=str(error) if error is not None else None,
+                elapsed_s=time.monotonic() - attempt_started,
+                duration_s=duration,
             )
-        verify_against_convolution(
-            architecture.netlist, architecture.tap_names,
-            list(coefficients), samples,
-        )
-        return architecture, record("ok", "done", None)
-    except Exception as exc:  # noqa: BLE001 — chaos injects arbitrary faults
-        outcome = "quarantined" if stage == "verify" else "failed"
-        return None, record(outcome, stage, exc)
+
+        try:
+            if chaos is not None:
+                chaos.before("plan", budget)
+            plan = _plan_tier(
+                tier, coefficients, wordlength, options, config, budget,
+                warnings
+            )
+            if chaos is not None:
+                plan = chaos.transform("plan", plan)
+
+            stage = "lower"
+            if chaos is not None:
+                chaos.before("lower", budget)
+            architecture = lower_plan(plan, config.seed_compression)
+            if chaos is not None:
+                architecture = chaos.transform("lower", architecture)
+
+            stage = "verify"
+            if chaos is not None:
+                chaos.before("verify", budget)
+                architecture = chaos.transform("verify", architecture)
+            if tuple(architecture.coefficients) != coefficients:
+                raise SynthesisError(
+                    "architecture reports coefficients "
+                    f"{architecture.coefficients!r} instead of the requested "
+                    f"{coefficients!r}"
+                )
+            verify_against_convolution(
+                architecture.netlist, architecture.tap_names,
+                list(coefficients), samples,
+            )
+            return architecture, record("ok", "done", None)
+        except Exception as exc:  # noqa: BLE001 — chaos injects arbitrary faults
+            outcome = "quarantined" if stage == "verify" else "failed"
+            return None, record(outcome, stage, exc)

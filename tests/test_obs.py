@@ -1,0 +1,257 @@
+"""Unit tests for the observability layer: tracer, metrics, reporting."""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro import obs
+from repro.obs import (
+    NULL_SPAN_CONTEXT,
+    TRACE_FORMAT_VERSION,
+    JsonlSink,
+    Tracer,
+    format_breakdown,
+    load_trace,
+    phase_breakdown,
+    validate_trace,
+)
+from repro.obs.metrics import DEFAULT_BUCKETS, MetricsRegistry
+
+
+@pytest.fixture(autouse=True)
+def _clean_obs():
+    """Each test starts and ends with observability fully torn down."""
+    obs.reset()
+    yield
+    obs.reset()
+
+
+# --- tracer ------------------------------------------------------------------
+
+
+def test_disabled_span_is_shared_noop_singleton():
+    assert obs.span("anything", tag=1) is NULL_SPAN_CONTEXT
+    with obs.span("anything") as sp:
+        assert sp.set_tag("k", "v") is sp
+        assert sp.elapsed() == 0.0
+    obs.event("ignored", detail="dropped")  # must not raise
+
+
+def test_tracer_emits_nested_spans_as_jsonl(tmp_path):
+    path = tmp_path / "trace.jsonl"
+    tracer = Tracer(JsonlSink(path))
+    with tracer.span("outer", filter="f0"):
+        with tracer.span("inner", depth=1):
+            tracer.event("marker", at="inner")
+    tracer.close()
+
+    records = load_trace(path)
+    assert validate_trace(records) == []
+    # Spans close inner-first; the event was written while inner was open.
+    kinds = [(r["kind"], r["name"]) for r in records]
+    assert kinds == [
+        ("event", "marker"), ("span", "inner"), ("span", "outer"),
+    ]
+    event, inner, outer = records
+    assert outer["parent"] is None
+    assert inner["parent"] == outer["id"]
+    assert event["parent"] == inner["id"]
+    assert all(r["v"] == TRACE_FORMAT_VERSION for r in records)
+    assert inner["tags"] == {"depth": 1}
+    assert inner["wall_s"] >= 0.0 and inner["cpu_s"] >= 0.0
+    # JSONL determinism: each line's keys are serialized sorted.
+    for line in path.read_text().splitlines():
+        keys = list(json.loads(line).keys())
+        assert keys == sorted(keys)
+
+
+def test_span_error_status_propagates_exception(tmp_path):
+    tracer = Tracer(JsonlSink(tmp_path / "t.jsonl"))
+    with pytest.raises(ValueError):
+        with tracer.span("doomed"):
+            raise ValueError("boom")
+    tracer.close()
+    (record,) = load_trace(tmp_path / "t.jsonl")
+    assert record["status"] == "error"
+    assert "ValueError" in record["error"]
+
+
+def test_configure_enables_and_finalize_disables(tmp_path):
+    trace = tmp_path / "t.jsonl"
+    metrics = tmp_path / "m.prom"
+    obs.configure(trace_path=trace, metrics_path=metrics)
+    assert obs.enabled() and obs.tracing_enabled()
+    with obs.span("phase", x=1):
+        pass
+    written = obs.finalize()
+    assert written == {"trace": str(trace), "metrics": str(metrics)}
+    assert not obs.enabled()
+    assert len(load_trace(trace)) == 1
+    text = metrics.read_text()
+    # Predeclared vocabulary is present even at zero.
+    assert 'repro_tasks_total{status="quarantined"} 0' in text
+    assert "repro_budget_expirations_total" in text
+
+
+# --- metrics -----------------------------------------------------------------
+
+
+def test_counter_gauge_histogram_exposition():
+    reg = MetricsRegistry()
+    reg.counter("jobs_total", kind="a").inc()
+    reg.counter("jobs_total", kind="a").inc(2)
+    reg.gauge("depth").set(7)
+    reg.histogram("lat_seconds").observe(0.5)
+    text = reg.exposition()
+    assert '# TYPE jobs_total counter' in text
+    assert 'jobs_total{kind="a"} 3' in text
+    assert "depth 7" in text
+    assert 'lat_seconds_bucket{le="+Inf"} 1' in text
+    assert "lat_seconds_count 1" in text
+    # Exposition is byte-stable: series are sorted.
+    assert text == reg.exposition()
+
+
+def test_counter_rejects_negative_increment():
+    reg = MetricsRegistry()
+    with pytest.raises(ValueError):
+        reg.counter("c").inc(-1)
+
+
+def test_snapshot_merge_adds_counters_and_maxes_gauges():
+    a, b = MetricsRegistry(), MetricsRegistry()
+    a.counter("tasks_total", status="ok").inc(3)
+    b.counter("tasks_total", status="ok").inc(4)
+    b.counter("tasks_total", status="failed").inc()
+    a.gauge("peak").set(5)
+    b.gauge("peak").set(9)
+    a.histogram("t_seconds").observe(0.01)
+    b.histogram("t_seconds").observe(10.0)
+
+    a.merge(b.snapshot())
+    assert a.counter_value("tasks_total", status="ok") == 7
+    assert a.counter_value("tasks_total", status="failed") == 1
+    assert a.gauge("peak").value == 9
+    assert a.histogram("t_seconds").count == 2
+    # Merge is built on the snapshot JSON round-trip used by worker spill.
+    roundtrip = json.loads(json.dumps(a.snapshot()))
+    c = MetricsRegistry()
+    c.merge(roundtrip)
+    assert c.counter_value("tasks_total", status="ok") == 7
+
+
+def test_histogram_buckets_are_log_scale():
+    assert DEFAULT_BUCKETS[0] == pytest.approx(1e-6)
+    ratios = {
+        round(b / a) for a, b in zip(DEFAULT_BUCKETS, DEFAULT_BUCKETS[1:])
+    }
+    assert ratios == {10}
+
+
+# --- trace reporting ---------------------------------------------------------
+
+
+def _span(name, span_id, parent, wall_s, cpu_s=0.0, pid=1):
+    return {
+        "v": TRACE_FORMAT_VERSION, "kind": "span", "name": name,
+        "id": span_id, "parent": parent, "pid": pid, "t": 0.0,
+        "wall_s": wall_s, "cpu_s": cpu_s, "status": "ok", "tags": {},
+    }
+
+
+def test_phase_breakdown_self_time_is_additive():
+    records = [
+        _span("child", 2, 1, wall_s=3.0),
+        _span("root", 1, None, wall_s=10.0),
+    ]
+    stats = {s.name: s for s in phase_breakdown(records)}
+    assert stats["root"].wall_s == pytest.approx(10.0)
+    assert stats["root"].self_s == pytest.approx(7.0)
+    assert stats["child"].self_s == pytest.approx(3.0)
+    total_self = sum(s.self_s for s in stats.values())
+    assert total_self == pytest.approx(10.0)
+    table = format_breakdown(phase_breakdown(records))
+    assert "root" in table and "child" in table and "self_s" in table
+
+
+def test_validate_trace_flags_corruption():
+    good = [_span("a", 1, None, 1.0)]
+    assert validate_trace(good) == []
+    assert validate_trace([_span("a", 1, None, 1.0),
+                           _span("b", 1, None, 1.0)])  # duplicate (pid, id)
+    assert validate_trace([_span("a", 2, 99, 1.0)])  # dangling parent
+    bad_version = _span("a", 1, None, 1.0)
+    bad_version["v"] = TRACE_FORMAT_VERSION + 1
+    assert validate_trace([bad_version])
+    negative = _span("a", 1, None, -1.0)
+    assert validate_trace([negative])
+
+
+def test_load_trace_rejects_garbage(tmp_path):
+    path = tmp_path / "bad.jsonl"
+    path.write_text('{"v": 1}\nnot json\n')
+    with pytest.raises(ValueError):
+        load_trace(path)
+
+
+# --- instrumentation hooks ---------------------------------------------------
+
+
+def test_budget_heartbeat_and_expiration_counters(tmp_path):
+    from repro.errors import BudgetExceeded
+    from repro.robust.budget import HEARTBEAT_NODES, SolverBudget
+
+    obs.configure(trace_path=tmp_path / "t.jsonl")
+    reg = obs.metrics.DEFAULT_REGISTRY
+    budget = SolverBudget(max_nodes=3 * HEARTBEAT_NODES)
+    for _ in range(2):
+        budget.spend(HEARTBEAT_NODES)
+    assert reg.counter_value("repro_budget_heartbeats_total") == 2
+
+    with pytest.raises(BudgetExceeded):
+        budget.spend(2 * HEARTBEAT_NODES)
+    assert reg.counter_value(
+        "repro_budget_expirations_total", reason="nodes"
+    ) == 1
+
+    deadline = SolverBudget(
+        deadline_s=0.0, clock=iter([0.0] + [1.0] * 8).__next__
+    )
+    with pytest.raises(BudgetExceeded):
+        deadline.start().checkpoint()
+    assert reg.counter_value(
+        "repro_budget_expirations_total", reason="deadline"
+    ) == 1
+    events = [
+        r for r in load_trace(obs.finalize()["trace"])
+        if r["kind"] == "event" and r["name"] == "budget.heartbeat"
+    ]
+    assert len(events) == 3  # one per heartbeat threshold crossed
+
+
+def test_degrade_attempts_record_duration_and_metrics():
+    from repro.robust import RobustConfig
+    from repro.robust import synthesize as robust_synthesize
+
+    result = robust_synthesize(
+        [7, 66, 17, 9, 27, 41, 56, 11], 8,
+        config=RobustConfig(tiers=("greedy",)),
+    )
+    assert all(a.duration_s > 0.0 for a in result.attempts)
+    reg = obs.metrics.DEFAULT_REGISTRY
+    assert reg.counter_value(
+        "repro_degrade_attempts_total", tier="greedy", outcome="ok"
+    ) == 1
+
+
+def test_synthesis_pipeline_produces_expected_span_taxonomy(tmp_path):
+    from repro.core import synthesize_mrpf
+
+    obs.configure(trace_path=tmp_path / "t.jsonl")
+    synthesize_mrpf([7, 66, 17, 9, 27, 41, 56, 11], 8)
+    records = load_trace(obs.finalize()["trace"])
+    assert validate_trace(records) == []
+    names = {r["name"] for r in records if r["kind"] == "span"}
+    assert {"graph.build", "cover.greedy", "spanning.forest"} <= names
