@@ -18,6 +18,8 @@ from repro.core.sidc import normalize_taps
 from repro.graph import build_colored_graph
 from repro.filters import benchmark_suite
 from repro.quantize import ScalingScheme, quantize
+from repro.verify import release_audit
+from repro.verify.structure import audit_structure
 
 WORDLENGTH = 16
 
@@ -56,6 +58,12 @@ def stage_operations(integers=None, wordlength: int = WORDLENGTH):
         "cse_baseline": lambda: synthesize_cse_filter(integers),
         "verification": lambda: arch.verify(samples),
         "plan_lowering": lambda: lower_plan(plan),
+        "release_audit": lambda: release_audit(
+            arch.netlist, arch.tap_names, arch.coefficients
+        ),
+        "structure_audit": lambda: audit_structure(
+            arch.netlist, arch.tap_names
+        ),
     }
 
 
@@ -97,3 +105,14 @@ def test_speed_verification(benchmark, stage_ops):
 def test_speed_plan_lowering(benchmark, stage_ops):
     arch = benchmark(stage_ops["plan_lowering"])
     assert arch.adder_count > 0
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_structure_audit(benchmark, stage_ops):
+    report = benchmark(stage_ops["structure_audit"])
+    assert report.num_adders > 0
+
+
+@pytest.mark.benchmark(group="speed")
+def test_speed_release_audit(benchmark, stage_ops):
+    benchmark(stage_ops["release_audit"])

@@ -1,0 +1,210 @@
+"""Verifier overhead benchmark + regression gate.
+
+Measures what the always-on release audit costs on top of plain synthesis:
+the same mid-size filter is synthesized through the robust cascade twice —
+once with ``RobustConfig(release_audit=False)`` and once with the default
+audit-enabled configuration — and each verification layer (structure audit,
+release audit, full audit with a small mutation campaign) is also timed in
+isolation.  Everything is written to
+``benchmarks/results/BENCH_verify.json``.
+
+The gate compares against the checked-in baseline
+(``benchmarks/results/BENCH_verify_baseline.json``) and fails (exit 1) when
+the *overhead ratio* regresses by more than ``--threshold`` (default 50%).
+
+Only one *machine-portable ratio metric* is gated:
+
+- ``audit_overhead_ratio`` — audit-enabled synthesis wall-clock over
+                         audit-disabled wall-clock.  ≥ 1.0 by construction;
+                         a cheap verifier sits close to 1.  The gate fails
+                         when the ratio *grows* past
+                         ``baseline * (1 + threshold)``, i.e. when the
+                         release audit becomes disproportionately more
+                         expensive relative to synthesis on the same
+                         machine.
+
+Absolute wall-clocks and the per-layer timings are recorded for inspection
+but deliberately NOT gated — they do not transfer across machines.
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_verify_overhead.py
+    PYTHONPATH=src python benchmarks/bench_verify_overhead.py --update-baseline
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import pathlib
+import sys
+import time
+
+from repro.core import synthesize_mrpf
+from repro.robust import RobustConfig
+from repro.robust import synthesize as robust_synthesize
+from repro.verify import full_audit, release_audit
+from repro.verify.structure import audit_structure
+
+from bench_synthesis_speed import medium_filter_integers
+
+RESULTS_DIR = pathlib.Path(__file__).resolve().parent / "results"
+BASELINE_PATH = RESULTS_DIR / "BENCH_verify_baseline.json"
+OUTPUT_PATH = RESULTS_DIR / "BENCH_verify.json"
+
+WORDLENGTH = 16
+MUTANTS = 20
+MUTATION_SEED = 0
+
+
+def _best_of(op, repeats: int) -> float:
+    best = float("inf")
+    for _ in range(repeats):
+        started = time.perf_counter()
+        op()
+        best = min(best, time.perf_counter() - started)
+    return best
+
+
+def run_benchmark(repeats: int) -> dict:
+    integers = list(medium_filter_integers(WORDLENGTH))
+
+    audited_cfg = RobustConfig()
+    unaudited_cfg = RobustConfig(release_audit=False)
+    assert audited_cfg.release_audit, "release audit must default to on"
+
+    unaudited_s = _best_of(
+        lambda: robust_synthesize(integers, WORDLENGTH, config=unaudited_cfg),
+        repeats,
+    )
+    audited_s = _best_of(
+        lambda: robust_synthesize(integers, WORDLENGTH, config=audited_cfg),
+        repeats,
+    )
+
+    # The verification layers in isolation, against one prebuilt design.
+    arch = synthesize_mrpf(integers, WORDLENGTH, verify=False)
+    coefficients = list(arch.coefficients)
+    layer_timings = {
+        "structure_audit": _best_of(
+            lambda: audit_structure(arch.netlist, arch.tap_names), repeats
+        ),
+        "release_audit": _best_of(
+            lambda: release_audit(arch.netlist, arch.tap_names, coefficients),
+            repeats,
+        ),
+        "full_audit_with_mutation": _best_of(
+            lambda: full_audit(
+                arch.netlist, arch.tap_names, coefficients,
+                exhaustive_bits=6, mutants=MUTANTS, seed=MUTATION_SEED,
+            ),
+            repeats,
+        ),
+    }
+
+    return {
+        "workload": {
+            "filter": "medium band-stop (benchmark_suite()[4])",
+            "wordlength": WORDLENGTH,
+            "taps": len(integers),
+            "mutants": MUTANTS,
+            "repeats": repeats,
+        },
+        "environment": {
+            "cpu_count": os.cpu_count(),
+            "python": sys.version.split()[0],
+        },
+        "wall_clock_s": {
+            "synthesis_unaudited": round(unaudited_s, 6),
+            "synthesis_audited": round(audited_s, 6),
+        },
+        "layer_timings_s": {
+            name: round(value, 6) for name, value in layer_timings.items()
+        },
+        "metrics": {
+            "audit_overhead_ratio": round(
+                audited_s / max(unaudited_s, 1e-9), 4
+            ),
+        },
+    }
+
+
+def gate(result: dict, baseline: dict, threshold: float):
+    """Return a list of human-readable regression messages (empty = pass)."""
+    failures = []
+    base = baseline.get("metrics", {}).get("audit_overhead_ratio")
+    current = result["metrics"]["audit_overhead_ratio"]
+    if isinstance(base, (int, float)) and base > 0:
+        ceiling = base * (1.0 + threshold)
+        if current > ceiling:
+            failures.append(
+                f"audit_overhead_ratio: {current:.4f} > {ceiling:.4f} "
+                f"(baseline {base:.4f}, threshold {threshold:.0%})"
+            )
+    return failures
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--repeats", type=int, default=3,
+        help="best-of-N rounds per measurement (default: 3)",
+    )
+    parser.add_argument(
+        "--threshold", type=float, default=0.50,
+        help="max allowed relative growth of the overhead ratio (default 0.50)",
+    )
+    parser.add_argument(
+        "--output", type=pathlib.Path, default=OUTPUT_PATH,
+        help=f"where to write the report (default {OUTPUT_PATH})",
+    )
+    parser.add_argument(
+        "--baseline", type=pathlib.Path, default=BASELINE_PATH,
+        help=f"baseline to gate against (default {BASELINE_PATH})",
+    )
+    parser.add_argument(
+        "--update-baseline", action="store_true",
+        help="write the measured result as the new baseline and skip gating",
+    )
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(repeats=args.repeats)
+
+    args.output.parent.mkdir(parents=True, exist_ok=True)
+    args.output.write_text(json.dumps(result, indent=2, sort_keys=True) + "\n")
+    print(f"[bench_verify] report written to {args.output}")
+    for name, value in result["wall_clock_s"].items():
+        print(f"[bench_verify]   {name} = {value}s")
+    for name, value in result["layer_timings_s"].items():
+        print(f"[bench_verify]   {name} = {value}s")
+    for name, value in result["metrics"].items():
+        print(f"[bench_verify]   {name} = {value}")
+
+    if args.update_baseline:
+        args.baseline.parent.mkdir(parents=True, exist_ok=True)
+        args.baseline.write_text(
+            json.dumps(result, indent=2, sort_keys=True) + "\n"
+        )
+        print(f"[bench_verify] baseline updated at {args.baseline}")
+        return 0
+
+    if not args.baseline.exists():
+        print(
+            f"[bench_verify] no baseline at {args.baseline}; "
+            "run with --update-baseline to create one", file=sys.stderr,
+        )
+        return 1
+
+    baseline = json.loads(args.baseline.read_text())
+    failures = gate(result, baseline, args.threshold)
+    if failures:
+        for message in failures:
+            print(f"[bench_verify] REGRESSION {message}", file=sys.stderr)
+        return 1
+    print(f"[bench_verify] gate passed (threshold {args.threshold:.0%})")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

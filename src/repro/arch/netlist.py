@@ -159,11 +159,16 @@ class ShiftAddNetlist:
 
     # ------------------------------------------------------------- validation
 
-    def validate(self) -> None:
-        """Structural + functional self-check of the whole DAG.
+    def validate(self, expected_outputs: Optional[Sequence[str]] = None) -> None:
+        """Total structural + functional self-check of the whole DAG.
 
-        Verifies topological id ordering, operand ranges, and that every
-        node's declared fundamental matches what its operands compute.
+        Verifies topological id ordering, operand ranges, that every node's
+        declared fundamental matches what its operands compute, that every
+        named output (and every fundamental-table entry) resolves inside the
+        DAG to the value it claims, and — when ``expected_outputs`` is given
+        — that every one of those names has actually been marked.  A netlist
+        that passes cannot make :meth:`outputs`, :meth:`tap_refs`, or the
+        simulator trip over a dangling reference later.
         """
         if not self._nodes or not self._nodes[0].is_input:
             raise NetlistError("node 0 must be the input")
@@ -174,6 +179,22 @@ class ShiftAddNetlist:
         for name, ref in self._outputs.items():
             if ref is not None and not 0 <= ref.node < len(self._nodes):
                 raise NetlistError(f"output {name!r} references unknown node")
+        for odd_value, node_id in self._fundamentals.items():
+            if not 0 <= node_id < len(self._nodes):
+                raise NetlistError(
+                    f"fundamental {odd_value} maps to unknown node {node_id}"
+                )
+            if self._nodes[node_id].value != odd_value:
+                raise NetlistError(
+                    f"fundamental table files node {node_id} under "
+                    f"{odd_value} but it computes {self._nodes[node_id].value}"
+                )
+        if expected_outputs is not None:
+            missing = [n for n in expected_outputs if n not in self._outputs]
+            if missing:
+                raise NetlistError(
+                    f"expected outputs {missing!r} were never marked"
+                )
 
     # ---------------------------------------------------------------- queries
 

@@ -1,9 +1,17 @@
 """Bit-accurate simulation of shift-add netlists and the filters built on them.
 
-Simulation is *exact* (Python integers, no rounding), so an MRPF architecture
-can be checked for functional equivalence against plain convolution by the
-quantized coefficients — the strongest correctness statement available for an
-architectural transformation.
+Simulation is *exact*: every intermediate value lives in an unbounded Python
+``int``, so there is no rounding, no wrap-around, and no saturation anywhere
+in these functions — an MRPF architecture can be checked for functional
+equivalence against plain convolution by the quantized coefficients, the
+strongest correctness statement available for an architectural
+transformation.  The flip side is that exactness here says *nothing* about
+finite registers: a netlist that passes these checks can still overflow in
+hardware if the RTL declares too few bits.  Finite-wordlength semantics
+(wrap/saturate/error modes, per-site overflow attribution, minimal safe
+widths) live in :mod:`repro.verify.fixedpoint`, which layers them over the
+same netlist walk; :func:`verify_against_convolution` bridges the two via
+its optional ``wordlength`` argument.
 
 Two levels:
 
@@ -122,12 +130,21 @@ def verify_against_convolution(
     tap_names: Sequence[str],
     coefficients: Sequence[int],
     samples: Sequence[int],
+    wordlength: Optional[int] = None,
 ) -> None:
     """Assert the netlist filter equals direct convolution by ``coefficients``.
 
     Raises :class:`SimulationError` with the first mismatching cycle.  This
     is the end-to-end functional check run by the integration tests for every
     synthesis method.
+
+    By default the comparison is exact (unbounded integers).  Passing a
+    ``wordlength`` additionally re-runs the stimulus through the
+    finite-wordlength simulator at that input width with overflow as an
+    error — so the same call also proves the design's exported register
+    widths never overflow on this stimulus
+    (:class:`~repro.errors.OverflowViolation`, a ``SimulationError``
+    subclass, names the exact site and cycle otherwise).
     """
     declared = netlist.output_values()
     for name, coefficient in zip(tap_names, coefficients):
@@ -143,6 +160,14 @@ def verify_against_convolution(
             raise SimulationError(
                 f"cycle {cycle}: netlist produced {got}, convolution {want}"
             )
+    if wordlength is not None:
+        # Imported lazily: repro.verify builds on this module.
+        from ..verify.fixedpoint import simulate_tdf_fixed
+
+        simulate_tdf_fixed(
+            netlist, tap_names, samples,
+            input_bits=wordlength, overflow="error",
+        )
 
 
 def _convolve_exact(coefficients: Sequence[int], samples: Sequence[int]) -> List[int]:

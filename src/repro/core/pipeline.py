@@ -76,6 +76,12 @@ def schedule_pipeline(
     """
     if max_stage_depth < 1:
         raise SynthesisError(f"max_stage_depth must be >= 1, got {max_stage_depth}")
+    # The scheduler walks raw operand wiring below; a corrupt netlist would
+    # yield a silently nonsensical schedule and register count, so audit the
+    # structure first.  (Imported lazily: repro.verify builds on repro.arch.)
+    from ..verify.structure import audit_structure
+
+    audit_structure(netlist)
     widths = node_bitwidths(netlist, input_bits)
 
     stage = [0] * len(netlist)

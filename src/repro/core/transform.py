@@ -167,7 +167,7 @@ def lower_plan(plan: MrpPlan, seed_compression: str = "none") -> MrpfArchitectur
                 sign=base.sign * binding.sign,
             ),
         )
-    netlist.validate()
+    netlist.validate(expected_outputs=tap_names)
     return MrpfArchitecture(
         plan=plan,
         netlist=netlist,

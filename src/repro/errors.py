@@ -85,6 +85,80 @@ class JournalError(SupervisorError):
     """
 
 
+class VerificationError(ReproError):
+    """Base of the :mod:`repro.verify` taxonomy.
+
+    Every failure the independent hardware-verification layer can detect is
+    a subclass, so a release gate can branch on *which* audit tripped
+    (structure vs fixed-point vs equivalence vs the mutation gate) while a
+    plain ``except VerificationError`` still catches the whole family.
+    """
+
+
+class StructureViolation(VerificationError, NetlistError):
+    """A netlist failed the structural invariant audit.
+
+    Dual-inherits :class:`NetlistError` so callers of the historical
+    ``validate()`` contract keep catching structural corruption without
+    knowing about the verification layer.
+    """
+
+
+class AcyclicityViolation(StructureViolation):
+    """A node references itself, a later node, or a nonexistent node."""
+
+
+class FundamentalViolation(StructureViolation):
+    """The odd-fundamental table disagrees with the nodes it indexes."""
+
+
+class DepthViolation(StructureViolation):
+    """The audited adder depth exceeds the declared depth bound."""
+
+
+class AdderCountMismatch(StructureViolation):
+    """The reported adder count differs from the audited count."""
+
+
+class DanglingRefViolation(StructureViolation):
+    """An output or operand reference points outside the DAG, or a
+    required tap output was never marked."""
+
+
+class OverflowViolation(VerificationError, SimulationError):
+    """Finite-wordlength evaluation overflowed at a specific site.
+
+    Dual-inherits :class:`SimulationError`: an overflow is a simulation
+    inconsistency first, so pre-existing ``except SimulationError`` paths
+    (e.g. the robust cascade's quarantine logic) treat it correctly.
+    """
+
+    def __init__(self, message: str, site: str = "", cycle: int = -1) -> None:
+        super().__init__(message)
+        self.site = site
+        self.cycle = cycle
+
+
+class WidthContractViolation(VerificationError):
+    """The RTL export declares a narrower width than the model requires."""
+
+
+class EquivalenceViolation(VerificationError, SimulationError):
+    """The netlist's response diverged from the golden reference."""
+
+
+class MutationGateError(VerificationError):
+    """The mutation campaign's kill rate fell below the release threshold.
+
+    ``escaped`` carries the mutant descriptions that survived every audit,
+    for triage of the verifier's blind spot.
+    """
+
+    def __init__(self, message: str, escaped: tuple = ()) -> None:
+        super().__init__(message)
+        self.escaped = tuple(escaped)
+
+
 class DegradationError(SynthesisError):
     """Every tier of the robust synthesis cascade failed.
 

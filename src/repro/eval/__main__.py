@@ -9,6 +9,7 @@ Examples::
         --journal-dir .journal --resume --max-retries 3
     python -m repro.eval fig6 --trace trace.jsonl --metrics metrics.prom
     python -m repro.eval stats --trace trace.jsonl
+    python -m repro.eval verify --filters 0 1 --wordlengths 8 --mutants 40
 
 Exit codes map the error taxonomy so schedulers and scripts can branch on
 *why* a run ended without parsing stderr:
@@ -22,6 +23,10 @@ code  meaning
 3     a solver budget was exhausted (:class:`~repro.errors.BudgetExceeded`)
 4     every degradation tier failed (:class:`~repro.errors.DegradationError`)
 5     sweep finished but the supervisor quarantined poison tasks
+6     verify: a structural invariant audit failed
+7     verify: a fixed-point width or overflow check failed
+8     verify: an equivalence check (exhaustive/differential/C model) failed
+9     verify: the mutation kill-rate gate failed
 ====  =====================================================================
 """
 
@@ -45,6 +50,10 @@ __all__ = [
     "EXIT_BUDGET",
     "EXIT_DEGRADATION",
     "EXIT_PARTIAL",
+    "EXIT_VERIFY_STRUCTURE",
+    "EXIT_VERIFY_FIXEDPOINT",
+    "EXIT_VERIFY_EQUIVALENCE",
+    "EXIT_VERIFY_MUTATION",
     "build_parser",
     "main",
 ]
@@ -55,6 +64,20 @@ EXIT_USAGE = 2  # argparse's own exit code, listed here for completeness
 EXIT_BUDGET = 3
 EXIT_DEGRADATION = 4
 EXIT_PARTIAL = 5
+EXIT_VERIFY_STRUCTURE = 6
+EXIT_VERIFY_FIXEDPOINT = 7
+EXIT_VERIFY_EQUIVALENCE = 8
+EXIT_VERIFY_MUTATION = 9
+
+#: First-failure exit code per verification check (the C-model diff is an
+#: equivalence check, so its failures share that code).
+_VERIFY_EXIT_CODES = {
+    "structure": EXIT_VERIFY_STRUCTURE,
+    "fixedpoint": EXIT_VERIFY_FIXEDPOINT,
+    "equivalence": EXIT_VERIFY_EQUIVALENCE,
+    "cmodel": EXIT_VERIFY_EQUIVALENCE,
+    "mutation": EXIT_VERIFY_MUTATION,
+}
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -65,9 +88,11 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "stats"],
+        choices=sorted(EXPERIMENTS) + ["all", "stats", "verify"],
         help="which experiment to run ('stats' renders the per-phase time "
-             "breakdown of a trace recorded earlier with --trace)",
+             "breakdown of a trace recorded earlier with --trace; 'verify' "
+             "runs the full hardware verification audit over synthesized "
+             "benchmark filters)",
     )
     parser.add_argument(
         "--filters",
@@ -164,6 +189,43 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="route the repro logger hierarchy to stderr at this level",
     )
+    verify_group = parser.add_argument_group("verify options")
+    verify_group.add_argument(
+        "--mutants",
+        type=int,
+        default=0,
+        metavar="N",
+        help="verify: also run a mutation campaign of N seeded faults per "
+             "design and enforce the kill-rate gate (default 0 = skip)",
+    )
+    verify_group.add_argument(
+        "--exhaustive-bits",
+        type=int,
+        default=8,
+        metavar="BITS",
+        help="verify: input wordlength for the exhaustive sweep (default 8)",
+    )
+    verify_group.add_argument(
+        "--input-bits",
+        type=int,
+        default=16,
+        metavar="BITS",
+        help="verify: input wordlength for fixed-point and differential "
+             "checks (default 16)",
+    )
+    verify_group.add_argument(
+        "--seed",
+        type=int,
+        default=0,
+        metavar="N",
+        help="verify: seed for random stimulus and mutant drawing (default 0)",
+    )
+    verify_group.add_argument(
+        "--cmodel",
+        action="store_true",
+        help="verify: also diff the compiled C model (skipped without a C "
+             "compiler on PATH)",
+    )
     return parser
 
 
@@ -179,6 +241,61 @@ def _run_stats(args: argparse.Namespace) -> int:
         print(f"warning: {problem}", file=sys.stderr)
     print(obs.format_breakdown(obs.phase_breakdown(records)))
     return EXIT_OK
+
+
+def _run_verify(args: argparse.Namespace) -> int:
+    """The ``verify`` subcommand: full audit of synthesized benchmark filters.
+
+    Synthesizes each selected (filter, wordlength) design point the same way
+    the experiments do (maximal scaling, best-β MRPF) and runs the complete
+    :func:`repro.verify.full_audit` scorecard on it.  Returns the exit code
+    of the *first failing check* (codes 6-9); all designs and checks are
+    still run and printed so one report shows every failure.
+    """
+    from ..filters.benchmarks import TABLE1_SPECS, benchmark_filter
+    from ..quantize import ScalingScheme, quantize
+    from ..verify import full_audit
+    from .experiments import best_mrpf
+
+    indices = (
+        list(args.filters)
+        if args.filters is not None
+        else list(range(len(TABLE1_SPECS)))
+    )
+    wordlengths = list(args.wordlengths) if args.wordlengths else [8]
+    exit_code = EXIT_OK
+    audited = failed = 0
+    for index in indices:
+        designed = benchmark_filter(index)
+        for wordlength in wordlengths:
+            q = quantize(designed.folded, wordlength, ScalingScheme.MAXIMAL)
+            architecture = best_mrpf(q.integers, wordlength)
+            report = full_audit(
+                architecture.netlist,
+                architecture.tap_names,
+                architecture.coefficients,
+                input_bits=args.input_bits,
+                expected_adder_count=architecture.adder_count,
+                exhaustive_bits=args.exhaustive_bits,
+                mutants=args.mutants,
+                seed=args.seed,
+                include_cmodel=args.cmodel,
+            )
+            audited += 1
+            verdict = "ok" if report.ok else "FAILED"
+            print(f"{designed.name} W={wordlength} "
+                  f"({architecture.adder_count} adders): {verdict}")
+            for line in report.summary().splitlines():
+                print(f"  {line}")
+            if not report.ok:
+                failed += 1
+                if exit_code == EXIT_OK:
+                    first = report.failures[0]
+                    exit_code = _VERIFY_EXIT_CODES.get(
+                        first.check, EXIT_FAILURE
+                    )
+    print(f"[verified {audited} design points; {failed} failed]")
+    return exit_code
 
 
 def _run(args: argparse.Namespace) -> int:
@@ -283,6 +400,8 @@ def main(argv: Optional[List[str]] = None) -> int:
     try:
         if args.experiment == "stats":
             return _run_stats(args)
+        if args.experiment == "verify":
+            return _run_verify(args)
         return _run(args)
     except BudgetExceeded as exc:
         print(f"error: solver budget exhausted: {exc}", file=sys.stderr)

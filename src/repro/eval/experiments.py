@@ -14,6 +14,7 @@ design point, the β minimizing the lowered adder count — the choice a designe
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple
 
@@ -305,6 +306,15 @@ def _method_result(
         seed_size = arch.plan.seed_size
     else:
         raise errors.ReproError(f"unknown method {method!r}")
+    # REPRO_VERIFY_GATE arms the independent release audit on every freshly
+    # synthesized design point.  An env var (rather than a parameter) so the
+    # gate reaches fork-inherited sweep workers and the supervised runner
+    # without plumbing through every call chain; cache hits above are skipped
+    # deliberately — a cached result was audited when it was first computed.
+    if os.environ.get("REPRO_VERIFY_GATE"):
+        from ..verify import release_audit
+
+        release_audit(netlist, names, list(integers), input_bits=input_bits)
     result = MethodResult(
         method=method,
         adders=adders,

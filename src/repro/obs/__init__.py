@@ -94,6 +94,14 @@ _PREDECLARED_COUNTERS = (
     ("repro_budget_expirations_total", {"reason": "deadline"}),
     ("repro_budget_expirations_total", {"reason": "nodes"}),
     ("repro_budget_expirations_total", {"reason": "forced"}),
+    ("repro_verify_checks_total", {"check": "structure", "outcome": "passed"}),
+    ("repro_verify_checks_total", {"check": "structure", "outcome": "failed"}),
+    ("repro_verify_checks_total", {"check": "fixedpoint", "outcome": "passed"}),
+    ("repro_verify_checks_total", {"check": "fixedpoint", "outcome": "failed"}),
+    ("repro_verify_checks_total", {"check": "equivalence", "outcome": "passed"}),
+    ("repro_verify_checks_total", {"check": "equivalence", "outcome": "failed"}),
+    ("repro_verify_mutants_total", {"outcome": "killed"}),
+    ("repro_verify_mutants_total", {"outcome": "escaped"}),
 )
 
 

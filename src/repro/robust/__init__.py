@@ -12,12 +12,15 @@ from ..errors import BudgetExceeded, CoverBudgetError, DegradationError
 from .budget import SolverBudget
 from .chaos import (
     FAULT_CLASSES,
+    MUTATION_OPERATORS,
     PROCESS_FAULT_CLASSES,
     CacheFaultInjector,
     ChaosFault,
     ChaosHarness,
     Injection,
+    NetlistMutator,
     ProcessFaultPlan,
+    clone_netlist,
 )
 from .degrade import (
     STAGES,
@@ -38,6 +41,8 @@ __all__ = [
     "DegradationError",
     "FAULT_CLASSES",
     "Injection",
+    "MUTATION_OPERATORS",
+    "NetlistMutator",
     "PROCESS_FAULT_CLASSES",
     "ProcessFaultPlan",
     "RobustConfig",
@@ -45,5 +50,6 @@ __all__ = [
     "STAGES",
     "SolverBudget",
     "TIERS",
+    "clone_netlist",
     "synthesize",
 ]

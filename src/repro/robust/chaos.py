@@ -39,7 +39,8 @@ import time
 from dataclasses import dataclass, replace
 from typing import List, Optional, Tuple
 
-from ..arch.nodes import Ref
+from ..arch.netlist import ShiftAddNetlist
+from ..arch.nodes import Node, Ref
 from ..core.sidc import TapBinding
 from ..errors import BudgetExceeded, ReproError
 from .budget import SolverBudget
@@ -47,12 +48,15 @@ from .degrade import STAGES
 
 __all__ = [
     "FAULT_CLASSES",
+    "MUTATION_OPERATORS",
     "PROCESS_FAULT_CLASSES",
     "CacheFaultInjector",
     "ChaosFault",
     "ChaosHarness",
     "Injection",
+    "NetlistMutator",
     "ProcessFaultPlan",
+    "clone_netlist",
 ]
 
 FAULT_CLASSES = ("exception", "deadline", "corruption")
@@ -196,6 +200,309 @@ def _corrupt_architecture(architecture):
         )
         return architecture
     raise ChaosFault("no corruptible output: every tap is zero")
+
+
+# --- netlist mutation (verifier hardening) ----------------------------------
+
+#: Mutation operators :class:`NetlistMutator` can draw from.  The first
+#: group leaves the declared fundamentals stale (the structural audit must
+#: catch them); the ``output_*`` and ``consistent_*`` groups produce
+#: structurally immaculate netlists that compute the wrong filter (only
+#: functional equivalence checking can catch them).
+MUTATION_OPERATORS = (
+    "operand_shift",
+    "operand_sign",
+    "operand_rewire",
+    "node_value",
+    "fundamental_entry",
+    "output_shift",
+    "output_sign",
+    "output_rewire",
+    "consistent_shift",
+    "consistent_sign",
+)
+
+
+def _raw_ref(node: int, shift: int, sign: int) -> Ref:
+    """Build a Ref bypassing its __post_init__ (mutants must not self-heal)."""
+    ref = Ref.__new__(Ref)
+    object.__setattr__(ref, "node", node)
+    object.__setattr__(ref, "shift", shift)
+    object.__setattr__(ref, "sign", sign)
+    return ref
+
+
+def _raw_node(node_id: int, value: int, a, b, label: str) -> Node:
+    """Build a Node bypassing its __post_init__ consistency checks."""
+    node = Node.__new__(Node)
+    object.__setattr__(node, "id", node_id)
+    object.__setattr__(node, "value", value)
+    object.__setattr__(node, "a", a)
+    object.__setattr__(node, "b", b)
+    object.__setattr__(node, "label", label)
+    return node
+
+
+def clone_netlist(netlist: ShiftAddNetlist) -> ShiftAddNetlist:
+    """Independent shallow-structure copy of a netlist.
+
+    Nodes and refs are immutable, so sharing them is safe; the node list,
+    fundamental table, and output map are fresh containers a mutation can
+    rewrite without touching the original.
+    """
+    clone = ShiftAddNetlist.__new__(ShiftAddNetlist)
+    clone._nodes = list(netlist.nodes)
+    clone._fundamentals = netlist.fundamentals()
+    clone._outputs = netlist.outputs
+    return clone
+
+
+def _recomputed_values(netlist: ShiftAddNetlist):
+    """Actual value of every node from the wiring alone (None if unreadable)."""
+    nodes = netlist.nodes
+    computed = [0] * len(nodes)
+    computed[0] = 1
+    try:
+        for node in nodes[1:]:
+            computed[node.id] = node.a.value(computed[node.a.node]) + (
+                node.b.value(computed[node.b.node])
+            )
+    except (IndexError, TypeError, AttributeError):
+        return None
+    return computed
+
+
+def _invariants_hold(netlist: ShiftAddNetlist) -> bool:
+    """Light structural re-check mirroring the verify-layer audit."""
+    nodes = netlist.nodes
+    computed = _recomputed_values(netlist)
+    if computed is None:
+        return False
+    for node in nodes[1:]:
+        for operand in (node.a, node.b):
+            if operand is None or not 0 <= operand.node < node.id:
+                return False
+            if operand.shift < 0 or operand.sign not in (-1, 1):
+                return False
+        if node.value != computed[node.id] or computed[node.id] == 0:
+            return False
+    for odd, node_id in netlist.fundamentals().items():
+        if not 0 <= node_id < len(nodes) or computed[node_id] != odd:
+            return False
+        if odd <= 0 or odd % 2 == 0:
+            return False
+    for ref in netlist.outputs.values():
+        if ref is not None and not 0 <= ref.node < len(nodes):
+            return False
+    return True
+
+
+def _output_signature(netlist: ShiftAddNetlist):
+    """Actual integer carried by each output, from recomputed wiring."""
+    computed = _recomputed_values(netlist)
+    if computed is None:
+        return None
+    signature = {}
+    for name, ref in netlist.outputs.items():
+        signature[name] = None if ref is None else ref.value(computed[ref.node])
+    return signature
+
+
+class NetlistMutator:
+    """Seeded single-fault mutant generator for verifier hardening.
+
+    Every mutant is guaranteed *observably* faulty: either a structural
+    invariant is broken (stale fundamentals, dangling wiring, corrupt
+    table) or the output coefficient vector actually changes.  Draws that
+    happen to produce a functionally equivalent, structurally valid
+    netlist (e.g. rewiring an operand to a node of identical value) are
+    discarded and redrawn — such a mutant is not a fault, and counting it
+    would poison the kill-rate gate's denominator.
+
+    The same seed replays the identical mutant sequence, so an escaped
+    mutant reported by the gate is exactly reproducible.
+    """
+
+    def __init__(
+        self,
+        seed: int = 0,
+        operators: Tuple[str, ...] = MUTATION_OPERATORS,
+    ) -> None:
+        unknown = [op for op in operators if op not in MUTATION_OPERATORS]
+        if unknown:
+            raise ReproError(
+                f"unknown mutation operators {unknown!r}; choose from "
+                f"{MUTATION_OPERATORS}"
+            )
+        if not operators:
+            raise ReproError("need at least one mutation operator")
+        self.operators = tuple(operators)
+        self._rng = random.Random(seed)
+
+    # -- single-operator applications (each on a fresh clone) --------------
+
+    def _apply(self, operator: str, clone: ShiftAddNetlist) -> Optional[str]:
+        """Apply ``operator`` in place; return a description or None if
+        inapplicable to this netlist's shape."""
+        rng = self._rng
+        nodes = clone._nodes
+        adder_ids = [node.id for node in nodes[1:]]
+        live_outputs = [
+            name for name, ref in clone._outputs.items() if ref is not None
+        ]
+
+        def pick_operand(node):
+            side = rng.choice(("a", "b"))
+            return side, getattr(node, side)
+
+        if operator in ("operand_shift", "operand_sign", "consistent_shift",
+                        "consistent_sign"):
+            if not adder_ids:
+                return None
+            node_id = rng.choice(adder_ids)
+            node = nodes[node_id]
+            side, ref = pick_operand(node)
+            if operator.endswith("shift"):
+                new_ref = _raw_ref(ref.node, ref.shift + rng.randint(1, 3),
+                                   ref.sign)
+                change = f"shift {ref.shift}->{new_ref.shift}"
+            else:
+                new_ref = _raw_ref(ref.node, ref.shift, -ref.sign)
+                change = f"sign {ref.sign}->{-ref.sign}"
+            replacement = _raw_node(
+                node.id, node.value,
+                new_ref if side == "a" else node.a,
+                new_ref if side == "b" else node.b,
+                node.label,
+            )
+            nodes[node_id] = replacement
+            if operator.startswith("consistent"):
+                self._rebuild_consistency(clone)
+                return (f"{operator}: node {node_id} operand {side} {change}, "
+                        "values and fundamentals rebuilt to match")
+            return f"{operator}: node {node_id} operand {side} {change}"
+
+        if operator == "operand_rewire":
+            candidates = [i for i in adder_ids if i >= 2]
+            if not candidates:
+                return None
+            node_id = rng.choice(candidates)
+            node = nodes[node_id]
+            side, ref = pick_operand(node)
+            targets = [i for i in range(node_id) if i != ref.node]
+            if not targets:
+                return None
+            target = rng.choice(targets)
+            new_ref = _raw_ref(target, ref.shift, ref.sign)
+            nodes[node_id] = _raw_node(
+                node.id, node.value,
+                new_ref if side == "a" else node.a,
+                new_ref if side == "b" else node.b,
+                node.label,
+            )
+            return (f"operand_rewire: node {node_id} operand {side} "
+                    f"node {ref.node}->{target}")
+
+        if operator == "node_value":
+            if not adder_ids:
+                return None
+            node_id = rng.choice(adder_ids)
+            node = nodes[node_id]
+            delta = rng.choice((-2, -1, 1, 2))
+            nodes[node_id] = _raw_node(
+                node.id, node.value + delta, node.a, node.b, node.label
+            )
+            return (f"node_value: node {node_id} declared "
+                    f"{node.value}->{node.value + delta}")
+
+        if operator == "fundamental_entry":
+            if len(nodes) < 2:
+                return None
+            entries = list(clone._fundamentals.items())
+            odd, nid = rng.choice(sorted(entries))
+            targets = [i for i in range(len(nodes)) if i != nid]
+            if not targets:
+                return None
+            target = rng.choice(targets)
+            clone._fundamentals[odd] = target
+            return f"fundamental_entry: {odd} repointed node {nid}->{target}"
+
+        if operator in ("output_shift", "output_sign", "output_rewire"):
+            if not live_outputs:
+                return None
+            name = rng.choice(sorted(live_outputs))
+            ref = clone._outputs[name]
+            if operator == "output_shift":
+                new_ref = _raw_ref(ref.node, ref.shift + rng.randint(1, 3),
+                                   ref.sign)
+                change = f"shift {ref.shift}->{new_ref.shift}"
+            elif operator == "output_sign":
+                new_ref = _raw_ref(ref.node, ref.shift, -ref.sign)
+                change = f"sign {ref.sign}->{-ref.sign}"
+            else:
+                targets = [i for i in range(len(nodes)) if i != ref.node]
+                if not targets:
+                    return None
+                target = rng.choice(targets)
+                new_ref = _raw_ref(target, ref.shift, ref.sign)
+                change = f"node {ref.node}->{target}"
+            clone._outputs[name] = new_ref
+            return f"{operator}: output {name!r} {change}"
+
+        raise ReproError(f"unknown mutation operator {operator!r}")
+
+    @staticmethod
+    def _rebuild_consistency(clone: ShiftAddNetlist) -> None:
+        """Make declared values and the fundamental table match the (now
+        corrupted) wiring, producing a structurally immaculate wrong filter."""
+        nodes = clone._nodes
+        computed = [0] * len(nodes)
+        computed[0] = 1
+        for node in nodes[1:]:
+            value = node.a.value(computed[node.a.node]) + node.b.value(
+                computed[node.b.node]
+            )
+            computed[node.id] = value
+            if value != node.value:
+                nodes[node.id] = _raw_node(
+                    node.id, value, node.a, node.b, node.label
+                )
+        fundamentals = {1: 0}
+        for node in nodes[1:]:
+            value = computed[node.id]
+            if value > 0 and value % 2 == 1 and value not in fundamentals:
+                fundamentals[value] = node.id
+        clone._fundamentals = fundamentals
+
+    # -- public API ---------------------------------------------------------
+
+    def mutate(
+        self, netlist: ShiftAddNetlist, max_tries: int = 64
+    ) -> Tuple[str, ShiftAddNetlist]:
+        """One observably faulty mutant of ``netlist`` (which is untouched)."""
+        baseline = _output_signature(netlist)
+        for _ in range(max_tries):
+            operator = self.operators[self._rng.randrange(len(self.operators))]
+            clone = clone_netlist(netlist)
+            description = self._apply(operator, clone)
+            if description is None:
+                continue
+            if not _invariants_hold(clone):
+                return description, clone
+            if _output_signature(clone) != baseline:
+                return description, clone
+            # Functionally equivalent and structurally valid — not a fault.
+        raise ChaosFault(
+            f"could not derive an observable mutant in {max_tries} draws "
+            f"(netlist of {len(netlist)} nodes, operators {self.operators!r})"
+        )
+
+    def mutants(self, netlist: ShiftAddNetlist, count: int):
+        """Yield ``count`` independent ``(description, mutant)`` pairs."""
+        if count < 0:
+            raise ReproError(f"mutant count must be >= 0, got {count}")
+        for _ in range(count):
+            yield self.mutate(netlist)
 
 
 # --- process-level fault schedules ------------------------------------------

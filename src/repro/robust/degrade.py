@@ -67,6 +67,13 @@ class RobustConfig:
     ``max_retries`` is the number of *perturbed* retries per tier beyond the
     base attempt.  ``exact_max_universe`` guards the exact tier the same way
     :func:`~repro.graph.exact_weighted_set_cover` does.
+
+    ``release_audit`` (default on) runs the independent
+    :func:`repro.verify.release_audit` — structure invariants, export width
+    contract, overflow-free corner vectors, differential equivalence —
+    after the convolution self-check; an architecture failing it is
+    quarantined exactly like a convolution mismatch.
+    ``release_audit_input_bits`` is the input wordlength that audit assumes.
     """
 
     tiers: Tuple[str, ...] = TIERS
@@ -76,6 +83,8 @@ class RobustConfig:
     seed_compression: str = "none"
     exact_max_universe: int = 18
     verify_samples: Tuple[int, ...] = VERIFY_SAMPLES
+    release_audit: bool = True
+    release_audit_input_bits: int = 16
 
     def __post_init__(self) -> None:
         if not self.tiers:
@@ -375,6 +384,16 @@ def _run_attempt(
                 architecture.netlist, architecture.tap_names,
                 list(coefficients), samples,
             )
+            if config.release_audit:
+                # Imported lazily: repro.verify pulls in the mutation engine,
+                # which lives next door in repro.robust.chaos.
+                from ..verify import release_audit
+
+                release_audit(
+                    architecture.netlist, architecture.tap_names,
+                    list(coefficients),
+                    input_bits=config.release_audit_input_bits,
+                )
             return architecture, record("ok", "done", None)
         except Exception as exc:  # noqa: BLE001 — chaos injects arbitrary faults
             outcome = "quarantined" if stage == "verify" else "failed"

@@ -1,0 +1,333 @@
+"""Independent hardware verification for synthesized shift-add filters.
+
+:mod:`repro.verify` is the adversary of the synthesis pipeline: it trusts
+nothing the builders enforce and re-proves every claim a
+:class:`~repro.core.transform.MrpfArchitecture` makes, from first
+principles, through four escalating checks:
+
+* **structure** (:mod:`repro.verify.structure`) — DAG acyclicity, dense
+  ids, operand well-formedness, fundamental-table consistency, fanout and
+  orphan accounting, reported-vs-audited adder counts, depth bounds;
+* **fixedpoint** (:mod:`repro.verify.fixedpoint`) — bit-accurate
+  finite-wordlength simulation with wrap/saturate/error overflow modes,
+  minimal safe node and accumulator widths, and a cross-check of the
+  widths the Verilog export actually declares;
+* **equivalence** (:mod:`repro.verify.equivalence`) — exhaustive
+  small-wordlength sweeps, corner vectors, and seeded-random differential
+  testing of netlist vs golden convolution vs the compiled C model;
+* **mutation** (:mod:`repro.verify.mutation`) — seeded fault injection
+  that proves the *other three checks* actually catch broken hardware
+  (kill-rate gate ≥95%).
+
+Two front doors: :func:`full_audit` runs everything and returns a
+:class:`VerificationReport` (per-check pass/fail/skip, nothing raised
+unless asked); :func:`release_audit` is the cheap always-on gate the
+robust synthesis path runs before releasing a result — it raises the
+first :class:`~repro.errors.VerificationError` it proves.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Optional, Sequence, Tuple
+
+from ..arch.netlist import ShiftAddNetlist
+from ..errors import VerificationError
+from ..obs import metrics as obs_metrics
+from ..obs import span as obs_span
+from .equivalence import (
+    EXHAUSTIVE_MAX_BITS,
+    cmodel_equivalence,
+    corner_vectors,
+    differential_equivalence,
+    exhaustive_equivalence,
+    golden_convolution,
+)
+from .fixedpoint import (
+    OVERFLOW_MODES,
+    FixedPointRun,
+    OverflowEvent,
+    check_export_widths,
+    fit,
+    min_accumulator_widths,
+    min_node_widths,
+    simulate_tdf_fixed,
+)
+from .mutation import (
+    DEFAULT_KILL_THRESHOLD,
+    MutantOutcome,
+    MutationReport,
+    assert_kill_rate,
+    run_mutation_campaign,
+)
+from .structure import StructureReport, audit_structure
+
+__all__ = [
+    "EXHAUSTIVE_MAX_BITS",
+    "OVERFLOW_MODES",
+    "DEFAULT_KILL_THRESHOLD",
+    "CheckResult",
+    "FixedPointRun",
+    "MutantOutcome",
+    "MutationReport",
+    "OverflowEvent",
+    "StructureReport",
+    "VerificationReport",
+    "assert_kill_rate",
+    "audit_architecture",
+    "audit_structure",
+    "check_export_widths",
+    "cmodel_equivalence",
+    "corner_vectors",
+    "differential_equivalence",
+    "exhaustive_equivalence",
+    "fit",
+    "full_audit",
+    "golden_convolution",
+    "min_accumulator_widths",
+    "min_node_widths",
+    "release_audit",
+    "run_mutation_campaign",
+    "simulate_tdf_fixed",
+]
+
+
+@dataclass(frozen=True)
+class CheckResult:
+    """Outcome of one named verification check."""
+
+    check: str
+    status: str  # "passed" | "failed" | "skipped"
+    detail: str = ""
+    error_type: Optional[str] = None
+    wall_s: float = 0.0
+
+    @property
+    def passed(self) -> bool:
+        return self.status == "passed"
+
+
+@dataclass(frozen=True)
+class VerificationReport:
+    """Everything :func:`full_audit` proved (or failed to) about one design."""
+
+    checks: Tuple[CheckResult, ...] = field(default_factory=tuple)
+
+    @property
+    def ok(self) -> bool:
+        """True when no check failed (skips don't count against a design)."""
+        return all(c.status != "failed" for c in self.checks)
+
+    @property
+    def failures(self) -> Tuple[CheckResult, ...]:
+        return tuple(c for c in self.checks if c.status == "failed")
+
+    def check(self, name: str) -> CheckResult:
+        """Look up one check by name."""
+        for result in self.checks:
+            if result.check == name:
+                return result
+        raise KeyError(f"no check named {name!r} in this report")
+
+    def summary(self) -> str:
+        """One line per check — the CLI's report body."""
+        lines = []
+        for c in self.checks:
+            mark = {"passed": "PASS", "failed": "FAIL", "skipped": "SKIP"}[
+                c.status
+            ]
+            detail = f"  {c.detail}" if c.detail else ""
+            lines.append(f"[{mark}] {c.check}{detail}")
+        return "\n".join(lines)
+
+
+def _run_check(check: str, thunk) -> CheckResult:
+    """Execute one check under a span; fold its outcome into a result."""
+    with obs_span(f"verify.{check}") as sp:
+        start = time.perf_counter()
+        try:
+            detail = thunk()
+        except VerificationError as exc:
+            sp.set_tag("outcome", "failed")
+            obs_metrics.counter(
+                "repro_verify_checks_total", check=check, outcome="failed"
+            ).inc()
+            return CheckResult(
+                check=check,
+                status="failed",
+                detail=str(exc),
+                error_type=type(exc).__name__,
+                wall_s=time.perf_counter() - start,
+            )
+        if detail is None:
+            status, text = "skipped", "prerequisite unavailable"
+        else:
+            status, text = "passed", str(detail)
+        sp.set_tag("outcome", status)
+        obs_metrics.counter(
+            "repro_verify_checks_total", check=check, outcome=status
+        ).inc()
+        return CheckResult(
+            check=check,
+            status=status,
+            detail=text,
+            wall_s=time.perf_counter() - start,
+        )
+
+
+def full_audit(
+    netlist: ShiftAddNetlist,
+    tap_names: Sequence[str],
+    coefficients: Sequence[int],
+    input_bits: int = 16,
+    depth_limit: Optional[int] = None,
+    expected_adder_count: Optional[int] = None,
+    exhaustive_bits: int = 8,
+    mutants: int = 0,
+    seed: int = 0,
+    include_cmodel: bool = False,
+) -> VerificationReport:
+    """Run every verification check; return the full scorecard.
+
+    Never raises on a failing *design* — failures are recorded per check so
+    the caller sees the whole picture (the CLI maps them to exit codes).
+    ``mutants=0`` skips the mutation campaign (it verifies the verifier,
+    not the design, and costs the most); ``include_cmodel`` gates the
+    compiled-C diff, which needs a toolchain.
+    """
+    checks = []
+
+    def structure() -> str:
+        report = audit_structure(
+            netlist,
+            tap_names,
+            depth_limit=depth_limit,
+            expected_adder_count=expected_adder_count,
+        )
+        return (
+            f"{report.num_adders} adders, depth {report.max_output_depth}, "
+            f"{len(report.orphans)} orphans"
+        )
+
+    checks.append(_run_check("structure", structure))
+
+    def fixedpoint() -> str:
+        check_export_widths(netlist, tap_names, input_bits=input_bits)
+        stimulus = []
+        for vector in corner_vectors(len(tap_names), input_bits).values():
+            stimulus.extend(vector)
+            stimulus.extend([0] * len(tap_names))
+        simulate_tdf_fixed(
+            netlist, tap_names, stimulus,
+            input_bits=input_bits, overflow="error",
+        )
+        return (
+            f"export widths safe at {input_bits}-bit input, "
+            f"{len(stimulus)} corner cycles overflow-free"
+        )
+
+    checks.append(_run_check("fixedpoint", fixedpoint))
+
+    def equivalence() -> str:
+        swept = exhaustive_equivalence(
+            netlist, tap_names, coefficients, input_bits=exhaustive_bits
+        )
+        cycles = differential_equivalence(
+            netlist, tap_names, coefficients,
+            input_bits=input_bits, seed=seed,
+        )
+        return (
+            f"{swept} samples exhausted at {exhaustive_bits} bits, "
+            f"{cycles} differential cycles"
+        )
+
+    checks.append(_run_check("equivalence", equivalence))
+
+    if include_cmodel:
+
+        def cmodel() -> Optional[str]:
+            cycles = cmodel_equivalence(
+                netlist, tap_names, coefficients,
+                input_bits=input_bits, seed=seed,
+            )
+            if cycles is None:
+                return None  # no C compiler on PATH -> skipped
+            return f"{cycles} cycles diffed against the compiled C model"
+
+        checks.append(_run_check("cmodel", cmodel))
+
+    if mutants > 0:
+
+        def mutation() -> str:
+            report = run_mutation_campaign(
+                netlist, tap_names, coefficients,
+                mutants=mutants, seed=seed, input_bits=input_bits,
+                depth_limit=depth_limit,
+            )
+            assert_kill_rate(report)
+            return (
+                f"killed {report.killed}/{report.total} mutants "
+                f"({report.kill_rate:.1%})"
+            )
+
+        checks.append(_run_check("mutation", mutation))
+
+    return VerificationReport(checks=tuple(checks))
+
+
+def release_audit(
+    netlist: ShiftAddNetlist,
+    tap_names: Sequence[str],
+    coefficients: Sequence[int],
+    input_bits: int = 16,
+    depth_limit: Optional[int] = None,
+) -> None:
+    """The always-on gate: cheap, raising, run before any result ships.
+
+    Structure audit + export-width contract + overflow-free corner vectors
+    + corner/random differential equivalence.  Deliberately excludes the
+    exhaustive sweep, C model, and mutation campaign — those are CI-depth
+    checks; this one runs on every synthesized filter in the hot path.
+    Raises the first :class:`~repro.errors.VerificationError` proved.
+    """
+    with obs_span("verify.release", taps=len(tap_names)) as sp:
+        audit_structure(netlist, tap_names, depth_limit=depth_limit)
+        check_export_widths(netlist, tap_names, input_bits=input_bits)
+        stimulus = []
+        for vector in corner_vectors(len(tap_names), input_bits).values():
+            stimulus.extend(vector)
+            stimulus.extend([0] * len(tap_names))
+        simulate_tdf_fixed(
+            netlist, tap_names, stimulus,
+            input_bits=input_bits, overflow="error",
+        )
+        differential_equivalence(
+            netlist, tap_names, coefficients,
+            input_bits=input_bits, random_blocks=1, block_len=32,
+        )
+        sp.set_tag("outcome", "passed")
+
+
+def audit_architecture(
+    architecture,
+    input_bits: int = 16,
+    depth_limit: Optional[int] = None,
+    exhaustive_bits: int = 8,
+    mutants: int = 0,
+    seed: int = 0,
+    include_cmodel: bool = False,
+) -> VerificationReport:
+    """:func:`full_audit` over a :class:`~repro.core.transform.MrpfArchitecture`."""
+    return full_audit(
+        architecture.netlist,
+        architecture.tap_names,
+        architecture.coefficients,
+        input_bits=input_bits,
+        depth_limit=depth_limit,
+        expected_adder_count=architecture.adder_count,
+        exhaustive_bits=exhaustive_bits,
+        mutants=mutants,
+        seed=seed,
+        include_cmodel=include_cmodel,
+    )

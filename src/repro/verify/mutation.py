@@ -1,0 +1,173 @@
+"""Mutation-based fault injection: prove the verifier catches real faults.
+
+A verifier that has never seen a broken netlist is an unfalsified claim.
+This module seeds :class:`~repro.robust.chaos.NetlistMutator` faults —
+flipped shifts, inverted edge signs, rewired operands and outputs,
+corrupted fundamentals, and *consistently rebuilt* wrong filters that no
+structural check can distinguish from a correct one — into known-good
+netlists and runs the full audit against every mutant.
+
+The kill-rate gate (:func:`assert_kill_rate`, default ≥95%) is the
+verification layer's own release criterion: a drop means a class of
+hardware fault would sail through to RTL undetected.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional, Sequence, Tuple
+
+from ..arch.netlist import ShiftAddNetlist
+from ..errors import MutationGateError, VerificationError
+from ..obs import metrics as obs_metrics
+from ..obs import span as obs_span
+from ..robust.chaos import MUTATION_OPERATORS, NetlistMutator
+from .equivalence import differential_equivalence
+from .structure import audit_structure
+
+__all__ = [
+    "DEFAULT_KILL_THRESHOLD",
+    "MutantOutcome",
+    "MutationReport",
+    "assert_kill_rate",
+    "run_mutation_campaign",
+]
+
+DEFAULT_KILL_THRESHOLD = 0.95
+
+
+@dataclass(frozen=True)
+class MutantOutcome:
+    """One mutant's fate: what was broken and which check noticed."""
+
+    index: int
+    description: str
+    killed: bool
+    killed_by: Optional[str] = None  # "structure" | "equivalence"
+    error_type: Optional[str] = None
+    error: Optional[str] = None
+
+
+@dataclass(frozen=True)
+class MutationReport:
+    """Aggregate of one mutation campaign against one netlist."""
+
+    outcomes: Tuple[MutantOutcome, ...]
+    seed: int
+
+    @property
+    def total(self) -> int:
+        """Number of mutants injected."""
+        return len(self.outcomes)
+
+    @property
+    def killed(self) -> int:
+        """Number of mutants some audit caught."""
+        return sum(1 for outcome in self.outcomes if outcome.killed)
+
+    @property
+    def kill_rate(self) -> float:
+        """Killed fraction (1.0 for an empty campaign — nothing escaped)."""
+        if not self.outcomes:
+            return 1.0
+        return self.killed / self.total
+
+    @property
+    def escaped(self) -> Tuple[MutantOutcome, ...]:
+        """The mutants every audit missed — the verifier's blind spots."""
+        return tuple(o for o in self.outcomes if not o.killed)
+
+
+def _audit_mutant(
+    mutant: ShiftAddNetlist,
+    tap_names: Sequence[str],
+    coefficients: Sequence[int],
+    input_bits: int,
+    depth_limit: Optional[int],
+) -> Tuple[Optional[str], Optional[BaseException]]:
+    """Run the structural then functional audits; report who killed it."""
+    try:
+        audit_structure(mutant, tap_names, depth_limit=depth_limit)
+    except VerificationError as exc:
+        return "structure", exc
+    try:
+        differential_equivalence(
+            mutant, tap_names, coefficients,
+            input_bits=input_bits, random_blocks=1, block_len=24,
+        )
+    except VerificationError as exc:
+        return "equivalence", exc
+    except Exception as exc:  # noqa: BLE001 — a crash on a mutant is a catch
+        return "equivalence", exc
+    return None, None
+
+
+def run_mutation_campaign(
+    netlist: ShiftAddNetlist,
+    tap_names: Sequence[str],
+    coefficients: Sequence[int],
+    mutants: int = 50,
+    seed: int = 0,
+    input_bits: int = 16,
+    depth_limit: Optional[int] = None,
+    operators: Tuple[str, ...] = MUTATION_OPERATORS,
+) -> MutationReport:
+    """Inject ``mutants`` seeded faults and audit every one.
+
+    The baseline netlist must itself audit green — a campaign against an
+    already-broken design would count its pre-existing bug as a kill of
+    every mutant.  Emits a ``verify.mutation`` span and per-outcome
+    ``repro_verify_mutants_total`` counters.
+    """
+    with obs_span("verify.mutation", mutants=mutants, seed=seed) as sp:
+        audit_structure(netlist, tap_names, depth_limit=depth_limit)
+        differential_equivalence(
+            netlist, tap_names, coefficients,
+            input_bits=input_bits, random_blocks=1, block_len=24,
+        )
+        mutator = NetlistMutator(seed=seed, operators=operators)
+        outcomes = []
+        for index, (description, mutant) in enumerate(
+            mutator.mutants(netlist, mutants)
+        ):
+            killed_by, error = _audit_mutant(
+                mutant, tap_names, coefficients, input_bits, depth_limit
+            )
+            killed = killed_by is not None
+            obs_metrics.counter(
+                "repro_verify_mutants_total",
+                outcome="killed" if killed else "escaped",
+            ).inc()
+            outcomes.append(
+                MutantOutcome(
+                    index=index,
+                    description=description,
+                    killed=killed,
+                    killed_by=killed_by,
+                    error_type=type(error).__name__ if error else None,
+                    error=str(error) if error else None,
+                )
+            )
+        report = MutationReport(outcomes=tuple(outcomes), seed=seed)
+        sp.set_tag("killed", report.killed)
+        sp.set_tag("kill_rate", round(report.kill_rate, 4))
+        return report
+
+
+def assert_kill_rate(
+    report: MutationReport,
+    threshold: float = DEFAULT_KILL_THRESHOLD,
+) -> None:
+    """The gate: raise :class:`~repro.errors.MutationGateError` below it."""
+    if not 0.0 <= threshold <= 1.0:
+        raise VerificationError(
+            f"kill-rate threshold must be in [0, 1], got {threshold}"
+        )
+    if report.kill_rate < threshold:
+        escaped = tuple(o.description for o in report.escaped)
+        raise MutationGateError(
+            f"mutation kill rate {report.kill_rate:.1%} "
+            f"({report.killed}/{report.total}) is below the "
+            f"{threshold:.0%} gate; escaped: {escaped!r}",
+            escaped=escaped,
+        )

@@ -1,0 +1,224 @@
+"""Structural invariant auditor for shift-add netlists.
+
+:meth:`~repro.arch.netlist.ShiftAddNetlist.validate` is a *builder-side*
+self-check: it trusts the netlist's own accessors and runs while the DAG is
+being grown.  This module is the *verifier-side* counterpart — a standalone
+audit that reads the raw node/output/fundamental state, assumes nothing the
+constructors enforce (mutation testing deliberately bypasses them via
+``object.__setattr__``), and proves every structural invariant from first
+principles:
+
+* the DAG is acyclic and ids are dense and topologically ordered;
+* every operand reference is well-formed (in-range node, non-negative
+  shift, sign ±1) and every declared fundamental equals what the operands
+  actually compute;
+* the odd-fundamental table indexes only nodes that compute exactly the
+  odd positive value they are filed under;
+* every named output resolves to a live node (or an explicit zero tap),
+  and fanout/orphan accounting is exact;
+* the audited adder count equals the netlist's reported count (and the
+  caller's expectation, when given);
+* the critical adder depth over the outputs honors the depth bound
+  (Table 1's depth-3 constraint).
+
+Violations raise the typed :class:`~repro.errors.VerificationError`
+taxonomy; the happy path returns a :class:`StructureReport` with the
+audited numbers so callers can cross-check them against reported metrics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..arch.netlist import ShiftAddNetlist
+from ..arch.nodes import INPUT_ID
+from ..errors import (
+    AcyclicityViolation,
+    AdderCountMismatch,
+    DanglingRefViolation,
+    DepthViolation,
+    FundamentalViolation,
+    StructureViolation,
+)
+
+__all__ = ["StructureReport", "audit_structure"]
+
+
+@dataclass(frozen=True)
+class StructureReport:
+    """The audited facts of one netlist (all recomputed, none trusted)."""
+
+    num_nodes: int
+    num_adders: int
+    max_output_depth: int
+    fanout: Tuple[int, ...]
+    orphans: Tuple[int, ...]
+    num_outputs: int
+    num_zero_outputs: int
+    fundamentals_checked: int
+
+
+def _check_ref(ref, node_id: int, what: str, limit: int) -> None:
+    """Well-formedness of one reference, reading raw attributes only."""
+    if not isinstance(ref.node, int) or not 0 <= ref.node < limit:
+        raise DanglingRefViolation(
+            f"{what} references node {ref.node!r} outside the DAG "
+            f"(valid ids 0..{limit - 1})"
+        )
+    if node_id >= 0 and ref.node >= node_id:
+        raise AcyclicityViolation(
+            f"{what} references node {ref.node}, which is not earlier than "
+            f"its own node {node_id} — the DAG ordering is broken"
+        )
+    if not isinstance(ref.shift, int) or ref.shift < 0:
+        raise StructureViolation(f"{what} carries invalid shift {ref.shift!r}")
+    if ref.sign not in (-1, 1):
+        raise StructureViolation(f"{what} carries invalid sign {ref.sign!r}")
+
+
+def audit_structure(
+    netlist: ShiftAddNetlist,
+    tap_names: Optional[Sequence[str]] = None,
+    depth_limit: Optional[int] = None,
+    expected_adder_count: Optional[int] = None,
+) -> StructureReport:
+    """Audit every structural invariant of ``netlist``; return the facts.
+
+    ``tap_names`` (when given) must all be marked outputs — a netlist with
+    an unmarked tap is a wiring bug the simulator would only hit at run
+    time.  ``depth_limit`` enforces the architecture's declared adder-depth
+    bound over the *output-reachable* DAG.  ``expected_adder_count`` is the
+    count a report claims (e.g. ``MrpfArchitecture.adder_count``); the
+    audit recounts and refuses a mismatch.
+    """
+    nodes = netlist.nodes
+    if not nodes:
+        raise StructureViolation("netlist has no nodes at all")
+
+    # -- node table: dense ids, topological operands, exact fundamentals --
+    head = nodes[0]
+    if head.id != INPUT_ID or head.a is not None or head.b is not None:
+        raise StructureViolation("node 0 must be the operand-less input node")
+    if head.value != 1:
+        raise StructureViolation(
+            f"input node must carry fundamental 1, found {head.value!r}"
+        )
+    computed: List[int] = [0] * len(nodes)
+    computed[0] = 1
+    audited_adders = 0
+    for expected_id, node in enumerate(nodes):
+        if node.id != expected_id:
+            raise StructureViolation(
+                f"node ids are not dense: position {expected_id} holds "
+                f"id {node.id}"
+            )
+        if expected_id == 0:
+            continue
+        if node.a is None or node.b is None:
+            raise StructureViolation(f"adder node {node.id} lacks an operand")
+        _check_ref(node.a, node.id, f"node {node.id} operand a", len(nodes))
+        _check_ref(node.b, node.id, f"node {node.id} operand b", len(nodes))
+        value = node.a.value(computed[node.a.node]) + node.b.value(
+            computed[node.b.node]
+        )
+        if value != node.value:
+            raise StructureViolation(
+                f"node {node.id} declares fundamental {node.value} but its "
+                f"operands compute {value}"
+            )
+        if value == 0:
+            raise StructureViolation(
+                f"node {node.id} computes the degenerate value 0"
+            )
+        computed[node.id] = value
+        audited_adders += 1
+
+    # -- reported vs audited adder count --
+    if netlist.adder_count != audited_adders:
+        raise AdderCountMismatch(
+            f"netlist reports {netlist.adder_count} adders but the audit "
+            f"counted {audited_adders}"
+        )
+    if expected_adder_count is not None and expected_adder_count != audited_adders:
+        raise AdderCountMismatch(
+            f"caller expected {expected_adder_count} adders but the audit "
+            f"counted {audited_adders}"
+        )
+
+    # -- fundamental table: every entry odd, positive, exactly computed --
+    fundamentals: Dict[int, int] = netlist.fundamentals()
+    for odd_value, node_id in fundamentals.items():
+        if not isinstance(node_id, int) or not 0 <= node_id < len(nodes):
+            raise FundamentalViolation(
+                f"fundamental {odd_value} maps to nonexistent node {node_id!r}"
+            )
+        if not isinstance(odd_value, int) or odd_value <= 0 or odd_value % 2 == 0:
+            raise FundamentalViolation(
+                f"fundamental table key {odd_value!r} is not an odd positive "
+                "integer"
+            )
+        if computed[node_id] != odd_value:
+            raise FundamentalViolation(
+                f"fundamental table files node {node_id} under {odd_value} "
+                f"but the node computes {computed[node_id]}"
+            )
+
+    # -- outputs: every ref live, every required tap marked --
+    outputs = netlist.outputs
+    if tap_names is not None:
+        missing = [name for name in tap_names if name not in outputs]
+        if missing:
+            raise DanglingRefViolation(
+                f"required tap outputs {missing!r} were never marked"
+            )
+    num_zero = 0
+    for name, ref in outputs.items():
+        if ref is None:
+            num_zero += 1
+            continue
+        _check_ref(ref, -1, f"output {name!r}", len(nodes))
+
+    # -- fanout / orphan accounting (reverse reachability from outputs) --
+    fanout = [0] * len(nodes)
+    for node in nodes[1:]:
+        fanout[node.a.node] += 1
+        fanout[node.b.node] += 1
+    live = [False] * len(nodes)
+    stack = [ref.node for ref in outputs.values() if ref is not None]
+    for root in stack:
+        fanout[root] += 1
+    while stack:
+        node_id = stack.pop()
+        if live[node_id]:
+            continue
+        live[node_id] = True
+        node = nodes[node_id]
+        if node.a is not None:
+            stack.append(node.a.node)
+        if node.b is not None:
+            stack.append(node.b.node)
+    orphans = tuple(node.id for node in nodes[1:] if not live[node.id])
+
+    # -- depth bound over the output-reachable DAG --
+    depths = [0] * len(nodes)
+    for node in nodes[1:]:
+        depths[node.id] = 1 + max(depths[node.a.node], depths[node.b.node])
+    used = [depths[ref.node] for ref in outputs.values() if ref is not None]
+    max_output_depth = max(used) if used else 0
+    if depth_limit is not None and max_output_depth > depth_limit:
+        raise DepthViolation(
+            f"audited output adder depth {max_output_depth} exceeds the "
+            f"declared bound {depth_limit}"
+        )
+
+    return StructureReport(
+        num_nodes=len(nodes),
+        num_adders=audited_adders,
+        max_output_depth=max_output_depth,
+        fanout=tuple(fanout),
+        orphans=orphans,
+        num_outputs=len(outputs),
+        num_zero_outputs=num_zero,
+        fundamentals_checked=len(fundamentals),
+    )

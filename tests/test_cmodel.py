@@ -87,3 +87,22 @@ class TestCompiledEquivalence:
         got = compile_and_run(source, STIMULUS, tmp)
         want = simulate_tdf_filter(arch.netlist, arch.tap_names, STIMULUS)
         assert got == want
+
+    def test_corner_vectors_on_benchmark(self, tmp_path,
+                                         small_quantized_maximal):
+        """Three-way corner agreement on a Table-1 design: compiled C model
+        vs Python simulator vs golden convolution."""
+        from repro.verify import corner_vectors, golden_convolution
+
+        q = small_quantized_maximal
+        arch = synthesize_mrpf(q.integers, q.wordlength, verify=False)
+        stimulus = []
+        for vector in corner_vectors(len(arch.tap_names),
+                                     input_bits=12).values():
+            stimulus.extend(vector)
+            stimulus.extend([0] * len(arch.tap_names))  # flush between vectors
+        source = emit_c_model(arch.netlist, arch.tap_names, input_bits=16)
+        got = compile_and_run(source, stimulus, tmp_path)
+        want = simulate_tdf_filter(arch.netlist, arch.tap_names, stimulus)
+        golden = golden_convolution(arch.coefficients, stimulus)
+        assert got == want == golden

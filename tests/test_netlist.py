@@ -123,6 +123,33 @@ class TestNetlistBuilder:
         nl.mark_output("y", nl.ensure_constant(45))
         nl.validate()
 
+    def test_validate_expected_outputs_satisfied(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", nl.ensure_constant(9))
+        nl.mark_output("tap1", None)
+        nl.validate(expected_outputs=["tap0", "tap1"])
+
+    def test_validate_catches_unmarked_output(self):
+        """Regression: a lowering that forgets to mark a tap must fail at
+        validate() time, not when the simulator trips over the name later."""
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", nl.ensure_constant(9))
+        with pytest.raises(NetlistError, match="never marked"):
+            nl.validate(expected_outputs=["tap0", "tap1"])
+
+    def test_validate_catches_corrupt_fundamental_table(self):
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(45)
+        nl._fundamentals[45] = 0  # node 0 computes 1, not 45
+        with pytest.raises(NetlistError, match="fundamental"):
+            nl.validate()
+
+    def test_validate_catches_out_of_range_fundamental(self):
+        nl = ShiftAddNetlist()
+        nl._fundamentals[7] = 99
+        with pytest.raises(NetlistError, match="unknown node"):
+            nl.validate()
+
     def test_depths(self):
         nl = ShiftAddNetlist()
         a = nl.add(Ref(node=0, shift=1), Ref(node=0))        # depth 1

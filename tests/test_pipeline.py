@@ -21,6 +21,19 @@ class TestScheduleValidation:
         with pytest.raises(SynthesisError):
             schedule_pipeline(arch.netlist, max_stage_depth=0)
 
+    def test_corrupt_netlist_rejected(self, paper_coefficients):
+        """The scheduler walks raw operand wiring, so a corrupt netlist must
+        fail the structural audit instead of yielding a nonsense schedule."""
+        from repro.errors import VerificationError
+        from repro.robust import NetlistMutator
+
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        _, mutant = NetlistMutator(
+            seed=0, operators=("node_value",)
+        ).mutate(arch.netlist)
+        with pytest.raises(VerificationError):
+            schedule_pipeline(mutant, max_stage_depth=2)
+
 
 class TestScheduleStructure:
     def test_stage_zero_for_input(self, paper_coefficients):

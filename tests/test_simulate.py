@@ -119,3 +119,38 @@ class TestVerification:
         nl.mark_output("tap0", nl.ensure_constant(5))
         nl.mark_output("tap1", None)
         verify_against_convolution(nl, ["tap0", "tap1"], [5, 0], [9, -9, 4])
+
+    def test_wordlength_aware_mode(self):
+        """The optional wordlength adds an overflow check on top of the
+        exact comparison — see repro.verify.fixedpoint."""
+        nl, names = build_filter([7, -3])
+        verify_against_convolution(nl, names, [7, -3], [1, -5, 100],
+                                   wordlength=8)
+
+
+class TestCornerVectorsOnBenchmarks:
+    """Table-1 designs driven by the named corner stimuli: the netlist, the
+    golden convolution, and the declared coefficients must agree cycle by
+    cycle at every corner of the input range."""
+
+    def _corner_check(self, quantized):
+        from repro.core import synthesize_mrpf
+        from repro.verify import corner_vectors, golden_convolution
+
+        arch = synthesize_mrpf(quantized.integers, quantized.wordlength,
+                               verify=False)
+        for name, stimulus in corner_vectors(
+            len(arch.tap_names), input_bits=12
+        ).items():
+            got = simulate_tdf_filter(arch.netlist, arch.tap_names, stimulus)
+            want = golden_convolution(arch.coefficients, stimulus)
+            assert got == want, f"corner vector {name!r} diverged"
+
+    def test_small_filter_corners(self, small_quantized_maximal):
+        self._corner_check(small_quantized_maximal)
+
+    def test_medium_filter_corners(self, medium_filter):
+        from repro.quantize import ScalingScheme, quantize
+
+        self._corner_check(quantize(medium_filter.folded, 10,
+                                    ScalingScheme.MAXIMAL))

@@ -1,0 +1,186 @@
+"""Finite-wordlength simulation, minimal safe widths, export width contract."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.arch import ShiftAddNetlist, simulate_tdf_filter
+from repro.arch.metrics import node_bitwidths
+from repro.arch.verilog import output_width
+from repro.core import synthesize_mrpf
+from repro.errors import (
+    OverflowViolation,
+    SimulationError,
+    VerificationError,
+    WidthContractViolation,
+)
+from repro.verify import (
+    check_export_widths,
+    fit,
+    min_accumulator_widths,
+    min_node_widths,
+    simulate_tdf_fixed,
+)
+
+WIDTHS = st.integers(min_value=1, max_value=24)
+VALUES = st.integers(min_value=-(2**30), max_value=2**30)
+
+
+def build_filter(constants):
+    nl = ShiftAddNetlist()
+    names = []
+    for i, c in enumerate(constants):
+        name = f"tap{i}"
+        nl.mark_output(name, nl.ensure_constant(c) if c else None)
+        names.append(name)
+    return nl, names
+
+
+class TestFit:
+    @given(VALUES, WIDTHS)
+    @settings(max_examples=80)
+    def test_wrap_is_twos_complement(self, value, width):
+        fitted, overflowed = fit(value, width, "wrap")
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        assert lo <= fitted <= hi
+        assert (fitted - value) % (1 << width) == 0
+        assert overflowed == (not lo <= value <= hi)
+
+    @given(VALUES, WIDTHS)
+    @settings(max_examples=80)
+    def test_saturate_clamps(self, value, width):
+        fitted, _ = fit(value, width, "saturate")
+        lo, hi = -(1 << (width - 1)), (1 << (width - 1)) - 1
+        assert fitted == max(lo, min(hi, value))
+
+    def test_error_mode_returns_raw(self):
+        fitted, overflowed = fit(1000, 4, "error")
+        assert fitted == 1000 and overflowed
+
+    def test_rejects_bad_mode_and_width(self):
+        with pytest.raises(VerificationError):
+            fit(1, 8, "truncate")
+        with pytest.raises(VerificationError):
+            fit(1, 0)
+
+
+class TestMinimalWidths:
+    def test_export_node_widths_always_sufficient(self, paper_coefficients):
+        """The export's bit_length+input_bits formula must dominate the
+        independently derived peak-magnitude bound at every node."""
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        for bits in (1, 4, 8, 16):
+            declared = node_bitwidths(arch.netlist, bits)
+            required = min_node_widths(arch.netlist, bits)
+            assert all(d >= r for d, r in zip(declared, required))
+
+    def test_accumulator_widths_output_first_and_decreasing(
+        self, paper_coefficients
+    ):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        widths = min_accumulator_widths(arch.netlist, arch.tap_names, 16)
+        assert len(widths) == len(arch.tap_names)
+        assert widths == sorted(widths, reverse=True)
+        assert output_width(arch.netlist, arch.tap_names, 16) >= widths[0]
+
+    def test_check_export_widths_green_on_synthesized(
+        self, paper_coefficients
+    ):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        check_export_widths(arch.netlist, arch.tap_names, input_bits=16)
+
+    def test_check_export_widths_flags_undersized(
+        self, paper_coefficients, monkeypatch
+    ):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        import repro.verify.fixedpoint as fp
+
+        monkeypatch.setattr(
+            fp, "node_bitwidths",
+            lambda nl, bits: [1] * len(nl),
+        )
+        with pytest.raises(WidthContractViolation):
+            check_export_widths(arch.netlist, arch.tap_names, input_bits=16)
+
+
+class TestFixedSimulation:
+    STIMULUS = [1, -1, 127, -128, 90, -77, 0, 3, 127, -128, 55]
+
+    def test_matches_exact_at_export_widths(self, paper_coefficients):
+        """At the widths the RTL declares, finite arithmetic is exact."""
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        run = simulate_tdf_fixed(
+            arch.netlist, arch.tap_names, self.STIMULUS, input_bits=8
+        )
+        exact = simulate_tdf_filter(arch.netlist, arch.tap_names, self.STIMULUS)
+        assert list(run.outputs) == exact
+        assert not run.overflowed
+
+    def test_narrow_accumulator_overflows_with_site(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        run = simulate_tdf_fixed(
+            arch.netlist, arch.tap_names, self.STIMULUS,
+            input_bits=8, accumulator_width=6, overflow="wrap",
+        )
+        assert run.overflowed
+        sites = {e.site for e in run.overflows}
+        assert any(s == "out" or s.startswith(("reg:", "tap:")) for s in sites)
+
+    def test_error_mode_raises_with_site_and_cycle(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        with pytest.raises(OverflowViolation) as excinfo:
+            simulate_tdf_fixed(
+                arch.netlist, arch.tap_names, self.STIMULUS,
+                input_bits=8, accumulator_width=6, overflow="error",
+            )
+        assert excinfo.value.site
+        assert excinfo.value.cycle >= 0
+        # OverflowViolation must remain catchable as a SimulationError.
+        assert isinstance(excinfo.value, SimulationError)
+
+    def test_saturate_bounds_outputs(self):
+        nl, names = build_filter([100])
+        run = simulate_tdf_fixed(
+            nl, names, [127, 127, 127], input_bits=8,
+            accumulator_width=8, overflow="saturate",
+        )
+        assert all(-128 <= y <= 127 for y in run.outputs)
+        assert run.overflowed
+
+    def test_zero_tap_filter(self):
+        nl, names = build_filter([5, 0])
+        run = simulate_tdf_fixed(nl, names, [3, 1, 4], input_bits=8)
+        assert list(run.outputs) == simulate_tdf_filter(nl, names, [3, 1, 4])
+
+    def test_rejects_bad_inputs(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        with pytest.raises(VerificationError):
+            simulate_tdf_fixed(arch.netlist, arch.tap_names, [1],
+                               overflow="nope")
+        with pytest.raises(VerificationError):
+            simulate_tdf_fixed(arch.netlist, [], [1])
+        with pytest.raises(VerificationError):
+            simulate_tdf_fixed(arch.netlist, arch.tap_names, [1],
+                               node_widths=[8])
+
+
+class TestVerifyAgainstConvolutionWordlength:
+    def test_wordlength_aware_check_passes(self, paper_coefficients):
+        from repro.arch import verify_against_convolution
+
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        verify_against_convolution(
+            arch.netlist, arch.tap_names, list(paper_coefficients),
+            [1, -1, 127, -128, 0, 55], wordlength=8,
+        )
+
+    def test_wordlength_aware_check_catches_overflow(self):
+        """A stimulus exceeding the declared input width must be rejected
+        by the overflow-aware mode even though exact simulation passes."""
+        from repro.arch import verify_against_convolution
+
+        nl, names = build_filter([3])
+        samples = [1 << 20]
+        verify_against_convolution(nl, names, [3], samples)  # exact: fine
+        with pytest.raises(OverflowViolation):
+            verify_against_convolution(nl, names, [3], samples, wordlength=8)

@@ -1,0 +1,154 @@
+"""Mutation campaign: the verifier's own ≥95% kill-rate release gate."""
+
+import pytest
+
+from repro.core import synthesize_mrpf
+from repro.errors import MutationGateError, VerificationError
+from repro.robust import (
+    MUTATION_OPERATORS,
+    ChaosFault,
+    NetlistMutator,
+    clone_netlist,
+)
+from repro.verify import (
+    MutantOutcome,
+    MutationReport,
+    assert_kill_rate,
+    run_mutation_campaign,
+)
+
+
+class TestMutator:
+    def test_original_never_touched(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        before = (arch.netlist.nodes, arch.netlist.outputs,
+                  arch.netlist.fundamentals())
+        mutator = NetlistMutator(seed=0)
+        for _ in range(20):
+            mutator.mutate(arch.netlist)
+        assert (arch.netlist.nodes, arch.netlist.outputs,
+                arch.netlist.fundamentals()) == before
+
+    def test_same_seed_same_mutants(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        a = [d for d, _ in NetlistMutator(seed=5).mutants(arch.netlist, 10)]
+        b = [d for d, _ in NetlistMutator(seed=5).mutants(arch.netlist, 10)]
+        assert a == b
+
+    def test_rejects_unknown_operator(self):
+        with pytest.raises(Exception):
+            NetlistMutator(operators=("bitflip",))
+
+    def test_exhaustion_raises_chaos_fault(self):
+        """A netlist too small for the requested operators fails loudly
+        instead of looping forever."""
+        from repro.arch import ShiftAddNetlist
+
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", None)  # no adders, no live outputs
+        mutator = NetlistMutator(seed=0, operators=("operand_shift",))
+        with pytest.raises(ChaosFault):
+            mutator.mutate(nl, max_tries=8)
+
+    def test_clone_is_independent(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        clone = clone_netlist(arch.netlist)
+        clone._fundamentals.clear()
+        clone._outputs.clear()
+        assert arch.netlist.fundamentals()
+        assert arch.netlist.outputs
+
+
+class TestCampaign:
+    def test_kill_rate_gate_on_paper_example(self, paper_coefficients):
+        """The acceptance criterion: ≥95% of seeded mutants are killed."""
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        report = run_mutation_campaign(
+            arch.netlist, arch.tap_names, paper_coefficients,
+            mutants=60, seed=0,
+        )
+        assert report.total == 60
+        assert report.kill_rate >= 0.95, [
+            o.description for o in report.escaped
+        ]
+        assert_kill_rate(report)
+
+    def test_both_audit_layers_contribute(self, paper_coefficients):
+        """Structure-killable and equivalence-only mutants must both occur —
+        otherwise one whole audit layer is untested."""
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        report = run_mutation_campaign(
+            arch.netlist, arch.tap_names, paper_coefficients,
+            mutants=60, seed=0,
+        )
+        killers = {o.killed_by for o in report.outcomes if o.killed}
+        assert "structure" in killers
+        assert "equivalence" in killers
+
+    def test_campaign_is_reproducible(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        runs = [
+            run_mutation_campaign(
+                arch.netlist, arch.tap_names, paper_coefficients,
+                mutants=15, seed=9,
+            )
+            for _ in range(2)
+        ]
+        assert [o.description for o in runs[0].outcomes] == [
+            o.description for o in runs[1].outcomes
+        ]
+
+    def test_broken_baseline_rejected(self, paper_coefficients):
+        arch = synthesize_mrpf(paper_coefficients, 7)
+        wrong = list(paper_coefficients)
+        wrong[-1] += 2
+        with pytest.raises(VerificationError):
+            run_mutation_campaign(
+                arch.netlist, arch.tap_names, wrong, mutants=5
+            )
+
+    def test_on_benchmark_filter(self, small_quantized_maximal):
+        q = small_quantized_maximal
+        arch = synthesize_mrpf(q.integers, q.wordlength, verify=False)
+        report = run_mutation_campaign(
+            arch.netlist, arch.tap_names, list(q.integers),
+            mutants=30, seed=1,
+        )
+        assert report.kill_rate >= 0.95, [
+            o.description for o in report.escaped
+        ]
+
+
+class TestGate:
+    def _report(self, killed, escaped):
+        outcomes = tuple(
+            MutantOutcome(index=i, description=f"m{i}", killed=i < killed,
+                          killed_by="structure" if i < killed else None)
+            for i in range(killed + escaped)
+        )
+        return MutationReport(outcomes=outcomes, seed=0)
+
+    def test_empty_campaign_passes(self):
+        assert_kill_rate(self._report(0, 0))
+
+    def test_below_threshold_raises_with_escapees(self):
+        report = self._report(killed=8, escaped=2)
+        with pytest.raises(MutationGateError) as excinfo:
+            assert_kill_rate(report, threshold=0.95)
+        assert len(excinfo.value.escaped) == 2
+
+    def test_at_threshold_passes(self):
+        assert_kill_rate(self._report(killed=19, escaped=1), threshold=0.95)
+
+    def test_bad_threshold_rejected(self):
+        with pytest.raises(VerificationError):
+            assert_kill_rate(self._report(1, 0), threshold=1.5)
+
+    def test_operator_vocabulary_is_frozen(self):
+        """The campaign's fault model is part of the contract — adding or
+        removing an operator must be a conscious, reviewed change."""
+        assert MUTATION_OPERATORS == (
+            "operand_shift", "operand_sign", "operand_rewire", "node_value",
+            "fundamental_entry", "output_shift", "output_sign",
+            "output_rewire", "consistent_shift", "consistent_sign",
+        )

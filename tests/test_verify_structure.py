@@ -1,0 +1,147 @@
+"""The structural invariant auditor: typed violations from first principles."""
+
+import pytest
+
+from repro.arch import Ref, ShiftAddNetlist
+from repro.core import synthesize_mrpf
+from repro.errors import (
+    AcyclicityViolation,
+    AdderCountMismatch,
+    DanglingRefViolation,
+    DepthViolation,
+    FundamentalViolation,
+    NetlistError,
+    StructureViolation,
+    VerificationError,
+)
+from repro.robust.chaos import NetlistMutator, clone_netlist, _raw_node, _raw_ref
+from repro.verify import audit_structure
+
+
+def paper_arch(paper_coefficients):
+    return synthesize_mrpf(paper_coefficients, 7)
+
+
+class TestHappyPath:
+    def test_reports_audited_facts(self, paper_coefficients):
+        arch = paper_arch(paper_coefficients)
+        report = audit_structure(
+            arch.netlist, arch.tap_names,
+            expected_adder_count=arch.adder_count,
+        )
+        assert report.num_adders == arch.adder_count
+        assert report.max_output_depth == arch.adder_depth
+        assert report.orphans == ()
+        assert report.num_outputs == len(arch.tap_names)
+        assert len(report.fanout) == len(arch.netlist)
+
+    def test_depth_limit_enforced(self, paper_coefficients):
+        arch = paper_arch(paper_coefficients)
+        audit_structure(arch.netlist, arch.tap_names,
+                        depth_limit=arch.adder_depth)
+        with pytest.raises(DepthViolation):
+            audit_structure(arch.netlist, arch.tap_names,
+                            depth_limit=arch.adder_depth - 1)
+
+    def test_bare_input_netlist(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", nl.input)
+        report = audit_structure(nl, ["tap0"])
+        assert report.num_adders == 0
+        assert report.max_output_depth == 0
+
+    def test_zero_tap_counted(self):
+        nl = ShiftAddNetlist()
+        nl.mark_output("tap0", nl.ensure_constant(5))
+        nl.mark_output("tap1", None)
+        report = audit_structure(nl, ["tap0", "tap1"])
+        assert report.num_zero_outputs == 1
+
+
+class TestViolations:
+    def test_taxonomy_is_catchable_as_netlist_error(self, paper_coefficients):
+        """Structure violations dual-inherit so legacy handlers still fire."""
+        assert issubclass(StructureViolation, VerificationError)
+        assert issubclass(StructureViolation, NetlistError)
+
+    def test_unmarked_tap(self, paper_coefficients):
+        arch = paper_arch(paper_coefficients)
+        with pytest.raises(DanglingRefViolation):
+            audit_structure(arch.netlist, list(arch.tap_names) + ["tap99"])
+
+    def test_expected_adder_count_mismatch(self, paper_coefficients):
+        arch = paper_arch(paper_coefficients)
+        with pytest.raises(AdderCountMismatch):
+            audit_structure(arch.netlist, arch.tap_names,
+                            expected_adder_count=arch.adder_count + 1)
+
+    def test_stale_declared_value(self, paper_coefficients):
+        arch = paper_arch(paper_coefficients)
+        clone = clone_netlist(arch.netlist)
+        victim = clone._nodes[1]
+        clone._nodes[1] = _raw_node(
+            victim.id, victim.value + 1, victim.a, victim.b, victim.label
+        )
+        with pytest.raises(StructureViolation):
+            audit_structure(clone, arch.tap_names)
+
+    def test_forward_reference(self, paper_coefficients):
+        arch = paper_arch(paper_coefficients)
+        clone = clone_netlist(arch.netlist)
+        last = clone._nodes[-1]
+        bad = _raw_ref(last.id, last.a.shift, last.a.sign)  # self-reference
+        clone._nodes[-1] = _raw_node(last.id, last.value, bad, last.b,
+                                     last.label)
+        with pytest.raises(AcyclicityViolation):
+            audit_structure(clone, arch.tap_names)
+
+    def test_out_of_range_output(self, paper_coefficients):
+        arch = paper_arch(paper_coefficients)
+        clone = clone_netlist(arch.netlist)
+        name = arch.tap_names[0]
+        clone._outputs[name] = _raw_ref(len(clone._nodes) + 7, 0, 1)
+        with pytest.raises(DanglingRefViolation):
+            audit_structure(clone, arch.tap_names)
+
+    def test_corrupt_fundamental_table(self, paper_coefficients):
+        arch = paper_arch(paper_coefficients)
+        clone = clone_netlist(arch.netlist)
+        odd = next(iter(k for k in clone._fundamentals if k != 1))
+        clone._fundamentals[odd] = 0  # node 0 computes 1, not odd
+        with pytest.raises(FundamentalViolation):
+            audit_structure(clone, arch.tap_names)
+
+    def test_bad_shift_and_sign(self, paper_coefficients):
+        arch = paper_arch(paper_coefficients)
+        clone = clone_netlist(arch.netlist)
+        node = clone._nodes[1]
+        clone._nodes[1] = _raw_node(
+            node.id, node.value, _raw_ref(node.a.node, -2, node.a.sign),
+            node.b, node.label,
+        )
+        with pytest.raises(StructureViolation):
+            audit_structure(clone, arch.tap_names)
+
+    def test_orphans_reported_not_fatal(self, paper_coefficients):
+        """Dead nodes are accounted, not rejected — pruning is a separate
+        optimization concern (`repro.arch.optimize`)."""
+        nl = ShiftAddNetlist()
+        nl.ensure_constant(23)  # never referenced by any output
+        nl.mark_output("tap0", nl.input)
+        report = audit_structure(nl, ["tap0"])
+        assert len(report.orphans) > 0
+
+
+class TestAgainstMutator:
+    def test_every_stale_value_mutant_caught(self, paper_coefficients):
+        """The operators that leave declared state stale must all be caught
+        structurally (that is their whole design)."""
+        arch = paper_arch(paper_coefficients)
+        mutator = NetlistMutator(
+            seed=7,
+            operators=("operand_shift", "operand_sign", "operand_rewire",
+                       "node_value", "fundamental_entry"),
+        )
+        for description, mutant in mutator.mutants(arch.netlist, 25):
+            with pytest.raises(VerificationError):
+                audit_structure(mutant, arch.tap_names)
