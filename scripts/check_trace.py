@@ -5,10 +5,19 @@ Usage::
 
     python scripts/check_trace.py TRACE.jsonl [--metrics METRICS.prom]
         [--require-span NAME ...] [--min-spans N]
+    python scripts/check_trace.py --metrics-url http://127.0.0.1:8177/metrics
+        [--require-series SERIES ...]
 
 Exit codes: 0 when the trace parses, passes the schema check, and (when
-``--metrics`` is given) every required metric series is present in the
-exposition; 1 otherwise, with one line per problem on stderr.
+``--metrics``/``--metrics-url`` is given) every required metric series is
+present in the exposition; 1 otherwise, with one line per problem on
+stderr.
+
+The trace argument is optional when only a metrics source is checked, so
+the CI service job can scrape a live ``/metrics`` endpoint without
+recording a trace first.  ``service.request`` spans additionally must
+carry ``route`` and ``method`` tags — a span without them cannot be
+aggregated per endpoint, which is the whole point of request tracing.
 
 Kept dependency-free (stdlib + repro.obs) so the CI job needs nothing
 beyond the package itself.
@@ -19,6 +28,7 @@ from __future__ import annotations
 import argparse
 import re
 import sys
+import urllib.request
 from pathlib import Path
 
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
@@ -39,6 +49,25 @@ REQUIRED_SERIES = (
     "repro_cache_quarantined_total",
 )
 
+#: Series a live job service must expose on /metrics.
+SERVICE_SERIES = (
+    "repro_service_admitted_total",
+    'repro_service_rejected_total{reason="queue_full"}',
+    'repro_service_rejected_total{reason="tenant_full"}',
+    "repro_service_breaker_trips_total",
+    'repro_service_jobs_total{status="completed"}',
+    'repro_service_jobs_total{status="failed"}',
+    "repro_service_jobs_expired_total",
+    "repro_service_jobs_resumed_total",
+)
+
+#: Tags that must be present on every span of the given name (spans missing
+#: them cannot be aggregated the way their dashboards assume).
+SPAN_TAG_REQUIREMENTS = {
+    "service.request": ("route", "method"),
+    "service.job": ("job_id", "tenant"),
+}
+
 
 def check_trace(path: str, require_spans, min_spans: int):
     problems = []
@@ -56,16 +85,23 @@ def check_trace(path: str, require_spans, min_spans: int):
     for name in require_spans:
         if name not in names:
             problems.append(f"required span {name!r} absent from trace")
+    for span in spans:
+        required_tags = SPAN_TAG_REQUIREMENTS.get(span.get("name"))
+        if required_tags is None:
+            continue
+        tags = span.get("tags") or {}
+        missing = [t for t in required_tags if t not in tags]
+        if missing:
+            problems.append(
+                f"span {span.get('name')!r} is missing required tags "
+                f"{missing} (has {sorted(tags)})"
+            )
     return problems
 
 
-def check_metrics(path: str):
+def _check_exposition(text: str, required) -> list:
     problems = []
-    try:
-        text = Path(path).read_text(encoding="utf-8")
-    except OSError as exc:
-        return [f"metrics unreadable: {exc}"]
-    for series in REQUIRED_SERIES:
+    for series in required:
         # A series line is "<name>[{labels}] <value>".
         pattern = re.compile(
             rf"^{re.escape(series)} [0-9.eE+-]+$", re.MULTILINE
@@ -75,12 +111,46 @@ def check_metrics(path: str):
     return problems
 
 
+def check_metrics(path: str, extra_series=()):
+    try:
+        text = Path(path).read_text(encoding="utf-8")
+    except OSError as exc:
+        return [f"metrics unreadable: {exc}"]
+    return _check_exposition(text, tuple(REQUIRED_SERIES) + tuple(extra_series))
+
+
+def check_metrics_url(url: str, extra_series=()):
+    """Scrape a live /metrics endpoint and validate the service vocabulary."""
+    try:
+        with urllib.request.urlopen(url, timeout=10) as resp:
+            text = resp.read().decode("utf-8")
+    except OSError as exc:
+        return [f"metrics endpoint {url} unreachable: {exc}"]
+    return _check_exposition(
+        text, tuple(SERVICE_SERIES) + tuple(extra_series)
+    )
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("trace", help="JSONL trace file to validate")
+    parser.add_argument(
+        "trace", nargs="?", default=None,
+        help="JSONL trace file to validate (optional when only a metrics "
+             "source is being checked)",
+    )
     parser.add_argument(
         "--metrics", default=None,
-        help="Prometheus exposition to scrape for required series",
+        help="Prometheus exposition file to scrape for required series",
+    )
+    parser.add_argument(
+        "--metrics-url", default=None, metavar="URL",
+        help="live /metrics endpoint to scrape (validates the service "
+             "series vocabulary)",
+    )
+    parser.add_argument(
+        "--require-series", action="append", default=[], metavar="SERIES",
+        help="additionally require this exact series line (repeatable; "
+             "label form must match, e.g. 'foo_total{status=\"ok\"}')",
     )
     parser.add_argument(
         "--require-span", action="append", default=[], metavar="NAME",
@@ -92,13 +162,26 @@ def main(argv=None) -> int:
     )
     args = parser.parse_args(argv)
 
-    problems = check_trace(args.trace, args.require_span, args.min_spans)
+    if args.trace is None and args.metrics is None and args.metrics_url is None:
+        parser.error("nothing to check: give a trace, --metrics, or "
+                     "--metrics-url")
+
+    problems = []
+    if args.trace is not None:
+        problems.extend(
+            check_trace(args.trace, args.require_span, args.min_spans)
+        )
     if args.metrics is not None:
-        problems.extend(check_metrics(args.metrics))
+        problems.extend(check_metrics(args.metrics, args.require_series))
+    if args.metrics_url is not None:
+        problems.extend(
+            check_metrics_url(args.metrics_url, args.require_series)
+        )
     for problem in problems:
         print(f"check_trace: {problem}", file=sys.stderr)
     if not problems:
-        print(f"check_trace: {args.trace} OK")
+        checked = args.trace or args.metrics or args.metrics_url
+        print(f"check_trace: {checked} OK")
     return 1 if problems else 0
 
 

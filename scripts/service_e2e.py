@@ -1,0 +1,223 @@
+#!/usr/bin/env python
+"""CI end-to-end gate for the synthesis job service.
+
+One scripted pass through every headline guarantee, against real server
+processes (no pytest, no mocks):
+
+1. start a server whose chaos plan SIGKILLs each task's first worker,
+   submit a (restricted) Table-1 job;
+2. SIGKILL the whole server mid-job;
+3. restart on the same data dir with a trace recorder and assert the job
+   completes — crash recovery requeued it, the sweep journal spared the
+   finished tasks;
+4. fetch the Verilog artifact over HTTP and assert it is byte-for-byte
+   identical to a direct ``python -m repro.eval export`` run;
+5. scrape the live ``/metrics`` endpoint through
+   ``scripts/check_trace.py`` (service series vocabulary);
+6. SIGTERM the server, assert a clean drain (exit 0), and validate the
+   recorded trace's ``service.request``/``service.job`` spans.
+
+Exit code 0 when every step holds; 1 with a diagnostic otherwise.
+
+Usage::
+
+    python scripts/service_e2e.py [--work-dir DIR] [--timeout SECONDS]
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import shutil
+import signal
+import subprocess
+import sys
+import tempfile
+import time
+import urllib.error
+import urllib.request
+from pathlib import Path
+
+REPO = Path(__file__).resolve().parent.parent
+sys.path.insert(0, str(REPO / "src"))
+sys.path.insert(0, str(REPO / "scripts"))
+
+from check_trace import check_metrics_url, check_trace  # noqa: E402
+
+#: A restricted slice of the paper's Table 1: real synthesis, CI-sized.
+JOB_SPEC = {"experiments": ["table1"], "filters": [0, 1], "wordlengths": [8]}
+ARTIFACT_QUERY = "/v1/artifacts/verilog?filter=0&wordlength=8"
+
+
+def _env():
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (
+        str(REPO / "src") + os.pathsep + env.get("PYTHONPATH", "")
+    )
+    return env
+
+
+def _start_server(data_dir: Path, extra_args, log_path: Path):
+    log = open(log_path, "a", encoding="utf-8")
+    proc = subprocess.Popen(
+        [
+            sys.executable, "-m", "repro.eval", "serve",
+            "--data-dir", str(data_dir), "--port", "0", "--jobs", "2",
+            *extra_args,
+        ],
+        env=_env(), stdout=subprocess.PIPE, stderr=log, text=True,
+    )
+    banner = proc.stdout.readline()
+    if "serving on" not in banner:
+        proc.kill()
+        raise SystemExit(f"service_e2e: server never came up: {banner!r}")
+    port = int(banner.rsplit(":", 1)[1].rstrip("]\n"))
+    return proc, port
+
+
+def _request(port, method, path, body=None):
+    url = f"http://127.0.0.1:{port}{path}"
+    data = json.dumps(body).encode() if body is not None else None
+    req = urllib.request.Request(url, data=data, method=method)
+    with urllib.request.urlopen(req, timeout=30) as resp:
+        return resp.status, resp.read().decode("utf-8")
+
+
+def _poll(port, path, predicate, timeout_s, what):
+    deadline = time.monotonic() + timeout_s
+    last = None
+    while time.monotonic() < deadline:
+        try:
+            _, raw = _request(port, "GET", path)
+            last = json.loads(raw)
+            if predicate(last):
+                return last
+        except (urllib.error.URLError, OSError):
+            pass  # server mid-restart
+        time.sleep(0.1)
+    raise SystemExit(f"service_e2e: timed out waiting for {what}: {last}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--work-dir", default=None)
+    parser.add_argument("--timeout", type=float, default=600.0)
+    args = parser.parse_args(argv)
+
+    work = Path(args.work_dir or tempfile.mkdtemp(prefix="service-e2e-"))
+    work.mkdir(parents=True, exist_ok=True)
+    data_dir = work / "data"
+    log_path = work / "server.log"
+    trace_path = work / "service-trace.jsonl"
+
+    # Phase 1: chaos server — every task's first worker is SIGKILLed.
+    proc, port = _start_server(
+        data_dir, ["--chaos-seed", "7", "--chaos-kill-rate", "1.0"], log_path
+    )
+    job_id = None
+    try:
+        status, raw = _request(port, "POST", "/v1/jobs", JOB_SPEC)
+        view = json.loads(raw)
+        job_id = view["job_id"]
+        print(f"service_e2e: submitted {job_id} ({status})")
+
+        # Phase 2: SIGKILL the server once the job is mid-flight with at
+        # least one task outcome durably journaled.
+        journal_dir = data_dir / "journals"
+
+        def mid_job(_view):
+            journals = list(journal_dir.glob("sweep-*.wal"))
+            return (
+                _view["state"] in ("running", "completed")
+                and journals
+                and journals[0].read_bytes().count(b"\n") >= 2
+            )
+
+        _poll(port, f"/v1/jobs/{job_id}", mid_job, args.timeout,
+              "job to reach mid-flight")
+    finally:
+        proc.kill()
+        proc.wait(timeout=30)
+        proc.stdout.close()
+    print("service_e2e: server SIGKILLed mid-job")
+
+    # Phase 3: restart, no chaos, trace recorded; the job must complete.
+    proc, port = _start_server(
+        data_dir, ["--trace", str(trace_path)], log_path
+    )
+    try:
+        final = _poll(
+            port, f"/v1/jobs/{job_id}",
+            lambda v: v["state"] in ("completed", "failed"),
+            args.timeout, "recovered job to finish",
+        )
+        if final["state"] != "completed":
+            raise SystemExit(
+                f"service_e2e: recovered job failed: {final.get('error')}"
+            )
+        print(f"service_e2e: job completed after restart "
+              f"(resumed={final.get('resumed')})")
+        _, result = _request(port, "GET", f"/v1/jobs/{job_id}/result")
+        if not json.loads(result)["sweep"]:
+            raise SystemExit("service_e2e: completed job served empty sweep")
+
+        # Phase 4: served artifact must equal the direct CLI export bytes.
+        _, served = _request(port, "GET", ARTIFACT_QUERY)
+        direct_path = work / "direct.v"
+        subprocess.run(
+            [
+                sys.executable, "-m", "repro.eval", "export",
+                "--format", "verilog", "--filters", "0",
+                "--wordlengths", "8", "--output", str(direct_path),
+            ],
+            env=_env(), check=True, timeout=args.timeout,
+            stdout=subprocess.DEVNULL,
+        )
+        direct = direct_path.read_text(encoding="utf-8")
+        if served != direct:
+            raise SystemExit(
+                "service_e2e: served Verilog differs from direct CLI export "
+                f"({len(served)} vs {len(direct)} chars)"
+            )
+        print(f"service_e2e: artifact byte-identity holds "
+              f"({len(served)} chars)")
+
+        # Phase 5: scrape the live /metrics endpoint.
+        problems = check_metrics_url(f"http://127.0.0.1:{port}/metrics")
+        if problems:
+            for p in problems:
+                print(f"service_e2e: {p}", file=sys.stderr)
+            raise SystemExit("service_e2e: live /metrics scrape failed")
+        print("service_e2e: live /metrics carries the service vocabulary")
+
+        # Phase 6: graceful drain must exit 0.
+        proc.send_signal(signal.SIGTERM)
+        code = proc.wait(timeout=60)
+        if code != 0:
+            raise SystemExit(f"service_e2e: drain exited {code}, wanted 0")
+        print("service_e2e: SIGTERM drain exited 0")
+    finally:
+        if proc.poll() is None:
+            proc.kill()
+            proc.wait(timeout=30)
+        proc.stdout.close()
+
+    # The finalized trace must hold well-tagged service spans.
+    problems = check_trace(
+        str(trace_path), require_spans=["service.request", "service.job"],
+        min_spans=2,
+    )
+    if problems:
+        for p in problems:
+            print(f"service_e2e: {p}", file=sys.stderr)
+        raise SystemExit("service_e2e: trace validation failed")
+    print("service_e2e: trace spans validated — all phases OK")
+
+    if args.work_dir is None:
+        shutil.rmtree(work, ignore_errors=True)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

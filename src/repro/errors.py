@@ -85,6 +85,52 @@ class JournalError(SupervisorError):
     """
 
 
+class ServiceError(ReproError):
+    """Base of the :mod:`repro.service` taxonomy.
+
+    Every failure the synthesis job service can signal to a caller is a
+    subclass, so the HTTP layer can map exception type to status code while
+    a plain ``except ServiceError`` still catches the whole family.
+    """
+
+
+class SpecError(ServiceError):
+    """A submitted job spec is malformed or names unknown work (HTTP 400)."""
+
+
+class AdmissionRejected(ServiceError):
+    """The service is shedding load and refused to accept a job (HTTP 429).
+
+    ``retry_after_s`` is the server's estimate — derived from observed job
+    durations and current queue depth — of when capacity will free up; it
+    becomes the response's ``Retry-After`` header.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class CircuitOpen(AdmissionRejected):
+    """The worker-pool circuit breaker is open (HTTP 503).
+
+    Raised when repeated ``BrokenProcessPool`` rebuilds within the breaker
+    window indicate the execution substrate itself is sick — admitting more
+    work would only feed the failure.  ``retry_after_s`` is the remaining
+    cooldown.
+    """
+
+
+class JobStateError(ServiceError):
+    """A job lifecycle operation is illegal in the job's current state.
+
+    Raised for transitions outside the state machine (e.g. completing a
+    job that was already cancelled) and for requests that need a state the
+    job is not in (fetching the result of a still-running job maps this to
+    HTTP 409/404 at the API layer).
+    """
+
+
 class VerificationError(ReproError):
     """Base of the :mod:`repro.verify` taxonomy.
 

@@ -88,11 +88,14 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "experiment",
-        choices=sorted(EXPERIMENTS) + ["all", "stats", "verify"],
+        choices=sorted(EXPERIMENTS) + [
+            "all", "stats", "verify", "serve", "export"
+        ],
         help="which experiment to run ('stats' renders the per-phase time "
              "breakdown of a trace recorded earlier with --trace; 'verify' "
              "runs the full hardware verification audit over synthesized "
-             "benchmark filters)",
+             "benchmark filters; 'serve' starts the synthesis job service; "
+             "'export' emits one artifact for a single design point)",
     )
     parser.add_argument(
         "--filters",
@@ -226,6 +229,117 @@ def build_parser() -> argparse.ArgumentParser:
         help="verify: also diff the compiled C model (skipped without a C "
              "compiler on PATH)",
     )
+    export_group = parser.add_argument_group("export options")
+    export_group.add_argument(
+        "--format",
+        choices=("verilog", "c", "dot"),
+        default="verilog",
+        dest="export_format",
+        help="export: which artifact to emit (default verilog)",
+    )
+    export_group.add_argument(
+        "--output",
+        metavar="PATH",
+        default=None,
+        help="export: write the artifact to PATH instead of stdout",
+    )
+    export_group.add_argument(
+        "--scaling",
+        choices=("uniform", "maximal"),
+        default="maximal",
+        help="export: quantization scaling scheme (default maximal)",
+    )
+    export_group.add_argument(
+        "--representation",
+        choices=("csd", "sm"),
+        default="csd",
+        help="export: coefficient digit representation (default csd)",
+    )
+    serve_group = parser.add_argument_group("serve options")
+    serve_group.add_argument(
+        "--host",
+        default="127.0.0.1",
+        help="serve: bind address (default 127.0.0.1)",
+    )
+    serve_group.add_argument(
+        "--port",
+        type=int,
+        default=8177,
+        metavar="N",
+        help="serve: bind port; 0 picks a free one (default 8177)",
+    )
+    serve_group.add_argument(
+        "--data-dir",
+        metavar="DIR",
+        default=None,
+        help="serve: durable state root (job WAL, sweep journals, results)",
+    )
+    serve_group.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=16,
+        metavar="N",
+        help="serve: total queued jobs before shedding with 429 (default 16)",
+    )
+    serve_group.add_argument(
+        "--max-tenant-depth",
+        type=int,
+        default=8,
+        metavar="N",
+        help="serve: queued jobs per tenant before shedding (default 8)",
+    )
+    serve_group.add_argument(
+        "--max-inflight",
+        type=int,
+        default=1,
+        metavar="N",
+        help="serve: jobs running concurrently (default 1)",
+    )
+    serve_group.add_argument(
+        "--max-task-deadline",
+        type=float,
+        default=120.0,
+        metavar="SECONDS",
+        help="serve: ceiling on the per-task solver budget a request may "
+             "ask for; larger requests are clamped (default 120)",
+    )
+    serve_group.add_argument(
+        "--max-job-deadline",
+        type=float,
+        default=1800.0,
+        metavar="SECONDS",
+        help="serve: ceiling on a job's wall-clock deadline (default 1800)",
+    )
+    serve_group.add_argument(
+        "--breaker-threshold",
+        type=int,
+        default=3,
+        metavar="N",
+        help="serve: pool rebuilds inside the window that open the circuit "
+             "breaker (default 3)",
+    )
+    serve_group.add_argument(
+        "--breaker-cooldown",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="serve: how long an open breaker sheds before probing "
+             "(default 30)",
+    )
+    serve_group.add_argument(
+        "--drain-grace",
+        type=float,
+        default=30.0,
+        metavar="SECONDS",
+        help="serve: how long SIGTERM waits for running jobs (default 30)",
+    )
+    # Chaos knobs for the fault-injection suite; deliberately undocumented.
+    serve_group.add_argument(
+        "--chaos-seed", type=int, default=None, help=argparse.SUPPRESS
+    )
+    serve_group.add_argument(
+        "--chaos-kill-rate", type=float, default=0.0, help=argparse.SUPPRESS
+    )
     return parser
 
 
@@ -298,6 +412,90 @@ def _run_verify(args: argparse.Namespace) -> int:
     return exit_code
 
 
+def _run_export(args: argparse.Namespace) -> int:
+    """The ``export`` subcommand: one artifact for one design point.
+
+    Shares :func:`repro.service.artifacts.generate_artifact` with the job
+    service's artifact endpoint, so the bytes written here are identical to
+    the bytes the service serves for the same design point — the chaos
+    suite relies on that to prove served artifacts are trustworthy.
+    """
+    from ..service.artifacts import fetch_artifact
+    from . import cache as disk_cache
+
+    if args.filters is None or len(args.filters) != 1:
+        raise ReproError("export needs exactly one --filters index")
+    if args.wordlengths is None or len(args.wordlengths) != 1:
+        raise ReproError("export needs exactly one --wordlengths value")
+    from ..numrep import Representation
+    from ..quantize import ScalingScheme
+
+    if args.cache_dir is not None:
+        disk_cache.configure(args.cache_dir)
+    text = fetch_artifact(
+        args.filters[0],
+        args.wordlengths[0],
+        args.export_format,
+        scaling=ScalingScheme(args.scaling),
+        representation=Representation(args.representation),
+    )
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            fh.write(text)
+        print(f"[{args.export_format} written to {args.output}]")
+    else:
+        sys.stdout.write(text)
+    return EXIT_OK
+
+
+def _run_serve(args: argparse.Namespace) -> int:
+    """The ``serve`` subcommand: run the synthesis job service until SIGTERM."""
+    from pathlib import Path
+
+    from ..service import BudgetPolicy, ServiceConfig, make_server, run_forever
+
+    if args.data_dir is None:
+        raise ReproError("serve needs --data-dir DIR for durable job state")
+    chaos = None
+    if args.chaos_seed is not None:
+        from ..robust.chaos import ProcessFaultPlan
+
+        chaos = ProcessFaultPlan(
+            seed=args.chaos_seed, kill_rate=args.chaos_kill_rate
+        )
+    policy = BudgetPolicy(
+        default_task_deadline_s=min(30.0, args.max_task_deadline),
+        max_task_deadline_s=args.max_task_deadline,
+        default_job_deadline_s=min(300.0, args.max_job_deadline),
+        max_job_deadline_s=args.max_job_deadline,
+    )
+    config = ServiceConfig(
+        data_dir=Path(args.data_dir),
+        cache_dir=args.cache_dir,
+        host=args.host,
+        port=args.port,
+        sweep_jobs=args.jobs if args.jobs is not None else 2,
+        max_inflight=args.max_inflight,
+        max_queue_depth=args.max_queue_depth,
+        max_queue_depth_per_tenant=args.max_tenant_depth,
+        budgets=policy,
+        breaker_threshold=args.breaker_threshold,
+        breaker_cooldown_s=args.breaker_cooldown,
+        drain_grace_s=args.drain_grace,
+        max_retries=args.max_retries if args.max_retries is not None else 2,
+        chaos=chaos,
+    )
+    server, service = make_server(config)
+    host, port = server.server_address[:2]
+
+    def _announce():
+        # Flushed line tests (and humans) wait for before sending requests
+        # or signals; printed only once the SIGTERM handler is installed.
+        print(f"[serving on http://{host}:{port}]", flush=True)
+
+    return run_forever(server, service, ready=_announce)
+
+
 def _run(args: argparse.Namespace) -> int:
     experiment_ids = (
         sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -334,6 +532,10 @@ def _run(args: argparse.Namespace) -> int:
             f"{stats['retries']} retries, "
             f"{stats['pool_rebuilds']} pool rebuilds]"
         )
+        print(
+            f"[cache: {stats['cache_put_errors']} put errors, "
+            f"{stats['cache_quarantined']} quarantined entries]"
+        )
         for outcome in report.quarantined_tasks:
             print(f"[quarantined: {outcome.error}]", file=sys.stderr)
     elif args.jobs is not None or args.cache_dir is not None:
@@ -354,6 +556,10 @@ def _run(args: argparse.Namespace) -> int:
             f"with {report.jobs} jobs in {report.precompute_s:.2f}s; "
             f"{stats['tasks_precached']}/{stats['tasks_planned']} were "
             f"already cached; {stats['tasks_failed']} failed]"
+        )
+        print(
+            f"[cache: {stats['cache_put_errors']} put errors, "
+            f"{stats['cache_quarantined']} quarantined entries]"
         )
     for experiment_id in experiment_ids:
         result = run_experiment(
@@ -402,6 +608,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_stats(args)
         if args.experiment == "verify":
             return _run_verify(args)
+        if args.experiment == "serve":
+            return _run_serve(args)
+        if args.experiment == "export":
+            return _run_export(args)
         return _run(args)
     except BudgetExceeded as exc:
         print(f"error: solver budget exhausted: {exc}", file=sys.stderr)

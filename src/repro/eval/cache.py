@@ -124,10 +124,10 @@ class DiskCache:
         self.root.mkdir(parents=True, exist_ok=True)
         self.stats = CacheStats()
 
-    def _path(self, key: str) -> Path:
+    def _path(self, key: str, suffix: str = "json") -> Path:
         if len(key) < 3 or not all(c in "0123456789abcdef" for c in key):
             raise ReproError(f"malformed cache key {key!r}")
-        return self.root / key[:2] / f"{key}.json"
+        return self.root / key[:2] / f"{key}.{suffix}"
 
     @property
     def quarantine_dir(self) -> Path:
@@ -218,6 +218,77 @@ class DiskCache:
         self.stats.stores += 1
         obs_metrics.counter("repro_cache_stores_total", layer="disk").inc()
 
+    # -- text artifacts ------------------------------------------------------
+    #
+    # Generated artifacts (Verilog, C models, DOT graphs) are content-
+    # addressed text, not JSON payloads; wrapping kilobytes of RTL in a JSON
+    # string would double-escape every quote and newline.  They share the
+    # same sharding, atomic-rename discipline, and chaos fault injection as
+    # JSON entries, with a sha256 trailer line standing in for JSON's
+    # implicit parse check: a torn write from a killed process fails the
+    # digest check and is quarantined rather than served.
+
+    _TEXT_TRAILER = "// repro-cache-sha256: "
+
+    def get_text(self, key: str) -> Optional[str]:
+        """Return the stored text artifact for ``key``, or ``None`` on a miss.
+
+        A corrupt artifact (missing or mismatching integrity trailer) counts
+        as a miss and is moved to ``quarantine/``, exactly like a corrupt
+        JSON entry.
+        """
+        path = self._path(key, "txt")
+        try:
+            stored = path.read_text(encoding="utf-8")
+        except FileNotFoundError:
+            self.stats.misses += 1
+            obs_metrics.counter("repro_cache_misses_total", layer="disk").inc()
+            return None
+        except (OSError, UnicodeDecodeError):
+            self.stats.misses += 1
+            obs_metrics.counter("repro_cache_misses_total", layer="disk").inc()
+            self._quarantine(path)
+            return None
+        body, sep, digest = stored.rpartition(self._TEXT_TRAILER)
+        if not sep or hashlib.sha256(
+            body.encode("utf-8")
+        ).hexdigest() != digest.strip():
+            self.stats.misses += 1
+            obs_metrics.counter("repro_cache_misses_total", layer="disk").inc()
+            self._quarantine(path)
+            return None
+        self.stats.hits += 1
+        obs_metrics.counter("repro_cache_hits_total", layer="disk").inc()
+        return body
+
+    def put_text(self, key: str, text: str) -> None:
+        """Atomically persist the text artifact ``text`` under ``key``."""
+        injector = _FAULT_INJECTOR
+        fault = injector.draw_put(key) if injector is not None else None
+        if fault == "enospc":
+            raise injector.enospc_error(key)
+        digest = hashlib.sha256(text.encode("utf-8")).hexdigest()
+        body = f"{text}{self._TEXT_TRAILER}{digest}\n"
+        if fault == "truncate":
+            body = body[: max(1, len(body) // 2)]
+        path = self._path(key, "txt")
+        path.parent.mkdir(parents=True, exist_ok=True)
+        fd, tmp = tempfile.mkstemp(
+            dir=path.parent, prefix=".tmp-", suffix=".txt"
+        )
+        try:
+            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+                fh.write(body)
+            os.replace(tmp, path)
+        except BaseException:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+            raise
+        self.stats.stores += 1
+        obs_metrics.counter("repro_cache_stores_total", layer="disk").inc()
+
     def _shards(self) -> Iterator[Path]:
         """The two-hex-character shard directories (quarantine excluded)."""
         for shard in self.root.iterdir():
@@ -238,12 +309,14 @@ class DiskCache:
         return sum(1 for _ in self.keys())
 
     def clear(self) -> int:
-        """Remove every live entry (quarantined ones stay); returns the count."""
+        """Remove every live entry, JSON and text artifact alike
+        (quarantined ones stay); returns the count."""
         removed = 0
         for shard in list(self._shards()):
-            for entry in list(shard.glob("*.json")):
-                entry.unlink()
-                removed += 1
+            for pattern in ("*.json", "*.txt"):
+                for entry in list(shard.glob(pattern)):
+                    entry.unlink()
+                    removed += 1
             try:
                 shard.rmdir()
             except OSError:

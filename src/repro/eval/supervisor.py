@@ -37,9 +37,8 @@ the unsupervised engine does.
 
 from __future__ import annotations
 
-import hashlib
-import json
 import os
+import random
 import time
 from collections import deque
 from concurrent.futures import ProcessPoolExecutor
@@ -49,7 +48,7 @@ from pathlib import Path
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
-from ..errors import JournalError, ReproError, SupervisorError
+from ..errors import ReproError, SupervisorError
 from ..obs import span as obs_span
 from ..robust.chaos import ProcessFaultPlan
 from . import cache as disk_cache
@@ -67,10 +66,12 @@ from .parallel import (
     _stage_timings,
     plan_tasks,
 )
+from .wal import ChecksumLog
 
 __all__ = [
     "JOURNAL_FORMAT_VERSION",
     "SweepJournal",
+    "decorrelated_backoff",
     "run_sweep_supervised",
     "sweep_signature",
     "task_key",
@@ -118,10 +119,6 @@ def sweep_signature(
     })
 
 
-def _checksum(body: str) -> str:
-    return hashlib.sha256(body.encode("utf-8")).hexdigest()
-
-
 def _encode_outcome(outcome: TaskOutcome) -> Dict[str, object]:
     record = asdict(outcome)
     record["kind"] = _OUTCOME_KIND
@@ -146,19 +143,26 @@ def _decode_outcome(record: Dict[str, object]) -> TaskOutcome:
 class SweepJournal:
     """Append-only, fsync'd, checksummed WAL of sweep task outcomes.
 
-    Format: one record per line, ``<sha256-of-body> <canonical-json>\\n``.
-    The first record is a header binding the file to a sweep signature and
-    journal format version.  Reads verify each line's checksum and stop at
-    the first bad one — an append-only log can only tear at the tail, and a
-    torn tail (killed parent mid-``write``) is truncated away on resume so
-    the file is again well-formed for further appends.
+    A thin typed wrapper over :class:`~repro.eval.wal.ChecksumLog` (which
+    owns the line format, header validation, and torn-tail truncation): this
+    class contributes only the outcome record schema, the journal naming
+    convention, and the header identity binding a file to one sweep
+    signature under one code version.
     """
 
-    def __init__(self, path: os.PathLike) -> None:
-        self.path = Path(path)
-        self._fh = None
+    def __init__(self, log: ChecksumLog) -> None:
+        self._log = log
+        self.path = log.path
 
     # -- construction --------------------------------------------------------
+
+    @classmethod
+    def _header(cls, signature: str) -> Dict[str, object]:
+        return {
+            "format": JOURNAL_FORMAT_VERSION,
+            "signature": signature,
+            "version": disk_cache.version_tag(),
+        }
 
     @classmethod
     def path_for(cls, directory: os.PathLike, signature: str) -> Path:
@@ -168,16 +172,9 @@ class SweepJournal:
     @classmethod
     def create(cls, directory: os.PathLike, signature: str) -> "SweepJournal":
         """Start a fresh journal (truncating any previous one)."""
-        journal = cls(cls.path_for(directory, signature))
-        journal.path.parent.mkdir(parents=True, exist_ok=True)
-        journal._fh = open(journal.path, "w", encoding="utf-8")
-        journal._append_record({
-            "kind": _HEADER_KIND,
-            "format": JOURNAL_FORMAT_VERSION,
-            "signature": signature,
-            "version": disk_cache.version_tag(),
-        })
-        return journal
+        return cls(ChecksumLog.create(
+            cls.path_for(directory, signature), cls._header(signature)
+        ))
 
     @classmethod
     def resume(
@@ -191,79 +188,24 @@ class SweepJournal:
         :class:`~repro.errors.JournalError` rather than mixing results
         computed by different code into one sweep.
         """
-        path = cls.path_for(directory, signature)
-        if not path.exists():
-            return cls.create(directory, signature), []
-        journal = cls(path)
-        records, valid_bytes = journal._read_records()
-        if not records or records[0].get("kind") != _HEADER_KIND:
-            raise JournalError(
-                f"journal {path} has no valid header; delete it (or drop "
-                f"--resume) to start over"
-            )
-        header = records[0]
-        expected = {
-            "format": JOURNAL_FORMAT_VERSION,
-            "signature": signature,
-            "version": disk_cache.version_tag(),
-        }
-        for field, want in expected.items():
-            have = header.get(field)
-            if have != want:
-                raise JournalError(
-                    f"journal {path} was written for {field}={have!r} but "
-                    f"this run expects {want!r}; delete it (or drop "
-                    f"--resume) to start over"
-                )
-        # Truncate any torn tail so future appends land on a clean boundary.
-        if valid_bytes < path.stat().st_size:
-            with open(path, "r+b") as fh:
-                fh.truncate(valid_bytes)
-        journal._fh = open(path, "a", encoding="utf-8")
+        log, records = ChecksumLog.resume(
+            cls.path_for(directory, signature), cls._header(signature)
+        )
         outcomes = [
-            _decode_outcome(r) for r in records[1:]
+            _decode_outcome(r) for r in records
             if r.get("kind") == _OUTCOME_KIND
         ]
-        return journal, outcomes
+        return cls(log), outcomes
 
     # -- I/O -----------------------------------------------------------------
 
-    def _read_records(self) -> Tuple[List[Dict[str, object]], int]:
-        """Parse the valid prefix: (records, byte length of that prefix)."""
-        records: List[Dict[str, object]] = []
-        valid_bytes = 0
-        with open(self.path, "rb") as fh:
-            for raw in fh:
-                if not raw.endswith(b"\n"):
-                    break  # torn final line (no newline made it to disk)
-                try:
-                    line = raw.decode("utf-8")
-                    digest, body = line.rstrip("\n").split(" ", 1)
-                    if _checksum(body) != digest:
-                        break
-                    records.append(json.loads(body))
-                except (UnicodeDecodeError, ValueError):
-                    break
-                valid_bytes += len(raw)
-        return records, valid_bytes
-
-    def _append_record(self, record: Dict[str, object]) -> None:
-        if self._fh is None:
-            raise JournalError(f"journal {self.path} is not open for append")
-        body = json.dumps(record, sort_keys=True, separators=(",", ":"))
-        self._fh.write(f"{_checksum(body)} {body}\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
-
     def append(self, outcome: TaskOutcome) -> None:
         """Durably record one terminal task outcome (flushed + fsync'd)."""
-        self._append_record(_encode_outcome(outcome))
+        self._log.append(_encode_outcome(outcome))
 
     def close(self) -> None:
         """Close the underlying file (append after close raises)."""
-        if self._fh is not None:
-            self._fh.close()
-            self._fh = None
+        self._log.close()
 
     def __enter__(self) -> "SweepJournal":
         return self
@@ -282,6 +224,33 @@ class _NullJournal:
 
     def close(self) -> None:
         pass
+
+
+def decorrelated_backoff(
+    previous_s: float,
+    base_s: float,
+    factor: float,
+    cap_s: float,
+    rng: random.Random,
+) -> float:
+    """Next pool-rebuild delay under decorrelated jitter.
+
+    A deterministic exponential schedule makes every recovering worker (and
+    every concurrent sweep sharing a host) restart in lockstep, re-creating
+    the very resource spike that broke the pool.  Decorrelated jitter (the
+    AWS "decorrelated" variant) spreads rebuilds over ``[base_s,
+    min(cap_s, previous_s * factor)]``: the *upper envelope* still grows
+    exponentially from the previous delay, but the actual draw is uniform
+    inside the window, so two supervisors with identical histories diverge.
+    ``base_s <= 0`` disables backoff entirely (returns 0.0).
+    """
+    if base_s <= 0.0:
+        return 0.0
+    lower = min(base_s, cap_s)
+    upper = min(cap_s, max(base_s, previous_s * factor))
+    if upper <= lower:
+        return lower
+    return rng.uniform(lower, upper)
 
 
 # -- supervised precompute ---------------------------------------------------
@@ -427,6 +396,7 @@ def _precompute_supervised(
     backoff_s: float,
     backoff_factor: float,
     max_backoff_s: float,
+    backoff_rng: Optional[random.Random] = None,
 ) -> Tuple[List[TaskOutcome], int, int]:
     """Pool execution with worker-loss recovery and poison attribution.
 
@@ -439,8 +409,9 @@ def _precompute_supervised(
     exceeding ``max_retries`` strikes is quarantined.  Innocents collect at
     most the one shared-wave strike, so with ``max_retries >= 1`` only a
     repeatedly-killing task can be quarantined.  Executor rebuilds are
-    spaced by exponential backoff to ride out transient resource pressure
-    (the OOM-killer case) instead of thrashing.
+    spaced by :func:`decorrelated_backoff` to ride out transient resource
+    pressure (the OOM-killer case) without recovering supervisors
+    restarting in lockstep.
     """
     active = disk_cache.active_cache()
     worker_dir = str(active.root) if active is not None else None
@@ -450,6 +421,8 @@ def _precompute_supervised(
     results: List[TaskOutcome] = []
     retries = 0
     pool_rebuilds = 0
+    rng = backoff_rng if backoff_rng is not None else random.Random()
+    previous_delay = backoff_s
 
     def strike(task: SweepTask) -> None:
         nonlocal retries
@@ -463,12 +436,12 @@ def _precompute_supervised(
             suspects.append(task)
 
     def backoff() -> None:
-        delay = min(
-            backoff_s * backoff_factor ** max(pool_rebuilds - 1, 0),
-            max_backoff_s,
+        nonlocal previous_delay
+        previous_delay = decorrelated_backoff(
+            previous_delay, backoff_s, backoff_factor, max_backoff_s, rng
         )
-        if delay > 0.0:
-            time.sleep(delay)
+        if previous_delay > 0.0:
+            time.sleep(previous_delay)
 
     while queue or suspects:
         # Isolation probes first: settle every suspect before committing a
@@ -522,6 +495,7 @@ def run_sweep_supervised(
     backoff_factor: float = 2.0,
     max_backoff_s: float = 2.0,
     chaos: Optional[ProcessFaultPlan] = None,
+    backoff_rng: Optional[random.Random] = None,
 ) -> ParallelSweepReport:
     """Run a sweep under supervision; results still match serial bytes.
 
@@ -609,6 +583,7 @@ def run_sweep_supervised(
                 results, retries, pool_rebuilds = _precompute_supervised(
                     pending, jobs, task_deadline_s, journal, chaos,
                     max_retries, backoff_s, backoff_factor, max_backoff_s,
+                    backoff_rng,
                 )
             obs.drain_spill()
         else:

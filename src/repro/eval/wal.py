@@ -1,0 +1,146 @@
+"""Generic checksummed, fsync'd, append-only write-ahead log.
+
+Extracted from :class:`repro.eval.supervisor.SweepJournal` so every durable
+log in the system — the sweep journal, the service job store — shares one
+crash-safety story instead of re-deriving it:
+
+* one record per line, ``<sha256-of-body> <canonical-json>\\n``;
+* the first record is a *header* binding the file to an owner-declared
+  identity (format version, signature, code version, …) so a log written by
+  different code or for a different workload is rejected, never guessed at;
+* every append is flushed and ``fsync``'d before it is considered durable;
+* reads verify each line's checksum and stop at the first bad one — an
+  append-only log can only tear at its tail, and :meth:`ChecksumLog.resume`
+  truncates a torn tail (killed writer mid-``write``) so the file is again
+  well-formed for further appends.
+
+The log stores plain JSON dicts; owners layer their record schema (and any
+replay semantics) on top.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+from pathlib import Path
+from typing import Dict, List, Mapping, Tuple
+
+from ..errors import JournalError
+
+__all__ = ["ChecksumLog", "checksum"]
+
+_HEADER_KIND = "header"
+
+
+def checksum(body: str) -> str:
+    """The per-line integrity digest (sha256 hex of the JSON body)."""
+    return hashlib.sha256(body.encode("utf-8")).hexdigest()
+
+
+class ChecksumLog:
+    """Append-only, fsync'd, checksummed WAL of JSON records.
+
+    Construction goes through :meth:`create` (truncate and write a fresh
+    header) or :meth:`resume` (validate the header, truncate any torn tail,
+    reopen for append and return the surviving records).  A missing file is
+    not an error for ``resume`` — it is the "crashed before the first
+    fsync" case and simply starts fresh.
+    """
+
+    def __init__(self, path: os.PathLike) -> None:
+        self.path = Path(path)
+        self._fh = None
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(
+        cls, path: os.PathLike, header: Mapping[str, object]
+    ) -> "ChecksumLog":
+        """Start a fresh log at ``path`` (truncating any previous one)."""
+        log = cls(path)
+        log.path.parent.mkdir(parents=True, exist_ok=True)
+        log._fh = open(log.path, "w", encoding="utf-8")
+        record = dict(header)
+        record["kind"] = _HEADER_KIND
+        log.append(record)
+        return log
+
+    @classmethod
+    def resume(
+        cls, path: os.PathLike, header: Mapping[str, object]
+    ) -> Tuple["ChecksumLog", List[Dict[str, object]]]:
+        """Reopen ``path`` for appending, returning its surviving records.
+
+        ``header`` is the identity this reader expects; a log whose header
+        disagrees on any of its fields raises
+        :class:`~repro.errors.JournalError` rather than mixing records
+        written by different code (or for a different workload) into one
+        replay.  The returned records exclude the header.
+        """
+        target = Path(path)
+        if not target.exists():
+            return cls.create(path, header), []
+        log = cls(path)
+        records, valid_bytes = log._read_records()
+        if not records or records[0].get("kind") != _HEADER_KIND:
+            raise JournalError(
+                f"log {target} has no valid header; delete it to start over"
+            )
+        have_header = records[0]
+        for field, want in header.items():
+            have = have_header.get(field)
+            if have != want:
+                raise JournalError(
+                    f"log {target} was written for {field}={have!r} but "
+                    f"this run expects {want!r}; delete it to start over"
+                )
+        # Truncate any torn tail so future appends land on a clean boundary.
+        if valid_bytes < target.stat().st_size:
+            with open(target, "r+b") as fh:
+                fh.truncate(valid_bytes)
+        log._fh = open(target, "a", encoding="utf-8")
+        return log, records[1:]
+
+    # -- I/O -----------------------------------------------------------------
+
+    def _read_records(self) -> Tuple[List[Dict[str, object]], int]:
+        """Parse the valid prefix: (records, byte length of that prefix)."""
+        records: List[Dict[str, object]] = []
+        valid_bytes = 0
+        with open(self.path, "rb") as fh:
+            for raw in fh:
+                if not raw.endswith(b"\n"):
+                    break  # torn final line (no newline made it to disk)
+                try:
+                    line = raw.decode("utf-8")
+                    digest, body = line.rstrip("\n").split(" ", 1)
+                    if checksum(body) != digest:
+                        break
+                    records.append(json.loads(body))
+                except (UnicodeDecodeError, ValueError):
+                    break
+                valid_bytes += len(raw)
+        return records, valid_bytes
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Durably append one record (flushed + fsync'd before returning)."""
+        if self._fh is None:
+            raise JournalError(f"log {self.path} is not open for append")
+        body = json.dumps(record, sort_keys=True, separators=(",", ":"))
+        self._fh.write(f"{checksum(body)} {body}\n")
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+
+    def close(self) -> None:
+        """Close the underlying file (append after close raises)."""
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __enter__(self) -> "ChecksumLog":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()

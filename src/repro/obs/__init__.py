@@ -56,6 +56,7 @@ __all__ = [
     "load_trace",
     "metrics",
     "phase_breakdown",
+    "predeclare_metrics",
     "reset",
     "setup_logging",
     "span",
@@ -102,7 +103,27 @@ _PREDECLARED_COUNTERS = (
     ("repro_verify_checks_total", {"check": "equivalence", "outcome": "failed"}),
     ("repro_verify_mutants_total", {"outcome": "killed"}),
     ("repro_verify_mutants_total", {"outcome": "escaped"}),
+    ("repro_service_admitted_total", {}),
+    ("repro_service_rejected_total", {"reason": "queue_full"}),
+    ("repro_service_rejected_total", {"reason": "tenant_full"}),
+    ("repro_service_breaker_trips_total", {}),
+    ("repro_service_jobs_total", {"status": "completed"}),
+    ("repro_service_jobs_total", {"status": "failed"}),
+    ("repro_service_jobs_total", {"status": "discarded"}),
+    ("repro_service_jobs_expired_total", {}),
+    ("repro_service_jobs_resumed_total", {}),
 )
+
+
+def predeclare_metrics() -> None:
+    """Register the full counter vocabulary at 0 in the default registry.
+
+    Called from :func:`configure` and from the job service's startup, so a
+    scraper (or the ``/metrics`` endpoint) can rely on every known series
+    being present rather than appearing only after its first increment.
+    """
+    for name, labels in _PREDECLARED_COUNTERS:
+        DEFAULT_REGISTRY.counter(name, **labels)
 
 
 def _observe_span(name: str, wall_s: float) -> None:
@@ -131,8 +152,7 @@ def configure(
     if metrics_path is not None:
         _METRICS_PATH = Path(metrics_path)
     if trace_path is not None or metrics_path is not None:
-        for name, labels in _PREDECLARED_COUNTERS:
-            DEFAULT_REGISTRY.counter(name, **labels)
+        predeclare_metrics()
 
 
 def enabled() -> bool:

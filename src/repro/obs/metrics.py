@@ -19,6 +19,7 @@ from __future__ import annotations
 import bisect
 import json
 import math
+import threading
 from typing import Any, Dict, List, Mapping, Optional, Tuple
 
 __all__ = [
@@ -137,6 +138,12 @@ class MetricsRegistry:
         self._counters: Dict[_SeriesKey, Counter] = {}
         self._gauges: Dict[_SeriesKey, Gauge] = {}
         self._histograms: Dict[_SeriesKey, Histogram] = {}
+        # Guards series *creation* only: the service increments metrics from
+        # HTTP handler threads, the dispatcher, and the reaper concurrently,
+        # and two first-touches of the same key must not each insert a
+        # metric (the loser's increments would vanish).  Increments on an
+        # existing metric stay lock-free — each is a single attribute update.
+        self._create_lock = threading.Lock()
 
     # -- series access (create on first touch) -------------------------------
 
@@ -144,14 +151,20 @@ class MetricsRegistry:
         key = _series_key(name, labels)
         metric = self._counters.get(key)
         if metric is None:
-            metric = self._counters[key] = Counter()
+            with self._create_lock:
+                metric = self._counters.get(key)
+                if metric is None:
+                    metric = self._counters[key] = Counter()
         return metric
 
     def gauge(self, name: str, **labels: Any) -> Gauge:
         key = _series_key(name, labels)
         metric = self._gauges.get(key)
         if metric is None:
-            metric = self._gauges[key] = Gauge()
+            with self._create_lock:
+                metric = self._gauges.get(key)
+                if metric is None:
+                    metric = self._gauges[key] = Gauge()
         return metric
 
     def histogram(
@@ -163,9 +176,12 @@ class MetricsRegistry:
         key = _series_key(name, labels)
         metric = self._histograms.get(key)
         if metric is None:
-            metric = self._histograms[key] = Histogram(
-                bounds if bounds is not None else DEFAULT_BUCKETS
-            )
+            with self._create_lock:
+                metric = self._histograms.get(key)
+                if metric is None:
+                    metric = self._histograms[key] = Histogram(
+                        bounds if bounds is not None else DEFAULT_BUCKETS
+                    )
         return metric
 
     def counter_value(self, name: str, **labels: Any) -> float:

@@ -56,6 +56,7 @@ __all__ = [
     "Injection",
     "NetlistMutator",
     "ProcessFaultPlan",
+    "ServiceFaultPlan",
     "clone_netlist",
 ]
 
@@ -633,3 +634,75 @@ class CacheFaultInjector:
         return OSError(
             errno.ENOSPC, f"chaos: no space left on device (cache key {key})"
         )
+
+
+@dataclass(frozen=True)
+class ServiceFaultPlan:
+    """A deterministic fault schedule for the job service under test.
+
+    Composes the process-level plan (worker kills, cache faults — threaded
+    into every sweep the service runs) with *service-level* load patterns:
+    :meth:`flood_specs` enumerates a deterministic set of distinct job
+    specs for request-flood tests, spread round-robin across
+    ``flood_tenants`` synthetic tenants so the fairness and per-tenant
+    shedding paths are exercised, not just the global depth cap.
+
+    Like every chaos schedule in this module the plan is a pure function
+    of its fields — two test processes (e.g. a killed server and its
+    restarted successor) derive the identical flood, so invariants can be
+    asserted across the restart boundary.
+    """
+
+    seed: int = 0
+    process: Optional[ProcessFaultPlan] = None
+    flood_jobs: int = 8
+    flood_tenants: int = 2
+
+    #: The distinct (filter_index, wordlength) design points floods draw
+    #: from — small filters × small widths so a flood is cheap to absorb.
+    _FLOOD_FILTERS = (0, 1, 2, 3)
+    _FLOOD_WIDTHS = (6, 7, 8)
+
+    def __post_init__(self) -> None:
+        if self.flood_jobs < 0:
+            raise ReproError(
+                f"flood_jobs must be >= 0, got {self.flood_jobs}"
+            )
+        if self.flood_tenants < 1:
+            raise ReproError(
+                f"flood_tenants must be >= 1, got {self.flood_tenants}"
+            )
+        limit = len(self._FLOOD_FILTERS) * len(self._FLOOD_WIDTHS)
+        if self.flood_jobs > limit:
+            raise ReproError(
+                f"flood_jobs must be <= {limit} (distinct design points), "
+                f"got {self.flood_jobs}"
+            )
+
+    def flood_specs(self) -> Tuple[dict, ...]:
+        """Deterministic distinct job specs for a request-flood test.
+
+        Every spec names a different (filter, wordlength) design point, so
+        the service's idempotent-submission collapse cannot shrink the
+        flood; tenants cycle ``tenant-0..tenant-N`` so per-tenant limits
+        and round-robin draining both come into play.  The *order* is
+        seed-shuffled (deterministically) so depth limits are not always
+        hit by the same tenant.
+        """
+        points = [
+            (f, w) for f in self._FLOOD_FILTERS for w in self._FLOOD_WIDTHS
+        ]
+        points.sort(
+            key=lambda p: _stable_unit(self.seed, "flood", f"{p[0]}:{p[1]}")
+        )
+        specs = []
+        for index, (filter_index, wordlength) in enumerate(
+            points[: self.flood_jobs]
+        ):
+            specs.append({
+                "experiments": ["fig6"],
+                "filters": [filter_index],
+                "wordlengths": [wordlength],
+                "tenant": f"tenant-{index % self.flood_tenants}",
+            })
+        return tuple(specs)

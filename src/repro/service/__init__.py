@@ -1,0 +1,56 @@
+"""Synthesis-as-a-service: a fault-tolerant job service over the sweep engine.
+
+Layers the supervised sweep engine (:mod:`repro.eval.supervisor`) and the
+content-addressed cache (:mod:`repro.eval.cache`) behind a small HTTP API
+with the reliability features a shared deployment needs:
+
+* durable, idempotent job store keyed by sweep signature
+  (:mod:`repro.service.store`);
+* bounded fair queue plus admission control, load shedding with informed
+  ``Retry-After``, and a worker-pool circuit breaker
+  (:mod:`repro.service.queue`, :mod:`repro.service.admission`);
+* per-request budgets clamped to server ceilings and a deadline reaper
+  (:mod:`repro.service.budgets`);
+* deterministic artifact generation shared with the CLI, so served bytes
+  equal exported bytes (:mod:`repro.service.artifacts`);
+* graceful signal-driven drain (:mod:`repro.service.signals`).
+
+The HTTP front end is stdlib-only (``http.server``); an optional FastAPI
+adapter (:mod:`repro.service.fastapi_adapter`) mounts the same engine when
+that stack happens to be installed, but nothing here requires it.
+"""
+
+from .admission import AdmissionController, CircuitBreaker, DurationEwma
+from .app import (
+    ServiceConfig,
+    ServiceHTTPHandler,
+    SynthesisService,
+    make_server,
+)
+from .artifacts import ARTIFACT_KINDS, fetch_artifact, generate_artifact
+from .budgets import BudgetPolicy, Reaper
+from .queue import FairQueue, QueueFull
+from .signals import run_forever
+from .store import JobRecord, JobSpec, JobState, JobStore
+
+__all__ = [
+    "ARTIFACT_KINDS",
+    "AdmissionController",
+    "BudgetPolicy",
+    "CircuitBreaker",
+    "DurationEwma",
+    "FairQueue",
+    "JobRecord",
+    "JobSpec",
+    "JobState",
+    "JobStore",
+    "QueueFull",
+    "Reaper",
+    "ServiceConfig",
+    "ServiceHTTPHandler",
+    "SynthesisService",
+    "fetch_artifact",
+    "generate_artifact",
+    "make_server",
+    "run_forever",
+]

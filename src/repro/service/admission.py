@@ -1,0 +1,263 @@
+"""Admission control: load shedding, Retry-After estimation, circuit breaking.
+
+The service must refuse work it cannot finish, and refuse it *cheaply* —
+before a job record is written or a worker pool touched.  Three mechanisms:
+
+* **Depth-based shedding** — :meth:`AdmissionController.admit` rejects when
+  the queue (or the tenant's share of it) is full, raising
+  :class:`~repro.errors.AdmissionRejected` which the HTTP layer maps to a
+  429.
+
+* **Informed Retry-After** — rejections carry a server-side estimate of
+  when capacity frees up, derived from an EWMA of observed job durations
+  scaled by the current backlog.  Clients that honor it re-arrive roughly
+  when the queue has drained instead of hammering a saturated server.
+
+* **Circuit breaker** — repeated ``BrokenProcessPool`` rebuilds inside a
+  sliding window mean the execution substrate itself is sick (OOM pressure,
+  a poisoned cache, a runaway chaos plan); admitting more jobs only feeds
+  the failure.  The breaker opens for a cooldown (503 with Retry-After),
+  then half-opens to let a probe job through; a clean run closes it.
+"""
+
+from __future__ import annotations
+
+import math
+import threading
+import time
+from typing import Callable, Optional
+
+from ..errors import AdmissionRejected, CircuitOpen, ServiceError
+from ..obs import metrics as obs_metrics
+from .queue import FairQueue, QueueFull
+
+__all__ = ["AdmissionController", "CircuitBreaker", "DurationEwma"]
+
+
+class DurationEwma:
+    """Exponentially weighted moving average of job durations (seconds)."""
+
+    def __init__(self, alpha: float = 0.3, initial: float = 1.0) -> None:
+        if not 0.0 < alpha <= 1.0:
+            raise ServiceError(f"alpha must be in (0, 1], got {alpha}")
+        self.alpha = alpha
+        self._value = initial
+        self._observed = False
+        self._lock = threading.Lock()
+
+    def observe(self, duration_s: float) -> None:
+        with self._lock:
+            if not self._observed:
+                self._value = duration_s
+                self._observed = True
+            else:
+                self._value += self.alpha * (duration_s - self._value)
+
+    @property
+    def value(self) -> float:
+        """Current estimate (the optimistic prior until first observation)."""
+        with self._lock:
+            return self._value
+
+
+class CircuitBreaker:
+    """Sliding-window breaker over worker-pool rebuild events.
+
+    States: ``closed`` (normal), ``open`` (shedding until the cooldown
+    elapses), ``half-open`` (cooldown elapsed; jobs are admitted as probes
+    and the first clean completion closes the breaker, while any further
+    rebuild re-opens it immediately).
+    """
+
+    def __init__(
+        self,
+        threshold: int = 3,
+        window_s: float = 60.0,
+        cooldown_s: float = 30.0,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> None:
+        if threshold < 1:
+            raise ServiceError(f"threshold must be >= 1, got {threshold}")
+        if window_s <= 0.0 or cooldown_s <= 0.0:
+            raise ServiceError("window_s and cooldown_s must be > 0")
+        self.threshold = threshold
+        self.window_s = window_s
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._events = []  # (monotonic time, rebuild count)
+        self._opened_at: Optional[float] = None
+        self._half_open = False
+
+    def _prune(self, now: float) -> None:
+        cutoff = now - self.window_s
+        self._events = [(t, n) for t, n in self._events if t >= cutoff]
+
+    def record_rebuilds(self, count: int) -> None:
+        """Fold one job's pool-rebuild count into the window; may trip."""
+        if count <= 0:
+            return
+        with self._lock:
+            now = self._clock()
+            self._events.append((now, count))
+            self._prune(now)
+            total = sum(n for _, n in self._events)
+            if self._half_open or total >= self.threshold:
+                # A rebuild during the half-open probe re-opens immediately;
+                # in closed state the window total must cross the threshold.
+                if self._opened_at is None or self._half_open:
+                    obs_metrics.counter(
+                        "repro_service_breaker_trips_total"
+                    ).inc()
+                self._opened_at = now
+                self._half_open = False
+
+    def record_success(self) -> None:
+        """A job finished without rebuilds; closes a half-open breaker."""
+        with self._lock:
+            if self._half_open:
+                self._half_open = False
+                self._opened_at = None
+                self._events.clear()
+
+    @property
+    def state(self) -> str:
+        with self._lock:
+            return self._state_locked(self._clock())
+
+    def _state_locked(self, now: float) -> str:
+        if self._half_open:
+            return "half-open"
+        if self._opened_at is None:
+            return "closed"
+        if now - self._opened_at >= self.cooldown_s:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> None:
+        """Raise :class:`~repro.errors.CircuitOpen` while the breaker is open.
+
+        Transitions open → half-open as a side effect once the cooldown has
+        elapsed, so exactly this call sequence defines the probe window.
+        """
+        with self._lock:
+            now = self._clock()
+            state = self._state_locked(now)
+            if state == "open":
+                remaining = self.cooldown_s - (now - self._opened_at)
+                raise CircuitOpen(
+                    f"worker-pool circuit breaker is open for another "
+                    f"{remaining:.1f}s after repeated pool rebuilds",
+                    retry_after_s=max(1.0, remaining),
+                )
+            if state == "half-open" and not self._half_open:
+                self._half_open = True
+                self._opened_at = None
+
+
+class AdmissionController:
+    """Front door of the job service: admit, shed, or break the circuit.
+
+    Tracks in-flight jobs and a duration EWMA (fed by the dispatcher via
+    :meth:`job_started`/:meth:`job_finished`) so rejections can tell the
+    client when to come back instead of a bare 429.
+    """
+
+    #: Retry-After clamp, seconds — never tell a client "0" (thundering
+    #: herd) and never more than 10 minutes (the estimate is a heuristic).
+    MIN_RETRY_AFTER_S = 1.0
+    MAX_RETRY_AFTER_S = 600.0
+
+    def __init__(
+        self,
+        queue: FairQueue,
+        breaker: CircuitBreaker,
+        max_inflight: int = 1,
+        ewma: Optional[DurationEwma] = None,
+    ) -> None:
+        if max_inflight < 1:
+            raise ServiceError(
+                f"max_inflight must be >= 1, got {max_inflight}"
+            )
+        self.queue = queue
+        self.breaker = breaker
+        self.max_inflight = max_inflight
+        self.durations = ewma if ewma is not None else DurationEwma()
+        self._lock = threading.Lock()
+        self._inflight = 0
+
+    # -- dispatcher callbacks ------------------------------------------------
+
+    def job_started(self) -> None:
+        with self._lock:
+            self._inflight += 1
+        obs_metrics.gauge("repro_service_inflight").set(self.inflight)
+
+    def job_finished(self, duration_s: float, pool_rebuilds: int) -> None:
+        with self._lock:
+            self._inflight = max(0, self._inflight - 1)
+        obs_metrics.gauge("repro_service_inflight").set(self.inflight)
+        self.durations.observe(max(duration_s, 0.0))
+        obs_metrics.histogram("repro_service_job_seconds").observe(
+            max(duration_s, 0.0)
+        )
+        if pool_rebuilds > 0:
+            self.breaker.record_rebuilds(pool_rebuilds)
+        else:
+            self.breaker.record_success()
+
+    @property
+    def inflight(self) -> int:
+        with self._lock:
+            return self._inflight
+
+    # -- admission -----------------------------------------------------------
+
+    def retry_after_s(self) -> float:
+        """Estimated seconds until capacity frees for one more job.
+
+        Backlog (queued + in-flight + the caller's prospective job) times
+        the per-job duration estimate, divided by the service's concurrency.
+        """
+        backlog = self.queue.depth() + self.inflight + 1
+        estimate = self.durations.value * backlog / self.max_inflight
+        return min(
+            max(self.MIN_RETRY_AFTER_S, math.ceil(estimate)),
+            self.MAX_RETRY_AFTER_S,
+        )
+
+    def admit(self, tenant: str) -> None:
+        """Check every admission gate; raises instead of returning False.
+
+        Raises :class:`~repro.errors.CircuitOpen` when the breaker is open
+        and :class:`~repro.errors.AdmissionRejected` when the queue (or the
+        tenant's share) is full.  The queue's own cap still backstops the
+        race between concurrent admits — callers must handle
+        :class:`~repro.service.queue.QueueFull` from ``push`` the same way.
+        """
+        self.breaker.allow()
+        depth = self.queue.depth()
+        if depth >= self.queue.max_depth:
+            obs_metrics.counter(
+                "repro_service_rejected_total", reason="queue_full"
+            ).inc()
+            raise AdmissionRejected(
+                f"queue is full ({depth}/{self.queue.max_depth} jobs)",
+                retry_after_s=self.retry_after_s(),
+            )
+        per_tenant = self.queue.max_depth_per_tenant
+        if per_tenant is not None and self.queue.depth(tenant) >= per_tenant:
+            obs_metrics.counter(
+                "repro_service_rejected_total", reason="tenant_full"
+            ).inc()
+            raise AdmissionRejected(
+                f"tenant {tenant!r} is at its queue limit ({per_tenant})",
+                retry_after_s=self.retry_after_s(),
+            )
+
+    def translate_queue_full(self, exc: QueueFull) -> AdmissionRejected:
+        """Dress a racing ``push`` failure in admission-rejection clothes."""
+        obs_metrics.counter(
+            "repro_service_rejected_total", reason="queue_full"
+        ).inc()
+        return AdmissionRejected(str(exc), retry_after_s=self.retry_after_s())

@@ -1,0 +1,656 @@
+"""The synthesis job service: engine, dispatcher, and stdlib HTTP front end.
+
+Layering (each piece is independently testable):
+
+* :class:`SynthesisService` — the engine.  Owns the durable
+  :class:`~repro.service.store.JobStore`, the
+  :class:`~repro.service.queue.FairQueue`, the
+  :class:`~repro.service.admission.AdmissionController`, the deadline
+  :class:`~repro.service.budgets.Reaper`, and the dispatcher threads that
+  run accepted jobs through
+  :func:`~repro.eval.supervisor.run_sweep_supervised`.  It knows nothing
+  about HTTP.
+
+* :class:`ServiceHTTPHandler` on a ``ThreadingHTTPServer`` — a thin
+  translation layer: JSON in/out, exception type → status code,
+  ``Retry-After`` from :class:`~repro.errors.AdmissionRejected`.  An
+  optional FastAPI adapter (:mod:`repro.service.fastapi_adapter`) mounts
+  the same engine behind the same routes when that stack is installed;
+  the stdlib server is always available.
+
+Crash safety is inherited, not reimplemented: job lifecycle lives in the
+store's WAL, per-task progress lives in the supervisor's sweep journal, and
+the dispatcher always runs with ``resume=True`` — so a job interrupted by
+``SIGKILL`` of the whole server is requeued on restart and only recomputes
+the tasks whose outcomes never reached disk.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from dataclasses import dataclass, field
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from pathlib import Path
+from typing import Dict, List, Optional, Tuple
+from urllib.parse import parse_qs, urlparse
+
+from .. import obs
+from ..errors import (
+    AdmissionRejected,
+    CircuitOpen,
+    JobStateError,
+    ReproError,
+    ServiceError,
+    SpecError,
+)
+from ..eval import cache as disk_cache
+from ..eval.export import sweep_to_json
+from ..eval.supervisor import run_sweep_supervised
+from ..numrep import Representation
+from ..obs import metrics as obs_metrics
+from ..quantize import ScalingScheme
+from .admission import AdmissionController, CircuitBreaker
+from .artifacts import ARTIFACT_KINDS, ARTIFACT_MEDIA_TYPES, fetch_artifact
+from .budgets import BudgetPolicy, Reaper
+from .queue import FairQueue, QueueFull
+from .store import JobSpec, JobState, JobStore
+
+__all__ = [
+    "ServiceConfig",
+    "ServiceHTTPHandler",
+    "SynthesisService",
+    "make_server",
+]
+
+
+@dataclass(frozen=True)
+class ServiceConfig:
+    """Every tunable of one service instance, in one place."""
+
+    data_dir: Path
+    cache_dir: Optional[Path] = None
+    host: str = "127.0.0.1"
+    port: int = 8177
+    #: Worker processes per running sweep (the supervisor's ``jobs``).
+    sweep_jobs: int = 2
+    #: Concurrently *running* jobs (dispatcher threads).
+    max_inflight: int = 1
+    max_queue_depth: int = 16
+    max_queue_depth_per_tenant: Optional[int] = 8
+    budgets: BudgetPolicy = field(default_factory=BudgetPolicy)
+    breaker_threshold: int = 3
+    breaker_window_s: float = 60.0
+    breaker_cooldown_s: float = 30.0
+    reaper_interval_s: float = 0.5
+    #: Seconds a SIGTERM drain waits for running jobs before giving up.
+    drain_grace_s: float = 30.0
+    #: Supervisor retry budget per job.
+    max_retries: int = 2
+    #: Optional process-level fault plan threaded into every sweep
+    #: (chaos tests only; never set in production configs).
+    chaos: Optional[object] = None
+
+    @property
+    def journal_dir(self) -> Path:
+        return Path(self.data_dir) / "journals"
+
+    @property
+    def store_dir(self) -> Path:
+        return Path(self.data_dir) / "jobs"
+
+
+class SynthesisService:
+    """The HTTP-agnostic job engine (store + queue + dispatchers + reaper)."""
+
+    def __init__(self, config: ServiceConfig) -> None:
+        self.config = config
+        # /metrics must carry the full series vocabulary from the first
+        # scrape (the CI gate asserts series exist at 0, not only after
+        # their first increment).
+        obs.predeclare_metrics()
+        if config.cache_dir is not None:
+            # Configure the process-wide cache exactly once, here, and pass
+            # cache_dir=None to every sweep: per-job reconfiguration would
+            # race between concurrent dispatcher threads.
+            disk_cache.configure(config.cache_dir)
+        self.store = JobStore(config.store_dir)
+        self.queue = FairQueue(
+            config.max_queue_depth, config.max_queue_depth_per_tenant
+        )
+        self.breaker = CircuitBreaker(
+            threshold=config.breaker_threshold,
+            window_s=config.breaker_window_s,
+            cooldown_s=config.breaker_cooldown_s,
+        )
+        self.admission = AdmissionController(
+            self.queue, self.breaker, max_inflight=config.max_inflight
+        )
+        self.reaper = Reaper(
+            sweep=lambda: self.store.jobs_in(
+                JobState.QUEUED, JobState.RUNNING
+            ),
+            expire=lambda job_id: self.store.transition(
+                job_id, JobState.EXPIRED,
+                error="job deadline exceeded", error_type="Expired",
+                finished_at=time.time(),
+            ),
+            interval_s=config.reaper_interval_s,
+        )
+        self._dispatchers: List[threading.Thread] = []
+        self._draining = threading.Event()
+        self._started = False
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> None:
+        """Re-enqueue surviving jobs and start worker threads."""
+        if self._started:
+            return
+        self._started = True
+        # Jobs the store recovered as queued (including running jobs the
+        # last process left behind) re-enter the queue before we accept
+        # new traffic — no accepted job is ever lost to a restart.
+        for record in self.store.jobs_in(JobState.QUEUED):
+            try:
+                self.queue.push(record.tenant, record.job_id)
+            except QueueFull:
+                # More surviving jobs than queue slots: the rest stay
+                # durably queued and are picked up as slots free (the
+                # dispatcher re-enqueues from the store when it idles).
+                break
+        self.reaper.start()
+        for index in range(self.config.max_inflight):
+            thread = threading.Thread(
+                target=self._dispatch_loop,
+                name=f"repro-service-dispatch-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._dispatchers.append(thread)
+
+    def drain(self, grace_s: Optional[float] = None) -> bool:
+        """Stop accepting work, wait for running jobs; True when clean.
+
+        Queued jobs stay durably queued for the next start; running jobs
+        get ``grace_s`` to finish.  Returns ``False`` when the grace period
+        expired with jobs still running (the caller maps that to the
+        partial-result exit code).
+        """
+        grace = self.config.drain_grace_s if grace_s is None else grace_s
+        self._draining.set()
+        self.queue.close()
+        deadline = time.monotonic() + grace
+        for thread in self._dispatchers:
+            remaining = deadline - time.monotonic()
+            if remaining > 0:
+                thread.join(timeout=remaining)
+        clean = not any(t.is_alive() for t in self._dispatchers)
+        self.reaper.stop()
+        self.store.close()
+        return clean
+
+    @property
+    def draining(self) -> bool:
+        return self._draining.is_set()
+
+    # -- request operations ----------------------------------------------------
+
+    def submit(self, payload: Dict[str, object]) -> Tuple[Dict[str, object], bool]:
+        """Admit and durably register a job; returns ``(view, created)``.
+
+        Idempotent: an identical spec maps to the same job id, and a job
+        already queued/running/completed is returned without re-admission
+        (observing an existing job must never be shed by a full queue).
+        """
+        if not isinstance(payload, dict):
+            raise SpecError("request body must be a JSON object")
+        tenant = payload.pop("tenant", "default")
+        if not isinstance(tenant, str) or not tenant:
+            raise SpecError("tenant must be a non-empty string")
+        requested_task = payload.pop("task_deadline_s", None)
+        requested_job = payload.pop("deadline_s", None)
+        spec = JobSpec.from_dict(payload)
+        task_deadline, job_deadline, clamped = self.config.budgets.resolve(
+            _number_or_none(requested_task, "task_deadline_s"),
+            _number_or_none(requested_job, "deadline_s"),
+        )
+
+        # Peek before admission: re-observing an existing live or completed
+        # job is free and must not be load-shed.
+        signature = spec.signature()
+        job_id = f"job-{signature[:16]}"
+        try:
+            existing = self.store.get(job_id)
+        except JobStateError:
+            existing = None
+        if existing is not None and existing.state in (
+            JobState.QUEUED, JobState.RUNNING, JobState.COMPLETED
+        ):
+            return existing.public_view(), False
+
+        self.admission.admit(tenant)
+        record, needs_enqueue = self.store.submit(
+            spec, tenant, task_deadline, job_deadline, clamped=clamped
+        )
+        if needs_enqueue:
+            try:
+                self.queue.push(record.tenant, record.job_id)
+            except QueueFull as exc:
+                # Lost the race with concurrent admits.  The job stays
+                # durably queued; it will be re-enqueued by an idle
+                # dispatcher or the next restart, so tell the client it
+                # was accepted rather than shedding an already-durable job.
+                obs.event(
+                    "service.enqueue_race", job_id=record.job_id,
+                    scope=exc.scope,
+                )
+        obs_metrics.counter("repro_service_admitted_total").inc()
+        obs_metrics.gauge("repro_service_queue_depth").set(self.queue.depth())
+        return record.public_view(), needs_enqueue
+
+    def status(self, job_id: str) -> Dict[str, object]:
+        return self.store.get(job_id).public_view()
+
+    def jobs_overview(self) -> Dict[str, object]:
+        return {
+            "counts": self.store.counts(),
+            "queue_depth": self.queue.depth(),
+            "inflight": self.admission.inflight,
+            "jobs": [r.public_view() for r in self.store.list_jobs()],
+        }
+
+    def result(self, job_id: str) -> str:
+        return self.store.read_result(job_id)
+
+    def cancel(self, job_id: str) -> Dict[str, object]:
+        """Cancel a queued or running job (running sweeps stop at their
+        next task-deadline checkpoint; the dispatcher's completion loses to
+        this transition and is discarded)."""
+        record = self.store.transition(
+            job_id, JobState.CANCELLED,
+            error="cancelled by client", error_type="Cancelled",
+            finished_at=time.time(),
+        )
+        return record.public_view()
+
+    def artifact(
+        self,
+        kind: str,
+        filter_index: int,
+        wordlength: int,
+        scaling: str = "maximal",
+        representation: str = "csd",
+    ) -> Tuple[str, str]:
+        """Generate (or serve from cache) one artifact; (text, media type)."""
+        try:
+            scheme = ScalingScheme(scaling)
+        except ValueError:
+            raise SpecError(
+                f"unknown scaling {scaling!r}; choose from "
+                f"{[s.value for s in ScalingScheme]}"
+            )
+        try:
+            rep = Representation(representation)
+        except ValueError:
+            raise SpecError(
+                f"unknown representation {representation!r}; choose from "
+                f"{[r.value for r in Representation]}"
+            )
+        text = fetch_artifact(
+            filter_index, wordlength, kind, scaling=scheme,
+            representation=rep,
+        )
+        return text, ARTIFACT_MEDIA_TYPES[kind]
+
+    def ready(self) -> bool:
+        return (
+            self._started
+            and not self.draining
+            and self.breaker.state != "open"
+        )
+
+    # -- the dispatcher --------------------------------------------------------
+
+    def _dispatch_loop(self) -> None:
+        while not self._draining.is_set():
+            job_id = self.queue.pop(timeout=0.25)
+            if job_id is None:
+                if self.queue.closed:
+                    return
+                self._refill_queue()
+                continue
+            self._run_job(job_id)
+        # Drain: stop pulling; anything still queued persists in the store.
+
+    def _refill_queue(self) -> None:
+        """Re-enqueue durably-queued jobs that missed a queue slot.
+
+        Covers the two paths where a job is queued in the store but absent
+        from the in-memory queue: an enqueue race at submit time, and a
+        restart that recovered more queued jobs than the queue holds.
+        """
+        if self.queue.depth() > 0:
+            return
+        for record in self.store.jobs_in(JobState.QUEUED):
+            try:
+                self.queue.push(record.tenant, record.job_id)
+            except QueueFull:
+                break
+
+    def _run_job(self, job_id: str) -> None:
+        # Revalidate against the durable truth: the job may have been
+        # cancelled or expired while queued.
+        try:
+            record = self.store.get(job_id)
+        except JobStateError:
+            return
+        if record.state != JobState.QUEUED:
+            return
+        now = time.time()
+        try:
+            record = self.store.transition(
+                job_id, JobState.RUNNING,
+                started_at=now,
+                expires_at=now + record.deadline_s,
+                attempts=record.attempts + 1,
+            )
+        except JobStateError:
+            return  # lost the race to cancel/expire
+        self.admission.job_started()
+        obs_metrics.gauge("repro_service_queue_depth").set(self.queue.depth())
+        started = time.monotonic()
+        rebuilds = 0
+        try:
+            with obs.span(
+                "service.job", job_id=job_id, tenant=record.tenant,
+                attempt=record.attempts,
+            ):
+                report, result_text = self._execute(record)
+            rebuilds = report.pool_rebuilds
+            self.store.write_result(job_id, result_text)
+            self.store.transition(
+                job_id, JobState.COMPLETED,
+                finished_at=time.time(),
+                quarantined=len(report.quarantined_tasks),
+                pool_rebuilds=report.pool_rebuilds,
+                retries=report.retries,
+            )
+            obs_metrics.counter(
+                "repro_service_jobs_total", status="completed"
+            ).inc()
+        except JobStateError:
+            # The reaper or a cancel won the terminal transition while the
+            # sweep was running; its result is simply discarded.
+            obs_metrics.counter(
+                "repro_service_jobs_total", status="discarded"
+            ).inc()
+        except ReproError as exc:
+            self._fail_job(job_id, exc)
+        except Exception as exc:  # noqa: BLE001 - job isolation boundary
+            self._fail_job(job_id, exc)
+        finally:
+            self.admission.job_finished(
+                time.monotonic() - started, rebuilds
+            )
+
+    def _fail_job(self, job_id: str, exc: BaseException) -> None:
+        try:
+            self.store.transition(
+                job_id, JobState.FAILED,
+                error=str(exc), error_type=type(exc).__name__,
+                finished_at=time.time(),
+            )
+        except JobStateError:
+            return
+        obs_metrics.counter(
+            "repro_service_jobs_total", status="failed"
+        ).inc()
+
+    def _execute(self, record) -> Tuple[object, str]:
+        """Run one job's sweep under supervision; returns (report, json)."""
+        spec = record.spec
+        # Cap each task's budget at the job's remaining wall-clock time so
+        # a cancelled/expired job's sweep self-terminates instead of
+        # needing preemption.
+        remaining = (
+            record.expires_at - time.time()
+            if record.expires_at is not None else record.task_deadline_s
+        )
+        effective_deadline = max(0.1, min(record.task_deadline_s, remaining))
+        report = run_sweep_supervised(
+            experiment_ids=list(spec.experiments),
+            jobs=self.config.sweep_jobs,
+            cache_dir=None,  # configured process-wide in __init__
+            filter_indices=(
+                list(spec.filters) if spec.filters is not None else None
+            ),
+            wordlengths=(
+                list(spec.wordlengths)
+                if spec.wordlengths is not None else None
+            ),
+            task_deadline_s=effective_deadline,
+            journal_dir=self.config.journal_dir,
+            resume=True,
+            max_retries=self.config.max_retries,
+            chaos=self.config.chaos,
+        )
+        return report, sweep_to_json(report.outcomes)
+
+
+def _number_or_none(value: object, name: str) -> Optional[float]:
+    if value is None:
+        return None
+    if isinstance(value, bool) or not isinstance(value, (int, float)):
+        raise SpecError(f"{name} must be a number, got {value!r}")
+    return float(value)
+
+
+# -- stdlib HTTP front end -----------------------------------------------------
+
+
+class ServiceHTTPHandler(BaseHTTPRequestHandler):
+    """Routes requests to the engine; maps exception types to statuses."""
+
+    service: SynthesisService  # installed by make_server
+    protocol_version = "HTTP/1.1"
+
+    # -- plumbing -------------------------------------------------------------
+
+    def log_message(self, fmt, *args):  # noqa: N802 - stdlib naming
+        pass  # request logging goes through obs spans, not stderr
+
+    def _send(
+        self,
+        status: int,
+        body: str,
+        content_type: str = "application/json",
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        payload = body.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(payload)))
+        for name, value in headers:
+            self.send_header(name, value)
+        self.end_headers()
+        self.wfile.write(payload)
+
+    def _send_json(
+        self,
+        status: int,
+        payload: Dict[str, object],
+        headers: Tuple[Tuple[str, str], ...] = (),
+    ) -> None:
+        self._send(
+            status, json.dumps(payload, sort_keys=True), headers=headers
+        )
+
+    def _send_error_payload(self, status: int, exc: BaseException) -> None:
+        headers: Tuple[Tuple[str, str], ...] = ()
+        if isinstance(exc, AdmissionRejected):
+            headers = (("Retry-After", str(int(exc.retry_after_s))),)
+        self._send_json(
+            status,
+            {"error": type(exc).__name__, "message": str(exc)},
+            headers=headers,
+        )
+
+    def _read_body(self) -> Dict[str, object]:
+        length = int(self.headers.get("Content-Length") or 0)
+        raw = self.rfile.read(length) if length else b""
+        if not raw:
+            raise SpecError("request body must be a JSON object")
+        try:
+            payload = json.loads(raw.decode("utf-8"))
+        except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+            raise SpecError(f"request body is not valid JSON: {exc}") from exc
+        if not isinstance(payload, dict):
+            raise SpecError("request body must be a JSON object")
+        return payload
+
+    def _dispatch(self, method: str) -> None:
+        parsed = urlparse(self.path)
+        route = parsed.path.rstrip("/") or "/"
+        status = 500
+        try:
+            with obs.span("service.request", route=route, method=method):
+                status = self._route(method, route, parse_qs(parsed.query))
+        except SpecError as exc:
+            status = 400
+            self._send_error_payload(status, exc)
+        except CircuitOpen as exc:
+            status = 503
+            self._send_error_payload(status, exc)
+        except AdmissionRejected as exc:
+            status = 429
+            self._send_error_payload(status, exc)
+        except JobStateError as exc:
+            status = 404 if "unknown job" in str(exc) else 409
+            self._send_error_payload(status, exc)
+        except ServiceError as exc:
+            status = 400
+            self._send_error_payload(status, exc)
+        except BrokenPipeError:
+            return  # client went away mid-response; nothing to send
+        except Exception as exc:  # noqa: BLE001 - HTTP isolation boundary
+            status = 500
+            try:
+                self._send_error_payload(status, exc)
+            except OSError:
+                pass
+        finally:
+            obs_metrics.counter(
+                "repro_service_requests_total",
+                method=method, status=str(status),
+            ).inc()
+
+    # -- routing --------------------------------------------------------------
+
+    def _route(self, method: str, route: str, query) -> int:
+        service = self.service
+        parts = [p for p in route.split("/") if p]
+
+        if method == "GET" and route == "/healthz":
+            self._send(200, "ok\n", content_type="text/plain")
+            return 200
+        if method == "GET" and route == "/readyz":
+            if service.ready():
+                self._send(200, "ready\n", content_type="text/plain")
+                return 200
+            self._send(503, "not ready\n", content_type="text/plain")
+            return 503
+        if method == "GET" and route == "/metrics":
+            self._send(
+                200,
+                obs_metrics.DEFAULT_REGISTRY.exposition(),
+                content_type="text/plain; version=0.0.4",
+            )
+            return 200
+
+        if method == "POST" and route == "/v1/jobs":
+            view, created = service.submit(self._read_body())
+            self._send_json(201 if created else 200, view)
+            return 201 if created else 200
+        if method == "GET" and route == "/v1/jobs":
+            self._send_json(200, service.jobs_overview())
+            return 200
+        if parts[:2] == ["v1", "jobs"] and len(parts) >= 3:
+            job_id = parts[2]
+            if method == "GET" and len(parts) == 3:
+                self._send_json(200, service.status(job_id))
+                return 200
+            if method == "DELETE" and len(parts) == 3:
+                self._send_json(200, service.cancel(job_id))
+                return 200
+            if method == "GET" and len(parts) == 4 and parts[3] == "result":
+                self._send(200, service.result(job_id))
+                return 200
+        if (
+            method == "GET"
+            and parts[:2] == ["v1", "artifacts"]
+            and len(parts) == 3
+        ):
+            kind = parts[2]
+            if kind not in ARTIFACT_KINDS:
+                raise SpecError(
+                    f"unknown artifact kind {kind!r}; choose from "
+                    f"{ARTIFACT_KINDS}"
+                )
+            text, media_type = service.artifact(
+                kind,
+                _query_int(query, "filter"),
+                _query_int(query, "wordlength"),
+                scaling=_query_str(query, "scaling", "maximal"),
+                representation=_query_str(query, "representation", "csd"),
+            )
+            self._send(200, text, content_type=media_type)
+            return 200
+
+        self._send_json(
+            404, {"error": "NotFound", "message": f"no route {route}"}
+        )
+        return 404
+
+    def do_GET(self):  # noqa: N802 - stdlib naming
+        self._dispatch("GET")
+
+    def do_POST(self):  # noqa: N802
+        self._dispatch("POST")
+
+    def do_DELETE(self):  # noqa: N802
+        self._dispatch("DELETE")
+
+
+def _query_int(query: Dict[str, List[str]], name: str) -> int:
+    values = query.get(name)
+    if not values:
+        raise SpecError(f"missing required query parameter {name!r}")
+    try:
+        return int(values[0])
+    except ValueError as exc:
+        raise SpecError(
+            f"query parameter {name!r} must be an integer, got {values[0]!r}"
+        ) from exc
+
+
+def _query_str(query: Dict[str, List[str]], name: str, default: str) -> str:
+    values = query.get(name)
+    return values[0] if values else default
+
+
+def make_server(
+    config: ServiceConfig,
+) -> Tuple[ThreadingHTTPServer, SynthesisService]:
+    """Build (but do not start serving) the engine plus its HTTP server."""
+    service = SynthesisService(config)
+    service.start()
+
+    class _Handler(ServiceHTTPHandler):
+        pass
+
+    _Handler.service = service
+    server = ThreadingHTTPServer((config.host, config.port), _Handler)
+    server.daemon_threads = True
+    return server, service

@@ -1,0 +1,156 @@
+"""Deterministic artifact generation shared by the service and the CLI.
+
+The byte-identity guarantee — an artifact fetched over HTTP equals the one
+the CLI writes for the same design point — holds because both paths call
+:func:`generate_artifact`, which is deterministic end to end: filter design
+is deterministic, quantization is deterministic, and
+:func:`~repro.eval.experiments.best_mrpf` breaks ties deterministically.
+The chaos suite enforces the guarantee by diffing a served Verilog module
+against a fresh ``python -m repro.eval export`` run in another process.
+
+Artifacts are cached by content key in the active
+:class:`~repro.eval.cache.DiskCache` (text entries with an integrity
+trailer, so a torn cache write is quarantined and regenerated, never
+served).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+from ..arch import emit_c_model, emit_verilog, to_dot
+from ..errors import SpecError
+from ..eval import cache as disk_cache
+from ..eval.experiments import best_mrpf
+from ..filters import TABLE1_SPECS, benchmark_filter
+from ..obs import metrics as obs_metrics
+from ..numrep import Representation
+from ..quantize import ScalingScheme, quantize
+
+__all__ = ["ARTIFACT_KINDS", "artifact_key", "fetch_artifact",
+           "generate_artifact"]
+
+#: kind -> (emitter dispatch handled in generate_artifact, media type)
+ARTIFACT_KINDS = ("verilog", "c", "dot")
+
+ARTIFACT_MEDIA_TYPES = {
+    "verilog": "text/x-verilog",
+    "c": "text/x-c",
+    "dot": "text/vnd.graphviz",
+}
+
+
+def artifact_key(
+    filter_index: int,
+    wordlength: int,
+    kind: str,
+    scaling: ScalingScheme,
+    representation: Representation,
+    depth_limit: Optional[int],
+    input_bits: int,
+) -> str:
+    """Content hash of every input that shapes the artifact bytes."""
+    return disk_cache.cache_key({
+        "artifact": kind,
+        "filter_index": filter_index,
+        "wordlength": wordlength,
+        "scaling": scaling.value,
+        "representation": representation.value,
+        "depth_limit": depth_limit,
+        "input_bits": input_bits,
+    })
+
+
+def _validate(filter_index: int, wordlength: int, kind: str) -> None:
+    if kind not in ARTIFACT_KINDS:
+        raise SpecError(
+            f"unknown artifact kind {kind!r}; choose from {ARTIFACT_KINDS}"
+        )
+    if not 0 <= filter_index < len(TABLE1_SPECS):
+        raise SpecError(
+            f"filter index {filter_index} out of range "
+            f"[0, {len(TABLE1_SPECS) - 1}]"
+        )
+    if wordlength < 2:
+        raise SpecError(f"wordlength must be >= 2, got {wordlength}")
+
+
+def generate_artifact(
+    filter_index: int,
+    wordlength: int,
+    kind: str,
+    scaling: ScalingScheme = ScalingScheme.MAXIMAL,
+    representation: Representation = Representation.CSD,
+    depth_limit: Optional[int] = None,
+    input_bits: int = 16,
+) -> str:
+    """Synthesize the MRPF architecture and emit one artifact, from scratch.
+
+    Deterministic: the same arguments produce byte-identical text in any
+    process running the same code version.
+    """
+    _validate(filter_index, wordlength, kind)
+    designed = benchmark_filter(filter_index)
+    quantized = quantize(designed.folded, wordlength, scaling)
+    architecture = best_mrpf(
+        list(quantized.integers), wordlength, representation,
+        depth_limit=depth_limit,
+    )
+    if kind == "verilog":
+        return emit_verilog(
+            architecture.netlist,
+            architecture.tap_names,
+            module_name=f"fir_filter_{filter_index}_w{wordlength}",
+            input_bits=input_bits,
+        )
+    if kind == "c":
+        return emit_c_model(
+            architecture.netlist, architecture.tap_names,
+            input_bits=input_bits,
+        )
+    return to_dot(
+        architecture.netlist,
+        architecture.tap_names,
+        graph_name=f"mrpf_{filter_index}_w{wordlength}",
+    )
+
+
+def fetch_artifact(
+    filter_index: int,
+    wordlength: int,
+    kind: str,
+    scaling: ScalingScheme = ScalingScheme.MAXIMAL,
+    representation: Representation = Representation.CSD,
+    depth_limit: Optional[int] = None,
+    input_bits: int = 16,
+) -> str:
+    """Cache-backed :func:`generate_artifact`.
+
+    Consults the active disk cache's integrity-checked text layer first;
+    a corrupt entry counts as a miss (and is quarantined by the cache), so
+    this can only ever return complete artifact text.
+    """
+    _validate(filter_index, wordlength, kind)
+    key = artifact_key(
+        filter_index, wordlength, kind, scaling, representation,
+        depth_limit, input_bits,
+    )
+    cache = disk_cache.active_cache()
+    if cache is not None:
+        cached = cache.get_text(key)
+        if cached is not None:
+            return cached
+    text = generate_artifact(
+        filter_index, wordlength, kind, scaling, representation,
+        depth_limit, input_bits,
+    )
+    if cache is not None:
+        try:
+            cache.put_text(key, text)
+        except OSError:
+            # A full disk must not fail the request: the artifact text is
+            # already in hand.  Count the failure the same way the sweep's
+            # persistent-cache layer does.
+            cache.stats.put_errors += 1
+            obs_metrics.counter("repro_cache_put_errors_total").inc()
+    return text

@@ -1,0 +1,156 @@
+"""Per-request budget policy and the over-deadline job reaper.
+
+Two distinct deadlines govern every job:
+
+* the **task deadline** — threaded into the sweep's per-task
+  :class:`~repro.robust.SolverBudget` so each synthesis task stays
+  interruptible, and
+* the **job deadline** — wall-clock bound on the whole sweep, enforced by
+  the :class:`Reaper`, which periodically marks over-deadline jobs
+  ``expired`` in the store.  A running sweep is cancelled cooperatively:
+  the dispatcher caps each task's effective deadline at the job's remaining
+  time, so the sweep self-terminates near the job deadline, and the
+  dispatcher's terminal transition loses to the reaper's and is discarded.
+
+:class:`BudgetPolicy` holds the server-side ceilings.  Requests may ask for
+smaller budgets; asking for more than the ceiling is *clamped* (recorded on
+the job as ``clamped`` rather than rejected, so a client pointing at a more
+generous server keeps working), while non-positive budgets are a
+:class:`~repro.errors.SpecError`.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass
+from typing import Callable, Optional, Tuple
+
+from ..errors import SpecError
+from ..obs import metrics as obs_metrics
+
+__all__ = ["BudgetPolicy", "Reaper"]
+
+
+@dataclass(frozen=True)
+class BudgetPolicy:
+    """Server-side deadline ceilings and defaults (seconds)."""
+
+    default_task_deadline_s: float = 30.0
+    max_task_deadline_s: float = 120.0
+    default_job_deadline_s: float = 300.0
+    max_job_deadline_s: float = 1800.0
+
+    def __post_init__(self) -> None:
+        for field in (
+            "default_task_deadline_s",
+            "max_task_deadline_s",
+            "default_job_deadline_s",
+            "max_job_deadline_s",
+        ):
+            if getattr(self, field) <= 0.0:
+                raise SpecError(f"{field} must be > 0")
+        if self.default_task_deadline_s > self.max_task_deadline_s:
+            raise SpecError("default task deadline exceeds the ceiling")
+        if self.default_job_deadline_s > self.max_job_deadline_s:
+            raise SpecError("default job deadline exceeds the ceiling")
+
+    def resolve(
+        self,
+        task_deadline_s: Optional[float],
+        job_deadline_s: Optional[float],
+    ) -> Tuple[float, float, bool]:
+        """Resolve requested budgets against policy.
+
+        Returns ``(task_deadline_s, job_deadline_s, clamped)`` where
+        ``clamped`` records that at least one requested budget exceeded its
+        ceiling and was reduced.  Non-positive requests are rejected.
+        """
+        clamped = False
+        if task_deadline_s is None:
+            task = self.default_task_deadline_s
+        else:
+            if task_deadline_s <= 0.0:
+                raise SpecError(
+                    f"task_deadline_s must be > 0, got {task_deadline_s}"
+                )
+            task = float(task_deadline_s)
+            if task > self.max_task_deadline_s:
+                task = self.max_task_deadline_s
+                clamped = True
+        if job_deadline_s is None:
+            job = self.default_job_deadline_s
+        else:
+            if job_deadline_s <= 0.0:
+                raise SpecError(
+                    f"deadline_s must be > 0, got {job_deadline_s}"
+                )
+            job = float(job_deadline_s)
+            if job > self.max_job_deadline_s:
+                job = self.max_job_deadline_s
+                clamped = True
+        return task, job, clamped
+
+
+class Reaper:
+    """Background thread expiring jobs whose wall-clock deadline passed.
+
+    ``sweep`` is a callable returning the non-terminal job records to check
+    (each must expose ``job_id`` and ``expires_at``); ``expire`` is called
+    with each over-deadline job id and must tolerate losing the race with a
+    concurrent legal transition (the store raises
+    :class:`~repro.errors.JobStateError`, which the reaper swallows — the
+    job reached a terminal state first, so there is nothing left to reap).
+    """
+
+    def __init__(
+        self,
+        sweep: Callable[[], list],
+        expire: Callable[[str], None],
+        interval_s: float = 0.5,
+        clock: Callable[[], float] = time.time,
+    ) -> None:
+        if interval_s <= 0.0:
+            raise SpecError(f"interval_s must be > 0, got {interval_s}")
+        self._sweep = sweep
+        self._expire = expire
+        self.interval_s = interval_s
+        self._clock = clock
+        self._stop = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    def reap_once(self) -> int:
+        """One reaper pass; returns how many jobs were expired."""
+        from ..errors import JobStateError
+
+        now = self._clock()
+        expired = 0
+        for record in self._sweep():
+            deadline = getattr(record, "expires_at", None)
+            if deadline is None or now < deadline:
+                continue
+            try:
+                self._expire(record.job_id)
+            except JobStateError:
+                continue
+            expired += 1
+            obs_metrics.counter("repro_service_jobs_expired_total").inc()
+        return expired
+
+    def _run(self) -> None:
+        while not self._stop.wait(self.interval_s):
+            self.reap_once()
+
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self._thread = threading.Thread(
+            target=self._run, name="repro-service-reaper", daemon=True
+        )
+        self._thread.start()
+
+    def stop(self) -> None:
+        self._stop.set()
+        if self._thread is not None:
+            self._thread.join(timeout=5.0)
+            self._thread = None

@@ -1,0 +1,132 @@
+"""Optional FastAPI front end for :class:`~repro.service.SynthesisService`.
+
+The stdlib ``http.server`` front end in :mod:`repro.service.app` is the
+canonical one — always available, no dependencies.  Deployments that
+already run a FastAPI/uvicorn stack can mount the *same engine* behind the
+same routes with :func:`build_app`; the engine object is shared, so both
+front ends expose identical semantics (idempotent submission, 429 with
+``Retry-After``, byte-identical artifacts).
+
+FastAPI is an extra (``pip install repro-mrpf[service]``), never a hard
+dependency: importing this module without it installed raises
+:class:`~repro.errors.ServiceError` with an actionable message, and the
+rest of :mod:`repro.service` works untouched.
+"""
+
+from __future__ import annotations
+
+from ..errors import (
+    AdmissionRejected,
+    JobStateError,
+    ServiceError,
+    SpecError,
+)
+from .app import SynthesisService
+from .artifacts import ARTIFACT_KINDS
+
+__all__ = ["build_app"]
+
+try:  # pragma: no cover - exercised only when fastapi is installed
+    from fastapi import FastAPI, Request, Response
+    from fastapi.responses import JSONResponse, PlainTextResponse
+
+    _FASTAPI_AVAILABLE = True
+except ImportError:  # pragma: no cover - the default in this environment
+    FastAPI = None  # type: ignore[assignment]
+    _FASTAPI_AVAILABLE = False
+
+
+def build_app(service: SynthesisService):
+    """Return a FastAPI app wrapping ``service``; raises without fastapi."""
+    if not _FASTAPI_AVAILABLE:
+        raise ServiceError(
+            "fastapi is not installed; install the [service] extra or use "
+            "the stdlib server (python -m repro.eval serve)"
+        )
+
+    app = FastAPI(title="repro synthesis service")
+
+    def _error(status: int, exc: Exception) -> JSONResponse:
+        headers = {}
+        if isinstance(exc, AdmissionRejected):
+            headers["Retry-After"] = str(int(exc.retry_after_s))
+        return JSONResponse(
+            status_code=status,
+            content={"error": type(exc).__name__, "message": str(exc)},
+            headers=headers,
+        )
+
+    @app.exception_handler(ServiceError)
+    async def _service_error(request: Request, exc: ServiceError):
+        if isinstance(exc, SpecError):
+            return _error(400, exc)
+        if isinstance(exc, AdmissionRejected):
+            from ..errors import CircuitOpen
+
+            return _error(503 if isinstance(exc, CircuitOpen) else 429, exc)
+        if isinstance(exc, JobStateError):
+            return _error(404 if "unknown job" in str(exc) else 409, exc)
+        return _error(400, exc)
+
+    @app.post("/v1/jobs")
+    async def submit(payload: dict):
+        view, created = service.submit(payload)
+        return JSONResponse(status_code=201 if created else 200, content=view)
+
+    @app.get("/v1/jobs")
+    async def overview():
+        return service.jobs_overview()
+
+    @app.get("/v1/jobs/{job_id}")
+    async def status(job_id: str):
+        return service.status(job_id)
+
+    @app.delete("/v1/jobs/{job_id}")
+    async def cancel(job_id: str):
+        return service.cancel(job_id)
+
+    @app.get("/v1/jobs/{job_id}/result")
+    async def result(job_id: str):
+        return Response(
+            content=service.result(job_id), media_type="application/json"
+        )
+
+    @app.get("/v1/artifacts/{kind}")
+    async def artifact(
+        kind: str,
+        filter: int,
+        wordlength: int,
+        scaling: str = "maximal",
+        representation: str = "csd",
+    ):
+        if kind not in ARTIFACT_KINDS:
+            raise SpecError(
+                f"unknown artifact kind {kind!r}; choose from "
+                f"{ARTIFACT_KINDS}"
+            )
+        text, media_type = service.artifact(
+            kind, filter, wordlength, scaling=scaling,
+            representation=representation,
+        )
+        return Response(content=text, media_type=media_type)
+
+    @app.get("/healthz")
+    async def healthz():
+        return PlainTextResponse("ok\n")
+
+    @app.get("/readyz")
+    async def readyz():
+        if service.ready():
+            return PlainTextResponse("ready\n")
+        return PlainTextResponse("not ready\n", status_code=503)
+
+    @app.get("/metrics")
+    async def metrics():
+        from ..obs.metrics import DEFAULT_REGISTRY
+
+        return PlainTextResponse(
+            DEFAULT_REGISTRY.exposition(),
+            media_type="text/plain; version=0.0.4",
+        )
+
+    return app

@@ -1,0 +1,72 @@
+"""Signal-driven lifecycle for the stdlib service: serve, drain, exit.
+
+SIGTERM (and SIGINT) trigger a *graceful drain* rather than an abrupt
+exit: the server stops accepting connections, the queue closes (queued
+jobs stay durable for the next start), and running jobs get the
+configured grace period to finish.  The exit code follows the CLI's
+established taxonomy: ``0`` for a clean drain, ``5`` (partial results)
+when the grace period expired with jobs still running — those jobs are
+requeued on the next start by the store's recovery path, so a noisy
+shutdown degrades to a resume, never to data loss.
+"""
+
+from __future__ import annotations
+
+import signal
+import threading
+from http.server import ThreadingHTTPServer
+
+from .. import obs
+from .app import SynthesisService
+
+__all__ = ["run_forever"]
+
+#: Exit codes aligned with ``repro.eval.__main__`` (0 ok, 5 partial).
+EXIT_OK = 0
+EXIT_PARTIAL = 5
+
+
+def run_forever(
+    server: ThreadingHTTPServer,
+    service: SynthesisService,
+    grace_s: float = None,
+    ready=None,
+) -> int:
+    """Serve until SIGTERM/SIGINT, then drain; returns the exit code.
+
+    Must run on the main thread (signal handlers can only be installed
+    there); the HTTP server itself runs on a helper thread so the main
+    thread can sit on the shutdown event.  ``ready`` (if given) is called
+    once the handlers are installed and the server is accepting — anything
+    announced earlier could race a SIGTERM into the default handler.
+    """
+    stop = threading.Event()
+
+    def _request_stop(signum, frame):  # noqa: ARG001 - signal API
+        obs.event("service.signal", signal=signal.Signals(signum).name)
+        stop.set()
+
+    previous = {
+        signal.SIGTERM: signal.signal(signal.SIGTERM, _request_stop),
+        signal.SIGINT: signal.signal(signal.SIGINT, _request_stop),
+    }
+    serve_thread = threading.Thread(
+        target=server.serve_forever,
+        kwargs={"poll_interval": 0.1},
+        name="repro-service-http",
+        daemon=True,
+    )
+    serve_thread.start()
+    try:
+        if ready is not None:
+            ready()
+        stop.wait()
+    finally:
+        for signum, handler in previous.items():
+            signal.signal(signum, handler)
+    server.shutdown()
+    serve_thread.join(timeout=5.0)
+    server.server_close()
+    clean = service.drain(grace_s)
+    obs.event("service.drained", clean=clean)
+    return EXIT_OK if clean else EXIT_PARTIAL

@@ -143,3 +143,82 @@ class TestExitCodes:
         captured = capsys.readouterr()
         assert "quarantined" in captured.out
         assert "poison" in captured.err
+
+
+class TestExportSubcommand:
+    def test_parsing_defaults(self):
+        args = build_parser().parse_args(
+            ["export", "--filters", "0", "--wordlengths", "8"]
+        )
+        assert args.experiment == "export"
+        assert args.export_format == "verilog"
+        assert args.scaling == "maximal"
+        assert args.representation == "csd"
+
+    def test_writes_verilog_to_file(self, tmp_path, capsys):
+        out = tmp_path / "fir.v"
+        code = main([
+            "export", "--format", "verilog", "--filters", "0",
+            "--wordlengths", "8", "--output", str(out),
+        ])
+        assert code == EXIT_OK
+        text = out.read_text(encoding="utf-8")
+        assert text.startswith("//") or text.startswith("module") or (
+            "module" in text
+        )
+        assert str(out) in capsys.readouterr().out
+
+    def test_dot_to_stdout(self, capsys):
+        code = main([
+            "export", "--format", "dot", "--filters", "0",
+            "--wordlengths", "8",
+        ])
+        assert code == EXIT_OK
+        assert "digraph" in capsys.readouterr().out
+
+    def test_needs_exactly_one_design_point(self, capsys):
+        assert main(["export", "--wordlengths", "8"]) == EXIT_FAILURE
+        assert "exactly one --filters" in capsys.readouterr().err
+        assert main([
+            "export", "--filters", "0", "--wordlengths", "6", "8",
+        ]) == EXIT_FAILURE
+        assert "exactly one --wordlengths" in capsys.readouterr().err
+
+
+class TestServeSubcommand:
+    def test_parsing_defaults(self):
+        args = build_parser().parse_args(["serve", "--data-dir", "state"])
+        assert args.experiment == "serve"
+        assert args.port == 8177
+        assert args.max_queue_depth == 16
+        assert args.max_tenant_depth == 8
+        assert args.max_inflight == 1
+
+    def test_serve_without_data_dir_fails(self, capsys):
+        assert main(["serve"]) == EXIT_FAILURE
+        assert "--data-dir" in capsys.readouterr().err
+
+
+class TestCacheCounterSummary:
+    def test_supervised_summary_surfaces_cache_counters(
+        self, monkeypatch, capsys
+    ):
+        # Cache write failures and quarantined entries must be visible in
+        # the end-of-run summary, not only in the metrics exposition.
+        import repro.eval.supervisor as supervisor
+
+        report = ParallelSweepReport(
+            outcomes=(), tasks=(), jobs=2, tasks_planned=0,
+            tasks_precached=0, precompute_s=0.0, replay_s=0.0, total_s=0.0,
+            stage_timings={}, cache={"put_errors": 3, "quarantined": 1},
+        )
+        monkeypatch.setattr(
+            supervisor, "run_sweep_supervised", lambda *a, **kw: report
+        )
+        code = main([
+            "fig6", "--filters", "0", "--wordlengths", "8",
+            "--journal-dir", "unused",
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "[cache: 3 put errors, 1 quarantined entries]" in out

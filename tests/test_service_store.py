@@ -1,0 +1,273 @@
+"""Durable job store: spec validation, idempotent identity, WAL recovery.
+
+The store is the piece the service's "no accepted job is ever lost"
+guarantee rests on, so its contract is pinned tightly: every lifecycle
+change is a durable WAL append, recovery folds last-record-wins and flips
+interrupted ``running`` jobs back to ``queued``, illegal transitions
+raise instead of silently corrupting history, and the same spec always
+maps to the same job id.
+"""
+
+from __future__ import annotations
+
+import threading
+
+import pytest
+
+from repro.errors import JobStateError, SpecError
+from repro.eval.wal import ChecksumLog, checksum
+from repro.service.store import JobSpec, JobState, JobStore
+
+
+def make_spec(**overrides):
+    payload = {"experiments": ["fig6"], "filters": [0], "wordlengths": [8]}
+    payload.update(overrides)
+    return JobSpec.from_dict(payload)
+
+
+class TestJobSpec:
+    def test_canonicalizes_experiments_sorted(self):
+        spec = JobSpec.from_dict({"experiments": ["table1", "fig6"]})
+        assert spec.experiments == ("fig6", "table1")
+
+    def test_same_content_same_signature(self):
+        assert make_spec().signature() == make_spec().signature()
+
+    def test_different_content_different_signature(self):
+        assert (
+            make_spec(filters=[0]).signature()
+            != make_spec(filters=[1]).signature()
+        )
+
+    def test_none_axes_accepted(self):
+        spec = JobSpec.from_dict({"experiments": ["fig6"]})
+        assert spec.filters is None and spec.wordlengths is None
+
+    def test_unknown_experiment_rejected(self):
+        with pytest.raises(SpecError, match="unknown experiments"):
+            JobSpec.from_dict({"experiments": ["nope"]})
+
+    def test_unknown_keys_rejected(self):
+        with pytest.raises(SpecError, match="unknown spec keys"):
+            JobSpec.from_dict({"experiments": ["fig6"], "bogus": 1})
+
+    def test_duplicate_filters_rejected_not_deduped(self):
+        # run_sweep(filter_indices=[0, 0]) produces duplicate result rows;
+        # silently deduplicating would change what the job computes.
+        with pytest.raises(SpecError, match="duplicates"):
+            make_spec(filters=[0, 0])
+
+    def test_duplicate_wordlengths_rejected(self):
+        with pytest.raises(SpecError, match="duplicates"):
+            make_spec(wordlengths=[8, 8])
+
+    def test_out_of_range_filter_rejected(self):
+        with pytest.raises(SpecError, match="out of range"):
+            make_spec(filters=[99])
+
+    def test_non_integer_axis_rejected(self):
+        with pytest.raises(SpecError, match="integers"):
+            make_spec(filters=["0"])
+        with pytest.raises(SpecError, match="integers"):
+            make_spec(wordlengths=[True])
+
+    def test_tiny_wordlength_rejected(self):
+        with pytest.raises(SpecError, match=">= 2"):
+            make_spec(wordlengths=[1])
+
+    def test_roundtrips_through_dict(self):
+        spec = make_spec()
+        assert JobSpec.from_dict(spec.as_dict()) == spec
+
+
+class TestSubmitIdempotence:
+    def test_submit_twice_same_job(self, tmp_path):
+        store = JobStore(tmp_path)
+        first, enqueue1 = store.submit(make_spec(), "t", 30.0, 300.0)
+        second, enqueue2 = store.submit(make_spec(), "t", 30.0, 300.0)
+        assert enqueue1 and not enqueue2
+        assert first.job_id == second.job_id
+        assert len(store.list_jobs()) == 1
+
+    def test_completed_job_not_requeued(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING)
+        store.transition(record.job_id, JobState.COMPLETED)
+        again, enqueue = store.submit(make_spec(), "t", 30.0, 300.0)
+        assert not enqueue
+        assert again.state == JobState.COMPLETED
+
+    def test_failed_job_requeued_with_fresh_budgets(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING)
+        store.transition(
+            record.job_id, JobState.FAILED, error="boom", error_type="X"
+        )
+        again, enqueue = store.submit(make_spec(), "t", 5.0, 50.0)
+        assert enqueue
+        assert again.state == JobState.QUEUED
+        assert again.error is None and again.error_type is None
+        assert again.task_deadline_s == 5.0 and again.deadline_s == 50.0
+
+    def test_cancelled_and_expired_jobs_requeue(self, tmp_path):
+        store = JobStore(tmp_path)
+        for terminal in (JobState.CANCELLED, JobState.EXPIRED):
+            record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+            store.transition(record.job_id, terminal)
+            again, enqueue = store.submit(make_spec(), "t", 30.0, 300.0)
+            assert enqueue and again.state == JobState.QUEUED
+
+
+class TestTransitions:
+    def test_full_happy_path(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING, attempts=1)
+        final = store.transition(record.job_id, JobState.COMPLETED)
+        assert final.state == JobState.COMPLETED and final.attempts == 1
+
+    def test_illegal_transition_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        with pytest.raises(JobStateError, match="queued -> completed"):
+            store.transition(record.job_id, JobState.COMPLETED)
+
+    def test_completed_is_terminal_forever(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING)
+        store.transition(record.job_id, JobState.COMPLETED)
+        for state in (JobState.QUEUED, JobState.RUNNING, JobState.FAILED):
+            with pytest.raises(JobStateError):
+                store.transition(record.job_id, state)
+
+    def test_unknown_job_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(JobStateError, match="unknown job"):
+            store.transition("job-missing", JobState.RUNNING)
+        with pytest.raises(JobStateError, match="unknown job"):
+            store.get("job-missing")
+
+    def test_cancel_beats_dispatcher_completion(self, tmp_path):
+        # The dispatcher's completion transition must lose cleanly to a
+        # reaper/cancel that reached the store first.
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING)
+        store.transition(record.job_id, JobState.CANCELLED)
+        with pytest.raises(JobStateError):
+            store.transition(record.job_id, JobState.COMPLETED)
+
+
+class TestRecovery:
+    def test_reopen_restores_jobs(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "tenant-a", 30.0, 300.0)
+        store.close()
+        reopened = JobStore(tmp_path)
+        got = reopened.get(record.job_id)
+        assert got.state == JobState.QUEUED
+        assert got.tenant == "tenant-a"
+        assert got.spec == record.spec
+
+    def test_running_jobs_requeued_as_resumed(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING, attempts=1)
+        store.close()  # simulate the server dying mid-job (post-fsync)
+        reopened = JobStore(tmp_path)
+        got = reopened.get(record.job_id)
+        assert got.state == JobState.QUEUED
+        assert got.resumed is True
+
+    def test_terminal_states_survive_restart(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING)
+        store.transition(record.job_id, JobState.COMPLETED)
+        store.close()
+        assert JobStore(tmp_path).get(record.job_id).state == (
+            JobState.COMPLETED
+        )
+
+    def test_recovery_compacts_the_log(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        for _ in range(3):
+            store.transition(record.job_id, JobState.RUNNING)
+            store.transition(record.job_id, JobState.FAILED)
+            store.submit(make_spec(), "t", 30.0, 300.0)  # requeue
+        store.close()
+        reopened = JobStore(tmp_path)
+        reopened.close()
+        # header + one record per job, regardless of history length
+        lines = (tmp_path / "jobs.wal").read_text().splitlines()
+        assert len(lines) == 2
+
+    def test_torn_tail_is_truncated(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING)
+        store.close()
+        with open(tmp_path / "jobs.wal", "a", encoding="utf-8") as fh:
+            fh.write("deadbeef {torn")  # killed mid-append
+        reopened = JobStore(tmp_path)
+        # The torn line is dropped; the last durable state (running) is
+        # recovered and requeued.
+        got = reopened.get(record.job_id)
+        assert got.state == JobState.QUEUED and got.resumed
+
+    def test_foreign_log_rejected(self, tmp_path):
+        from repro.errors import JournalError
+
+        log = ChecksumLog.create(
+            tmp_path / "jobs.wal", {"format": 99, "store": "jobs"}
+        )
+        log.close()
+        with pytest.raises(JournalError, match="format"):
+            JobStore(tmp_path)
+
+
+class TestResults:
+    def test_write_read_roundtrip(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING)
+        store.write_result(record.job_id, '{"sweep": []}')
+        store.transition(record.job_id, JobState.COMPLETED)
+        assert store.read_result(record.job_id) == '{"sweep": []}'
+
+    def test_result_of_incomplete_job_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        with pytest.raises(JobStateError, match="not completed"):
+            store.read_result(record.job_id)
+
+    def test_no_tmp_droppings_after_write(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.write_result(record.job_id, "x" * 4096)
+        leftovers = [
+            p for p in store.results_dir.iterdir()
+            if p.suffix == ".tmp"
+        ]
+        assert leftovers == []
+
+
+class TestConcurrency:
+    def test_concurrent_submits_yield_one_job(self, tmp_path):
+        store = JobStore(tmp_path)
+        results = []
+
+        def submit():
+            results.append(store.submit(make_spec(), "t", 30.0, 300.0))
+
+        threads = [threading.Thread(target=submit) for _ in range(8)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert len(store.list_jobs()) == 1
+        assert sum(1 for _, enqueue in results if enqueue) == 1

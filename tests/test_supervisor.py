@@ -345,3 +345,64 @@ class TestParentKillResume:
         assert report.tasks_resumed >= 1
         assert report.tasks_resumed + len(report.tasks) == report.tasks_planned
         assert sweep_to_json(report.outcomes) == want
+
+
+class TestDecorrelatedBackoff:
+    def test_draws_stay_inside_the_window(self):
+        import random
+
+        from repro.eval.supervisor import decorrelated_backoff
+
+        rng = random.Random(0)
+        previous = 0.5
+        for _ in range(200):
+            delay = decorrelated_backoff(
+                previous, base_s=0.5, factor=3.0, cap_s=30.0, rng=rng
+            )
+            assert 0.5 <= delay <= min(30.0, max(0.5, previous * 3.0))
+            previous = delay
+
+    def test_cap_bounds_the_envelope(self):
+        import random
+
+        from repro.eval.supervisor import decorrelated_backoff
+
+        rng = random.Random(1)
+        delay = decorrelated_backoff(
+            previous_s=1000.0, base_s=0.5, factor=3.0, cap_s=30.0, rng=rng
+        )
+        assert delay <= 30.0
+
+    def test_zero_base_disables_backoff(self):
+        import random
+
+        from repro.eval.supervisor import decorrelated_backoff
+
+        assert decorrelated_backoff(
+            5.0, base_s=0.0, factor=3.0, cap_s=30.0, rng=random.Random(2)
+        ) == 0.0
+
+    def test_identical_histories_diverge(self):
+        # The whole point of the jitter: two supervisors with the same
+        # rebuild history must not restart their pools in lockstep.
+        import random
+
+        from repro.eval.supervisor import decorrelated_backoff
+
+        a = [
+            decorrelated_backoff(0.5, 0.5, 3.0, 30.0, random.Random(10))
+        ]
+        b = [
+            decorrelated_backoff(0.5, 0.5, 3.0, 30.0, random.Random(11))
+        ]
+        assert a != b
+
+    def test_degenerate_window_returns_lower_bound(self):
+        import random
+
+        from repro.eval.supervisor import decorrelated_backoff
+
+        # previous * factor below base: the window collapses to base_s.
+        assert decorrelated_backoff(
+            0.01, base_s=0.5, factor=3.0, cap_s=30.0, rng=random.Random(3)
+        ) == 0.5
