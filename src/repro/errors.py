@@ -75,6 +75,18 @@ class SupervisorError(ReproError):
     """
 
 
+class SweepAborted(SupervisorError):
+    """A supervised sweep stopped early at its caller's request.
+
+    Raised between task completions when the job-level ``deadline_at``
+    passes or the ``should_stop`` callback given to
+    :func:`~repro.eval.supervisor.run_sweep_supervised` returns a reason
+    (e.g. the owning service job was cancelled or expired).  Every outcome
+    journaled before the abort is durable, so a later resumed run skips
+    the finished work — aborting loses time, never results.
+    """
+
+
 class JournalError(SupervisorError):
     """A sweep journal is unreadable or belongs to a different sweep/version.
 

@@ -41,14 +41,15 @@ import os
 import random
 import time
 from collections import deque
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor
+from concurrent.futures import wait as _futures_wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import asdict, replace
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
-from ..errors import ReproError, SupervisorError
+from ..errors import ReproError, SupervisorError, SweepAborted
 from ..obs import span as obs_span
 from ..robust.chaos import ProcessFaultPlan
 from . import cache as disk_cache
@@ -270,13 +271,35 @@ def _worker_init_supervised(
             disk_cache.install_fault_injector(injector)
 
 
+def _effective_deadline(
+    deadline_s: Optional[float], deadline_at: Optional[float]
+) -> Optional[float]:
+    """Per-task budget recomputed at task start from the job-level clock.
+
+    The whole-sweep ``deadline_at`` (wall-clock epoch, comparable across
+    processes) caps each task's deadline at the job's *remaining* time, so
+    late tasks get smaller budgets and an N-task sweep cannot run
+    ``N x deadline_s`` past its job deadline.  The floor keeps an
+    already-over-deadline task failing fast instead of dividing by zero.
+    """
+    if deadline_at is None:
+        return deadline_s
+    remaining = deadline_at - time.time()
+    if deadline_s is not None:
+        remaining = min(deadline_s, remaining)
+    return max(0.05, remaining)
+
+
 def _worker_run_supervised(
-    args: Tuple[SweepTask, Optional[float], int, Optional[ProcessFaultPlan]],
+    args: Tuple[
+        SweepTask, Optional[float], int, Optional[ProcessFaultPlan],
+        Optional[float],
+    ],
 ) -> TaskOutcome:
-    task, deadline_s, attempt, chaos = args
+    task, deadline_s, attempt, chaos, deadline_at = args
     if chaos is not None:
         chaos.apply_worker_faults(task_key(task), attempt)
-    outcome = _compute_task(task, deadline_s)
+    outcome = _compute_task(task, _effective_deadline(deadline_s, deadline_at))
     obs.worker_checkpoint()
     return outcome
 
@@ -301,6 +324,8 @@ def _precompute_in_process(
     deadline_s: Optional[float],
     journal,
     chaos: Optional[ProcessFaultPlan],
+    deadline_at: Optional[float] = None,
+    check_abort: Optional[Callable[[], Optional[str]]] = None,
 ) -> List[TaskOutcome]:
     """``jobs=1`` path: no pool to lose, but journaling still applies.
 
@@ -316,11 +341,17 @@ def _precompute_in_process(
     results: List[TaskOutcome] = []
     try:
         for task in pending:
+            if check_abort is not None:
+                reason = check_abort()
+                if reason is not None:
+                    raise SweepAborted(reason)
             if chaos is not None:
                 delay = chaos.slow_delay(task_key(task))
                 if delay > 0.0:
                     time.sleep(delay)
-            outcome = _compute_task(task, deadline_s)
+            outcome = _compute_task(
+                task, _effective_deadline(deadline_s, deadline_at)
+            )
             journal.append(outcome)
             results.append(outcome)
     finally:
@@ -338,14 +369,22 @@ def _run_wave(
     chaos: Optional[ProcessFaultPlan],
     journal,
     results: List[TaskOutcome],
+    deadline_at: Optional[float] = None,
+    check_abort: Optional[Callable[[], Optional[str]]] = None,
 ) -> List[SweepTask]:
     """Submit one batch to a fresh pool; returns the tasks lost to a break.
 
     Completed outcomes (including worker-side failures, which arrive as
     error-carrying :class:`TaskOutcome`\\ s, and submission-side errors such
     as unpicklable arguments) are journaled and appended to ``results``
-    immediately; only tasks whose future died with
+    as they complete; only tasks whose future died with
     :class:`BrokenProcessPool` are returned for the caller to triage.
+
+    ``check_abort`` is polled between completions; a non-``None`` reason
+    raises :class:`~repro.errors.SweepAborted` after cancelling every
+    not-yet-started future (in-flight tasks still finish inside their own
+    per-task deadline, so the overshoot past an abort is bounded by one
+    task budget, not the whole remaining batch).
     """
     executor = ProcessPoolExecutor(
         max_workers=workers,
@@ -355,34 +394,49 @@ def _run_wave(
     future_map = {
         executor.submit(
             _worker_run_supervised,
-            (task, deadline_s, attempts[task], chaos),
+            (task, deadline_s, attempts[task], chaos, deadline_at),
         ): task
         for task in batch
     }
     lost: List[SweepTask] = []
+    abort_reason: Optional[str] = None
     try:
-        for future, task in future_map.items():
-            try:
-                outcome = future.result()
-            except BrokenProcessPool:
-                lost.append(task)
-            except Exception as exc:  # noqa: BLE001 — e.g. pickling
-                outcome = TaskOutcome(
-                    task=task,
-                    payload=None,
-                    error_type=type(exc).__name__,
-                    error=str(exc),
-                    elapsed_s=0.0,
-                    attempts=attempts[task] + 1,
-                )
-                journal.append(outcome)
-                results.append(outcome)
-            else:
-                outcome = replace(outcome, attempts=attempts[task] + 1)
-                journal.append(outcome)
-                results.append(outcome)
+        outstanding = set(future_map)
+        while outstanding:
+            if check_abort is not None:
+                abort_reason = check_abort()
+                if abort_reason is not None:
+                    break
+            done, outstanding = _futures_wait(
+                outstanding,
+                timeout=0.25 if check_abort is not None else None,
+                return_when=FIRST_COMPLETED,
+            )
+            for future in done:
+                task = future_map[future]
+                try:
+                    outcome = future.result()
+                except BrokenProcessPool:
+                    lost.append(task)
+                except Exception as exc:  # noqa: BLE001 — e.g. pickling
+                    outcome = TaskOutcome(
+                        task=task,
+                        payload=None,
+                        error_type=type(exc).__name__,
+                        error=str(exc),
+                        elapsed_s=0.0,
+                        attempts=attempts[task] + 1,
+                    )
+                    journal.append(outcome)
+                    results.append(outcome)
+                else:
+                    outcome = replace(outcome, attempts=attempts[task] + 1)
+                    journal.append(outcome)
+                    results.append(outcome)
     finally:
         executor.shutdown(wait=True, cancel_futures=True)
+    if abort_reason is not None:
+        raise SweepAborted(abort_reason)
     return lost
 
 
@@ -397,6 +451,8 @@ def _precompute_supervised(
     backoff_factor: float,
     max_backoff_s: float,
     backoff_rng: Optional[random.Random] = None,
+    deadline_at: Optional[float] = None,
+    check_abort: Optional[Callable[[], Optional[str]]] = None,
 ) -> Tuple[List[TaskOutcome], int, int]:
     """Pool execution with worker-loss recovery and poison attribution.
 
@@ -450,7 +506,7 @@ def _precompute_supervised(
             task = suspects.popleft()
             lost = _run_wave(
                 [task], 1, worker_dir, deadline_s, attempts, chaos,
-                journal, results,
+                journal, results, deadline_at, check_abort,
             )
             if lost:
                 pool_rebuilds += 1
@@ -465,7 +521,7 @@ def _precompute_supervised(
             queue.clear()
             lost = _run_wave(
                 batch, min(jobs, len(batch)), worker_dir, deadline_s,
-                attempts, chaos, journal, results,
+                attempts, chaos, journal, results, deadline_at, check_abort,
             )
             if lost:
                 pool_rebuilds += 1
@@ -496,6 +552,8 @@ def run_sweep_supervised(
     max_backoff_s: float = 2.0,
     chaos: Optional[ProcessFaultPlan] = None,
     backoff_rng: Optional[random.Random] = None,
+    deadline_at: Optional[float] = None,
+    should_stop: Optional[Callable[[], Optional[str]]] = None,
 ) -> ParallelSweepReport:
     """Run a sweep under supervision; results still match serial bytes.
 
@@ -506,6 +564,15 @@ def run_sweep_supervised(
     injection (``chaos``).  The returned
     :class:`~repro.eval.parallel.ParallelSweepReport` carries the recovery
     counters and any quarantined tasks.
+
+    ``deadline_at`` is a whole-sweep wall-clock bound (``time.time()``
+    epoch): each task's effective deadline is recomputed at task start as
+    ``min(task_deadline_s, deadline_at - now)``, and the parent re-checks
+    the clock between task completions, raising
+    :class:`~repro.errors.SweepAborted` once it passes.  ``should_stop``
+    is polled at the same checkpoints and aborts with its returned reason
+    when non-``None`` (e.g. a job service observing a cancelled job).
+    Aborting never loses journaled outcomes — a resumed run skips them.
     """
     from .harness import run_sweep
 
@@ -522,6 +589,18 @@ def run_sweep_supervised(
         )
     if resume and journal_dir is None:
         raise SupervisorError("resume=True requires journal_dir")
+
+    check_abort: Optional[Callable[[], Optional[str]]] = None
+    if deadline_at is not None or should_stop is not None:
+        def check_abort() -> Optional[str]:
+            if deadline_at is not None and time.time() >= deadline_at:
+                return (
+                    f"sweep deadline passed "
+                    f"({time.time() - deadline_at:.1f}s over)"
+                )
+            if should_stop is not None:
+                return should_stop()
+            return None
 
     started = time.monotonic()
     if cache_dir is not None:
@@ -583,7 +662,7 @@ def run_sweep_supervised(
                 results, retries, pool_rebuilds = _precompute_supervised(
                     pending, jobs, task_deadline_s, journal, chaos,
                     max_retries, backoff_s, backoff_factor, max_backoff_s,
-                    backoff_rng,
+                    backoff_rng, deadline_at, check_abort,
                 )
             obs.drain_spill()
         else:
@@ -593,6 +672,7 @@ def run_sweep_supervised(
             ):
                 results = _precompute_in_process(
                     pending, task_deadline_s, journal, chaos,
+                    deadline_at, check_abort,
                 )
     finally:
         journal.close()
@@ -600,6 +680,14 @@ def run_sweep_supervised(
 
     _fold_results(results)
     stage_timings = _stage_timings(results)
+
+    # Last checkpoint before the (undeadlined, serial) replay phase: an
+    # abort that fired while the final tasks drained must not be absorbed
+    # into a full replay over cold points.
+    if check_abort is not None:
+        reason = check_abort()
+        if reason is not None:
+            raise SweepAborted(reason)
 
     replay_started = time.monotonic()
     outcomes: Tuple = ()

@@ -110,6 +110,7 @@ _PREDECLARED_COUNTERS = (
     ("repro_service_jobs_total", {"status": "completed"}),
     ("repro_service_jobs_total", {"status": "failed"}),
     ("repro_service_jobs_total", {"status": "discarded"}),
+    ("repro_service_jobs_total", {"status": "aborted"}),
     ("repro_service_jobs_expired_total", {}),
     ("repro_service_jobs_resumed_total", {}),
 )

@@ -44,6 +44,7 @@ from ..errors import (
     ReproError,
     ServiceError,
     SpecError,
+    SweepAborted,
 )
 from ..eval import cache as disk_cache
 from ..eval.export import sweep_to_json
@@ -265,9 +266,10 @@ class SynthesisService:
         return self.store.read_result(job_id)
 
     def cancel(self, job_id: str) -> Dict[str, object]:
-        """Cancel a queued or running job (running sweeps stop at their
-        next task-deadline checkpoint; the dispatcher's completion loses to
-        this transition and is discarded)."""
+        """Cancel a queued or running job (the supervisor's should-stop
+        poll aborts a running sweep within about one task budget; the
+        dispatcher's completion loses to this transition and is
+        discarded)."""
         record = self.store.transition(
             job_id, JobState.CANCELLED,
             error="cancelled by client", error_type="Cancelled",
@@ -348,12 +350,12 @@ class SynthesisService:
             return
         if record.state != JobState.QUEUED:
             return
-        now = time.time()
+        # expires_at was set at submit time (the deadline covers queue
+        # wait + run), so the transition only stamps the start.
         try:
             record = self.store.transition(
                 job_id, JobState.RUNNING,
-                started_at=now,
-                expires_at=now + record.deadline_s,
+                started_at=time.time(),
                 attempts=record.attempts + 1,
             )
         except JobStateError:
@@ -386,6 +388,23 @@ class SynthesisService:
             obs_metrics.counter(
                 "repro_service_jobs_total", status="discarded"
             ).inc()
+        except SweepAborted as exc:
+            # The sweep stopped itself mid-run: the job deadline passed or
+            # a cancel/expire landed in the store while it ran.  If the
+            # reaper has not already moved the job, record the expiry here;
+            # either way the partial work is journaled, so a resubmission
+            # resumes instead of recomputing.
+            try:
+                self.store.transition(
+                    job_id, JobState.EXPIRED,
+                    error=str(exc), error_type="Expired",
+                    finished_at=time.time(),
+                )
+            except JobStateError:
+                pass
+            obs_metrics.counter(
+                "repro_service_jobs_total", status="aborted"
+            ).inc()
         except ReproError as exc:
             self._fail_job(job_id, exc)
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
@@ -411,14 +430,21 @@ class SynthesisService:
     def _execute(self, record) -> Tuple[object, str]:
         """Run one job's sweep under supervision; returns (report, json)."""
         spec = record.spec
-        # Cap each task's budget at the job's remaining wall-clock time so
-        # a cancelled/expired job's sweep self-terminates instead of
-        # needing preemption.
-        remaining = (
-            record.expires_at - time.time()
-            if record.expires_at is not None else record.task_deadline_s
-        )
-        effective_deadline = max(0.1, min(record.task_deadline_s, remaining))
+        job_id = record.job_id
+
+        def should_stop() -> Optional[str]:
+            # Polled by the supervisor between task completions, so a
+            # cancel or reaper expiry stops a *running* multi-task sweep
+            # within one task budget instead of letting it occupy the
+            # dispatcher for N_tasks x task_deadline_s.
+            try:
+                current = self.store.get(job_id)
+            except JobStateError:
+                return f"job {job_id} record disappeared"
+            if current.state in (JobState.CANCELLED, JobState.EXPIRED):
+                return f"job {job_id} was {current.state} while running"
+            return None
+
         report = run_sweep_supervised(
             experiment_ids=list(spec.experiments),
             jobs=self.config.sweep_jobs,
@@ -430,11 +456,15 @@ class SynthesisService:
                 list(spec.wordlengths)
                 if spec.wordlengths is not None else None
             ),
-            task_deadline_s=effective_deadline,
+            task_deadline_s=record.task_deadline_s,
             journal_dir=self.config.journal_dir,
             resume=True,
             max_retries=self.config.max_retries,
             chaos=self.config.chaos,
+            # The job-level deadline caps every task's budget at the
+            # remaining wall-clock time and aborts the sweep once passed.
+            deadline_at=record.expires_at,
+            should_stop=should_stop,
         )
         return report, sweep_to_json(report.outcomes)
 

@@ -5,12 +5,16 @@ Two distinct deadlines govern every job:
 * the **task deadline** — threaded into the sweep's per-task
   :class:`~repro.robust.SolverBudget` so each synthesis task stays
   interruptible, and
-* the **job deadline** — wall-clock bound on the whole sweep, enforced by
-  the :class:`Reaper`, which periodically marks over-deadline jobs
-  ``expired`` in the store.  A running sweep is cancelled cooperatively:
-  the dispatcher caps each task's effective deadline at the job's remaining
-  time, so the sweep self-terminates near the job deadline, and the
-  dispatcher's terminal transition loses to the reaper's and is discarded.
+* the **job deadline** — a wall-clock bound that starts at *submit* time
+  (it covers queue wait plus run time; a restart restarts the clock),
+  enforced by the :class:`Reaper`, which periodically marks over-deadline
+  jobs ``expired`` in the store — queued jobs stuck behind a backlog
+  included.  A running sweep is cancelled cooperatively: the supervisor
+  re-checks the deadline and the store's cancelled/expired state between
+  task completions (recomputing each task's budget from the remaining
+  time) and aborts with :class:`~repro.errors.SweepAborted`, so even a
+  multi-task sweep terminates within about one task budget of the
+  deadline instead of running ``N_tasks x task_deadline_s`` past it.
 
 :class:`BudgetPolicy` holds the server-side ceilings.  Requests may ask for
 smaller budgets; asking for more than the ceiling is *clamped* (recorded on

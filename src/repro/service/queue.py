@@ -105,11 +105,18 @@ class FairQueue:
         Tenants are served round-robin: the tenant at the head of the
         rotation yields one job and moves to the tail (if it still has
         work), so no tenant waits for another's whole backlog.
+
+        A closed queue returns ``None`` immediately *even when jobs are
+        still queued*: starting new work after a drain began would defeat
+        the drain's grace period, and the queued jobs are not lost — they
+        stay ``queued`` in the durable store for the next server start.
         """
         with self._cond:
-            while self._depth == 0:
+            while True:
                 if self._closed:
                     return None
+                if self._depth > 0:
+                    break
                 if not self._cond.wait(timeout=timeout):
                     return None
             tenant = self._rotation.popleft()
@@ -141,7 +148,9 @@ class FairQueue:
 
         Jobs still queued are deliberately *not* drained here — they remain
         ``queued`` in the durable store and are re-enqueued on the next
-        server start.  Blocked :meth:`pop` callers wake up with ``None``.
+        server start.  Blocked :meth:`pop` callers wake up with ``None``,
+        and every later :meth:`pop` returns ``None`` regardless of depth,
+        so no dispatcher can start a brand-new job after the drain began.
         """
         with self._cond:
             self._closed = True

@@ -19,6 +19,11 @@ only ids and the HTTP layer holds nothing.  Design points:
   caught ``running`` back to ``queued`` with ``resumed`` set (their sweep
   journal lets the supervisor skip completed tasks), and compacts the log
   to one record per job so it cannot grow without bound across restarts.
+  Compaction itself is crash-atomic: the compacted log is written beside
+  the live one and ``os.replace``'d into place (directory entry fsync'd),
+  so a crash mid-compaction — including during the crash-recovery
+  restarts this store exists for — leaves either the complete old log or
+  the complete new one, never a truncated half-written file.
 
 * **Results and artifacts live beside the log** under the store root,
   written atomically (tmp + ``os.replace``) so a torn result file can never
@@ -42,6 +47,20 @@ from ..eval.wal import ChecksumLog
 from ..filters import TABLE1_SPECS
 
 __all__ = ["JobRecord", "JobSpec", "JobState", "JobStore"]
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry after a rename (no-op where unsupported)."""
+    try:
+        fd = os.open(str(directory), os.O_RDONLY)
+    except OSError:
+        return
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
 
 #: Bump when the WAL record schema changes incompatibly.
 STORE_FORMAT_VERSION = 1
@@ -211,7 +230,8 @@ class JobRecord:
     error_type: Optional[str] = None
     task_deadline_s: float = 30.0
     deadline_s: float = 300.0
-    #: Wall-clock time (``time.time()``) past which the reaper expires it.
+    #: Wall-clock time (``time.time()``) past which the reaper expires it;
+    #: set at submit, so ``deadline_s`` covers queue wait plus run time.
     expires_at: Optional[float] = None
     #: True when a requested budget exceeded a server ceiling and was cut.
     clamped: bool = False
@@ -278,6 +298,7 @@ class JobStore:
         log.close()
 
         requeued = 0
+        now = self._clock()
         for record in self._jobs.values():
             if record.state == JobState.RUNNING:
                 # The previous server died mid-job.  The sweep journal holds
@@ -285,20 +306,42 @@ class JobStore:
                 # the supervisor's --resume path skip the finished work.
                 record.state = JobState.QUEUED
                 record.resumed = True
-                record.updated_at = self._clock()
+                record.updated_at = now
                 requeued += 1
+            if record.state == JobState.QUEUED:
+                # The deadline clock restarts with the server: a surviving
+                # job must not be instantly expired for downtime it could
+                # do nothing about.
+                record.expires_at = now + record.deadline_s
+                record.updated_at = now
 
         # Compact: one record per job bounds WAL growth across restarts.
-        compacted = ChecksumLog.create(self.log_path, self._header())
-        for job_id in sorted(self._jobs):
-            compacted.append(self._jobs[job_id].as_dict())
+        # Never truncate the live log in place — a crash mid-compaction
+        # would lose every job.  Write the compacted log beside it (every
+        # append fsync'd) and atomically rename it over the old one.
+        tmp_path = self.log_path.with_name(self.log_path.name + ".compact")
+        compacted = ChecksumLog.create(tmp_path, self._header())
+        try:
+            for job_id in sorted(self._jobs):
+                compacted.append(self._jobs[job_id].as_dict())
+        except BaseException:
+            compacted.close()
+            try:
+                os.unlink(tmp_path)
+            except OSError:
+                pass
+            raise
+        compacted.close()
+        os.replace(tmp_path, self.log_path)
+        _fsync_dir(self.log_path.parent)
+        log, _ = ChecksumLog.resume(self.log_path, self._header())
         if requeued:
             from ..obs import metrics as obs_metrics
 
             obs_metrics.counter("repro_service_jobs_resumed_total").inc(
                 requeued
             )
-        return compacted
+        return log
 
     # -- submission and lifecycle ---------------------------------------------
 
@@ -315,7 +358,10 @@ class JobStore:
         Same spec → same job id.  A job already queued, running, or
         completed is returned as-is (``needs_enqueue=False``); a job in a
         retryable terminal state (failed/cancelled/expired) is requeued
-        with fresh budgets.
+        with fresh budgets.  ``expires_at`` starts ticking *here*: the job
+        deadline covers queue wait plus run time, so a job stuck behind a
+        long backlog is expired by the reaper rather than waiting forever
+        (recovery restarts the clock — see :meth:`_recover`).
         """
         signature = spec.signature()
         job_id = f"job-{signature[:16]}"
@@ -343,7 +389,7 @@ class JobStore:
                         error_type=None,
                         started_at=None,
                         finished_at=None,
-                        expires_at=None,
+                        expires_at=now + deadline_s,
                         resumed=False,
                     ),
                     True,
@@ -357,6 +403,7 @@ class JobStore:
                 updated_at=now,
                 task_deadline_s=task_deadline_s,
                 deadline_s=deadline_s,
+                expires_at=now + deadline_s,
                 clamped=clamped,
             )
             self._jobs[job_id] = record

@@ -239,6 +239,75 @@ class TestServerCrashRecovery:
             service.drain(grace_s=60.0)
 
 
+class TestRunningJobTermination:
+    """The job deadline and cancellation bind *running* sweeps, not just
+    queued ones: a multi-task sweep must stop within about one task budget
+    of the deadline/cancel instead of occupying the dispatcher for
+    N_tasks x task_deadline_s."""
+
+    def test_job_deadline_expires_a_running_multitask_sweep(self, tmp_path):
+        # Every task sleeps 1s and the job deadline is 1.2s, so the sweep
+        # (several tasks, serial) cannot finish in time; the supervisor
+        # must abort and the job must end expired — promptly.
+        chaos = ProcessFaultPlan(seed=0, slow_rate=1.0, slow_s=1.0)
+        config = ServiceConfig(
+            data_dir=tmp_path / "data", port=0, sweep_jobs=1, chaos=chaos,
+        )
+        _, service, port, stop = _serve(config)
+        try:
+            spec = dict(
+                SPEC, filters=[0, 1], deadline_s=1.2, tenant="deadline"
+            )
+            status, _, view = request_json(port, "POST", "/v1/jobs", spec)
+            assert status == 201
+            started = time.monotonic()
+            record = _wait_store_state(
+                service, view["job_id"],
+                {JobState.COMPLETED, JobState.FAILED, JobState.EXPIRED},
+                timeout_s=60.0,
+            )
+            assert record.state == JobState.EXPIRED, record.error
+            # Well under the ~N_tasks x task_deadline_s worst case.
+            assert time.monotonic() - started < 30.0
+        finally:
+            stop()
+
+    def test_cancel_stops_a_running_sweep_and_frees_the_dispatcher(
+        self, tmp_path
+    ):
+        chaos = ProcessFaultPlan(seed=0, slow_rate=1.0, slow_s=1.0)
+        config = ServiceConfig(
+            data_dir=tmp_path / "data", port=0, sweep_jobs=1, chaos=chaos,
+        )
+        _, service, port, stop = _serve(config)
+        try:
+            big = dict(SPEC, filters=[0, 1], tenant="cancel")
+            _, _, view = request_json(port, "POST", "/v1/jobs", big)
+            _wait_store_state(service, view["job_id"], {JobState.RUNNING})
+            status, _, cancelled = request_json(
+                port, "DELETE", f"/v1/jobs/{view['job_id']}"
+            )
+            assert status == 200 and cancelled["state"] == "cancelled"
+            # The abort must free the (single) dispatcher: a small job
+            # submitted after the cancel still completes.
+            _, _, other = request_json(
+                port, "POST", "/v1/jobs",
+                dict(SPEC, filters=[2], tenant="after"),
+            )
+            record = _wait_store_state(
+                service, other["job_id"],
+                {JobState.COMPLETED, JobState.FAILED},
+            )
+            assert record.state == JobState.COMPLETED, record.error
+            # The cancelled job stayed cancelled (the dispatcher's abort
+            # transition lost cleanly to the client's cancel).
+            assert service.store.get(view["job_id"]).state == (
+                JobState.CANCELLED
+            )
+        finally:
+            stop()
+
+
 class TestDrain:
     def test_sigterm_drains_and_exits_zero(self, tmp_path):
         env = dict(os.environ)

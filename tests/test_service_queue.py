@@ -76,16 +76,17 @@ class TestFairQueue:
         assert q.depth() == 3
         assert q.depth("a") == 2 and q.depth("b") == 1 and q.depth("c") == 0
 
-    def test_closed_queue_rejects_push_and_drains_pops(self):
+    def test_closed_queue_rejects_push_and_stops_dispensing(self):
         q = FairQueue(max_depth=2)
         q.push("a", "1")
         q.close()
         with pytest.raises(QueueFull, match="closed"):
             q.push("a", "2")
-        # Already-queued work is still handed out during drain...
-        assert q.pop(0.0) == "1"
-        # ...and an empty closed queue wakes blocked consumers with None.
+        # A closed queue dispenses nothing, even with work still queued:
+        # starting a new job after SIGTERM would defeat the drain grace
+        # period.  The job stays durably queued for the next start.
         assert q.pop(timeout=30.0) is None
+        assert q.depth() == 1
 
     def test_close_wakes_blocked_consumer(self):
         q = FairQueue(max_depth=2)

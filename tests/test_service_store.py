@@ -25,6 +25,14 @@ def make_spec(**overrides):
     return JobSpec.from_dict(payload)
 
 
+class FakeClock:
+    def __init__(self, now: float = 0.0) -> None:
+        self.now = now
+
+    def __call__(self) -> float:
+        return self.now
+
+
 class TestJobSpec:
     def test_canonicalizes_experiments_sorted(self):
         spec = JobSpec.from_dict({"experiments": ["table1", "fig6"]})
@@ -120,6 +128,26 @@ class TestSubmitIdempotence:
             assert enqueue and again.state == JobState.QUEUED
 
 
+class TestDeadlineClock:
+    def test_expires_at_starts_ticking_at_submit(self, tmp_path):
+        # The job deadline covers queue wait + run: a job stuck behind a
+        # backlog must be reapable, not wait forever with no deadline.
+        clock = FakeClock(1000.0)
+        store = JobStore(tmp_path, clock=clock)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        assert record.expires_at == 1300.0
+
+    def test_requeue_resets_the_deadline(self, tmp_path):
+        clock = FakeClock(1000.0)
+        store = JobStore(tmp_path, clock=clock)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.transition(record.job_id, JobState.RUNNING)
+        store.transition(record.job_id, JobState.FAILED)
+        clock.now = 5000.0
+        again, _ = store.submit(make_spec(), "t", 30.0, 60.0)
+        assert again.expires_at == 5060.0
+
+
 class TestTransitions:
     def test_full_happy_path(self, tmp_path):
         store = JobStore(tmp_path)
@@ -205,6 +233,61 @@ class TestRecovery:
         # header + one record per job, regardless of history length
         lines = (tmp_path / "jobs.wal").read_text().splitlines()
         assert len(lines) == 2
+
+    def test_recovery_restarts_the_deadline_clock(self, tmp_path):
+        clock = FakeClock(1000.0)
+        store = JobStore(tmp_path, clock=clock)
+        queued, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        running, _ = store.submit(make_spec(filters=[1]), "t", 30.0, 300.0)
+        store.transition(running.job_id, JobState.RUNNING)
+        store.close()
+        # The server was down far past both deadlines; surviving jobs must
+        # not be instantly expired for downtime they could not help.
+        late = FakeClock(99_000.0)
+        reopened = JobStore(tmp_path, clock=late)
+        for job_id in (queued.job_id, running.job_id):
+            got = reopened.get(job_id)
+            assert got.state == JobState.QUEUED
+            assert got.expires_at == 99_000.0 + 300.0
+        reopened.close()
+
+    def test_crashed_compaction_leaves_the_old_log_intact(
+        self, tmp_path, monkeypatch
+    ):
+        # Compaction must never truncate the live WAL in place: simulate a
+        # crash at the rename and prove every job is still recoverable.
+        import repro.service.store as store_mod
+
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.close()
+        before = (tmp_path / "jobs.wal").read_bytes()
+
+        def crash(src, dst):
+            raise OSError("simulated crash at rename")
+
+        monkeypatch.setattr(store_mod.os, "replace", crash)
+        with pytest.raises(OSError, match="simulated crash"):
+            JobStore(tmp_path)
+        assert (tmp_path / "jobs.wal").read_bytes() == before
+        monkeypatch.undo()
+        reopened = JobStore(tmp_path)
+        assert reopened.get(record.job_id).state == JobState.QUEUED
+        reopened.close()
+
+    def test_stale_compaction_tmp_is_harmless(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        store.close()
+        # A crash between writing the compacted tmp and the rename leaves
+        # the tmp behind; the next recovery overwrites and consumes it.
+        (tmp_path / "jobs.wal.compact").write_text(
+            "torn garbage\n", encoding="utf-8"
+        )
+        reopened = JobStore(tmp_path)
+        assert reopened.get(record.job_id).state == JobState.QUEUED
+        reopened.close()
+        assert not (tmp_path / "jobs.wal.compact").exists()
 
     def test_torn_tail_is_truncated(self, tmp_path):
         store = JobStore(tmp_path)

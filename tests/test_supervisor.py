@@ -24,7 +24,7 @@ from pathlib import Path
 
 import pytest
 
-from repro.errors import JournalError, SupervisorError
+from repro.errors import JournalError, SupervisorError, SweepAborted
 from repro.eval import cache as disk_cache
 from repro.eval.experiments import clear_cache
 from repro.eval.export import sweep_to_json
@@ -345,6 +345,58 @@ class TestParentKillResume:
         assert report.tasks_resumed >= 1
         assert report.tasks_resumed + len(report.tasks) == report.tasks_planned
         assert sweep_to_json(report.outcomes) == want
+
+
+class TestSweepAbort:
+    def test_past_deadline_aborts_before_any_task(self, tmp_path):
+        with pytest.raises(SweepAborted, match="deadline"):
+            run_sweep_supervised(
+                IDS, jobs=1, journal_dir=tmp_path, replay=False,
+                deadline_at=time.time() - 1.0, **RESTRICT
+            )
+
+    def test_should_stop_aborts_between_tasks_and_keeps_journal(
+        self, tmp_path
+    ):
+        polls = []
+
+        def should_stop():
+            polls.append(1)
+            return "caller asked to stop" if len(polls) > 1 else None
+
+        with pytest.raises(SweepAborted, match="caller asked"):
+            run_sweep_supervised(
+                IDS, jobs=1, journal_dir=tmp_path, replay=False,
+                should_stop=should_stop, **RESTRICT
+            )
+        # The task completed before the abort is durably journaled: a
+        # resumed run skips it — aborting loses time, never results.
+        clear_cache()
+        report = run_sweep_supervised(
+            IDS, jobs=1, journal_dir=tmp_path, resume=True, replay=False,
+            **RESTRICT
+        )
+        assert report.tasks_resumed >= 1
+        assert report.tasks_resumed + len(report.tasks) == (
+            report.tasks_planned
+        )
+
+    def test_abort_interrupts_a_running_pool_wave(self, tmp_path):
+        # Tasks are slowed so the wave is reliably in flight when the
+        # stop signal lands; the supervisor must notice between
+        # completion polls instead of draining the whole batch.
+        chaos = ProcessFaultPlan(seed=0, slow_rate=1.0, slow_s=0.5)
+        polls = []
+
+        def should_stop():
+            polls.append(1)
+            return "stop now" if len(polls) >= 2 else None
+
+        with pytest.raises(SweepAborted, match="stop now"):
+            run_sweep_supervised(
+                IDS, jobs=2, journal_dir=tmp_path, chaos=chaos,
+                should_stop=should_stop, replay=False, **RESTRICT
+            )
 
 
 class TestDecorrelatedBackoff:
