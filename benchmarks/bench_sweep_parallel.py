@@ -5,6 +5,15 @@ Runs the same restricted sweep three ways — cold serial, cold parallel
 the exports are byte-identical, collects per-stage synthesis timings, and
 writes everything to ``benchmarks/results/BENCH_sweep.json``.
 
+Both cold runs write through to a fresh disk cache, so the serial/parallel
+comparison isolates *engine* overhead (planning, pool spin-up or its serial
+fallback, outcome plumbing) rather than charging the parallel engine for
+the durable cache it produces and the plain serial run would skip.  Cold
+phases are timed ``REPEATS`` times each, interleaved (serial, parallel,
+serial, parallel, ...) so load drift hits both alike, with fresh caches and
+cleared memory every repetition; the best-of-N wall-clock is reported — the
+standard ``timeit`` estimator of achievable cost under additive noise.
+
 The gate then compares against the checked-in baseline
 (``benchmarks/results/BENCH_sweep_baseline.json``) and fails (exit 1) on a
 regression of more than ``--threshold`` (default 20%).
@@ -18,12 +27,22 @@ Only *machine-portable ratio metrics* are gated:
                         milliseconds); a broken cache collapses to ~1×,
                         which the 20% threshold catches decisively.
 - ``warm_hit_rate``   — disk-cache hit rate of the warm run (≈ 1.0).
+- ``graph_fast_speedup_capped`` — reference colored-graph build over the
+                        fast-kernel build, saturated at 4× (the fast path
+                        measures ~5×; the 20% threshold floors the gate at
+                        3.2×, enforcing the ">= 3x" fast-path contract).
+- ``msd_table_speedup_capped`` — cold MSD enumeration over warm (memoized
+                        table) enumeration, saturated at 10×.
+- ``parallel_efficiency_capped`` — cold-serial over cold-parallel
+                        wall-clock, saturated at parity.  The serial-
+                        fallback heuristic keeps small cold sweeps at ~1×
+                        even on single-core runners (this metric pinned
+                        0.52× before the fallback existed).
 - ``byte_identical``  — parallel and warm exports must equal serial bytes.
 
-Absolute wall-clocks, the parallel speedup (meaningless on single-core CI
-runners: ``min(jobs, cpus)`` bounds it), and per-stage timings are recorded
-for inspection but deliberately NOT gated — they do not transfer across
-machines.
+Absolute wall-clocks, the uncapped speedups, and per-stage timings are
+recorded for inspection but deliberately NOT gated — they do not transfer
+across machines.
 
 Usage::
 
@@ -34,9 +53,11 @@ Usage::
 from __future__ import annotations
 
 import argparse
+import gc
 import json
 import os
 import pathlib
+import statistics
 import sys
 import tempfile
 import time
@@ -59,12 +80,35 @@ OUTPUT_PATH = RESULTS_DIR / "BENCH_sweep.json"
 EXPERIMENTS = ["fig6", "fig8a", "table1"]
 RESTRICT = dict(filter_indices=[0, 1], wordlengths=[8, 10])
 
-GATED_METRICS = ("warm_speedup_capped", "warm_hit_rate")
+GATED_METRICS = (
+    "warm_speedup_capped",
+    "warm_hit_rate",
+    "graph_fast_speedup_capped",
+    "msd_table_speedup_capped",
+    "parallel_efficiency_capped",
+)
 
 # Saturation point for the gated warm-cache speedup: far below the raw
 # ratio on a healthy cache (so timer jitter cannot trip the gate) yet far
 # above the ~1x a broken cache produces.
 WARM_SPEEDUP_CAP = 10.0
+
+# Fast-path phase gates, same capped-ratio recipe (in-process ratios, so
+# they transfer across machines).  The fast graph kernel measures ~5x over
+# the reference loop; capping at 4x puts the 20%-threshold floor at 3.2x —
+# the ">= 3x faster" contract with jitter headroom.  A warm MSD table is a
+# dict hit (raw ratio 100x+); the 10x cap makes the gate about "table still
+# works", not timer noise.
+GRAPH_SPEEDUP_CAP = 4.0
+MSD_SPEEDUP_CAP = 10.0
+
+# Cold parallel over serial, capped at parity: the serial-fallback
+# heuristic must keep small cold sweeps from paying pool spin-up (the
+# regression this gate pins sat at 0.52x).
+PARALLEL_EFFICIENCY_CAP = 1.0
+
+#: Cold-phase timing repetitions (interleaved; best-of-N reported).
+REPEATS = 5
 
 
 def _cold():
@@ -72,40 +116,80 @@ def _cold():
     disk_cache.configure(None)
 
 
-def _time_stage_operations(repeats: int = 3):
-    """Best-of-N wall-clock per synthesis stage (seconds)."""
-    timings = {}
-    for name, op in stage_operations().items():
-        best = float("inf")
+def _time_stage_operations(repeats: int = 5):
+    """Best-of-N wall-clock per synthesis stage (seconds).
+
+    Two stabilizers, both load-bearing for the gated *ratios* (fast kernel
+    over reference, cold table over warm):
+
+    * Samples are taken round-robin — one sample of every op per round,
+      not N samples of op A then N of op B — so host load drift lands on
+      numerator and denominator alike instead of skewing whichever op was
+      timed during the busy window.
+    * The collector is paused during samples (``gc.collect()`` between
+      them): right after the sweep phases the collector is still digesting
+      their garbage, and the first allocations of a new op absorb those GC
+      passes — measured 3x inflation on the graph build otherwise.  Each
+      op also runs once untimed to warm allocator pools and caches.
+    """
+    ops = stage_operations()
+    best = {name: float("inf") for name in ops}
+    for op in ops.values():
+        op()
+    gc.collect()
+    gc.disable()
+    try:
         for _ in range(repeats):
-            started = time.perf_counter()
-            op()
-            best = min(best, time.perf_counter() - started)
-        timings[name] = round(best, 6)
-    return timings
+            for name, op in ops.items():
+                started = time.perf_counter()
+                op()
+                best[name] = min(best[name], time.perf_counter() - started)
+            gc.enable()
+            gc.collect()
+            gc.disable()
+    finally:
+        gc.enable()
+    return {name: round(value, 6) for name, value in best.items()}
 
 
 def run_benchmark(jobs: int) -> dict:
-    # 1. Cold serial: the reference for both bytes and wall-clock.
-    _cold()
-    started = time.perf_counter()
-    serial_outcomes = run_sweep(EXPERIMENTS, **RESTRICT)
-    serial_s = time.perf_counter() - started
-    serial_json = sweep_to_json(serial_outcomes)
-
     with tempfile.TemporaryDirectory(prefix="bench-sweep-cache-") as tmp:
-        cache_dir = pathlib.Path(tmp)
+        root = pathlib.Path(tmp)
 
-        # 2. Cold parallel: pool precompute into an empty disk cache.
-        _cold()
-        started = time.perf_counter()
-        parallel_report = run_sweep_parallel(
-            EXPERIMENTS, jobs=jobs, cache_dir=cache_dir, **RESTRICT
-        )
-        parallel_s = time.perf_counter() - started
-        parallel_json = sweep_to_json(parallel_report.outcomes)
+        # 1+2. Cold serial and cold parallel, interleaved.  The serial
+        # reference writes through to its own fresh disk cache each
+        # repetition so both cold phases do identical durable work; the
+        # parallel phase precomputes (pool, or its serial fallback on
+        # small/single-CPU configurations) into an empty disk cache.
+        serial_times = []
+        parallel_times = []
+        serial_json = None
+        parallel_json = None
+        cache_dir = None
+        for rep in range(REPEATS):
+            _cold()
+            disk_cache.configure(root / f"serial-{rep}")
+            gc.collect()
+            started = time.perf_counter()
+            serial_outcomes = run_sweep(EXPERIMENTS, **RESTRICT)
+            serial_times.append(time.perf_counter() - started)
+            if serial_json is None:
+                serial_json = sweep_to_json(serial_outcomes)
 
-        # 3. Fully warm: memory cleared, disk cache intact.
+            _cold()
+            cache_dir = root / f"parallel-{rep}"
+            gc.collect()
+            started = time.perf_counter()
+            parallel_report = run_sweep_parallel(
+                EXPERIMENTS, jobs=jobs, cache_dir=cache_dir, **RESTRICT
+            )
+            parallel_times.append(time.perf_counter() - started)
+            if parallel_json is None:
+                parallel_json = sweep_to_json(parallel_report.outcomes)
+        serial_s = min(serial_times)
+        parallel_s = min(parallel_times)
+
+        # 3. Fully warm: memory cleared, last parallel disk cache intact.
         experiments.clear_cache()
         started = time.perf_counter()
         warm_report = run_sweep_parallel(
@@ -122,6 +206,15 @@ def run_benchmark(jobs: int) -> dict:
     warm_hits = warm_disk.get("hits", 0)
     warm_misses = warm_disk.get("misses", 0)
     probes = warm_hits + warm_misses
+    stage_timings = _time_stage_operations()
+    graph_fast_speedup = (
+        stage_timings["graph_construction_reference"]
+        / max(stage_timings["graph_construction"], 1e-9)
+    )
+    msd_table_speedup = (
+        stage_timings["msd_enumeration_cold"]
+        / max(stage_timings["msd_enumeration_warm"], 1e-9)
+    )
     return {
         "workload": {
             "experiments": EXPERIMENTS,
@@ -145,11 +238,23 @@ def run_benchmark(jobs: int) -> dict:
                 min(serial_s / max(warm_s, 1e-9), WARM_SPEEDUP_CAP), 4
             ),
             "warm_hit_rate": round(warm_hits / probes, 4) if probes else 0.0,
+            "graph_fast_speedup": round(graph_fast_speedup, 4),
+            "graph_fast_speedup_capped": round(
+                min(graph_fast_speedup, GRAPH_SPEEDUP_CAP), 4
+            ),
+            "msd_table_speedup": round(msd_table_speedup, 4),
+            "msd_table_speedup_capped": round(
+                min(msd_table_speedup, MSD_SPEEDUP_CAP), 4
+            ),
+            "parallel_efficiency_capped": round(
+                min(serial_s / max(parallel_s, 1e-9), PARALLEL_EFFICIENCY_CAP),
+                4,
+            ),
             "byte_identical": byte_identical,
         },
         "parallel": parallel_report.stats(),
         "warm": warm_report.stats(),
-        "stage_timings_s": _time_stage_operations(),
+        "stage_timings_s": stage_timings,
     }
 
 

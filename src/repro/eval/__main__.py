@@ -139,6 +139,15 @@ def build_parser() -> argparse.ArgumentParser:
              "(results are byte-identical to a serial run)",
     )
     parser.add_argument(
+        "--chunk-size",
+        type=int,
+        default=None,
+        metavar="N",
+        help="tasks handed to a worker per dispatch during parallel "
+             "precompute (default: auto-sized from task count and pool "
+             "width)",
+    )
+    parser.add_argument(
         "--cache-dir",
         metavar="DIR",
         default=None,
@@ -549,13 +558,18 @@ def _run(args: argparse.Namespace) -> int:
             wordlengths=args.wordlengths,
             task_deadline_s=args.task_deadline,
             replay=False,
+            chunk_size=args.chunk_size,
         )
         stats = report.stats()
+        pool_note = (
+            f"pool chunk size {report.chunk_size}" if report.pool_used
+            else f"in-process ({report.fallback_reason or 'nothing pending'})"
+        )
         print(
             f"[precomputed {stats['tasks_computed']} design points "
             f"with {report.jobs} jobs in {report.precompute_s:.2f}s; "
             f"{stats['tasks_precached']}/{stats['tasks_planned']} were "
-            f"already cached; {stats['tasks_failed']} failed]"
+            f"already cached; {stats['tasks_failed']} failed; {pool_note}]"
         )
         print(
             f"[cache: {stats['cache_put_errors']} put errors, "

@@ -59,10 +59,16 @@ CACHE_SCHEMA_VERSION = 1
 
 
 def version_tag() -> str:
-    """The code-relevant version folded into every cache key."""
-    from .. import __version__
+    """The code-relevant version folded into every cache key.
 
-    return f"{__version__}+schema{CACHE_SCHEMA_VERSION}"
+    The fast-path :data:`~repro.fastpath.KERNEL_VERSION` is mixed in so a
+    fixed kernel bug cannot keep serving results computed by the broken
+    kernel — bumping it orphans every entry, exactly like a schema bump.
+    """
+    from .. import __version__
+    from ..fastpath import KERNEL_VERSION
+
+    return f"{__version__}+schema{CACHE_SCHEMA_VERSION}+k{KERNEL_VERSION}"
 
 
 def cache_key(payload: Mapping[str, Any]) -> str:

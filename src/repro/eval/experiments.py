@@ -81,11 +81,14 @@ def cache_info() -> Dict[str, object]:
     configured), so report consumers never need to probe for the optional
     ``disk`` sub-dict before aggregating failure counts.
     """
+    from ..fastpath import fastpath_info
+
     info: Dict[str, object] = {
         "memory_entries": len(_CACHE),
         "memory": _MEMORY_STATS.as_dict(),
         "put_errors": _MEMORY_STATS.put_errors,
         "quarantined": _MEMORY_STATS.quarantined,
+        "fastpath": fastpath_info(),
     }
     active = disk_cache.active_cache()
     if active is not None:

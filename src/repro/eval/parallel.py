@@ -28,6 +28,7 @@ apples-to-apples benchmarking of the engine overhead).
 
 from __future__ import annotations
 
+import math
 import os
 import time
 import traceback as _traceback
@@ -37,6 +38,7 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..errors import ReproError
+from ..fastpath import msdtables as fast_tables
 from ..filters import TABLE1_SPECS
 from ..numrep import Representation
 from ..obs import metrics as obs_metrics
@@ -50,9 +52,20 @@ __all__ = [
     "ParallelSweepReport",
     "SweepTask",
     "TaskOutcome",
+    "auto_chunk_size",
     "plan_tasks",
+    "pool_decision",
     "run_sweep_parallel",
 ]
+
+#: Target number of map() chunks handed to each worker over a sweep: one
+#: chunk per worker amortizes IPC best but stragglers idle the pool at the
+#: tail, so the auto size aims for a few waves per worker.
+CHUNKS_PER_WORKER = 4
+
+#: Env override for the serial-fallback threshold (tasks); mirrors the
+#: ``min_parallel_tasks`` parameter for deployments that cannot touch code.
+MIN_POOL_TASKS_ENV = "REPRO_MIN_POOL_TASKS"
 
 
 @dataclass(frozen=True, order=True)
@@ -221,13 +234,71 @@ def _compute_task(
         )
 
 
+def auto_chunk_size(pending: int, workers: int) -> int:
+    """Map() chunk size amortizing pool IPC over ``pending`` tasks.
+
+    Aims for :data:`CHUNKS_PER_WORKER` chunks per worker — large enough that
+    per-task pickling/dispatch overhead stops dominating sub-100ms tasks,
+    small enough that a straggler chunk cannot idle the rest of the pool for
+    long.
+    """
+    if pending <= 0 or workers <= 0:
+        return 1
+    return max(1, math.ceil(pending / (workers * CHUNKS_PER_WORKER)))
+
+
+def pool_decision(
+    pending: int,
+    jobs: int,
+    min_parallel_tasks: Optional[int] = None,
+) -> Tuple[bool, Optional[str]]:
+    """Whether a process pool can win for this sweep, and why not if not.
+
+    Pool spin-up costs several hundred milliseconds per worker (interpreter
+    boot + package import); BENCH_sweep measured cold parallel at 0.52x of
+    serial when that overhead was paid for a handful of fast tasks.  The
+    heuristic falls back to in-process execution (byte-identical results by
+    construction) when the pool cannot plausibly amortize:
+
+    * ``jobs <= 1`` — caller asked for no pool;
+    * a single-CPU host — workers only add overhead, never concurrency;
+    * fewer pending tasks than ``min_parallel_tasks`` (default
+      ``max(4, 2 * effective_workers)``, overridable via the
+      ``REPRO_MIN_POOL_TASKS`` env var).
+    """
+    if jobs <= 1:
+        return False, "jobs <= 1"
+    effective = min(jobs, os.cpu_count() or 1)
+    if effective <= 1:
+        return False, "single-CPU host"
+    if min_parallel_tasks is None:
+        raw = os.environ.get(MIN_POOL_TASKS_ENV, "")
+        min_parallel_tasks = (
+            int(raw) if raw.strip().isdigit() else max(4, 2 * effective)
+        )
+    if pending < min_parallel_tasks:
+        return False, (
+            f"{pending} pending tasks below pool threshold "
+            f"{min_parallel_tasks}"
+        )
+    return True, None
+
+
 def _worker_init(
     cache_dir: Optional[str],
     obs_args: Optional[Tuple[str, bool]] = None,
+    msd_snapshot: Optional[Tuple] = None,
 ) -> None:
-    """Pool initializer: shared disk cache + per-worker observability."""
+    """Pool initializer: shared disk cache, observability, warm MSD tables.
+
+    ``msd_snapshot`` hands the parent's memoized MSD digit tables to the
+    worker — a no-op under the fork start method (the tables are inherited),
+    load-bearing under spawn, and harmless either way because restoring is
+    purely additive.
+    """
     disk_cache.configure(cache_dir)
     obs.worker_configure(obs_args)
+    fast_tables.restore_tables(msd_snapshot)
 
 
 def _worker_run(args: Tuple[SweepTask, Optional[float]]) -> TaskOutcome:
@@ -262,6 +333,12 @@ class ParallelSweepReport:
     pool_rebuilds: int = 0
     tasks_resumed: int = 0
     journal_path: Optional[str] = None
+    #: Whether precompute actually used a process pool, the map() chunk size
+    #: it used (0 without a pool), and — when it fell back to in-process
+    #: execution despite ``jobs > 1`` — the :func:`pool_decision` reason.
+    pool_used: bool = False
+    chunk_size: int = 0
+    fallback_reason: Optional[str] = None
 
     @property
     def failed_tasks(self) -> Tuple[TaskOutcome, ...]:
@@ -292,6 +369,9 @@ class ParallelSweepReport:
             "retries": self.retries,
             "pool_rebuilds": self.pool_rebuilds,
             "journal_path": self.journal_path,
+            "pool_used": self.pool_used,
+            "chunk_size": self.chunk_size,
+            "fallback_reason": self.fallback_reason,
             "precompute_s": self.precompute_s,
             "replay_s": self.replay_s,
             "total_s": self.total_s,
@@ -415,19 +495,27 @@ def run_sweep_parallel(
     wordlengths: Optional[Sequence[int]] = None,
     task_deadline_s: Optional[float] = None,
     replay: bool = True,
+    chunk_size: Optional[int] = None,
+    min_parallel_tasks: Optional[int] = None,
 ) -> ParallelSweepReport:
     """Run a sweep with parallel precompute; results match serial bytes.
 
     ``jobs`` defaults to the host CPU count; ``jobs <= 1`` precomputes
-    in-process (no pool).  ``cache_dir`` installs a persistent
-    :class:`~repro.eval.cache.DiskCache` shared by parent and workers for
-    the duration of the call (and left installed afterwards, so subsequent
-    serial runs stay warm).  ``task_deadline_s`` bounds each design point
-    with a :class:`~repro.robust.SolverBudget`; a point that exhausts its
-    budget is recorded in ``report.tasks`` and recomputed — unbudgeted,
-    exactly as a serial run would — during replay.  With ``replay=False``
-    only the precompute phase runs (``report.outcomes`` is empty); use this
-    to warm caches before driving experiments through other entry points.
+    in-process (no pool).  Even with ``jobs > 1`` the engine consults
+    :func:`pool_decision` and silently precomputes in-process when a pool
+    cannot win (single-CPU host, or fewer pending tasks than
+    ``min_parallel_tasks``) — the fallback runs the identical code path, so
+    only timing changes.  ``chunk_size`` sets the number of tasks handed to
+    a worker per dispatch (default: :func:`auto_chunk_size`).  ``cache_dir``
+    installs a persistent :class:`~repro.eval.cache.DiskCache` shared by
+    parent and workers for the duration of the call (and left installed
+    afterwards, so subsequent serial runs stay warm).  ``task_deadline_s``
+    bounds each design point with a :class:`~repro.robust.SolverBudget`; a
+    point that exhausts its budget is recorded in ``report.tasks`` and
+    recomputed — unbudgeted, exactly as a serial run would — during replay.
+    With ``replay=False`` only the precompute phase runs
+    (``report.outcomes`` is empty); use this to warm caches before driving
+    experiments through other entry points.
     """
     from .harness import run_sweep
 
@@ -447,25 +535,44 @@ def run_sweep_parallel(
     precompute_started = time.monotonic()
     active = disk_cache.active_cache()
     results: List[TaskOutcome] = []
+    pool_used = False
+    used_chunk = 0
+    fallback_reason: Optional[str] = None
     if pending:
-        if jobs > 1:
+        use_pool, fallback_reason = pool_decision(
+            len(pending), jobs, min_parallel_tasks
+        )
+        if use_pool:
+            workers = min(jobs, len(pending))
+            used_chunk = (
+                chunk_size if chunk_size and chunk_size > 0
+                else auto_chunk_size(len(pending), workers)
+            )
             worker_dir = str(active.root) if active is not None else None
+            pool_used = True
             with obs_span(
-                "sweep.precompute", jobs=jobs, pending=len(pending)
+                "sweep.precompute", jobs=jobs, pending=len(pending),
+                chunk_size=used_chunk,
             ):
                 with ProcessPoolExecutor(
-                    max_workers=min(jobs, len(pending)),
+                    max_workers=workers,
                     initializer=_worker_init,
-                    initargs=(worker_dir, obs.worker_args()),
+                    initargs=(
+                        worker_dir,
+                        obs.worker_args(),
+                        fast_tables.table_snapshot(),
+                    ),
                 ) as pool:
                     results = list(pool.map(
                         _worker_run,
                         [(task, task_deadline_s) for task in pending],
+                        chunksize=used_chunk,
                     ))
             obs.drain_spill()
         else:
             with obs_span(
-                "sweep.precompute", jobs=1, pending=len(pending)
+                "sweep.precompute", jobs=1, pending=len(pending),
+                fallback=fallback_reason,
             ):
                 results = [
                     _compute_task(t, task_deadline_s) for t in pending
@@ -496,6 +603,9 @@ def run_sweep_parallel(
         total_s=time.monotonic() - started,
         stage_timings=stage_timings,
         cache=experiments.cache_info(),
+        pool_used=pool_used,
+        chunk_size=used_chunk,
+        fallback_reason=fallback_reason,
     )
     _record_sweep_metrics(report)
     return report

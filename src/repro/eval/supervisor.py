@@ -50,6 +50,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
 from .. import obs
 from ..errors import ReproError, SupervisorError, SweepAborted
+from ..fastpath import msdtables as fast_tables
 from ..obs import span as obs_span
 from ..robust.chaos import ProcessFaultPlan
 from . import cache as disk_cache
@@ -261,10 +262,12 @@ def _worker_init_supervised(
     cache_dir: Optional[str],
     chaos: Optional[ProcessFaultPlan],
     obs_args: Optional[Tuple[str, bool]] = None,
+    msd_snapshot: Optional[Tuple] = None,
 ) -> None:
-    """Pool initializer: disk cache + chaos arming + per-worker obs."""
+    """Pool initializer: disk cache, chaos arming, obs, warm MSD tables."""
     disk_cache.configure(cache_dir)
     obs.worker_configure(obs_args)
+    fast_tables.restore_tables(msd_snapshot)
     if chaos is not None:
         injector = chaos.cache_injector()
         if injector is not None:
@@ -389,7 +392,10 @@ def _run_wave(
     executor = ProcessPoolExecutor(
         max_workers=workers,
         initializer=_worker_init_supervised,
-        initargs=(worker_dir, chaos, obs.worker_args()),
+        initargs=(
+            worker_dir, chaos, obs.worker_args(),
+            fast_tables.table_snapshot(),
+        ),
     )
     future_map = {
         executor.submit(

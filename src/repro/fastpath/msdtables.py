@@ -1,0 +1,109 @@
+"""Snapshot / restore / warm helpers for the process-local MSD digit table.
+
+The table itself lives in :mod:`repro.numrep.msd` (module-level, so every
+caller of :func:`~repro.numrep.enumerate_msd` shares it).  This module gives
+the sweep engines a way to hand a warmed table to pool workers: on Linux the
+fork start method inherits it for free, but a snapshot threaded through the
+pool initializer makes the warmth explicit, picklable, and start-method
+independent.
+
+Snapshots are plain nested tuples of ints (no custom classes), so they cross
+process boundaries cheaply and never drag module state along.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Optional, Sequence, Tuple
+
+__all__ = [
+    "clear_tables",
+    "restore_tables",
+    "table_snapshot",
+    "table_stats",
+    "warm_msd_tables",
+]
+
+#: Snapshot ceiling: a sweep's coefficient population is a few hundred
+#: values; anything beyond this is a runaway caller, not a sweep.
+MAX_SNAPSHOT_ENTRIES = 4096
+
+#: One snapshot entry: (value, max_width, encodings-as-digit-tuples).
+SnapshotEntry = Tuple[int, int, Tuple[Tuple[int, ...], ...]]
+
+
+def table_snapshot(
+    max_entries: int = MAX_SNAPSHOT_ENTRIES,
+) -> Tuple[SnapshotEntry, ...]:
+    """Picklable copy of the current process's MSD table (possibly truncated).
+
+    Entries are emitted in insertion order, so truncation keeps the oldest —
+    i.e. the most-reused — enumerations.
+    """
+    from ..numrep import msd
+
+    entries = []
+    for (value, max_width), encodings in msd._TABLE.items():
+        if len(entries) >= max_entries:
+            break
+        entries.append(
+            (value, max_width, tuple(e.digits for e in encodings))
+        )
+    return tuple(entries)
+
+
+def restore_tables(snapshot: Optional[Sequence[SnapshotEntry]]) -> int:
+    """Merge a snapshot into this process's MSD table; returns entries added.
+
+    Existing entries win (they were computed here and are therefore already
+    trusted); restoring is purely additive so a worker can layer the parent's
+    snapshot under whatever it computes afterwards.
+    """
+    if not snapshot:
+        return 0
+    from ..numrep import msd
+    from ..numrep.digits import SignedDigits
+
+    added = 0
+    for value, max_width, digit_tuples in snapshot:
+        key = (int(value), int(max_width))
+        if key in msd._TABLE:
+            continue
+        msd._TABLE[key] = tuple(
+            SignedDigits(tuple(digits)) for digits in digit_tuples
+        )
+        added += 1
+    return added
+
+
+def warm_msd_tables(values: Iterable[int]) -> int:
+    """Enumerate (and therefore cache) the MSD sets of ``values``.
+
+    Returns the number of *new* table entries.  Used by benchmarks and by
+    callers that know their coefficient population up front.
+    """
+    from ..numrep import msd
+
+    before = len(msd._TABLE)
+    for value in set(values):
+        msd.enumerate_msd(int(value))
+    return len(msd._TABLE) - before
+
+
+def table_stats() -> Dict[str, int]:
+    """Hit/miss/size counters of the process-local MSD table."""
+    from ..numrep import msd
+
+    return {
+        "entries": len(msd._TABLE),
+        "hits": msd._TABLE_STATS["hits"],
+        "misses": msd._TABLE_STATS["misses"],
+    }
+
+
+def clear_tables() -> None:
+    """Drop every cached enumeration and zero the counters (tests, benches)."""
+    from ..numrep import msd
+
+    msd._TABLE.clear()
+    msd._TABLE_STATS["hits"] = 0
+    msd._TABLE_STATS["misses"] = 0

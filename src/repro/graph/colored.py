@@ -105,6 +105,38 @@ class ColoredGraph:
             color: digit_cost(color, representation) for color in self._color_sets
         }
 
+    @classmethod
+    def _from_prebuilt(
+        cls,
+        vertices: Iterable[int],
+        representation: Representation,
+        max_shift: int,
+        edges_by_color: Dict[int, List[ColorEdge]],
+        color_sets: Dict[int, Set[int]],
+        colors_of_vertex: Dict[int, Set[int]],
+        edges_into_by_color: Dict[int, Dict[int, List[ColorEdge]]],
+        color_costs: Dict[int, int],
+    ) -> "ColoredGraph":
+        """Trusted constructor for the fast-path builder.
+
+        :mod:`repro.fastpath.graphbuild` assembles the index dictionaries in
+        its single edge pass; re-deriving them here (as ``__init__`` does)
+        would double the build time for no information.  Callers guarantee
+        the dictionaries are mutually consistent and that ``color_costs``
+        matches ``digit_cost`` — the fast-path equivalence suite holds them
+        to it.
+        """
+        graph = cls.__new__(cls)
+        graph._vertices = frozenset(vertices)
+        graph._representation = representation
+        graph._max_shift = max_shift
+        graph._edges_by_color = edges_by_color
+        graph._color_sets = color_sets
+        graph._colors_of_vertex = colors_of_vertex
+        graph._edges_into_by_color = edges_into_by_color
+        graph._color_costs = color_costs
+        return graph
+
     @property
     def vertices(self) -> FrozenSet[int]:
         """The graph's vertex set (odd positive integers)."""
@@ -173,17 +205,34 @@ def build_colored_graph(
     cannot happen between distinct odd vertices.  The optional cooperative
     ``budget`` is charged per vertex pair so oversized builds raise
     :class:`~repro.errors.BudgetExceeded` instead of stalling the pipeline.
+
+    Construction normally runs through the batch kernels of
+    :mod:`repro.fastpath.graphbuild` (numpy when available, pure python
+    otherwise), which produce the identical graph several times faster;
+    ``REPRO_FASTPATH=off`` selects this module's reference loop instead.
+    The equivalence suite (``tests/test_fastpath_equivalence.py``) asserts
+    the two paths are element-identical.
     """
     vertex_list = sorted(set(vertices))
     if max_shift < 0:
         raise GraphError(f"max_shift must be >= 0, got {max_shift}")
+    from ..fastpath import graph_kernel
+
+    kernel = graph_kernel()
     with obs_span(
         "graph.build",
         vertices=len(vertex_list),
         max_shift=max_shift,
         representation=representation.value,
+        kernel=kernel,
     ):
-        return _build_edges(vertex_list, max_shift, representation, budget)
+        if kernel == "off":
+            return _build_edges(vertex_list, max_shift, representation, budget)
+        from ..fastpath.graphbuild import build_graph_fast
+
+        return build_graph_fast(
+            vertex_list, max_shift, representation, budget, kernel
+        )
 
 
 def _build_edges(

@@ -11,7 +11,7 @@ word lengths of filter coefficients (<= 24 bits), not for bignums.
 from __future__ import annotations
 
 from functools import lru_cache
-from typing import TYPE_CHECKING, List, Optional, Tuple
+from typing import TYPE_CHECKING, Dict, List, Optional, Tuple
 
 from ..obs import span as obs_span
 from .digits import SignedDigits
@@ -20,6 +20,16 @@ if TYPE_CHECKING:  # pragma: no cover - import would cycle at runtime
     from ..robust.budget import SolverBudget
 
 __all__ = ["minimal_nonzero_count", "enumerate_msd", "msd_count"]
+
+#: Process-local digit table: ``(value, max_width) -> tuple(SignedDigits)``.
+#: A sweep enumerates the same coefficient odd-parts over and over (every
+#: wordlength and scaling revisits many of them); the table turns each repeat
+#: into a dict hit instead of a recursive search.  Managed (snapshot for
+#: worker handoff, warm, clear) by :mod:`repro.fastpath.msdtables`; disabled
+#: entirely by ``REPRO_FASTPATH=off`` so the reference search stays
+#: A/B-benchmarkable.
+_TABLE: Dict[Tuple[int, int], Tuple[SignedDigits, ...]] = {}
+_TABLE_STATS: Dict[str, int] = {"hits": 0, "misses": 0}
 
 
 @lru_cache(maxsize=None)
@@ -62,11 +72,26 @@ def enumerate_msd(
         return [SignedDigits(())]
     if max_width is None:
         max_width = abs(value).bit_length() + 1
+    from ..fastpath import msd_tables_enabled
+
+    memoize = msd_tables_enabled()
+    if memoize:
+        cached = _TABLE.get((value, max_width))
+        if cached is not None:
+            _TABLE_STATS["hits"] += 1
+            if budget is not None:
+                # A table hit still charges one unit so budget semantics
+                # (deadline checkpoints included) are warmth-independent.
+                budget.spend()
+            return list(cached)
     target_cost = minimal_nonzero_count(value)
     results: List[Tuple[int, ...]] = []
     with obs_span("msd.enumerate", value=value, max_width=max_width):
         _search(value, 0, max_width, target_cost, (), results, budget)
         encodings = sorted({SignedDigits(r) for r in results}, key=str)
+        if memoize:
+            _TABLE_STATS["misses"] += 1
+            _TABLE[(value, max_width)] = tuple(encodings)
         return list(encodings)
 
 

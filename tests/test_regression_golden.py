@@ -13,6 +13,7 @@ EXPERIMENTS.md in the same change.
 
 import pytest
 
+from repro import fastpath
 from repro.baselines import (
     synthesize_bhm,
     synthesize_cse_filter,
@@ -71,6 +72,55 @@ class TestGoldenAdderCounts:
         q = _quantized(*point)
         got = best_mrpf(q.integers, point[1], seed_compression="cse").adder_count
         assert got == GOLDEN[point]["mrpf_cse"]
+
+
+@pytest.fixture()
+def _each_fastpath_mode(request):
+    """Restore the ambient fast-path mode after a mode-switching test."""
+    yield
+    fastpath.set_mode(None)
+
+
+@pytest.mark.usefixtures("_each_fastpath_mode")
+class TestGoldenFastVersusLegacy:
+    """The fast kernels reproduce the golden table and artifact bytes.
+
+    The golden numbers above already pin the default (fast) path; here the
+    same design points are recomputed with every fast path disabled
+    (``REPRO_FASTPATH=off``) and with the pure-python kernel forced, and the
+    full exported artifacts — not just adder counts — must be identical
+    byte for byte.
+    """
+
+    POINTS = [(0, 12, "uniform"), (1, 12, "maximal")]
+
+    def _mrpf_count(self, point):
+        q = _quantized(*point)
+        return best_mrpf(q.integers, point[1]).adder_count
+
+    @pytest.mark.parametrize("mode", ["off", "python", "auto"])
+    @pytest.mark.parametrize("point", POINTS, ids=lambda p: f"{p[0]}-{p[2]}")
+    def test_golden_mrpf_under_every_mode(self, mode, point):
+        fastpath.set_mode(mode)
+        assert self._mrpf_count(point) == GOLDEN[point]["mrpf"]
+
+    @pytest.mark.parametrize("fmt", ["verilog", "c", "dot"])
+    def test_table1_artifact_bytes_identical(self, fmt):
+        # generate_artifact (not fetch_artifact) so no cache layer can
+        # serve mode B the bytes computed under mode A.
+        from repro.service.artifacts import generate_artifact
+
+        def artifact():
+            return generate_artifact(
+                0, 10, fmt,
+                scaling=ScalingScheme.MAXIMAL,
+            )
+
+        fastpath.set_mode("off")
+        legacy = artifact()
+        for mode in ("python", "auto"):
+            fastpath.set_mode(mode)
+            assert artifact() == legacy
 
 
 class TestGoldenInternalConsistency:
