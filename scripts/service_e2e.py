@@ -2,14 +2,17 @@
 """CI end-to-end gate for the synthesis job service.
 
 One scripted pass through every headline guarantee, against real server
-processes (no pytest, no mocks):
+processes (no pytest, no mocks), driven by the resilient
+:class:`repro.service.client.ServiceClient` — the same SDK users get, so
+the gate also certifies the client's retry/deadline discipline:
 
 1. start a server whose chaos plan SIGKILLs each task's first worker,
    submit a (restricted) Table-1 job;
 2. SIGKILL the whole server mid-job;
 3. restart on the same data dir with a trace recorder and assert the job
    completes — crash recovery requeued it, the sweep journal spared the
-   finished tasks;
+   finished tasks (the client rides out the dead-server window on its
+   own backoff; no hand-rolled polling here);
 4. fetch the Verilog artifact over HTTP and assert it is byte-for-byte
    identical to a direct ``python -m repro.eval export`` run;
 5. scrape the live ``/metrics`` endpoint through
@@ -17,11 +20,17 @@ processes (no pytest, no mocks):
 6. SIGTERM the server, assert a clean drain (exit 0), and validate the
    recorded trace's ``service.request``/``service.job`` spans.
 
+With ``--netchaos`` every request additionally crosses a
+:class:`repro.robust.netchaos.NetChaosProxy` injecting seeded connection
+resets, truncations, hangs, garbage and 5xx bursts — the wire itself
+becomes hostile and the guarantees must still hold.
+
 Exit code 0 when every step holds; 1 with a diagnostic otherwise.
 
 Usage::
 
     python scripts/service_e2e.py [--work-dir DIR] [--timeout SECONDS]
+                                  [--netchaos] [--netchaos-seed N]
 """
 
 from __future__ import annotations
@@ -35,8 +44,6 @@ import subprocess
 import sys
 import tempfile
 import time
-import urllib.error
-import urllib.request
 from pathlib import Path
 
 REPO = Path(__file__).resolve().parent.parent
@@ -45,9 +52,12 @@ sys.path.insert(0, str(REPO / "scripts"))
 
 from check_trace import check_metrics_url, check_trace  # noqa: E402
 
+from repro.errors import ClientError  # noqa: E402
+from repro.robust.netchaos import NetChaosProxy, NetFaultPlan  # noqa: E402
+from repro.service.client import ServiceClient  # noqa: E402
+
 #: A restricted slice of the paper's Table 1: real synthesis, CI-sized.
 JOB_SPEC = {"experiments": ["table1"], "filters": [0, 1], "wordlengths": [8]}
-ARTIFACT_QUERY = "/v1/artifacts/verilog?filter=0&wordlength=8"
 
 
 def _env():
@@ -76,33 +86,53 @@ def _start_server(data_dir: Path, extra_args, log_path: Path):
     return proc, port
 
 
-def _request(port, method, path, body=None):
-    url = f"http://127.0.0.1:{port}{path}"
-    data = json.dumps(body).encode() if body is not None else None
-    req = urllib.request.Request(url, data=data, method=method)
-    with urllib.request.urlopen(req, timeout=30) as resp:
-        return resp.status, resp.read().decode("utf-8")
+def _make_client(port: int, proxy, timeout_s: float) -> ServiceClient:
+    """A client aimed at the proxy (when chaos is on) or the server."""
+    base = proxy.base_url if proxy is not None else f"http://127.0.0.1:{port}"
+    return ServiceClient(
+        base,
+        request_timeout_s=10.0,
+        deadline_s=timeout_s,
+        max_attempts=64,
+        backoff_cap_s=2.0,
+        breaker_cooldown_s=0.5,
+        seed=0,
+    )
 
 
-def _poll(port, path, predicate, timeout_s, what):
+def _wait_mid_job(client: ServiceClient, job_id: str, journal_dir: Path,
+                  timeout_s: float):
+    """Until the job is mid-flight with one task outcome durably journaled."""
     deadline = time.monotonic() + timeout_s
-    last = None
+    view = None
     while time.monotonic() < deadline:
         try:
-            _, raw = _request(port, "GET", path)
-            last = json.loads(raw)
-            if predicate(last):
-                return last
-        except (urllib.error.URLError, OSError):
-            pass  # server mid-restart
+            view = client.status(job_id, budget_s=15.0)
+        except ClientError:
+            view = None
+        journals = list(journal_dir.glob("sweep-*.wal"))
+        if (
+            view is not None
+            and view["state"] in ("running", "completed")
+            and journals
+            and journals[0].read_bytes().count(b"\n") >= 2
+        ):
+            return view
         time.sleep(0.1)
-    raise SystemExit(f"service_e2e: timed out waiting for {what}: {last}")
+    raise SystemExit(
+        f"service_e2e: timed out waiting for job to reach mid-flight: {view}"
+    )
 
 
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--work-dir", default=None)
     parser.add_argument("--timeout", type=float, default=600.0)
+    parser.add_argument(
+        "--netchaos", action="store_true",
+        help="route every request through a fault-injecting TCP proxy",
+    )
+    parser.add_argument("--netchaos-seed", type=int, default=3)
     args = parser.parse_args(argv)
 
     work = Path(args.work_dir or tempfile.mkdtemp(prefix="service-e2e-"))
@@ -115,27 +145,23 @@ def main(argv=None) -> int:
     proc, port = _start_server(
         data_dir, ["--chaos-seed", "7", "--chaos-kill-rate", "1.0"], log_path
     )
+    proxy = None
+    if args.netchaos:
+        proxy = NetChaosProxy(
+            port, NetFaultPlan.storm(seed=args.netchaos_seed, rate=0.15)
+        ).start()
+        print(f"service_e2e: netchaos proxy on {proxy.base_url} "
+              f"(seed {args.netchaos_seed})")
+    client = _make_client(port, proxy, args.timeout)
     job_id = None
     try:
-        status, raw = _request(port, "POST", "/v1/jobs", JOB_SPEC)
-        view = json.loads(raw)
+        view = client.submit(dict(JOB_SPEC), tenant="e2e")
         job_id = view["job_id"]
-        print(f"service_e2e: submitted {job_id} ({status})")
+        print(f"service_e2e: submitted {job_id} ({view['state']})")
 
         # Phase 2: SIGKILL the server once the job is mid-flight with at
         # least one task outcome durably journaled.
-        journal_dir = data_dir / "journals"
-
-        def mid_job(_view):
-            journals = list(journal_dir.glob("sweep-*.wal"))
-            return (
-                _view["state"] in ("running", "completed")
-                and journals
-                and journals[0].read_bytes().count(b"\n") >= 2
-            )
-
-        _poll(port, f"/v1/jobs/{job_id}", mid_job, args.timeout,
-              "job to reach mid-flight")
+        _wait_mid_job(client, job_id, data_dir / "journals", args.timeout)
     finally:
         proc.kill()
         proc.wait(timeout=30)
@@ -143,27 +169,44 @@ def main(argv=None) -> int:
     print("service_e2e: server SIGKILLed mid-job")
 
     # Phase 3: restart, no chaos, trace recorded; the job must complete.
+    # The client needs no special handling for the restart: the proxy is
+    # retargeted at the new port and the retry loop rides out the gap.
     proc, port = _start_server(
         data_dir, ["--trace", str(trace_path)], log_path
     )
+    if proxy is not None:
+        proxy.retarget(port)
+    else:
+        client = _make_client(port, None, args.timeout)
     try:
-        final = _poll(
-            port, f"/v1/jobs/{job_id}",
-            lambda v: v["state"] in ("completed", "failed"),
-            args.timeout, "recovered job to finish",
-        )
+        final = client.wait_for(job_id, budget_s=args.timeout)
         if final["state"] != "completed":
             raise SystemExit(
                 f"service_e2e: recovered job failed: {final.get('error')}"
             )
         print(f"service_e2e: job completed after restart "
-              f"(resumed={final.get('resumed')})")
-        _, result = _request(port, "GET", f"/v1/jobs/{job_id}/result")
-        if not json.loads(result)["sweep"]:
+              f"(resumed={final.get('resumed')}, "
+              f"attempts={final.get('attempts')})")
+        if not json.loads(client.result(job_id))["sweep"]:
             raise SystemExit("service_e2e: completed job served empty sweep")
 
+        # The traced server must execute at least one job itself: under
+        # netchaos, submit retries can delay phase 1 long enough that the
+        # first job completes *before* the SIGKILL, leaving the restarted
+        # server nothing to resume — submit a distinct spec so the trace
+        # always carries a service.job span.
+        traced, _ = client.submit_and_wait(
+            {"experiments": ["fig6"], "filters": [1], "wordlengths": [9]},
+            tenant="e2e", budget_s=args.timeout, fetch_result=False,
+        )
+        if traced["state"] != "completed":
+            raise SystemExit(
+                f"service_e2e: traced job failed: {traced.get('error')}"
+            )
+        print(f"service_e2e: traced job {traced['job_id']} completed")
+
         # Phase 4: served artifact must equal the direct CLI export bytes.
-        _, served = _request(port, "GET", ARTIFACT_QUERY)
+        served = client.artifact("verilog", 0, 8)
         direct_path = work / "direct.v"
         subprocess.run(
             [
@@ -183,7 +226,8 @@ def main(argv=None) -> int:
         print(f"service_e2e: artifact byte-identity holds "
               f"({len(served)} chars)")
 
-        # Phase 5: scrape the live /metrics endpoint.
+        # Phase 5: scrape the live /metrics endpoint (directly — the
+        # vocabulary check should not be confounded by injected faults).
         problems = check_metrics_url(f"http://127.0.0.1:{port}/metrics")
         if problems:
             for p in problems:
@@ -198,6 +242,20 @@ def main(argv=None) -> int:
             raise SystemExit(f"service_e2e: drain exited {code}, wanted 0")
         print("service_e2e: SIGTERM drain exited 0")
     finally:
+        if proxy is not None:
+            fired = proxy.faults_fired()
+            print(f"service_e2e: netchaos injected "
+                  f"{len(proxy.injections)} faults over "
+                  f"{proxy.connections} connections: "
+                  f"{', '.join(fired) or 'none'}")
+            proxy.stop()
+            if not fired:
+                # A chaos pass that never injected anything certified
+                # nothing; the seed matrix must guarantee real faults.
+                raise SystemExit(
+                    "service_e2e: --netchaos fired no faults; pick a "
+                    "seed/rate with early activity"
+                )
         if proc.poll() is None:
             proc.kill()
             proc.wait(timeout=30)

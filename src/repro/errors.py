@@ -143,6 +143,88 @@ class JobStateError(ServiceError):
     """
 
 
+class StoreUnavailable(ServiceError):
+    """The durable job store cannot accept writes right now (HTTP 503).
+
+    Raised when a WAL append fails (ENOSPC, I/O error) *before* the job
+    was acknowledged: the in-memory state is rolled back, the client gets
+    a 503 with ``Retry-After``, and nothing claims durability it does not
+    have.  Mirrors the disk cache's non-fatal ``put_errors`` philosophy —
+    a full disk degrades the service, it does not crash it.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 5.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ClientError(ServiceError):
+    """Base of the :mod:`repro.service.client` taxonomy.
+
+    Everything the resilient client can raise after exhausting its own
+    retry discipline is a subclass, so callers can ``except ClientError``
+    for "the service interaction failed for good" while still branching on
+    deadline vs breaker vs server-rejection below.
+    """
+
+
+class ClientDeadlineError(ClientError):
+    """The client's overall deadline budget ran out mid-operation.
+
+    Raised instead of silently hanging when the remaining budget cannot
+    cover the next attempt (including a server ``Retry-After`` longer than
+    what is left).  ``last_state`` carries the most recent job view (or
+    error payload) the client managed to fetch, so a caller that timed out
+    waiting still learns where the job stood; ``elapsed_s`` is how long the
+    operation ran before giving up.
+    """
+
+    def __init__(
+        self,
+        message: str,
+        last_state: object = None,
+        elapsed_s: float = 0.0,
+    ) -> None:
+        super().__init__(message)
+        self.last_state = last_state
+        self.elapsed_s = elapsed_s
+
+
+class ClientCircuitOpen(ClientError):
+    """The client-side circuit breaker is open; the call was not attempted.
+
+    After ``breaker_threshold`` consecutive transport-level failures the
+    client stops hammering a dead or dying endpoint for a cooldown period,
+    mirroring the server's admission breaker.  ``retry_after_s`` is the
+    remaining cooldown.
+    """
+
+    def __init__(self, message: str, retry_after_s: float = 1.0) -> None:
+        super().__init__(message)
+        self.retry_after_s = retry_after_s
+
+
+class ServerRejected(ClientError):
+    """The server answered with a non-retryable error status (4xx).
+
+    Carries the decoded error payload so callers see the server's own
+    taxonomy (``error_type`` is the server-side exception class name, e.g.
+    ``"SpecError"`` for a 400 or ``"JobStateError"`` for a 404/409).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        status: int,
+        error_type: str = "",
+        payload: object = None,
+    ) -> None:
+        super().__init__(message)
+        self.status = status
+        self.error_type = error_type
+        self.payload = payload
+
+
 class VerificationError(ReproError):
     """Base of the :mod:`repro.verify` taxonomy.
 

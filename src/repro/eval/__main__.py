@@ -89,13 +89,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + [
-            "all", "stats", "verify", "serve", "export"
+            "all", "stats", "verify", "serve", "export", "submit", "watch"
         ],
         help="which experiment to run ('stats' renders the per-phase time "
              "breakdown of a trace recorded earlier with --trace; 'verify' "
              "runs the full hardware verification audit over synthesized "
              "benchmark filters; 'serve' starts the synthesis job service; "
-             "'export' emits one artifact for a single design point)",
+             "'export' emits one artifact for a single design point; "
+             "'submit' sends a sweep to a running service via the resilient "
+             "client; 'watch' long-polls an existing job to completion)",
     )
     parser.add_argument(
         "--filters",
@@ -349,6 +351,43 @@ def build_parser() -> argparse.ArgumentParser:
     serve_group.add_argument(
         "--chaos-kill-rate", type=float, default=0.0, help=argparse.SUPPRESS
     )
+    client_group = parser.add_argument_group("client options (submit/watch)")
+    client_group.add_argument(
+        "--url",
+        default="http://127.0.0.1:8177",
+        help="submit/watch: service base URL (default http://127.0.0.1:8177)",
+    )
+    client_group.add_argument(
+        "--tenant",
+        default="cli",
+        help="submit: tenant the job is accounted against (default 'cli')",
+    )
+    client_group.add_argument(
+        "--experiments",
+        nargs="+",
+        metavar="EXP",
+        default=None,
+        help="submit: experiments the job should sweep (default: fig6)",
+    )
+    client_group.add_argument(
+        "--job-id",
+        default=None,
+        help="watch: the job to follow to completion",
+    )
+    client_group.add_argument(
+        "--client-budget",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="submit/watch: overall client deadline budget across retries "
+             "and long-polls (default 300)",
+    )
+    client_group.add_argument(
+        "--watch",
+        action="store_true",
+        help="submit: after submitting, follow the job to completion "
+             "(exit code reflects its final state)",
+    )
     return parser
 
 
@@ -505,6 +544,67 @@ def _run_serve(args: argparse.Namespace) -> int:
     return run_forever(server, service, ready=_announce)
 
 
+#: Terminal job states mapped onto the CLI's exit-code taxonomy: an
+#: expired job is a budget outcome (3), like a local budget exhaustion.
+_JOB_EXIT_CODES = {
+    "completed": EXIT_OK,
+    "expired": EXIT_BUDGET,
+    "failed": EXIT_FAILURE,
+    "cancelled": EXIT_FAILURE,
+}
+
+
+def _watch_to_exit(client, job_id: str, budget_s) -> int:
+    """Follow ``job_id`` to a terminal state and map it to an exit code."""
+    from ..errors import ClientDeadlineError
+
+    try:
+        view = client.wait_for(job_id, budget_s=budget_s)
+    except ClientDeadlineError as exc:
+        last = exc.last_state or {}
+        print(
+            f"error: client budget exhausted after {exc.elapsed_s:.1f}s; "
+            f"last observed state: {last.get('state', 'unknown')}",
+            file=sys.stderr,
+        )
+        return EXIT_BUDGET
+    state = view["state"]
+    line = f"[job {job_id} {state}"
+    if view.get("error"):
+        line += f": {view['error_type']}: {view['error']}"
+    print(line + "]")
+    return _JOB_EXIT_CODES.get(state, EXIT_FAILURE)
+
+
+def _run_submit(args: argparse.Namespace) -> int:
+    """The ``submit`` subcommand: send a sweep through the resilient client."""
+    from ..service.client import ServiceClient
+
+    client = ServiceClient(args.url)
+    spec = {"experiments": list(args.experiments or ["fig6"])}
+    if args.filters is not None:
+        spec["filters"] = list(args.filters)
+    if args.wordlengths is not None:
+        spec["wordlengths"] = list(args.wordlengths)
+    view = client.submit(
+        spec, tenant=args.tenant, budget_s=args.client_budget
+    )
+    print(f"[job {view['job_id']} {view['state']}]")
+    if not args.watch:
+        return EXIT_OK
+    return _watch_to_exit(client, view["job_id"], args.client_budget)
+
+
+def _run_watch(args: argparse.Namespace) -> int:
+    """The ``watch`` subcommand: long-poll one job to its terminal state."""
+    from ..service.client import ServiceClient
+
+    if args.job_id is None:
+        raise ReproError("watch needs --job-id (as printed by submit)")
+    client = ServiceClient(args.url)
+    return _watch_to_exit(client, args.job_id, args.client_budget)
+
+
 def _run(args: argparse.Namespace) -> int:
     experiment_ids = (
         sorted(EXPERIMENTS) if args.experiment == "all" else [args.experiment]
@@ -626,6 +726,10 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_serve(args)
         if args.experiment == "export":
             return _run_export(args)
+        if args.experiment == "submit":
+            return _run_submit(args)
+        if args.experiment == "watch":
+            return _run_watch(args)
         return _run(args)
     except BudgetExceeded as exc:
         print(f"error: solver budget exhausted: {exc}", file=sys.stderr)

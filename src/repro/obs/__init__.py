@@ -113,6 +113,10 @@ _PREDECLARED_COUNTERS = (
     ("repro_service_jobs_total", {"status": "aborted"}),
     ("repro_service_jobs_expired_total", {}),
     ("repro_service_jobs_resumed_total", {}),
+    ("repro_service_wal_errors_total", {}),
+    ("repro_client_retries_total", {}),
+    ("repro_client_breaker_trips_total", {}),
+    ("repro_client_deadlines_total", {}),
 )
 
 

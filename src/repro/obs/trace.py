@@ -127,13 +127,30 @@ class JsonlSink:
             self._fh = None
 
     def abandon(self) -> None:
-        """Drop the handle without touching it (post-fork child side).
+        """Discard the inherited handle without writing (post-fork child).
 
-        A forked worker inherits the parent's open sink; closing it would
-        flush the child's copy of the buffer into the parent's file.  The
-        child must simply forget the handle.
+        A forked worker inherits the parent's open sink, including any
+        records still sitting in the userspace buffer.  Merely dropping the
+        reference is not enough: the file object's destructor flushes that
+        inherited buffer into the parent's file, duplicating every
+        not-yet-flushed record once per worker.  Point the child's
+        descriptor at ``/dev/null`` first (``dup2`` only rewrites this
+        process's descriptor table entry), then close, so the stale buffer
+        drains harmlessly.
         """
+        fh = self._fh
         self._fh = None
+        if fh is None:
+            return
+        try:
+            devnull = os.open(os.devnull, os.O_WRONLY)
+            try:
+                os.dup2(devnull, fh.fileno())
+            finally:
+                os.close(devnull)
+            fh.close()
+        except (OSError, ValueError):
+            pass  # raw inherited handle in a weird state; losing it is fine
 
 
 class Span:

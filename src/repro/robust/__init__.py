@@ -20,7 +20,14 @@ from .chaos import (
     Injection,
     NetlistMutator,
     ProcessFaultPlan,
+    StoreFaultInjector,
     clone_netlist,
+)
+from .netchaos import (
+    NET_FAULT_CLASSES,
+    NetChaosProxy,
+    NetFaultPlan,
+    NetInjection,
 )
 from .degrade import (
     STAGES,
@@ -42,9 +49,14 @@ __all__ = [
     "FAULT_CLASSES",
     "Injection",
     "MUTATION_OPERATORS",
+    "NET_FAULT_CLASSES",
+    "NetChaosProxy",
+    "NetFaultPlan",
+    "NetInjection",
     "NetlistMutator",
     "PROCESS_FAULT_CLASSES",
     "ProcessFaultPlan",
+    "StoreFaultInjector",
     "RobustConfig",
     "RobustResult",
     "STAGES",

@@ -57,6 +57,7 @@ __all__ = [
     "NetlistMutator",
     "ProcessFaultPlan",
     "ServiceFaultPlan",
+    "StoreFaultInjector",
     "clone_netlist",
 ]
 
@@ -633,6 +634,54 @@ class CacheFaultInjector:
         """The ENOSPC ``OSError`` to raise for ``key``'s write."""
         return OSError(
             errno.ENOSPC, f"chaos: no space left on device (cache key {key})"
+        )
+
+
+@dataclass(frozen=True)
+class StoreFaultInjector:
+    """Deterministic WAL-append fault decisions for the service job store.
+
+    Installed via ``JobStore(..., fault_injector=...)``; consulted once per
+    append.  ``"enospc"`` raises ``OSError(ENOSPC)`` *before* the record
+    reaches the log, exercising the store's rollback path: the job must
+    surface as a 503 with ``Retry-After`` and never be acknowledged, not
+    crash the server or leave a phantom in-memory job.  Draws are keyed by
+    ``(job_id, append ordinal)`` so the same job can fail its first append
+    and succeed its retry — the shape a client-visible 503-then-retry
+    certification needs.
+    """
+
+    seed: int = 0
+    enospc_rate: float = 0.0
+    #: Fail at most this many appends in total (None = unlimited).
+    max_faults: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 <= self.enospc_rate <= 1.0:
+            raise ReproError(
+                f"enospc_rate must be in [0, 1], got {self.enospc_rate}"
+            )
+        # Mutable bookkeeping on a frozen dataclass: ordinals and the
+        # fault count live in a plain dict slipped past __setattr__.
+        object.__setattr__(self, "_state", {"ordinals": {}, "fired": 0})
+
+    def draw_append(self, job_id: str) -> Optional[str]:
+        """``"enospc"`` or ``None`` for this append of ``job_id``."""
+        state = self._state
+        ordinal = state["ordinals"].get(job_id, 0)
+        state["ordinals"][job_id] = ordinal + 1
+        if self.max_faults is not None and state["fired"] >= self.max_faults:
+            return None
+        key = f"{job_id}#{ordinal}"
+        if _stable_unit(self.seed, "store_enospc", key) < self.enospc_rate:
+            state["fired"] += 1
+            return "enospc"
+        return None
+
+    def enospc_error(self, job_id: str) -> OSError:
+        """The ENOSPC ``OSError`` to raise for ``job_id``'s append."""
+        return OSError(
+            errno.ENOSPC, f"chaos: no space left on device (job {job_id})"
         )
 
 

@@ -1,0 +1,394 @@
+"""A fault-injecting TCP proxy for certifying the service over a bad wire.
+
+Every chaos test before this module injected faults *in-process* (stage
+hooks, worker SIGKILLs) or via signals; nothing ever exercised the network
+boundary between a client and the job service.  :class:`NetChaosProxy`
+closes that gap: it listens on a local port, forwards HTTP traffic to the
+real server, and — per connection, deterministically — injects the fault
+classes a real network serves up:
+
+* ``"refuse"``    — the connection is torn down the instant it is accepted
+  (an RST, indistinguishable from a dead or refusing endpoint);
+* ``"reset"``     — the request is forwarded and the *response* is cut off
+  by an RST after ``reset_after_bytes`` bytes (the ambiguous mid-response
+  failure that makes idempotent resubmission necessary);
+* ``"hang"``      — the request is read and then nothing happens for
+  ``hang_s`` (the client's per-request timeout must fire);
+* ``"latency"``   — the response is delayed by ``latency_s`` plus a
+  seeded jitter in ``[0, jitter_s)``;
+* ``"truncate"``  — only the first ``truncate_bytes`` bytes of the
+  response are relayed, then a clean close (a short body against
+  ``Content-Length`` — the client must detect and retry, never consume);
+* ``"garbage"``   — seeded random bytes instead of a response;
+* ``"error_burst"``— a canned 503 (even connections) or 500 (odd) without
+  ever contacting the upstream, ``Retry-After: 0`` included.
+
+Decisions follow the :mod:`repro.robust.chaos` convention: a pure
+SHA-256 function of ``(seed, fault class, connection index)``, so a given
+seed replays the exact fault sequence in any process, and the recorded
+``injections`` list lets tests assert which faults actually fired.
+
+The proxy is deliberately one-request-per-connection (it reads a full
+HTTP message, gets the full response, applies the fault, closes).  The
+resilient client opens a fresh connection per request anyway — pooled
+connections and chaos proxies both punish anything else.
+"""
+
+from __future__ import annotations
+
+import socket
+import struct
+import threading
+import time
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from ..errors import ReproError
+from ..obs import metrics as obs_metrics
+from .chaos import _stable_unit
+
+__all__ = [
+    "NET_FAULT_CLASSES",
+    "NetChaosProxy",
+    "NetFaultPlan",
+    "NetInjection",
+]
+
+#: Fault classes a :class:`NetFaultPlan` can schedule, in draw priority.
+NET_FAULT_CLASSES = (
+    "refuse", "reset", "hang", "truncate", "garbage", "error_burst",
+    "latency",
+)
+
+_CANNED_503 = (
+    b"HTTP/1.1 503 Service Unavailable\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Retry-After: 0\r\n"
+    b"Content-Length: 54\r\n"
+    b"Connection: close\r\n\r\n"
+    b'{"error": "ChaosInjected", "message": "injected 503"}\n'
+)
+_CANNED_500 = (
+    b"HTTP/1.1 500 Internal Server Error\r\n"
+    b"Content-Type: application/json\r\n"
+    b"Content-Length: 54\r\n"
+    b"Connection: close\r\n\r\n"
+    b'{"error": "ChaosInjected", "message": "injected 500"}\n'
+)
+
+
+@dataclass(frozen=True)
+class NetInjection:
+    """One network fault that actually fired, in connection order."""
+
+    conn_index: int
+    fault: str
+
+
+@dataclass(frozen=True)
+class NetFaultPlan:
+    """A deterministic per-connection fault schedule for the proxy.
+
+    Rates are independent per fault class; when several would fire on the
+    same connection the first in :data:`NET_FAULT_CLASSES` order wins, so
+    a plan's behavior never depends on dict ordering or wall clock.
+    ``latency`` composes differently: it delays the response of an
+    otherwise-clean connection (a fault that slows you down is not a
+    fault that kills you).
+    """
+
+    seed: int = 0
+    refuse_rate: float = 0.0
+    reset_rate: float = 0.0
+    reset_after_bytes: int = 64
+    hang_rate: float = 0.0
+    hang_s: float = 1.0
+    truncate_rate: float = 0.0
+    truncate_bytes: int = 128
+    garbage_rate: float = 0.0
+    error_rate: float = 0.0
+    latency_rate: float = 0.0
+    latency_s: float = 0.02
+    jitter_s: float = 0.02
+
+    def __post_init__(self) -> None:
+        for name in ("refuse_rate", "reset_rate", "hang_rate",
+                     "truncate_rate", "garbage_rate", "error_rate",
+                     "latency_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ReproError(f"{name} must be in [0, 1], got {value}")
+        for name in ("reset_after_bytes", "truncate_bytes"):
+            if getattr(self, name) < 1:
+                raise ReproError(f"{name} must be >= 1")
+        for name in ("hang_s", "latency_s", "jitter_s"):
+            if getattr(self, name) < 0.0:
+                raise ReproError(f"{name} must be >= 0")
+
+    @classmethod
+    def storm(cls, seed: int = 0, rate: float = 0.25) -> "NetFaultPlan":
+        """Every fault class armed at once — the certification mixture."""
+        return cls(
+            seed=seed, refuse_rate=rate, reset_rate=rate, hang_rate=rate,
+            hang_s=0.5, truncate_rate=rate, garbage_rate=rate,
+            error_rate=rate, latency_rate=rate,
+        )
+
+    _RATES = {
+        "refuse": "refuse_rate",
+        "reset": "reset_rate",
+        "hang": "hang_rate",
+        "truncate": "truncate_rate",
+        "garbage": "garbage_rate",
+        "error_burst": "error_rate",
+        "latency": "latency_rate",
+    }
+
+    def draw(self, conn_index: int) -> Optional[str]:
+        """The fault class for connection ``conn_index``, or ``None``."""
+        key = str(conn_index)
+        for fault in NET_FAULT_CLASSES:
+            rate = getattr(self, self._RATES[fault])
+            if rate > 0.0 and _stable_unit(self.seed, fault, key) < rate:
+                return fault
+        return None
+
+    def latency_for(self, conn_index: int) -> float:
+        """Injected delay for a ``latency`` connection (seeded jitter)."""
+        jitter = self.jitter_s * _stable_unit(
+            self.seed, "latency_jitter", str(conn_index)
+        )
+        return self.latency_s + jitter
+
+    def garbage_for(self, conn_index: int, length: int = 256) -> bytes:
+        """Deterministic garbage bytes for a ``garbage`` connection."""
+        out = bytearray()
+        counter = 0
+        while len(out) < length:
+            unit = _stable_unit(
+                self.seed, "garbage", f"{conn_index}:{counter}"
+            )
+            out += int(unit * 2**32).to_bytes(4, "big")
+            counter += 1
+        return bytes(out[:length])
+
+
+def _recv_http_message(sock: socket.socket) -> bytes:
+    """Read one full HTTP message (headers + Content-Length body)."""
+    data = b""
+    while b"\r\n\r\n" not in data:
+        chunk = sock.recv(65536)
+        if not chunk:
+            return data
+        data += chunk
+    head, _, rest = data.partition(b"\r\n\r\n")
+    length = 0
+    for line in head.split(b"\r\n")[1:]:
+        name, _, value = line.partition(b":")
+        if name.strip().lower() == b"content-length":
+            try:
+                length = int(value.strip())
+            except ValueError:
+                length = 0
+    while len(rest) < length:
+        chunk = sock.recv(65536)
+        if not chunk:
+            break
+        rest += chunk
+    return head + b"\r\n\r\n" + rest
+
+
+def _rst_close(sock: socket.socket) -> None:
+    """Close with SO_LINGER(1, 0): an abortive RST, not a graceful FIN."""
+    try:
+        sock.setsockopt(
+            socket.SOL_SOCKET, socket.SO_LINGER, struct.pack("ii", 1, 0)
+        )
+    except OSError:
+        pass
+    sock.close()
+
+
+class NetChaosProxy:
+    """A seeded fault-injecting TCP proxy in front of one HTTP server."""
+
+    def __init__(
+        self,
+        upstream_port: int,
+        plan: NetFaultPlan,
+        upstream_host: str = "127.0.0.1",
+        host: str = "127.0.0.1",
+        port: int = 0,
+    ) -> None:
+        self.plan = plan
+        self.upstream_host = upstream_host
+        self.upstream_port = upstream_port
+        self._listener = socket.create_server((host, port))
+        self._listener.settimeout(0.2)
+        self.host, self.port = self._listener.getsockname()[:2]
+        self._lock = threading.Lock()
+        self._closing = threading.Event()
+        self._threads: List[threading.Thread] = []
+        self._accept_thread: Optional[threading.Thread] = None
+        self._conn_index = 0
+        #: Every fault that actually fired, in connection order.
+        self.injections: List[NetInjection] = []
+        #: Total connections handled (faulted or clean).
+        self.connections = 0
+
+    @property
+    def base_url(self) -> str:
+        return f"http://{self.host}:{self.port}"
+
+    def retarget(self, upstream_port: int) -> None:
+        """Point the proxy at a new upstream port (server restarted)."""
+        with self._lock:
+            self.upstream_port = upstream_port
+
+    # -- lifecycle ------------------------------------------------------------
+
+    def start(self) -> "NetChaosProxy":
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="netchaos-accept", daemon=True
+        )
+        self._accept_thread.start()
+        return self
+
+    def stop(self) -> None:
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        if self._accept_thread is not None:
+            self._accept_thread.join(timeout=5.0)
+        for thread in list(self._threads):
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "NetChaosProxy":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    def faults_fired(self) -> Tuple[str, ...]:
+        """The distinct fault classes that have fired so far."""
+        with self._lock:
+            return tuple(sorted({i.fault for i in self.injections}))
+
+    # -- the wire -------------------------------------------------------------
+
+    def _accept_loop(self) -> None:
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            with self._lock:
+                index = self._conn_index
+                self._conn_index += 1
+                self.connections += 1
+            thread = threading.Thread(
+                target=self._handle,
+                args=(conn, index),
+                name=f"netchaos-conn-{index}",
+                daemon=True,
+            )
+            thread.start()
+            self._threads.append(thread)
+
+    def _record(self, index: int, fault: str) -> None:
+        with self._lock:
+            self.injections.append(NetInjection(index, fault))
+        obs_metrics.counter(
+            "repro_netchaos_faults_total", fault=fault
+        ).inc()
+
+    def _handle(self, conn: socket.socket, index: int) -> None:
+        conn.settimeout(30.0)
+        fault = self.plan.draw(index)
+        try:
+            if fault == "refuse":
+                self._record(index, fault)
+                _rst_close(conn)
+                return
+            if fault == "error_burst":
+                self._record(index, fault)
+                _recv_http_message(conn)
+                conn.sendall(
+                    _CANNED_503 if index % 2 == 0 else _CANNED_500
+                )
+                conn.close()
+                return
+            if fault == "garbage":
+                self._record(index, fault)
+                _recv_http_message(conn)
+                conn.sendall(self.plan.garbage_for(index))
+                conn.close()
+                return
+            if fault == "hang":
+                self._record(index, fault)
+                _recv_http_message(conn)
+                # Hold the socket open, saying nothing, until the client's
+                # per-request timeout gives up on us.
+                self._closing.wait(self.plan.hang_s)
+                conn.close()
+                return
+
+            request = _recv_http_message(conn)
+            if not request:
+                conn.close()
+                return
+            response = self._roundtrip_upstream(request)
+            if response is None:
+                # Upstream itself is down (e.g. mid-restart): behave like
+                # a refused connection; the client's retry loop owns this.
+                _rst_close(conn)
+                return
+            if fault == "latency":
+                self._record(index, fault)
+                time.sleep(self.plan.latency_for(index))
+                conn.sendall(response)
+                conn.close()
+                return
+            if fault == "truncate":
+                self._record(index, fault)
+                conn.sendall(response[: self.plan.truncate_bytes])
+                conn.close()
+                return
+            if fault == "reset":
+                self._record(index, fault)
+                conn.sendall(response[: self.plan.reset_after_bytes])
+                _rst_close(conn)
+                return
+            conn.sendall(response)
+            conn.close()
+        except OSError:
+            try:
+                conn.close()
+            except OSError:
+                pass
+        finally:
+            if threading.current_thread() in self._threads:
+                self._threads.remove(threading.current_thread())
+
+    def _roundtrip_upstream(self, request: bytes) -> Optional[bytes]:
+        with self._lock:
+            target = (self.upstream_host, self.upstream_port)
+        try:
+            upstream = socket.create_connection(target, timeout=30.0)
+        except OSError:
+            return None
+        try:
+            upstream.sendall(request)
+            response = _recv_http_message(upstream)
+            return response or None
+        except OSError:
+            return None
+        finally:
+            try:
+                upstream.close()
+            except OSError:
+                pass

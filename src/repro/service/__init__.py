@@ -13,7 +13,10 @@ with the reliability features a shared deployment needs:
   (:mod:`repro.service.budgets`);
 * deterministic artifact generation shared with the CLI, so served bytes
   equal exported bytes (:mod:`repro.service.artifacts`);
-* graceful signal-driven drain (:mod:`repro.service.signals`).
+* graceful signal-driven drain (:mod:`repro.service.signals`);
+* a resilient stdlib-only client SDK — deadline budgets, decorrelated
+  jitter retries, a client-side circuit breaker, idempotent resubmission
+  and long-poll ``wait_for`` (:mod:`repro.service.client`).
 
 The HTTP front end is stdlib-only (``http.server``); an optional FastAPI
 adapter (:mod:`repro.service.fastapi_adapter`) mounts the same engine when
@@ -27,8 +30,14 @@ from .app import (
     SynthesisService,
     make_server,
 )
-from .artifacts import ARTIFACT_KINDS, fetch_artifact, generate_artifact
+from .artifacts import (
+    ARTIFACT_KINDS,
+    artifact_catalog_entries,
+    fetch_artifact,
+    generate_artifact,
+)
 from .budgets import BudgetPolicy, Reaper
+from .client import ClientConfig, ServiceClient, TERMINAL_STATES
 from .queue import FairQueue, QueueFull
 from .signals import run_forever
 from .store import JobRecord, JobSpec, JobState, JobStore
@@ -38,6 +47,7 @@ __all__ = [
     "AdmissionController",
     "BudgetPolicy",
     "CircuitBreaker",
+    "ClientConfig",
     "DurationEwma",
     "FairQueue",
     "JobRecord",
@@ -46,9 +56,12 @@ __all__ = [
     "JobStore",
     "QueueFull",
     "Reaper",
+    "ServiceClient",
     "ServiceConfig",
     "ServiceHTTPHandler",
     "SynthesisService",
+    "TERMINAL_STATES",
+    "artifact_catalog_entries",
     "fetch_artifact",
     "generate_artifact",
     "make_server",

@@ -44,6 +44,7 @@ from ..errors import (
     ReproError,
     ServiceError,
     SpecError,
+    StoreUnavailable,
     SweepAborted,
 )
 from ..eval import cache as disk_cache
@@ -53,7 +54,12 @@ from ..numrep import Representation
 from ..obs import metrics as obs_metrics
 from ..quantize import ScalingScheme
 from .admission import AdmissionController, CircuitBreaker
-from .artifacts import ARTIFACT_KINDS, ARTIFACT_MEDIA_TYPES, fetch_artifact
+from .artifacts import (
+    ARTIFACT_KINDS,
+    ARTIFACT_MEDIA_TYPES,
+    artifact_catalog_entries,
+    fetch_artifact,
+)
 from .budgets import BudgetPolicy, Reaper
 from .queue import FairQueue, QueueFull
 from .store import JobSpec, JobState, JobStore
@@ -89,9 +95,18 @@ class ServiceConfig:
     drain_grace_s: float = 30.0
     #: Supervisor retry budget per job.
     max_retries: int = 2
+    #: Ceiling on the ``wait=`` a long-poll status request may ask for.
+    long_poll_max_s: float = 30.0
+    #: Page size served when a paginated listing names no ``limit``, and
+    #: the ceiling a requested ``limit`` is clamped to.
+    page_limit_default: int = 100
+    page_limit_max: int = 500
     #: Optional process-level fault plan threaded into every sweep
     #: (chaos tests only; never set in production configs).
     chaos: Optional[object] = None
+    #: Optional :class:`~repro.robust.chaos.StoreFaultInjector` failing
+    #: WAL appends (chaos tests only).
+    store_chaos: Optional[object] = None
 
     @property
     def journal_dir(self) -> Path:
@@ -116,7 +131,9 @@ class SynthesisService:
             # cache_dir=None to every sweep: per-job reconfiguration would
             # race between concurrent dispatcher threads.
             disk_cache.configure(config.cache_dir)
-        self.store = JobStore(config.store_dir)
+        self.store = JobStore(
+            config.store_dir, fault_injector=config.store_chaos
+        )
         self.queue = FairQueue(
             config.max_queue_depth, config.max_queue_depth_per_tenant
         )
@@ -251,16 +268,84 @@ class SynthesisService:
         obs_metrics.gauge("repro_service_queue_depth").set(self.queue.depth())
         return record.public_view(), needs_enqueue
 
-    def status(self, job_id: str) -> Dict[str, object]:
-        return self.store.get(job_id).public_view()
+    def status(
+        self,
+        job_id: str,
+        wait_s: Optional[float] = None,
+        etag: Optional[int] = None,
+    ) -> Dict[str, object]:
+        """One job's view; with ``wait_s`` + ``etag``, long-poll for change.
 
-    def jobs_overview(self) -> Dict[str, object]:
+        A client that saw revision ``etag`` blocks up to ``wait_s``
+        (clamped to the server's ceiling) until the job's revision moves,
+        then gets the fresh view — or the unchanged one after the timeout,
+        which the client detects by comparing ``revision``.  Either way the
+        response is a complete view, so a dropped long-poll costs nothing:
+        the revision in hand is the resume token for the next one.
+        """
+        if wait_s is None:
+            return self.store.get(job_id).public_view()
+        wait = min(max(0.0, wait_s), self.config.long_poll_max_s)
+        return self.store.wait_for_change(job_id, etag, wait).public_view()
+
+    def _clamp_limit(self, limit: Optional[int]) -> int:
+        if limit is None:
+            return self.config.page_limit_default
+        if limit < 1:
+            raise SpecError(f"limit must be >= 1, got {limit}")
+        return min(limit, self.config.page_limit_max)
+
+    def jobs_overview(
+        self,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """Counts plus one stable-ordered page of job views.
+
+        Jobs are ordered by id (the order ``list_jobs`` guarantees), the
+        cursor is the last id of the previous page, and ``next_cursor`` is
+        ``None`` on the final page — insertion or completion of other jobs
+        between pages can never skip or duplicate an id the client already
+        walked past.
+        """
+        page_size = self._clamp_limit(limit)
+        records = self.store.list_jobs()
+        if cursor:
+            records = [r for r in records if r.job_id > cursor]
+        page = records[:page_size]
+        next_cursor = (
+            page[-1].job_id if len(records) > page_size and page else None
+        )
         return {
             "counts": self.store.counts(),
             "queue_depth": self.queue.depth(),
             "inflight": self.admission.inflight,
-            "jobs": [r.public_view() for r in self.store.list_jobs()],
+            "jobs": [r.public_view() for r in page],
+            "next_cursor": next_cursor,
         }
+
+    def artifact_catalog(
+        self,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+    ) -> Dict[str, object]:
+        """A stable-ordered page of the addressable artifact space.
+
+        Enumerates every ``kind × filter × wordlength`` combination the
+        artifact endpoint can serve (the Table-1 filters at the standard
+        sweep wordlengths), so population-scale clients discover artifacts
+        by walking pages instead of guessing query strings.  Cursor
+        semantics mirror :meth:`jobs_overview`.
+        """
+        page_size = self._clamp_limit(limit)
+        entries = artifact_catalog_entries()
+        if cursor:
+            entries = [e for e in entries if e["id"] > cursor]
+        page = entries[:page_size]
+        next_cursor = (
+            page[-1]["id"] if len(entries) > page_size and page else None
+        )
+        return {"artifacts": page, "next_cursor": next_cursor}
 
     def result(self, job_id: str) -> str:
         return self.store.read_result(job_id)
@@ -519,8 +604,9 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
 
     def _send_error_payload(self, status: int, exc: BaseException) -> None:
         headers: Tuple[Tuple[str, str], ...] = ()
-        if isinstance(exc, AdmissionRejected):
-            headers = (("Retry-After", str(int(exc.retry_after_s))),)
+        retry_after = getattr(exc, "retry_after_s", None)
+        if retry_after is not None:
+            headers = (("Retry-After", str(int(retry_after))),)
         self._send_json(
             status,
             {"error": type(exc).__name__, "message": str(exc)},
@@ -555,6 +641,12 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
             self._send_error_payload(status, exc)
         except AdmissionRejected as exc:
             status = 429
+            self._send_error_payload(status, exc)
+        except StoreUnavailable as exc:
+            # A failed WAL append: the job was never acknowledged.  503 +
+            # Retry-After tells a resilient client to back off and replay
+            # the (idempotent) submission once the disk recovers.
+            status = 503
             self._send_error_payload(status, exc)
         except JobStateError as exc:
             status = 404 if "unknown job" in str(exc) else 409
@@ -604,12 +696,29 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
             self._send_json(201 if created else 200, view)
             return 201 if created else 200
         if method == "GET" and route == "/v1/jobs":
-            self._send_json(200, service.jobs_overview())
+            self._send_json(200, service.jobs_overview(
+                limit=_query_opt_int(query, "limit"),
+                cursor=_query_str(query, "cursor", None),
+            ))
+            return 200
+        if method == "GET" and route == "/v1/artifacts":
+            self._send_json(200, service.artifact_catalog(
+                limit=_query_opt_int(query, "limit"),
+                cursor=_query_str(query, "cursor", None),
+            ))
             return 200
         if parts[:2] == ["v1", "jobs"] and len(parts) >= 3:
             job_id = parts[2]
             if method == "GET" and len(parts) == 3:
-                self._send_json(200, service.status(job_id))
+                view = service.status(
+                    job_id,
+                    wait_s=_query_opt_float(query, "wait"),
+                    etag=_query_opt_int(query, "etag"),
+                )
+                self._send_json(
+                    200, view,
+                    headers=(("ETag", str(view["revision"])),),
+                )
                 return 200
             if method == "DELETE" and len(parts) == 3:
                 self._send_json(200, service.cancel(job_id))
@@ -665,9 +774,37 @@ def _query_int(query: Dict[str, List[str]], name: str) -> int:
         ) from exc
 
 
-def _query_str(query: Dict[str, List[str]], name: str, default: str) -> str:
+def _query_str(query: Dict[str, List[str]], name: str, default):
     values = query.get(name)
     return values[0] if values else default
+
+
+def _query_opt_int(
+    query: Dict[str, List[str]], name: str
+) -> Optional[int]:
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return int(values[0])
+    except ValueError as exc:
+        raise SpecError(
+            f"query parameter {name!r} must be an integer, got {values[0]!r}"
+        ) from exc
+
+
+def _query_opt_float(
+    query: Dict[str, List[str]], name: str
+) -> Optional[float]:
+    values = query.get(name)
+    if not values:
+        return None
+    try:
+        return float(values[0])
+    except ValueError as exc:
+        raise SpecError(
+            f"query parameter {name!r} must be a number, got {values[0]!r}"
+        ) from exc
 
 
 def make_server(

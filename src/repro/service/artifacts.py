@@ -27,11 +27,14 @@ from ..obs import metrics as obs_metrics
 from ..numrep import Representation
 from ..quantize import ScalingScheme, quantize
 
-__all__ = ["ARTIFACT_KINDS", "artifact_key", "fetch_artifact",
-           "generate_artifact"]
+__all__ = ["ARTIFACT_KINDS", "CATALOG_WORDLENGTHS", "artifact_catalog_entries",
+           "artifact_key", "fetch_artifact", "generate_artifact"]
 
 #: kind -> (emitter dispatch handled in generate_artifact, media type)
 ARTIFACT_KINDS = ("verilog", "c", "dot")
+
+#: The standard sweep wordlengths — the catalog's width axis.
+CATALOG_WORDLENGTHS = (8, 12, 16, 20)
 
 ARTIFACT_MEDIA_TYPES = {
     "verilog": "text/x-verilog",
@@ -59,6 +62,31 @@ def artifact_key(
         "depth_limit": depth_limit,
         "input_bits": input_bits,
     })
+
+
+def artifact_catalog_entries():
+    """Every (kind, filter, wordlength) the artifact endpoint can serve.
+
+    Stable-ordered by a zero-padded ``id`` string so the listing endpoint
+    can paginate with a plain string cursor; each entry carries the ready
+    query URL, so clients never assemble query strings by hand.
+    """
+    entries = []
+    for kind in ARTIFACT_KINDS:
+        for filter_index in range(len(TABLE1_SPECS)):
+            for wordlength in CATALOG_WORDLENGTHS:
+                entries.append({
+                    "id": f"{kind}:{filter_index:02d}:{wordlength:02d}",
+                    "kind": kind,
+                    "filter": filter_index,
+                    "wordlength": wordlength,
+                    "url": (
+                        f"/v1/artifacts/{kind}"
+                        f"?filter={filter_index}&wordlength={wordlength}"
+                    ),
+                })
+    entries.sort(key=lambda entry: entry["id"])
+    return entries
 
 
 def _validate(filter_index: int, wordlength: int, kind: str) -> None:

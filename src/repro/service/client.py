@@ -1,0 +1,699 @@
+"""Resilient, stdlib-only client SDK for the synthesis job service.
+
+The server side of :mod:`repro.service` is crash-safe; this module makes
+the *wire* safe to stand on.  Every call survives the network faults the
+netchaos proxy (:mod:`repro.robust.netchaos`) can inject — connection
+refused, resets mid-response, hangs, truncation, garbage bytes, 429/503
+storms — without losing or duplicating a job, because the service's
+sweep-signature idempotency makes replaying a submission after an
+*ambiguous* failure provably safe: the same spec maps to the same job.
+
+Retry discipline, in order of application per attempt:
+
+* **Per-request timeout** — every socket operation is bounded by
+  ``request_timeout_s`` (long-polls by their ``wait`` plus slack), so a
+  hung accept can never wedge the caller.
+* **Overall deadline budget** — each logical operation runs under a
+  :class:`~repro.robust.SolverBudget` (the same deadline semantics the
+  solver tiers use: anchored at first use, monotonic, queryable).  When
+  the remaining budget cannot cover the next attempt — including a server
+  ``Retry-After`` longer than what is left — the client fails fast with
+  :class:`~repro.errors.ClientDeadlineError` carrying the last server
+  state it saw, never a silent hang.
+* **Capped exponential backoff with decorrelated jitter** — the sleep
+  before attempt *n+1* is drawn uniformly from ``[base, 3 × previous]``
+  and capped, so synchronized clients decorrelate; a server
+  ``Retry-After`` raises the floor (the server knows its backlog better
+  than any client-side curve).
+* **Client-side circuit breaker** — ``breaker_threshold`` *consecutive*
+  transport-level failures (refused, reset, timeout, garbage) open the
+  breaker for ``breaker_cooldown_s``; while open every call fails
+  immediately with :class:`~repro.errors.ClientCircuitOpen`, mirroring
+  the server's admission breaker so a dead endpoint is not hammered.
+  Server-spoken push-back (429/503/5xx) does *not* trip it — a server
+  telling you to back off is alive.
+
+Transport model: one fresh connection per request, deliberately — no
+pooled connection can be poisoned by a mid-stream fault, and on loopback
+the cost is noise (the e2e gate bounds the disabled-faults overhead).
+Responses are read strictly against ``Content-Length``; a short body
+raises ``IncompleteRead`` and is retried like any transport fault, so a
+truncated artifact can never be returned as complete.
+
+``wait_for`` rides the server's long-poll endpoint
+(``GET /v1/jobs/{id}?wait=S&etag=R``): the job view's ``revision`` field
+is the resume token, so a dropped long-poll costs one round-trip, never a
+missed transition.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import random
+import time
+from dataclasses import dataclass
+from typing import Dict, Iterator, Optional, Tuple
+from urllib.parse import urlsplit
+
+from .. import obs
+from ..errors import (
+    ClientCircuitOpen,
+    ClientDeadlineError,
+    ClientError,
+    ServerRejected,
+)
+from ..obs import metrics as obs_metrics
+from ..robust import SolverBudget
+from .store import JobState
+
+__all__ = ["ClientConfig", "ServiceClient", "TERMINAL_STATES"]
+
+#: Job states :meth:`ServiceClient.wait_for` stops at by default.
+TERMINAL_STATES = frozenset({
+    JobState.COMPLETED, JobState.FAILED, JobState.CANCELLED,
+    JobState.EXPIRED,
+})
+
+#: Statuses that mean "try again later" rather than "you are wrong".
+_RETRYABLE_STATUSES = frozenset({429, 500, 502, 503, 504})
+
+
+@dataclass(frozen=True)
+class ClientConfig:
+    """Every tunable of one client instance, in one place."""
+
+    base_url: str
+    #: Socket-level bound on any single request (long-polls get slack).
+    request_timeout_s: float = 10.0
+    #: Default overall budget per logical operation (``None`` = unbounded,
+    #: which is almost never what a caller wants).
+    deadline_s: Optional[float] = 300.0
+    max_attempts: int = 16
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 5.0
+    #: Long-poll wait asked of the server per ``wait_for`` round-trip.
+    poll_wait_s: float = 20.0
+    breaker_threshold: int = 5
+    breaker_cooldown_s: float = 5.0
+    #: Seeds the jitter RNG so tests replay exact backoff sequences.
+    seed: Optional[int] = None
+
+    def __post_init__(self) -> None:
+        parts = urlsplit(self.base_url)
+        if parts.scheme != "http" or not parts.hostname:
+            raise ClientError(
+                f"base_url must be http://host[:port], got {self.base_url!r}"
+            )
+        if self.request_timeout_s <= 0.0:
+            raise ClientError("request_timeout_s must be > 0")
+        if self.deadline_s is not None and self.deadline_s <= 0.0:
+            raise ClientError("deadline_s must be > 0 or None")
+        if self.max_attempts < 1:
+            raise ClientError("max_attempts must be >= 1")
+        if not 0.0 < self.backoff_base_s <= self.backoff_cap_s:
+            raise ClientError(
+                "need 0 < backoff_base_s <= backoff_cap_s, got "
+                f"{self.backoff_base_s}/{self.backoff_cap_s}"
+            )
+        if self.poll_wait_s <= 0.0:
+            raise ClientError("poll_wait_s must be > 0")
+        if self.breaker_threshold < 1:
+            raise ClientError("breaker_threshold must be >= 1")
+        if self.breaker_cooldown_s <= 0.0:
+            raise ClientError("breaker_cooldown_s must be > 0")
+
+    @property
+    def host(self) -> str:
+        return urlsplit(self.base_url).hostname
+
+    @property
+    def port(self) -> int:
+        return urlsplit(self.base_url).port or 80
+
+
+class _ClientBreaker:
+    """Consecutive-transport-failure breaker, the client-side mirror of
+    :class:`~repro.service.admission.CircuitBreaker`.
+
+    Opens after ``threshold`` consecutive failures; while open,
+    :meth:`allow` raises without touching the network.  After the
+    cooldown one probe is let through (half-open): its failure re-opens
+    immediately, its success closes the breaker.
+    """
+
+    def __init__(
+        self, threshold: int, cooldown_s: float, clock=time.monotonic
+    ) -> None:
+        self.threshold = threshold
+        self.cooldown_s = cooldown_s
+        self._clock = clock
+        self._failures = 0
+        self._opened_at: Optional[float] = None
+        self._probing = False
+
+    @property
+    def state(self) -> str:
+        if self._opened_at is None:
+            return "closed"
+        if self._probing:
+            return "half-open"
+        if self._clock() - self._opened_at >= self.cooldown_s:
+            return "half-open"
+        return "open"
+
+    def allow(self) -> None:
+        if self._opened_at is None:
+            return
+        now = self._clock()
+        elapsed = now - self._opened_at
+        if elapsed < self.cooldown_s and not self._probing:
+            remaining = self.cooldown_s - elapsed
+            raise ClientCircuitOpen(
+                f"client circuit breaker is open for another "
+                f"{remaining:.1f}s after {self._failures} consecutive "
+                f"transport failures",
+                retry_after_s=max(0.1, remaining),
+            )
+        self._probing = True  # half-open: this call is the probe
+
+    def record_failure(self) -> None:
+        self._failures += 1
+        if self._probing or self._failures >= self.threshold:
+            if self._opened_at is None or self._probing:
+                obs_metrics.counter(
+                    "repro_client_breaker_trips_total"
+                ).inc()
+            self._opened_at = self._clock()
+            self._probing = False
+
+    def record_success(self) -> None:
+        self._failures = 0
+        self._opened_at = None
+        self._probing = False
+
+
+class _Transport(Exception):
+    """Internal: one attempt failed in a retryable way (never escapes)."""
+
+    def __init__(self, reason: str, retry_after_s: Optional[float] = None,
+                 transport_fault: bool = True,
+                 last_state: object = None) -> None:
+        super().__init__(reason)
+        self.retry_after_s = retry_after_s
+        self.transport_fault = transport_fault
+        self.last_state = last_state
+
+
+class ServiceClient:
+    """The resilient front door to one :mod:`repro.service` endpoint."""
+
+    def __init__(self, base_url_or_config, **overrides) -> None:
+        if isinstance(base_url_or_config, ClientConfig):
+            config = base_url_or_config
+        else:
+            config = ClientConfig(base_url=base_url_or_config, **overrides)
+        self.config = config
+        self._rng = random.Random(config.seed)
+        self.breaker = _ClientBreaker(
+            config.breaker_threshold, config.breaker_cooldown_s
+        )
+
+    # -- budget plumbing ------------------------------------------------------
+
+    def _budget(self, deadline_s: Optional[float]) -> SolverBudget:
+        limit = (
+            deadline_s if deadline_s is not None else self.config.deadline_s
+        )
+        return SolverBudget(deadline_s=limit).start()
+
+    @staticmethod
+    def _remaining(budget: SolverBudget) -> Optional[float]:
+        return budget.remaining_s
+
+    def _deadline_error(
+        self, what: str, budget: SolverBudget, last_state: object
+    ) -> ClientDeadlineError:
+        obs_metrics.counter("repro_client_deadlines_total").inc()
+        return ClientDeadlineError(
+            f"client deadline budget ({budget.deadline_s}s) exhausted "
+            f"while {what}",
+            last_state=last_state,
+            elapsed_s=budget.elapsed_s,
+        )
+
+    # -- the core request loop ------------------------------------------------
+
+    def _once(
+        self,
+        method: str,
+        path: str,
+        body: Optional[bytes],
+        timeout_s: float,
+    ) -> Tuple[int, Dict[str, str], bytes]:
+        """One attempt on a fresh connection; transport faults raise raw."""
+        conn = http.client.HTTPConnection(
+            self.config.host, self.config.port, timeout=timeout_s
+        )
+        try:
+            headers = {"Content-Type": "application/json"} if body else {}
+            conn.request(method, path, body=body, headers=headers)
+            resp = conn.getresponse()
+            raw = resp.read()  # IncompleteRead on a truncated body
+            return resp.status, dict(resp.getheaders()), raw
+        finally:
+            conn.close()
+
+    def _request(
+        self,
+        method: str,
+        path: str,
+        body: Optional[Dict[str, object]] = None,
+        budget: Optional[SolverBudget] = None,
+        expect_json: bool = True,
+        read_timeout_s: Optional[float] = None,
+        last_state: object = None,
+    ) -> Tuple[int, Dict[str, str], object]:
+        """Run one logical request to completion under the retry discipline.
+
+        Returns ``(status, headers, payload)`` where ``payload`` is the
+        decoded JSON object (or raw text when ``expect_json=False``).
+        Raises :class:`~repro.errors.ServerRejected` for non-retryable
+        4xx, :class:`~repro.errors.ClientDeadlineError` when the budget
+        runs out, and :class:`~repro.errors.ClientError` when
+        ``max_attempts`` is exhausted first.  An open circuit breaker is
+        waited out like any other retryable failure (its cooldown acts as
+        the Retry-After), so callers see at most a deadline error, never
+        a bare breaker trip.
+        """
+        if budget is None:
+            budget = self._budget(None)
+        payload = (
+            json.dumps(body).encode("utf-8") if body is not None else None
+        )
+        route = path.split("?", 1)[0]
+        sleep_s = self.config.backoff_base_s
+        failure: Optional[_Transport] = None
+        for attempt in range(1, self.config.max_attempts + 1):
+            try:
+                self.breaker.allow()
+            except ClientCircuitOpen as exc:
+                # An open breaker is a retryable condition from this loop's
+                # point of view: wait out the cooldown (budget permitting)
+                # rather than making every caller handle it.
+                obs_metrics.counter(
+                    "repro_client_requests_total", outcome="breaker_open"
+                ).inc()
+                failure = _Transport(
+                    str(exc),
+                    retry_after_s=exc.retry_after_s,
+                    transport_fault=False,
+                )
+                status = None
+            else:
+                status = self._attempt(
+                    method, path, payload, route, attempt, budget,
+                    expect_json, read_timeout_s, last_state,
+                )
+            if isinstance(status, tuple):
+                return status
+            if isinstance(status, _Transport):
+                failure = status
+                if isinstance(failure.last_state, dict):
+                    last_state = failure.last_state
+
+            # Retryable failure: back off (decorrelated jitter, floored by
+            # the server's Retry-After) unless the budget cannot cover it.
+            if attempt >= self.config.max_attempts:
+                break
+            sleep_s = min(
+                self.config.backoff_cap_s,
+                self._rng.uniform(self.config.backoff_base_s, sleep_s * 3.0),
+            )
+            delay = sleep_s
+            if failure.retry_after_s is not None:
+                delay = max(delay, failure.retry_after_s)
+            remaining = self._remaining(budget)
+            if remaining is not None and delay >= remaining:
+                # Fail fast: sleeping would blow the budget anyway, and a
+                # Retry-After beyond the deadline means the server itself
+                # says the answer cannot arrive in time.
+                raise self._deadline_error(
+                    f"backing off {delay:.2f}s before retrying "
+                    f"{method} {route} ({failure})",
+                    budget, last_state,
+                )
+            obs_metrics.counter("repro_client_retries_total").inc()
+            time.sleep(delay)
+        raise ClientError(
+            f"{method} {route} failed after "
+            f"{self.config.max_attempts} attempts: {failure}"
+        )
+
+    def _attempt(
+        self,
+        method: str,
+        path: str,
+        payload: Optional[bytes],
+        route: str,
+        attempt: int,
+        budget: SolverBudget,
+        expect_json: bool,
+        read_timeout_s: Optional[float],
+        last_state: object,
+    ):
+        """One wire attempt: a ``(status, headers, payload)`` tuple on
+        success, a :class:`_Transport` describing a retryable failure, or
+        a raised terminal error (rejection / deadline)."""
+        remaining = self._remaining(budget)
+        if remaining is not None and remaining <= 0.0:
+            raise self._deadline_error(
+                f"requesting {method} {route}", budget, last_state
+            )
+        timeout = (
+            read_timeout_s
+            if read_timeout_s is not None
+            else self.config.request_timeout_s
+        )
+        if remaining is not None:
+            timeout = min(timeout, remaining)
+        try:
+            with obs.span(
+                "client.request", method=method, route=route,
+                attempt=attempt,
+            ):
+                status, headers, raw = self._once(
+                    method, path, payload, timeout
+                )
+        except (OSError, http.client.HTTPException) as exc:
+            # Refused, reset, timeout, garbage status line, truncated
+            # body: all transport-level, all retryable, all counted
+            # against the breaker.
+            self.breaker.record_failure()
+            obs_metrics.counter(
+                "repro_client_requests_total", outcome="transport_error"
+            ).inc()
+            return _Transport(f"{type(exc).__name__}: {exc}")
+        self.breaker.record_success()
+        decoded = self._decode(status, headers, raw, expect_json)
+        if isinstance(decoded, _Transport):
+            obs_metrics.counter(
+                "repro_client_requests_total", outcome="bad_payload"
+            ).inc()
+            return decoded
+        if status in _RETRYABLE_STATUSES:
+            obs_metrics.counter(
+                "repro_client_requests_total", outcome=f"http_{status}"
+            ).inc()
+            return _Transport(
+                f"server answered {status}",
+                retry_after_s=_retry_after(headers),
+                transport_fault=False,
+                last_state=decoded if isinstance(decoded, dict) else None,
+            )
+        if status >= 400:
+            obs_metrics.counter(
+                "repro_client_requests_total", outcome="rejected"
+            ).inc()
+            error_type = (
+                decoded.get("error", "")
+                if isinstance(decoded, dict) else ""
+            )
+            message = (
+                decoded.get("message", "")
+                if isinstance(decoded, dict) else str(decoded)
+            )
+            raise ServerRejected(
+                f"{method} {route} rejected with {status} "
+                f"({error_type}): {message}",
+                status=status,
+                error_type=error_type,
+                payload=decoded,
+            )
+        obs_metrics.counter(
+            "repro_client_requests_total", outcome="ok"
+        ).inc()
+        return status, headers, decoded
+
+    @staticmethod
+    def _decode(status, headers, raw: bytes, expect_json: bool):
+        """Decode a response body; corruption becomes a retryable fault."""
+        if not any(name.lower() == "content-length" for name in headers):
+            # The service stamps Content-Length on every response.  A
+            # reply without it is a header block cut off mid-stream that
+            # happened to parse (read-until-close would silently accept
+            # a truncated — even empty — body as complete).
+            return _Transport(
+                "response lacks Content-Length (truncated headers?)"
+            )
+        try:
+            text = raw.decode("utf-8")
+        except UnicodeDecodeError:
+            return _Transport("response body is not UTF-8 (corrupted?)")
+        content_type = headers.get("Content-Type", "")
+        if not expect_json and status < 400:
+            return text
+        if "json" not in content_type:
+            # Error pages from intermediaries (and netchaos garbage that
+            # happens to parse as HTTP) are not trustworthy payloads.
+            if status < 400:
+                return _Transport(
+                    f"expected JSON, got {content_type or 'no content type'}"
+                )
+            return text
+        try:
+            return json.loads(text)
+        except json.JSONDecodeError:
+            return _Transport("response claimed JSON but does not parse")
+
+    # -- the public API -------------------------------------------------------
+
+    def submit(
+        self,
+        spec: Dict[str, object],
+        tenant: Optional[str] = None,
+        task_deadline_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        budget_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Submit a job; returns its view.  Safe to call through any fault.
+
+        Replay after an ambiguous failure (reset mid-response, timeout) is
+        harmless: the sweep-signature job id makes the second submission
+        observe the first job instead of creating a duplicate.
+        """
+        body = dict(spec)
+        if tenant is not None:
+            body["tenant"] = tenant
+        if task_deadline_s is not None:
+            body["task_deadline_s"] = task_deadline_s
+        if deadline_s is not None:
+            body["deadline_s"] = deadline_s
+        _, _, view = self._request(
+            "POST", "/v1/jobs", body=body, budget=self._budget(budget_s)
+        )
+        return view
+
+    def status(
+        self, job_id: str, budget_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        _, _, view = self._request(
+            "GET", f"/v1/jobs/{job_id}", budget=self._budget(budget_s)
+        )
+        return view
+
+    def wait_for(
+        self,
+        job_id: str,
+        budget_s: Optional[float] = None,
+        target_states=TERMINAL_STATES,
+        poll_wait_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """Long-poll until the job reaches a target state; returns the view.
+
+        Each round-trip passes the last seen ``revision`` as the etag, so
+        the server answers immediately on any change and the client never
+        misses a transition between polls.  Budget exhaustion raises
+        :class:`~repro.errors.ClientDeadlineError` whose ``last_state`` is
+        the freshest view fetched — a caller that timed out still knows
+        whether the job was queued, running, or gone.
+        """
+        budget = self._budget(budget_s)
+        wait = (
+            poll_wait_s if poll_wait_s is not None else self.config.poll_wait_s
+        )
+        view: Optional[Dict[str, object]] = None
+        etag: Optional[int] = None
+        while True:
+            remaining = self._remaining(budget)
+            this_wait = wait
+            if remaining is not None:
+                if remaining <= 0.0:
+                    raise self._deadline_error(
+                        f"waiting for job {job_id}", budget, view
+                    )
+                this_wait = min(wait, remaining)
+            query = f"wait={this_wait:.3f}"
+            if etag is not None:
+                query += f"&etag={etag}"
+            _, _, view = self._request(
+                "GET", f"/v1/jobs/{job_id}?{query}",
+                budget=budget,
+                # The server holds the poll open for up to this_wait; give
+                # the socket that long plus the ordinary request slack.
+                read_timeout_s=this_wait + self.config.request_timeout_s,
+                last_state=view,
+            )
+            if view["state"] in target_states:
+                return view
+            etag = view.get("revision")
+
+    def result(
+        self, job_id: str, budget_s: Optional[float] = None
+    ) -> str:
+        """The completed job's result document (verified complete JSON)."""
+        budget = self._budget(budget_s)
+        _, _, text = self._request(
+            "GET", f"/v1/jobs/{job_id}/result", budget=budget,
+            expect_json=False,
+        )
+        try:
+            json.loads(text)
+        except json.JSONDecodeError as exc:
+            raise ClientError(
+                f"result for {job_id} is not valid JSON: {exc}"
+            ) from exc
+        return text
+
+    def cancel(
+        self, job_id: str, budget_s: Optional[float] = None
+    ) -> Dict[str, object]:
+        _, _, view = self._request(
+            "DELETE", f"/v1/jobs/{job_id}", budget=self._budget(budget_s)
+        )
+        return view
+
+    def artifact(
+        self,
+        kind: str,
+        filter_index: int,
+        wordlength: int,
+        scaling: str = "maximal",
+        representation: str = "csd",
+        budget_s: Optional[float] = None,
+    ) -> str:
+        """One artifact's full text (truncation is retried, never served)."""
+        path = (
+            f"/v1/artifacts/{kind}?filter={filter_index}"
+            f"&wordlength={wordlength}&scaling={scaling}"
+            f"&representation={representation}"
+        )
+        _, _, text = self._request(
+            "GET", path, budget=self._budget(budget_s), expect_json=False
+        )
+        return text
+
+    def jobs(
+        self,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+        budget_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """One page of the jobs listing (counts + views + ``next_cursor``)."""
+        query = []
+        if limit is not None:
+            query.append(f"limit={limit}")
+        if cursor is not None:
+            query.append(f"cursor={cursor}")
+        path = "/v1/jobs" + ("?" + "&".join(query) if query else "")
+        _, _, page = self._request(
+            "GET", path, budget=self._budget(budget_s)
+        )
+        return page
+
+    def iter_jobs(
+        self, page_size: int = 50, budget_s: Optional[float] = None
+    ) -> Iterator[Dict[str, object]]:
+        """Walk every job view across pages (stable order, no duplicates)."""
+        budget = self._budget(budget_s)
+        cursor: Optional[str] = None
+        while True:
+            query = f"limit={page_size}"
+            if cursor is not None:
+                query += f"&cursor={cursor}"
+            _, _, page = self._request(
+                "GET", f"/v1/jobs?{query}", budget=budget
+            )
+            for view in page["jobs"]:
+                yield view
+            cursor = page.get("next_cursor")
+            if not cursor:
+                return
+
+    def artifact_catalog(
+        self,
+        limit: Optional[int] = None,
+        cursor: Optional[str] = None,
+        budget_s: Optional[float] = None,
+    ) -> Dict[str, object]:
+        """One page of the artifact catalog listing."""
+        query = []
+        if limit is not None:
+            query.append(f"limit={limit}")
+        if cursor is not None:
+            query.append(f"cursor={cursor}")
+        path = "/v1/artifacts" + ("?" + "&".join(query) if query else "")
+        _, _, page = self._request(
+            "GET", path, budget=self._budget(budget_s)
+        )
+        return page
+
+    def submit_and_wait(
+        self,
+        spec: Dict[str, object],
+        tenant: Optional[str] = None,
+        task_deadline_s: Optional[float] = None,
+        deadline_s: Optional[float] = None,
+        budget_s: Optional[float] = None,
+        fetch_result: bool = True,
+    ) -> Tuple[Dict[str, object], Optional[str]]:
+        """Submit, wait for a terminal state, optionally fetch the result.
+
+        One shared budget covers all three phases, so the caller reasons
+        about a single deadline for the whole interaction — the
+        :class:`~repro.robust.SolverBudget` semantics the solver tiers
+        established, propagated across the wire.
+        """
+        budget = self._budget(budget_s)
+        view = self.submit(
+            spec, tenant=tenant, task_deadline_s=task_deadline_s,
+            deadline_s=deadline_s,
+            budget_s=self._remaining(budget),
+        )
+        view = self.wait_for(view["job_id"], budget_s=self._remaining(budget))
+        text = None
+        if fetch_result and view["state"] == JobState.COMPLETED:
+            text = self.result(
+                view["job_id"], budget_s=self._remaining(budget)
+            )
+        return view, text
+
+    def healthy(self) -> bool:
+        """One unretried liveness probe (never raises for a dead server)."""
+        try:
+            status, _, _ = self._once(
+                "GET", "/healthz", None, self.config.request_timeout_s
+            )
+            return status == 200
+        except (OSError, http.client.HTTPException):
+            return False
+
+
+def _retry_after(headers: Dict[str, str]) -> Optional[float]:
+    value = headers.get("Retry-After")
+    if value is None:
+        return None
+    try:
+        return max(0.0, float(value))
+    except ValueError:
+        return None

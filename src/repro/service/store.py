@@ -41,7 +41,7 @@ from dataclasses import dataclass, field, fields, replace
 from pathlib import Path
 from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
-from ..errors import JobStateError, SpecError
+from ..errors import JobStateError, SpecError, StoreUnavailable
 from ..eval.supervisor import sweep_signature
 from ..eval.wal import ChecksumLog
 from ..filters import TABLE1_SPECS
@@ -238,6 +238,10 @@ class JobRecord:
     quarantined: int = 0
     pool_rebuilds: int = 0
     retries: int = 0
+    #: Monotonic per-job change counter, bumped on every durable state
+    #: change.  Serves as the ETag for the long-poll status endpoint: a
+    #: client that saw revision N asks "wake me when revision != N".
+    revision: int = 1
 
     def as_dict(self) -> Dict[str, object]:
         payload = {
@@ -269,11 +273,20 @@ class JobStore:
         self,
         root: os.PathLike,
         clock: Callable[[], float] = time.time,
+        fault_injector: Optional[object] = None,
     ) -> None:
         self.root = Path(root)
         self.root.mkdir(parents=True, exist_ok=True)
         self._clock = clock
         self._lock = threading.RLock()
+        #: Signalled on every durable state change; the long-poll endpoint
+        #: waits on it instead of hot-polling the table.
+        self._changed = threading.Condition(self._lock)
+        #: Chaos hook (``StoreFaultInjector``): consulted before each WAL
+        #: append so tests can fail writes deterministically.
+        self.fault_injector = fault_injector
+        #: WAL appends that failed and were rolled back (never acknowledged).
+        self.append_errors = 0
         self._jobs: Dict[str, JobRecord] = {}
         self._log = self._recover()
 
@@ -307,6 +320,7 @@ class JobStore:
                 record.state = JobState.QUEUED
                 record.resumed = True
                 record.updated_at = now
+                record.revision += 1
                 requeued += 1
             if record.state == JobState.QUEUED:
                 # The deadline clock restarts with the server: a surviving
@@ -344,6 +358,36 @@ class JobStore:
         return log
 
     # -- submission and lifecycle ---------------------------------------------
+
+    def _append_locked(self, record: JobRecord) -> None:
+        """One WAL append, chaos hook included; raises ``OSError`` raw.
+
+        Callers are responsible for rolling the in-memory table back when
+        this raises — a record that never reached the WAL must never be
+        visible, or a crash would silently lose an "accepted" job.
+        """
+        injector = self.fault_injector
+        if injector is not None:
+            fault = injector.draw_append(record.job_id)
+            if fault == "enospc":
+                raise injector.enospc_error(record.job_id)
+        self._log.append(record.as_dict())
+
+    def _rollback_append_error(
+        self, job_id: str, previous: Optional[JobRecord], exc: OSError
+    ) -> StoreUnavailable:
+        """Undo an in-memory update whose WAL append failed; build the 503."""
+        if previous is None:
+            self._jobs.pop(job_id, None)
+        else:
+            self._jobs[job_id] = previous
+        self.append_errors += 1
+        from ..obs import metrics as obs_metrics
+
+        obs_metrics.counter("repro_service_wal_errors_total").inc()
+        return StoreUnavailable(
+            f"job store cannot persist {job_id}: {exc}", retry_after_s=5.0
+        )
 
     def submit(
         self,
@@ -407,7 +451,14 @@ class JobStore:
                 clamped=clamped,
             )
             self._jobs[job_id] = record
-            self._log.append(record.as_dict())
+            try:
+                self._append_locked(record)
+            except OSError as exc:
+                # ENOSPC hardening: the job was never acknowledged, so it
+                # must not survive in memory either — a client retry after
+                # the 503 resubmits from scratch, exactly once.
+                raise self._rollback_append_error(job_id, None, exc) from exc
+            self._changed.notify_all()
             return record, True
 
     def transition(self, job_id: str, state: str, **updates) -> JobRecord:
@@ -428,10 +479,15 @@ class JobStore:
                 f"job {job_id} cannot go {record.state} -> {state}"
             )
         updated = replace(
-            record, state=state, updated_at=self._clock(), **updates
+            record, state=state, updated_at=self._clock(),
+            revision=record.revision + 1, **updates,
         )
         self._jobs[job_id] = updated
-        self._log.append(updated.as_dict())
+        try:
+            self._append_locked(updated)
+        except OSError as exc:
+            raise self._rollback_append_error(job_id, record, exc) from exc
+        self._changed.notify_all()
         return updated
 
     # -- queries --------------------------------------------------------------
@@ -442,6 +498,36 @@ class JobStore:
             if record is None:
                 raise JobStateError(f"unknown job {job_id!r}")
             return record
+
+    def wait_for_change(
+        self,
+        job_id: str,
+        etag: Optional[int],
+        timeout_s: float,
+        clock: Callable[[], float] = time.monotonic,
+    ) -> JobRecord:
+        """Block until ``job_id``'s revision differs from ``etag``.
+
+        The long-poll primitive: returns the current record immediately
+        when the caller's ``etag`` is stale (or ``None``), otherwise waits
+        on the store's change condition up to ``timeout_s`` and returns
+        whatever the record is then — the caller compares revisions to
+        distinguish "changed" from "timed out unchanged".  Unknown jobs
+        raise :class:`~repro.errors.JobStateError` up front, so a client
+        never long-polls a job that does not exist.
+        """
+        deadline = clock() + max(0.0, timeout_s)
+        with self._changed:
+            while True:
+                record = self._jobs.get(job_id)
+                if record is None:
+                    raise JobStateError(f"unknown job {job_id!r}")
+                if etag is None or record.revision != etag:
+                    return record
+                remaining = deadline - clock()
+                if remaining <= 0.0:
+                    return record
+                self._changed.wait(timeout=remaining)
 
     def list_jobs(self) -> List[JobRecord]:
         with self._lock:

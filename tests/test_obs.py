@@ -255,3 +255,32 @@ def test_synthesis_pipeline_produces_expected_span_taxonomy(tmp_path):
     assert validate_trace(records) == []
     names = {r["name"] for r in records if r["kind"] == "span"}
     assert {"graph.build", "cover.greedy", "spanning.forest"} <= names
+
+
+def test_abandoned_sink_never_flushes_inherited_buffer(tmp_path):
+    """A forked child must not replay the parent's unflushed records.
+
+    Regression: ``abandon()`` used to drop the handle without neutralizing
+    it, so the child's file-object destructor flushed the inherited buffer
+    into the shared trace file — duplicating every pending record once per
+    pool worker (seen as duplicate ``(pid, id)`` pairs in service traces).
+    """
+    import os
+
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(JsonlSink(path))
+    with tracer.span("parent.work"):
+        pass  # buffered, FLUSH_EVERY not reached — nothing on disk yet
+    assert path.read_text(encoding="utf-8") == ""
+
+    pid = os.fork()
+    if pid == 0:  # child: the pool-initializer discipline, then hard exit
+        tracer.sink.abandon()
+        del tracer
+        os._exit(0)
+    assert os.waitpid(pid, 0)[1] == 0
+
+    tracer.close()
+    records = [json.loads(line) for line in path.read_text(
+        encoding="utf-8").splitlines()]
+    assert [r["name"] for r in records] == ["parent.work"]

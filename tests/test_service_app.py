@@ -367,3 +367,214 @@ class TestArtifacts:
         )
         assert csd  # both generate; they may or may not differ structurally
         assert sm
+
+
+@pytest.fixture()
+def flaky_store(tmp_path):
+    """An idle server whose first WAL append fails with ENOSPC."""
+    from repro.robust.chaos import StoreFaultInjector
+
+    config = ServiceConfig(
+        data_dir=tmp_path / "data", port=0,
+        store_chaos=StoreFaultInjector(seed=3, enospc_rate=1.0, max_faults=1),
+    )
+    service = SynthesisService(config)
+
+    class _Handler(ServiceHTTPHandler):
+        pass
+
+    _Handler.service = service
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _Handler)
+    server.daemon_threads = True
+    thread = Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield {"port": server.server_address[1], "service": service}
+    server.shutdown()
+    server.server_close()
+    service.store.close()
+
+
+class TestStoreUnavailable:
+    def test_enospc_submit_is_503_with_retry_after(self, flaky_store):
+        port = flaky_store["port"]
+        status, headers, body = request_json(
+            port, "POST", "/v1/jobs", dict(SPEC)
+        )
+        assert status == 503
+        assert body["error"] == "StoreUnavailable"
+        assert float(headers["Retry-After"]) > 0.0
+        # Never acknowledged: the job does not exist server-side.
+        listing = request_json(port, "GET", "/v1/jobs")[2]
+        assert listing["jobs"] == []
+        # The injector spends its single fault above, so the client's
+        # retry — the behavior Retry-After asks for — succeeds.
+        status, _, view = request_json(port, "POST", "/v1/jobs", dict(SPEC))
+        assert status == 201 and view["state"] == "queued"
+
+
+class TestLongPoll:
+    def test_status_carries_etag_header(self, idle):
+        port = idle["port"]
+        _, _, view = request_json(port, "POST", "/v1/jobs", dict(SPEC))
+        status, headers, polled = request_json(
+            port, "GET", f"/v1/jobs/{view['job_id']}"
+        )
+        assert status == 200
+        assert int(headers["ETag"]) == polled["revision"]
+
+    def test_wait_with_stale_etag_returns_immediately(self, idle):
+        port = idle["port"]
+        _, _, view = request_json(port, "POST", "/v1/jobs", dict(SPEC))
+        start = time.monotonic()
+        status, _, polled = request_json(
+            port, "GET", f"/v1/jobs/{view['job_id']}?wait=20&etag=0"
+        )
+        assert status == 200 and polled["revision"] == view["revision"]
+        assert time.monotonic() - start < 5.0
+
+    def test_wait_holds_until_transition(self, idle):
+        port, service = idle["port"], idle["service"]
+        _, _, view = request_json(port, "POST", "/v1/jobs", dict(SPEC))
+        job_id, etag = view["job_id"], view["revision"]
+
+        def nudge():
+            time.sleep(0.2)
+            service.store.transition(job_id, "running")
+
+        nudger = Thread(target=nudge)
+        nudger.start()
+        start = time.monotonic()
+        _, _, polled = request_json(
+            port, "GET", f"/v1/jobs/{job_id}?wait=30&etag={etag}"
+        )
+        elapsed = time.monotonic() - start
+        nudger.join()
+        assert polled["state"] == "running"
+        assert polled["revision"] > etag
+        # Woken by the transition, not a 30s timeout.
+        assert 0.1 < elapsed < 10.0
+
+    def test_wait_clamped_to_server_ceiling(self, tmp_path):
+        # A server configured with a tiny ceiling answers an absurd wait
+        # after the clamped hold, never the requested one.
+        config = ServiceConfig(
+            data_dir=tmp_path / "data", port=0, long_poll_max_s=0.2,
+        )
+        service = SynthesisService(config)
+
+        class _Handler(ServiceHTTPHandler):
+            pass
+
+        _Handler.service = service
+        server = ThreadingHTTPServer(("127.0.0.1", 0), _Handler)
+        server.daemon_threads = True
+        Thread(target=server.serve_forever, daemon=True).start()
+        port = server.server_address[1]
+        try:
+            _, _, view = request_json(port, "POST", "/v1/jobs", dict(SPEC))
+            start = time.monotonic()
+            status, _, _ = request_json(
+                port, "GET",
+                f"/v1/jobs/{view['job_id']}?wait=1e9&etag={view['revision']}",
+            )
+            assert status == 200
+            assert 0.15 < time.monotonic() - start < 5.0
+        finally:
+            server.shutdown()
+            server.server_close()
+            service.store.close()
+
+    def test_malformed_wait_is_400(self, idle):
+        port = idle["port"]
+        _, _, view = request_json(port, "POST", "/v1/jobs", dict(SPEC))
+        status, _, body = request_json(
+            port, "GET", f"/v1/jobs/{view['job_id']}?wait=soon"
+        )
+        assert status == 400 and body["error"] == "SpecError"
+
+
+@pytest.fixture()
+def roomy(tmp_path):
+    """An idle server with queue room for several tenants' jobs."""
+    config = ServiceConfig(
+        data_dir=tmp_path / "data", port=0, max_queue_depth=32,
+        max_queue_depth_per_tenant=32,
+    )
+    service = SynthesisService(config)
+
+    class _Handler(ServiceHTTPHandler):
+        pass
+
+    _Handler.service = service
+    server = ThreadingHTTPServer(("127.0.0.1", 0), _Handler)
+    server.daemon_threads = True
+    thread = Thread(target=server.serve_forever, daemon=True)
+    thread.start()
+    yield {"port": server.server_address[1], "service": service}
+    server.shutdown()
+    server.server_close()
+    service.store.close()
+
+
+class TestPagination:
+    def _submit_n(self, port, n):
+        ids = []
+        for index in range(n):
+            status, _, view = request_json(
+                port, "POST", "/v1/jobs",
+                {"experiments": ["fig6"], "filters": [0],
+                 "wordlengths": [4 + index]},
+            )
+            assert status == 201, view
+            ids.append(view["job_id"])
+        return sorted(ids)
+
+    def test_jobs_listing_pages_are_stable_and_complete(self, roomy):
+        port = roomy["port"]
+        ids = self._submit_n(port, 5)
+        walked, cursor = [], None
+        while True:
+            path = "/v1/jobs?limit=2"
+            if cursor:
+                path += f"&cursor={cursor}"
+            status, _, page = request_json(port, "GET", path)
+            assert status == 200
+            assert len(page["jobs"]) <= 2
+            walked.extend(v["job_id"] for v in page["jobs"])
+            cursor = page["next_cursor"]
+            if not cursor:
+                break
+        assert walked == ids  # every job once, in stable sorted order
+        # Counts describe the whole table, not the page.
+        assert page["counts"]["queued"] == 5
+
+    def test_artifact_catalog_pages(self, idle):
+        port = idle["port"]
+        status, _, first = request_json(port, "GET", "/v1/artifacts?limit=3")
+        assert status == 200
+        assert len(first["artifacts"]) == 3
+        assert first["next_cursor"] == first["artifacts"][-1]["id"]
+        status, _, rest = request_json(
+            port, "GET",
+            f"/v1/artifacts?limit=500&cursor={first['next_cursor']}",
+        )
+        assert status == 200
+        ids = [e["id"] for e in first["artifacts"]] + [
+            e["id"] for e in rest["artifacts"]
+        ]
+        assert ids == sorted(ids) and len(ids) == len(set(ids))
+        # Every entry carries a ready-to-fetch URL.
+        assert all(
+            e["url"].startswith("/v1/artifacts/")
+            for e in first["artifacts"]
+        )
+
+    def test_bad_limit_is_400(self, idle):
+        status, _, body = request_json(
+            idle["port"], "GET", "/v1/jobs?limit=0"
+        )
+        assert status == 400 and body["error"] == "SpecError"
+        status, _, _ = request_json(
+            idle["port"], "GET", "/v1/jobs?limit=banana"
+        )
+        assert status == 400

@@ -1,0 +1,367 @@
+"""Unit tests for the resilient service client (scripted stub servers).
+
+Every test drives the real :class:`repro.service.client.ServiceClient`
+against a one-shot stub server whose behavior per connection is scripted
+exactly — a canned 503 with Retry-After, a truncated body, garbage bytes,
+a refused port — so each retry-discipline rule is pinned in isolation,
+without a live synthesis service or timing luck.  The live-wire story
+(real server, real faults) lives in ``test_service_netchaos.py``.
+"""
+
+from __future__ import annotations
+
+import json
+import socket
+import threading
+import time
+
+import pytest
+
+from repro.errors import (
+    ClientCircuitOpen,
+    ClientDeadlineError,
+    ClientError,
+    ReproError,
+    ServerRejected,
+)
+from repro.robust.netchaos import _recv_http_message
+from repro.service.client import (
+    ClientConfig,
+    ServiceClient,
+    TERMINAL_STATES,
+    _ClientBreaker,
+)
+
+
+# -- scripted stub server -----------------------------------------------------
+
+
+def _http(status, body, headers=()):
+    """Encode one canned HTTP response (json body unless bytes given)."""
+    if isinstance(body, bytes):
+        payload = body
+        content_type = "application/octet-stream"
+    else:
+        payload = json.dumps(body).encode("utf-8")
+        content_type = "application/json"
+    reason = {200: "OK", 201: "Created", 400: "Bad Request",
+              404: "Not Found", 429: "Too Many", 503: "Unavailable"}
+    lines = [f"HTTP/1.1 {status} {reason.get(status, 'X')}"]
+    lines.append(f"Content-Type: {content_type}")
+    lines.append(f"Content-Length: {len(payload)}")
+    for name, value in headers:
+        lines.append(f"{name}: {value}")
+    lines.append("Connection: close")
+    head = ("\r\n".join(lines) + "\r\n\r\n").encode("ascii")
+    return head + payload
+
+
+def respond(status, body, headers=()):
+    """Script step: read the request, send a canned response."""
+    encoded = _http(status, body, headers)
+
+    def step(conn, request):
+        conn.sendall(encoded)
+
+    return step
+
+
+def respond_raw(data):
+    """Script step: read the request, send raw bytes (maybe not HTTP)."""
+
+    def step(conn, request):
+        conn.sendall(data)
+
+    return step
+
+
+class StubServer:
+    """Serves one scripted step per connection, records each request."""
+
+    def __init__(self, script):
+        self.script = list(script)
+        self.requests = []
+        self._listener = socket.create_server(("127.0.0.1", 0))
+        self._listener.settimeout(0.1)
+        self.port = self._listener.getsockname()[1]
+        self._closing = threading.Event()
+        self._thread = threading.Thread(target=self._loop, daemon=True)
+        self._thread.start()
+
+    @property
+    def base_url(self):
+        return f"http://127.0.0.1:{self.port}"
+
+    def _loop(self):
+        while not self._closing.is_set():
+            try:
+                conn, _ = self._listener.accept()
+            except socket.timeout:
+                continue
+            except OSError:
+                return
+            try:
+                conn.settimeout(5.0)
+                request = _recv_http_message(conn)
+                self.requests.append(request.decode("latin-1"))
+                if self.script:
+                    self.script.pop(0)(conn, request)
+                else:
+                    conn.sendall(_http(404, {"error": "ScriptExhausted",
+                                             "message": "no step left"}))
+            except OSError:
+                pass
+            finally:
+                try:
+                    conn.close()
+                except OSError:
+                    pass
+
+    def close(self):
+        self._closing.set()
+        try:
+            self._listener.close()
+        except OSError:
+            pass
+        self._thread.join(timeout=5.0)
+
+
+@pytest.fixture
+def stub():
+    servers = []
+
+    def make(script):
+        server = StubServer(script)
+        servers.append(server)
+        return server
+
+    yield make
+    for server in servers:
+        server.close()
+
+
+def _client(server, **overrides):
+    options = dict(
+        request_timeout_s=2.0,
+        deadline_s=30.0,
+        max_attempts=6,
+        backoff_base_s=0.01,
+        backoff_cap_s=0.05,
+        breaker_threshold=3,
+        breaker_cooldown_s=0.1,
+        seed=7,
+    )
+    options.update(overrides)
+    return ServiceClient(server.base_url, **options)
+
+
+_VIEW = {"job_id": "job-x", "state": "queued", "revision": 1,
+         "attempts": 0, "error": None}
+
+
+# -- config validation --------------------------------------------------------
+
+
+class TestClientConfig:
+    def test_rejects_non_http_url(self):
+        with pytest.raises(ReproError):
+            ClientConfig(base_url="ftp://host:1")
+
+    def test_rejects_nonpositive_attempts(self):
+        with pytest.raises(ReproError):
+            ClientConfig(base_url="http://h:1", max_attempts=0)
+
+    def test_rejects_negative_deadline(self):
+        with pytest.raises(ReproError):
+            ClientConfig(base_url="http://h:1", deadline_s=-1.0)
+
+    def test_host_port_parsed(self):
+        config = ClientConfig(base_url="http://127.0.0.1:8177")
+        assert (config.host, config.port) == ("127.0.0.1", 8177)
+
+
+# -- retry discipline ---------------------------------------------------------
+
+
+class TestRetries:
+    def test_retry_after_is_honored(self, stub):
+        server = stub([
+            respond(503, {"error": "Busy", "message": "later"},
+                    headers=[("Retry-After", "0.3")]),
+            respond(200, _VIEW),
+        ])
+        client = _client(server)
+        started = time.monotonic()
+        view = client.status("job-x")
+        elapsed = time.monotonic() - started
+        assert view["job_id"] == "job-x"
+        assert len(server.requests) == 2
+        # The backoff floor is the server's Retry-After, not the (tiny)
+        # jittered exponential schedule.
+        assert elapsed >= 0.29
+
+    def test_retry_after_beyond_budget_fails_fast(self, stub):
+        server = stub([
+            respond(503, {"error": "Busy", "message": "later"},
+                    headers=[("Retry-After", "60")]),
+        ])
+        client = _client(server, deadline_s=1.0)
+        started = time.monotonic()
+        with pytest.raises(ClientDeadlineError):
+            client.status("job-x")
+        # Failed fast: nowhere near the 60s the server asked for, and no
+        # second request was ever attempted.
+        assert time.monotonic() - started < 5.0
+        assert len(server.requests) == 1
+
+    def test_deadline_error_carries_last_server_state(self, stub):
+        # A stub answers polls instantly (no server-side hold), so the
+        # wait loop spins; script enough identical steps to outlast the
+        # budget no matter how fast the loop runs.
+        stuck = dict(_VIEW, state="running", revision=4)
+        server = stub([respond(200, stuck)] * 5000)
+        client = _client(server, deadline_s=0.6)
+        with pytest.raises(ClientDeadlineError) as excinfo:
+            client.wait_for("job-x", poll_wait_s=0.05)
+        assert excinfo.value.last_state is not None
+        assert excinfo.value.last_state["state"] == "running"
+        assert excinfo.value.elapsed_s > 0.0
+
+    def test_truncated_body_is_retried(self, stub):
+        good = _http(200, _VIEW)
+        server = stub([respond_raw(good[:-10]), respond_raw(good)])
+        client = _client(server)
+        assert client.status("job-x")["job_id"] == "job-x"
+        assert len(server.requests) == 2
+
+    def test_garbage_response_is_retried(self, stub):
+        server = stub([
+            respond_raw(b"\x00\xffnot http at all\r\n\r\n"),
+            respond(200, _VIEW),
+        ])
+        client = _client(server)
+        assert client.status("job-x")["state"] == "queued"
+        assert len(server.requests) == 2
+
+    def test_json_mislabeled_as_html_is_retried(self, stub):
+        bad = (
+            b"HTTP/1.1 200 OK\r\nContent-Type: text/html\r\n"
+            b"Content-Length: 6\r\nConnection: close\r\n\r\n<html>"
+        )
+        server = stub([respond_raw(bad), respond(200, _VIEW)])
+        client = _client(server)
+        assert client.status("job-x")["job_id"] == "job-x"
+        assert len(server.requests) == 2
+
+    def test_rejection_is_not_retried(self, stub):
+        server = stub([
+            respond(400, {"error": "SpecError", "message": "bad spec"}),
+        ])
+        client = _client(server)
+        with pytest.raises(ServerRejected) as excinfo:
+            client.submit({"experiments": ["nope"]})
+        assert excinfo.value.status == 400
+        assert excinfo.value.error_type == "SpecError"
+        assert len(server.requests) == 1
+
+    def test_attempts_exhausted_raises_client_error(self, stub):
+        server = stub([
+            respond(503, {"error": "Busy", "message": "later"}),
+        ] * 10)
+        client = _client(server, max_attempts=3, deadline_s=None)
+        with pytest.raises(ClientError):
+            client.status("job-x")
+        assert len(server.requests) == 3
+
+
+# -- circuit breaker ----------------------------------------------------------
+
+
+class TestClientBreaker:
+    def test_opens_after_threshold_and_reprobes(self):
+        clock = [0.0]
+        breaker = _ClientBreaker(3, 10.0, clock=lambda: clock[0])
+        for _ in range(3):
+            breaker.allow()
+            breaker.record_failure()
+        with pytest.raises(ClientCircuitOpen) as excinfo:
+            breaker.allow()
+        assert excinfo.value.retry_after_s <= 10.0
+        clock[0] = 10.5  # cooldown over: exactly one probe goes through
+        breaker.allow()
+        assert breaker.state == "half-open"
+        breaker.record_failure()  # failed probe re-opens immediately
+        with pytest.raises(ClientCircuitOpen):
+            breaker.allow()
+        clock[0] = 21.0
+        breaker.allow()
+        breaker.record_success()
+        assert breaker.state == "closed"
+
+    def test_success_resets_failure_streak(self):
+        breaker = _ClientBreaker(3, 10.0)
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.record_success()
+        breaker.record_failure()
+        breaker.record_failure()
+        breaker.allow()  # still closed: the streak never hit 3
+
+    def test_breaker_opens_against_dead_port(self, stub):
+        # Allocate-and-release a port so connects are refused.
+        probe = socket.create_server(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        client = ServiceClient(
+            f"http://127.0.0.1:{port}",
+            request_timeout_s=0.2, deadline_s=1.0, max_attempts=10,
+            backoff_base_s=0.01, backoff_cap_s=0.02,
+            breaker_threshold=2, breaker_cooldown_s=5.0, seed=1,
+        )
+        with pytest.raises((ClientDeadlineError, ClientError)):
+            client.status("job-x")
+        assert client.breaker.state in ("open", "half-open")
+
+
+# -- long-poll and pagination plumbing ---------------------------------------
+
+
+class TestWaitFor:
+    def test_passes_etag_from_previous_view(self, stub):
+        running = dict(_VIEW, state="running", revision=7)
+        done = dict(_VIEW, state="completed", revision=9)
+        server = stub([respond(200, running), respond(200, done)])
+        client = _client(server)
+        view = client.wait_for("job-x", poll_wait_s=0.05)
+        assert view["state"] == "completed"
+        first, second = server.requests
+        assert "etag" not in first
+        assert "etag=7" in second
+
+    def test_custom_target_states(self, stub):
+        running = dict(_VIEW, state="running", revision=2)
+        server = stub([respond(200, running)])
+        client = _client(server)
+        view = client.wait_for(
+            "job-x", target_states=frozenset({"running"}),
+        )
+        assert view["state"] == "running"
+        assert len(server.requests) == 1
+
+    def test_terminal_states_cover_the_store_vocabulary(self):
+        assert {"completed", "failed", "cancelled", "expired"} == set(
+            TERMINAL_STATES
+        )
+
+
+class TestPagination:
+    def test_iter_jobs_walks_every_page(self, stub):
+        page1 = {"jobs": [{"job_id": "job-a"}, {"job_id": "job-b"}],
+                 "next_cursor": "job-b"}
+        page2 = {"jobs": [{"job_id": "job-c"}], "next_cursor": None}
+        server = stub([respond(200, page1), respond(200, page2)])
+        client = _client(server)
+        ids = [v["job_id"] for v in client.iter_jobs(page_size=2)]
+        assert ids == ["job-a", "job-b", "job-c"]
+        assert "limit=2" in server.requests[0]
+        assert "cursor=job-b" in server.requests[1]

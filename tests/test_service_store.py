@@ -354,3 +354,101 @@ class TestConcurrency:
             t.join()
         assert len(store.list_jobs()) == 1
         assert sum(1 for _, enqueue in results if enqueue) == 1
+
+
+class TestWalFaults:
+    """A failed WAL append must never acknowledge — or corrupt — a job."""
+
+    def _store(self, tmp_path, **injector_options):
+        from repro.robust.chaos import StoreFaultInjector
+
+        injector = StoreFaultInjector(**injector_options)
+        return JobStore(tmp_path, fault_injector=injector), injector
+
+    def test_enospc_on_submit_never_acknowledges(self, tmp_path):
+        from repro.errors import StoreUnavailable
+
+        store, _ = self._store(tmp_path, seed=3, enospc_rate=1.0)
+        with pytest.raises(StoreUnavailable) as excinfo:
+            store.submit(make_spec(), "t", 30.0, 300.0)
+        assert excinfo.value.retry_after_s > 0.0
+        # Rolled back completely: the job is unknown in memory...
+        assert store.list_jobs() == []
+        assert store.append_errors == 1
+        # ...and on disk — a fresh recovery sees an empty table.
+        assert JobStore(tmp_path).list_jobs() == []
+
+    def test_retry_after_transient_enospc_succeeds(self, tmp_path):
+        from repro.errors import StoreUnavailable
+
+        store, _ = self._store(
+            tmp_path, seed=3, enospc_rate=1.0, max_faults=1
+        )
+        with pytest.raises(StoreUnavailable):
+            store.submit(make_spec(), "t", 30.0, 300.0)
+        record, enqueue = store.submit(make_spec(), "t", 30.0, 300.0)
+        assert enqueue and record.state == JobState.QUEUED
+
+    def test_enospc_on_transition_keeps_previous_state(self, tmp_path):
+        from repro.errors import StoreUnavailable
+        from repro.robust.chaos import StoreFaultInjector
+
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        before = store.get(record.job_id)
+        store.fault_injector = StoreFaultInjector(seed=3, enospc_rate=1.0)
+        with pytest.raises(StoreUnavailable):
+            store.transition(record.job_id, JobState.RUNNING)
+        after = store.get(record.job_id)
+        assert after.state == JobState.QUEUED
+        assert after.revision == before.revision
+        # The failed transition is absent from durable history too.
+        assert JobStore(tmp_path).get(record.job_id).state == JobState.QUEUED
+
+
+class TestLongPollPlumbing:
+    def test_revision_bumps_on_every_transition(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        assert record.revision == 1
+        running = store.transition(record.job_id, JobState.RUNNING)
+        completed = store.transition(record.job_id, JobState.COMPLETED)
+        assert (running.revision, completed.revision) == (2, 3)
+
+    def test_wait_for_change_returns_immediately_on_stale_etag(
+        self, tmp_path
+    ):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        got = store.wait_for_change(record.job_id, etag=0, timeout_s=30.0)
+        assert got.revision == record.revision
+
+    def test_wait_for_change_times_out_to_current_record(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        got = store.wait_for_change(
+            record.job_id, etag=record.revision, timeout_s=0.05
+        )
+        assert got.revision == record.revision
+
+    def test_wait_for_change_wakes_on_transition(self, tmp_path):
+        store = JobStore(tmp_path)
+        record, _ = store.submit(make_spec(), "t", 30.0, 300.0)
+        seen = []
+
+        def wait():
+            seen.append(store.wait_for_change(
+                record.job_id, etag=record.revision, timeout_s=30.0
+            ))
+
+        waiter = threading.Thread(target=wait)
+        waiter.start()
+        store.transition(record.job_id, JobState.RUNNING)
+        waiter.join(timeout=10.0)
+        assert not waiter.is_alive()
+        assert seen and seen[0].state == JobState.RUNNING
+
+    def test_wait_for_change_unknown_job_raises(self, tmp_path):
+        store = JobStore(tmp_path)
+        with pytest.raises(JobStateError):
+            store.wait_for_change("job-nope", etag=None, timeout_s=0.01)
