@@ -4,7 +4,8 @@
 Usage::
 
     python scripts/check_trace.py TRACE.jsonl [--metrics METRICS.prom]
-        [--require-span NAME ...] [--min-spans N]
+        [--require-span NAME ...] [--min-spans N] [--allow-torn-tail]
+        [--require-job-trace JOB_ID ...]
     python scripts/check_trace.py --metrics-url http://127.0.0.1:8177/metrics
         [--require-series SERIES ...]
 
@@ -34,6 +35,7 @@ from pathlib import Path
 sys.path.insert(0, str(Path(__file__).resolve().parent.parent / "src"))
 
 from repro.obs import load_trace, validate_trace  # noqa: E402
+from repro.obs.report import job_trace_continuity  # noqa: E402
 
 #: Series every traced sweep must expose (predeclared at configure time, so
 #: they exist at 0 even when nothing failed).
@@ -59,6 +61,13 @@ SERVICE_SERIES = (
     'repro_service_jobs_total{status="failed"}',
     "repro_service_jobs_expired_total",
     "repro_service_jobs_resumed_total",
+    # SLO telemetry (PR 9): latency histograms + per-tenant counters are
+    # predeclared, so the _count series exist even before traffic.
+    "repro_service_queue_wait_seconds_count",
+    "repro_service_run_seconds_count",
+    'repro_http_request_seconds_count{method="POST",route="/v1/jobs"}',
+    'repro_http_request_seconds_count{method="GET",route="/metrics"}',
+    'repro_service_tenant_admitted_total{tenant="default"}',
 )
 
 #: Tags that must be present on every span of the given name (spans missing
@@ -69,13 +78,16 @@ SPAN_TAG_REQUIREMENTS = {
 }
 
 
-def check_trace(path: str, require_spans, min_spans: int):
+def check_trace(path: str, require_spans, min_spans: int,
+                allow_torn_tail: bool = False, require_job_trace=()):
     problems = []
     try:
-        records = load_trace(path)
+        records = load_trace(path, allow_torn_tail=allow_torn_tail)
     except (OSError, ValueError) as exc:
         return [f"trace unreadable: {exc}"]
     problems.extend(validate_trace(records))
+    for job_id in require_job_trace:
+        problems.extend(job_trace_continuity(records, job_id))
     spans = [r for r in records if r.get("kind") == "span"]
     if len(spans) < min_spans:
         problems.append(
@@ -160,6 +172,18 @@ def main(argv=None) -> int:
         "--min-spans", type=int, default=1, metavar="N",
         help="fail when the trace holds fewer than N spans (default 1)",
     )
+    parser.add_argument(
+        "--allow-torn-tail", action="store_true",
+        help="tolerate one torn final line (a SIGKILL'd process's partial "
+             "write); CI stays strict without this flag",
+    )
+    parser.add_argument(
+        "--require-job-trace", action="append", default=[],
+        metavar="JOB_ID",
+        help="fail unless this job's spans form one continuous trace: a "
+             "single trace id, resolvable parent/link references, and no "
+             "duplicate (pid, span) pairs (repeatable)",
+    )
     args = parser.parse_args(argv)
 
     if args.trace is None and args.metrics is None and args.metrics_url is None:
@@ -169,7 +193,11 @@ def main(argv=None) -> int:
     problems = []
     if args.trace is not None:
         problems.extend(
-            check_trace(args.trace, args.require_span, args.min_spans)
+            check_trace(
+                args.trace, args.require_span, args.min_spans,
+                allow_torn_tail=args.allow_torn_tail,
+                require_job_trace=args.require_job_trace,
+            )
         )
     if args.metrics is not None:
         problems.extend(check_metrics(args.metrics, args.require_series))

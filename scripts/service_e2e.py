@@ -18,7 +18,14 @@ the gate also certifies the client's retry/deadline discipline:
 5. scrape the live ``/metrics`` endpoint through
    ``scripts/check_trace.py`` (service series vocabulary);
 6. SIGTERM the server, assert a clean drain (exit 0), and validate the
-   recorded trace's ``service.request``/``service.job`` spans.
+   recorded trace's ``service.request``/``service.job`` spans;
+7. merge the client's, the killed server's, and the drained server's
+   trace files and assert end-to-end trace continuity per job — one
+   trace id from the client attempt to every ``sweep.task``, parent and
+   link edges resolvable even across the SIGKILL;
+8. feed the merged trace to the analysis CLI: the Chrome export must
+   round-trip through ``json.load`` and the traced job must yield a
+   non-empty critical path.
 
 With ``--netchaos`` every request additionally crosses a
 :class:`repro.robust.netchaos.NetChaosProxy` injecting seeded connection
@@ -52,6 +59,7 @@ sys.path.insert(0, str(REPO / "scripts"))
 
 from check_trace import check_metrics_url, check_trace  # noqa: E402
 
+from repro import obs  # noqa: E402
 from repro.errors import ClientError  # noqa: E402
 from repro.robust.netchaos import NetChaosProxy, NetFaultPlan  # noqa: E402
 from repro.service.client import ServiceClient  # noqa: E402
@@ -100,6 +108,33 @@ def _make_client(port: int, proxy, timeout_s: float) -> ServiceClient:
     )
 
 
+def _series_value(exposition: str, series: str):
+    """The value of one exact series line in a Prometheus exposition."""
+    import re
+    match = re.search(
+        rf"^{re.escape(series)} ([0-9.eE+-]+)$", exposition, re.MULTILINE
+    )
+    return match.group(1) if match else None
+
+
+def _merge_traces(paths, merged_path: Path):
+    """Concatenate per-process trace files into one strictly-parseable file.
+
+    The phase-1 server died by SIGKILL, so its file may end in a torn
+    line; the merge tolerates exactly that and re-serializes, so every
+    downstream consumer (check_trace, export-chrome, critical-path) reads
+    the merged file *strictly*.
+    """
+    from repro.obs import load_traces
+    records = load_traces(
+        [str(p) for p in paths if p.exists()], allow_torn_tail=True
+    )
+    with open(merged_path, "w", encoding="utf-8") as fh:
+        for rec in records:
+            fh.write(json.dumps(rec, sort_keys=True) + "\n")
+    return records
+
+
 def _wait_mid_job(client: ServiceClient, job_id: str, journal_dir: Path,
                   timeout_s: float):
     """Until the job is mid-flight with one task outcome durably journaled."""
@@ -140,10 +175,26 @@ def main(argv=None) -> int:
     data_dir = work / "data"
     log_path = work / "server.log"
     trace_path = work / "service-trace.jsonl"
+    server1_trace_path = work / "server1-trace.jsonl"
+    client_trace_path = work / "client-trace.jsonl"
+    merged_trace_path = work / "merged-trace.jsonl"
+
+    # Client-side tracing in this process: every ServiceClient attempt
+    # emits a client.request span and stamps its context into the
+    # traceparent header, so the servers' spans join *our* trace.
+    obs.configure(trace_path=str(client_trace_path))
 
     # Phase 1: chaos server — every task's first worker is SIGKILLed.
+    # It records a trace too: the per-request flush makes its request
+    # spans durable, so they survive the SIGKILL in phase 2 (modulo one
+    # torn final line, which the merge below tolerates explicitly).
     proc, port = _start_server(
-        data_dir, ["--chaos-seed", "7", "--chaos-kill-rate", "1.0"], log_path
+        data_dir,
+        [
+            "--chaos-seed", "7", "--chaos-kill-rate", "1.0",
+            "--trace", str(server1_trace_path),
+        ],
+        log_path,
     )
     proxy = None
     if args.netchaos:
@@ -178,8 +229,11 @@ def main(argv=None) -> int:
         proxy.retarget(port)
     else:
         client = _make_client(port, None, args.timeout)
+    traced_job_id = None
+    first_job_resumed = False
     try:
         final = client.wait_for(job_id, budget_s=args.timeout)
+        first_job_resumed = bool(final.get("resumed"))
         if final["state"] != "completed":
             raise SystemExit(
                 f"service_e2e: recovered job failed: {final.get('error')}"
@@ -203,7 +257,8 @@ def main(argv=None) -> int:
             raise SystemExit(
                 f"service_e2e: traced job failed: {traced.get('error')}"
             )
-        print(f"service_e2e: traced job {traced['job_id']} completed")
+        traced_job_id = traced["job_id"]
+        print(f"service_e2e: traced job {traced_job_id} completed")
 
         # Phase 4: served artifact must equal the direct CLI export bytes.
         served = client.artifact("verilog", 0, 8)
@@ -228,12 +283,30 @@ def main(argv=None) -> int:
 
         # Phase 5: scrape the live /metrics endpoint (directly — the
         # vocabulary check should not be confounded by injected faults).
-        problems = check_metrics_url(f"http://127.0.0.1:{port}/metrics")
+        metrics_url = f"http://127.0.0.1:{port}/metrics"
+        problems = check_metrics_url(metrics_url)
         if problems:
             for p in problems:
                 print(f"service_e2e: {p}", file=sys.stderr)
             raise SystemExit("service_e2e: live /metrics scrape failed")
-        print("service_e2e: live /metrics carries the service vocabulary")
+        # The SLO histograms must have *observed* something by now — this
+        # server ran at least the resumed job and the traced job.
+        import urllib.request
+        with urllib.request.urlopen(metrics_url, timeout=10) as resp:
+            exposition = resp.read().decode("utf-8")
+        for series in (
+            "repro_service_queue_wait_seconds_count",
+            "repro_service_run_seconds_count",
+            'repro_http_request_seconds_count{method="POST",route="/v1/jobs"}',
+        ):
+            value = _series_value(exposition, series)
+            if not value or float(value) <= 0:
+                raise SystemExit(
+                    f"service_e2e: {series} is {value!r} after e2e traffic, "
+                    "wanted > 0"
+                )
+        print("service_e2e: live /metrics carries the service vocabulary "
+              "and nonzero SLO histograms")
 
         # Phase 6: graceful drain must exit 0.
         proc.send_signal(signal.SIGTERM)
@@ -270,7 +343,70 @@ def main(argv=None) -> int:
         for p in problems:
             print(f"service_e2e: {p}", file=sys.stderr)
         raise SystemExit("service_e2e: trace validation failed")
-    print("service_e2e: trace spans validated — all phases OK")
+    print("service_e2e: trace spans validated")
+
+    # Phase 7: the distributed-trace story.  Flush this process's
+    # client.request spans, merge all three per-process files, and demand
+    # end-to-end continuity: one trace id from client attempt through
+    # queue wait to every sweep.task, with resolvable parent/link edges.
+    for kind, path in sorted(obs.finalize().items()):
+        print(f"service_e2e: [{kind} written to {path}]")
+    require_jobs = [traced_job_id]
+    if first_job_resumed:
+        # The SIGKILL'd-and-resumed job must *also* read as one trace —
+        # its spans straddle both server processes.
+        require_jobs.append(job_id)
+    _merge_traces(
+        [client_trace_path, server1_trace_path, trace_path],
+        merged_trace_path,
+    )
+    problems = check_trace(
+        str(merged_trace_path),
+        require_spans=["client.request", "service.request", "service.job",
+                       "sweep.task"],
+        min_spans=4,
+        require_job_trace=require_jobs,
+    )
+    if problems:
+        for p in problems:
+            print(f"service_e2e: {p}", file=sys.stderr)
+        raise SystemExit("service_e2e: merged-trace continuity failed")
+    print(f"service_e2e: trace continuity holds for {require_jobs} "
+          f"across {3 if first_job_resumed else 2}+ processes")
+
+    # Phase 8: the analysis CLI must digest the merged trace — Chrome
+    # export round-trips through json.load and the traced job yields a
+    # non-empty critical path.
+    chrome_path = work / "chrome-trace.json"
+    subprocess.run(
+        [
+            sys.executable, "-m", "repro.eval", "export-chrome",
+            "--trace", str(merged_trace_path), "--output", str(chrome_path),
+        ],
+        env=_env(), check=True, timeout=args.timeout,
+        stdout=subprocess.DEVNULL,
+    )
+    with open(chrome_path, encoding="utf-8") as fh:
+        chrome = json.load(fh)
+    if not chrome.get("traceEvents"):
+        raise SystemExit("service_e2e: Chrome export holds no events")
+    print(f"service_e2e: Chrome export round-trips "
+          f"({len(chrome['traceEvents'])} events)")
+    cp = subprocess.run(
+        [
+            sys.executable, "-m", "repro.eval", "critical-path",
+            "--trace", str(merged_trace_path), "--job", traced_job_id,
+        ],
+        env=_env(), timeout=args.timeout, capture_output=True, text=True,
+    )
+    if cp.returncode != 0 or not cp.stdout.strip():
+        print(cp.stdout, file=sys.stderr)
+        print(cp.stderr, file=sys.stderr)
+        raise SystemExit(
+            f"service_e2e: critical-path exited {cp.returncode} "
+            "or printed nothing"
+        )
+    print("service_e2e: critical path is non-empty — all phases OK")
 
     if args.work_dir is None:
         shutil.rmtree(work, ignore_errors=True)

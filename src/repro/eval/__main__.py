@@ -9,6 +9,9 @@ Examples::
         --journal-dir .journal --resume --max-retries 3
     python -m repro.eval fig6 --trace trace.jsonl --metrics metrics.prom
     python -m repro.eval stats --trace trace.jsonl
+    python -m repro.eval timeline --trace trace.jsonl --job job-abc123
+    python -m repro.eval critical-path --trace merged.jsonl --job job-abc123
+    python -m repro.eval export-chrome --trace trace.jsonl --output t.json
     python -m repro.eval verify --filters 0 1 --wordlengths 8 --mutants 40
 
 Exit codes map the error taxonomy so schedulers and scripts can branch on
@@ -33,6 +36,7 @@ code  meaning
 from __future__ import annotations
 
 import argparse
+import os
 import sys
 from typing import List, Optional
 
@@ -89,10 +93,15 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "experiment",
         choices=sorted(EXPERIMENTS) + [
-            "all", "stats", "verify", "serve", "export", "submit", "watch"
+            "all", "stats", "timeline", "critical-path", "export-chrome",
+            "verify", "serve", "export", "submit", "watch"
         ],
         help="which experiment to run ('stats' renders the per-phase time "
-             "breakdown of a trace recorded earlier with --trace; 'verify' "
+             "breakdown of a trace recorded earlier with --trace; "
+             "'timeline' renders the span tree chronologically; "
+             "'critical-path' extracts which span segments bound the "
+             "wall-clock; 'export-chrome' converts a trace for "
+             "chrome://tracing / Perfetto; 'verify' "
              "runs the full hardware verification audit over synthesized "
              "benchmark filters; 'serve' starts the synthesis job service; "
              "'export' emits one artifact for a single design point; "
@@ -187,8 +196,10 @@ def build_parser() -> argparse.ArgumentParser:
         "--trace",
         metavar="FILE",
         default=None,
-        help="record a JSONL phase trace to FILE (for the 'stats' "
-             "experiment: the trace to read instead)",
+        help="record a JSONL phase trace to FILE (for the analysis "
+             "subcommands stats/timeline/critical-path/export-chrome: the "
+             "trace to read instead — concatenate per-process files to "
+             "analyze a whole distributed job)",
     )
     parser.add_argument(
         "--metrics",
@@ -196,6 +207,41 @@ def build_parser() -> argparse.ArgumentParser:
         default=None,
         help="write a Prometheus text metrics exposition to FILE when "
              "the run finishes",
+    )
+    parser.add_argument(
+        "--job",
+        metavar="JOB_ID",
+        default=None,
+        help="analysis subcommands: restrict to the trace of this service "
+             "job (matched via its service.job span)",
+    )
+    parser.add_argument(
+        "--allow-torn-tail",
+        action="store_true",
+        help="analysis subcommands: tolerate one torn final line per "
+             "trace file (the tail a SIGKILL'd process left mid-write)",
+    )
+    parser.add_argument(
+        "--profile-span",
+        metavar="NAME",
+        default=None,
+        help="attach a sampled cProfile capture to every span named NAME "
+             "(requires --trace; .pstats files land in --profile-dir)",
+    )
+    parser.add_argument(
+        "--profile-dir",
+        metavar="DIR",
+        default=None,
+        help="where --profile-span writes its .pstats captures "
+             "(default: alongside the trace file)",
+    )
+    parser.add_argument(
+        "--profile-every",
+        metavar="N",
+        type=int,
+        default=1,
+        help="capture every Nth matching span instead of all of them "
+             "(sampling keeps profiler overhead bounded on hot spans)",
     )
     parser.add_argument(
         "--log-level",
@@ -391,17 +437,89 @@ def build_parser() -> argparse.ArgumentParser:
     return parser
 
 
-def _run_stats(args: argparse.Namespace) -> int:
-    """The ``stats`` subcommand: per-phase breakdown of a recorded trace."""
+#: Subcommands that *read* an existing trace instead of recording one.
+_ANALYSIS_COMMANDS = ("stats", "timeline", "critical-path", "export-chrome")
+
+
+def _load_analysis_records(args: argparse.Namespace):
+    """Shared front half of every analysis subcommand.
+
+    Loads ``--trace`` (tolerating a killed process's torn tail only when
+    asked) and, with ``--job``, narrows to that job's trace id so a merged
+    multi-process file analyzes as one job's story.
+    """
+    from ..obs import report as obs_report
+
     if args.trace is None:
         raise ReproError(
-            "the stats subcommand needs --trace FILE pointing at a trace "
-            "recorded by an earlier run"
+            f"the {args.experiment} subcommand needs --trace FILE pointing "
+            "at a trace recorded by an earlier run"
         )
-    records = obs.load_trace(args.trace)
+    records = obs.load_trace(
+        args.trace, allow_torn_tail=args.allow_torn_tail
+    )
+    if args.job is not None:
+        trace_id = obs_report.trace_id_for_job(records, args.job)
+        if trace_id is None:
+            raise ReproError(
+                f"no service.job span tagged job_id={args.job!r} in "
+                f"{args.trace}"
+            )
+        records = obs_report.filter_trace(records, trace_id)
+    return records
+
+
+def _run_stats(args: argparse.Namespace) -> int:
+    """The ``stats`` subcommand: per-phase breakdown of a recorded trace."""
+    records = _load_analysis_records(args)
     for problem in obs.validate_trace(records):
         print(f"warning: {problem}", file=sys.stderr)
     print(obs.format_breakdown(obs.phase_breakdown(records)))
+    return EXIT_OK
+
+
+def _run_timeline(args: argparse.Namespace) -> int:
+    """The ``timeline`` subcommand: the span forest in wall-clock order."""
+    from ..obs import report as obs_report
+
+    records = _load_analysis_records(args)
+    rows = obs_report.build_timeline(records)
+    print(obs_report.format_timeline(rows))
+    return EXIT_OK if rows else EXIT_FAILURE
+
+
+def _run_critical_path(args: argparse.Namespace) -> int:
+    """The ``critical-path`` subcommand: what bounded the wall-clock.
+
+    Exits 1 when the trace yields no path — a CI gate that asserts a
+    non-empty critical path can rely on the exit code alone.
+    """
+    from ..obs import report as obs_report
+
+    records = _load_analysis_records(args)
+    result = obs_report.critical_path(records)
+    print(obs_report.format_critical_path(result))
+    return EXIT_OK if result["segments"] else EXIT_FAILURE
+
+
+def _run_export_chrome(args: argparse.Namespace) -> int:
+    """The ``export-chrome`` subcommand: chrome://tracing / Perfetto JSON."""
+    import json as json_mod
+
+    from ..obs import report as obs_report
+
+    records = _load_analysis_records(args)
+    payload = obs_report.to_chrome_trace(records)
+    if args.output is not None:
+        with open(args.output, "w", encoding="utf-8") as fh:
+            json_mod.dump(payload, fh, sort_keys=True)
+        print(
+            f"[chrome trace with {len(payload['traceEvents'])} events "
+            f"written to {args.output}]"
+        )
+    else:
+        json_mod.dump(payload, sys.stdout, sort_keys=True)
+        sys.stdout.write("\n")
     return EXIT_OK
 
 
@@ -711,15 +829,33 @@ def main(argv: Optional[List[str]] = None) -> int:
         parser.error("--resume requires --journal-dir")
     if args.log_level is not None:
         obs.setup_logging(args.log_level)
-    # 'stats' reads an existing trace; everything else may record one.
-    observing = args.experiment != "stats" and (
+    # Analysis subcommands *read* an existing trace; everything else may
+    # record one.
+    observing = args.experiment not in _ANALYSIS_COMMANDS and (
         args.trace is not None or args.metrics is not None
     )
     if observing:
+        if args.profile_span is not None:
+            # Attach before configure(): configure wires the live profiler
+            # into the tracer it builds.
+            profile_dir = args.profile_dir
+            if profile_dir is None and args.trace is not None:
+                profile_dir = os.path.dirname(args.trace) or "."
+            if profile_dir is None:
+                profile_dir = "."
+            obs.enable_profile(
+                args.profile_span, profile_dir, every=args.profile_every
+            )
         obs.configure(trace_path=args.trace, metrics_path=args.metrics)
     try:
         if args.experiment == "stats":
             return _run_stats(args)
+        if args.experiment == "timeline":
+            return _run_timeline(args)
+        if args.experiment == "critical-path":
+            return _run_critical_path(args)
+        if args.experiment == "export-chrome":
+            return _run_export_chrome(args)
         if args.experiment == "verify":
             return _run_verify(args)
         if args.experiment == "serve":
@@ -747,4 +883,11 @@ def main(argv: Optional[List[str]] = None) -> int:
 
 
 if __name__ == "__main__":
-    sys.exit(main())
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        # ``repro.eval timeline ... | head`` closes stdout early; swap the
+        # fd for /dev/null so interpreter shutdown does not re-raise, and
+        # exit with the conventional SIGPIPE status instead of a traceback.
+        os.dup2(os.open(os.devnull, os.O_WRONLY), sys.stdout.fileno())
+        sys.exit(128 + 13)

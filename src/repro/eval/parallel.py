@@ -550,9 +550,11 @@ def run_sweep_parallel(
             )
             worker_dir = str(active.root) if active is not None else None
             pool_used = True
+            # worker_args() runs inside this span, so every worker's
+            # sweep.task roots link to it and share this trace's id.
             with obs_span(
-                "sweep.precompute", jobs=jobs, pending=len(pending),
-                chunk_size=used_chunk,
+                "sweep.precompute", jobs=jobs, workers=workers,
+                pending=len(pending), chunk_size=used_chunk,
             ):
                 with ProcessPoolExecutor(
                     max_workers=workers,

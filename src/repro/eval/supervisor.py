@@ -389,58 +389,66 @@ def _run_wave(
     per-task deadline, so the overshoot past an abort is bounded by one
     task budget, not the whole remaining batch).
     """
-    executor = ProcessPoolExecutor(
-        max_workers=workers,
-        initializer=_worker_init_supervised,
-        initargs=(
-            worker_dir, chaos, obs.worker_args(),
-            fast_tables.table_snapshot(),
-        ),
-    )
-    future_map = {
-        executor.submit(
-            _worker_run_supervised,
-            (task, deadline_s, attempts[task], chaos, deadline_at),
-        ): task
-        for task in batch
-    }
     lost: List[SweepTask] = []
     abort_reason: Optional[str] = None
-    try:
-        outstanding = set(future_map)
-        while outstanding:
-            if check_abort is not None:
-                abort_reason = check_abort()
-                if abort_reason is not None:
-                    break
-            done, outstanding = _futures_wait(
-                outstanding,
-                timeout=0.25 if check_abort is not None else None,
-                return_when=FIRST_COMPLETED,
-            )
-            for future in done:
-                task = future_map[future]
-                try:
-                    outcome = future.result()
-                except BrokenProcessPool:
-                    lost.append(task)
-                except Exception as exc:  # noqa: BLE001 — e.g. pickling
-                    outcome = TaskOutcome(
-                        task=task,
-                        payload=None,
-                        error_type=type(exc).__name__,
-                        error=str(exc),
-                        elapsed_s=0.0,
-                        attempts=attempts[task] + 1,
-                    )
-                    journal.append(outcome)
-                    results.append(outcome)
-                else:
-                    outcome = replace(outcome, attempts=attempts[task] + 1)
-                    journal.append(outcome)
-                    results.append(outcome)
-    finally:
-        executor.shutdown(wait=True, cancel_futures=True)
+    # The wave span is open when worker_args() snapshots the trace context
+    # below, so every worker's sweep.task spans link to *this* wave.
+    with obs_span(
+        "sweep.wave", workers=workers, batch=len(batch)
+    ) as wave_span:
+        executor = ProcessPoolExecutor(
+            max_workers=workers,
+            initializer=_worker_init_supervised,
+            initargs=(
+                worker_dir, chaos, obs.worker_args(),
+                fast_tables.table_snapshot(),
+            ),
+        )
+        future_map = {
+            executor.submit(
+                _worker_run_supervised,
+                (task, deadline_s, attempts[task], chaos, deadline_at),
+            ): task
+            for task in batch
+        }
+        try:
+            outstanding = set(future_map)
+            while outstanding:
+                if check_abort is not None:
+                    abort_reason = check_abort()
+                    if abort_reason is not None:
+                        break
+                done, outstanding = _futures_wait(
+                    outstanding,
+                    timeout=0.25 if check_abort is not None else None,
+                    return_when=FIRST_COMPLETED,
+                )
+                for future in done:
+                    task = future_map[future]
+                    try:
+                        outcome = future.result()
+                    except BrokenProcessPool:
+                        lost.append(task)
+                    except Exception as exc:  # noqa: BLE001 — e.g. pickling
+                        outcome = TaskOutcome(
+                            task=task,
+                            payload=None,
+                            error_type=type(exc).__name__,
+                            error=str(exc),
+                            elapsed_s=0.0,
+                            attempts=attempts[task] + 1,
+                        )
+                        journal.append(outcome)
+                        results.append(outcome)
+                    else:
+                        outcome = replace(
+                            outcome, attempts=attempts[task] + 1
+                        )
+                        journal.append(outcome)
+                        results.append(outcome)
+        finally:
+            executor.shutdown(wait=True, cancel_futures=True)
+        wave_span.set_tag("lost", len(lost))
     if abort_reason is not None:
         raise SweepAborted(abort_reason)
     return lost

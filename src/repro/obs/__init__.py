@@ -37,29 +37,54 @@ from typing import Any, Dict, Optional, Tuple
 
 from . import metrics
 from .metrics import DEFAULT_REGISTRY, counter, gauge, histogram
-from .report import format_breakdown, load_trace, phase_breakdown, validate_trace
-from .trace import NULL_SPAN_CONTEXT, TRACE_FORMAT_VERSION, JsonlSink, Tracer
+from .report import (
+    format_breakdown,
+    load_trace,
+    load_traces,
+    phase_breakdown,
+    validate_trace,
+)
+from .trace import (
+    NULL_SPAN_CONTEXT,
+    TRACE_FORMAT_VERSION,
+    JsonlSink,
+    TraceContext,
+    Tracer,
+    format_traceparent,
+    make_trace_id,
+    parse_traceparent,
+)
 
 __all__ = [
     "TRACE_FORMAT_VERSION",
     "JsonlSink",
+    "TraceContext",
     "Tracer",
     "configure",
     "counter",
+    "current_context",
+    "current_traceparent",
     "drain_spill",
+    "enable_profile",
     "enabled",
     "event",
     "finalize",
+    "flush",
     "format_breakdown",
+    "format_traceparent",
     "gauge",
     "histogram",
     "load_trace",
+    "load_traces",
+    "make_trace_id",
     "metrics",
+    "parse_traceparent",
     "phase_breakdown",
     "predeclare_metrics",
     "reset",
     "setup_logging",
     "span",
+    "trace_context",
     "tracing_enabled",
     "validate_trace",
     "worker_args",
@@ -71,6 +96,7 @@ _TRACER: Optional[Tracer] = None
 _METRICS_PATH: Optional[Path] = None
 _SPILL_DIR: Optional[Path] = None
 _WORKER_METRICS_PATH: Optional[Path] = None
+_PROFILER = None  # Optional[repro.obs.profile.SpanProfiler]
 
 #: Counter series pre-registered at configure() time so the exposition file
 #: always carries the full vocabulary (a scraper can rely on a series
@@ -117,11 +143,37 @@ _PREDECLARED_COUNTERS = (
     ("repro_client_retries_total", {}),
     ("repro_client_breaker_trips_total", {}),
     ("repro_client_deadlines_total", {}),
+    ("repro_service_tenant_admitted_total", {"tenant": "default"}),
+    ("repro_service_tenant_rejected_total",
+     {"tenant": "default", "reason": "queue_full"}),
+    ("repro_service_tenant_rejected_total",
+     {"tenant": "default", "reason": "tenant_full"}),
+)
+
+#: Histogram series pre-registered alongside the counters.  Zero-observation
+#: histograms render a full bucket ladder in the exposition, so declaring a
+#: route here means a scraper sees its latency series from the first scrape.
+_PREDECLARED_HISTOGRAMS = (
+    ("repro_service_queue_wait_seconds", {}),
+    ("repro_service_run_seconds", {}),
+    ("repro_http_request_seconds", {"route": "/v1/jobs", "method": "POST"}),
+    ("repro_http_request_seconds", {"route": "/v1/jobs", "method": "GET"}),
+    ("repro_http_request_seconds", {"route": "/v1/jobs/{id}", "method": "GET"}),
+    ("repro_http_request_seconds",
+     {"route": "/v1/jobs/{id}", "method": "DELETE"}),
+    ("repro_http_request_seconds",
+     {"route": "/v1/jobs/{id}/result", "method": "GET"}),
+    ("repro_http_request_seconds", {"route": "/v1/artifacts", "method": "GET"}),
+    ("repro_http_request_seconds",
+     {"route": "/v1/artifacts/{kind}", "method": "GET"}),
+    ("repro_http_request_seconds", {"route": "/metrics", "method": "GET"}),
+    ("repro_http_request_seconds", {"route": "/healthz", "method": "GET"}),
+    ("repro_http_request_seconds", {"route": "/readyz", "method": "GET"}),
 )
 
 
 def predeclare_metrics() -> None:
-    """Register the full counter vocabulary at 0 in the default registry.
+    """Register the full metric vocabulary at 0 in the default registry.
 
     Called from :func:`configure` and from the job service's startup, so a
     scraper (or the ``/metrics`` endpoint) can rely on every known series
@@ -129,6 +181,8 @@ def predeclare_metrics() -> None:
     """
     for name, labels in _PREDECLARED_COUNTERS:
         DEFAULT_REGISTRY.counter(name, **labels)
+    for name, labels in _PREDECLARED_HISTOGRAMS:
+        DEFAULT_REGISTRY.histogram(name, **labels)
 
 
 def _observe_span(name: str, wall_s: float) -> None:
@@ -154,6 +208,7 @@ def configure(
         if _TRACER is not None:
             _TRACER.close()
         _TRACER = Tracer(JsonlSink(trace_path), on_span=_observe_span)
+        _TRACER.profiler = _PROFILER
     if metrics_path is not None:
         _METRICS_PATH = Path(metrics_path)
     if trace_path is not None or metrics_path is not None:
@@ -185,6 +240,77 @@ def event(name: str, **tags: Any) -> None:
         tracer.event(name, **tags)
 
 
+def flush() -> None:
+    """Flush the trace sink to disk (no-op when tracing is off).
+
+    The service calls this per request so a SIGKILL loses at most the
+    in-flight request's spans — the durability cross-restart trace links
+    depend on.
+    """
+    tracer = _TRACER
+    if tracer is not None:
+        tracer.flush()
+
+
+# -- distributed trace context -------------------------------------------------
+
+
+def trace_context(ctx):
+    """Scope making ``ctx`` the root-span context for this thread.
+
+    ``ctx`` may be a :class:`TraceContext`, a raw ``(trace_id, link)``
+    pair as persisted on a :class:`~repro.service.store.JobRecord`
+    (``link`` a ``[pid, id]`` list or ``None``), or ``None`` to reset to
+    the process default.  Returns the shared no-op context when tracing
+    is off, so callers never branch.
+    """
+    tracer = _TRACER
+    if tracer is None:
+        return NULL_SPAN_CONTEXT
+    if ctx is not None and not isinstance(ctx, TraceContext):
+        trace_id, link = ctx
+        if trace_id is None:
+            ctx = None
+        else:
+            ctx = TraceContext(
+                trace_id, tuple(link) if link else None
+            )
+    return tracer.adopt(ctx)
+
+
+def current_context() -> Optional[TraceContext]:
+    """The context a downstream process should continue from, if tracing."""
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    return tracer.current_context()
+
+
+def current_traceparent() -> Optional[str]:
+    """Wire-format header value for the current context (None when off)."""
+    tracer = _TRACER
+    if tracer is None:
+        return None
+    return format_traceparent(tracer.current_context())
+
+
+def enable_profile(span_name: str, out_dir: os.PathLike, every: int = 1):
+    """Attach a sampled ``cProfile`` hook to spans named ``span_name``.
+
+    Effective in this process only — deliberately not shipped through
+    :func:`worker_args` (a profiler in every pool worker would serialize
+    the sweep it is measuring).  Survives re-:func:`configure`; cleared
+    by :func:`reset`.  Returns the installed profiler.
+    """
+    global _PROFILER
+    from .profile import SpanProfiler
+
+    _PROFILER = SpanProfiler(span_name, out_dir, every=every)
+    if _TRACER is not None:
+        _TRACER.profiler = _PROFILER
+    return _PROFILER
+
+
 def _ensure_spill_dir() -> Optional[Path]:
     """The shared spill directory for worker telemetry (created lazily)."""
     global _SPILL_DIR
@@ -203,12 +329,22 @@ def _ensure_spill_dir() -> Optional[Path]:
     return _SPILL_DIR
 
 
-def worker_args() -> Optional[Tuple[str, bool]]:
-    """Picklable obs setup for a pool initializer (None when disabled)."""
+def worker_args() -> Optional[Tuple[str, bool, Optional[Tuple]]]:
+    """Picklable obs setup for a pool initializer (None when disabled).
+
+    The third element carries the coordinator's current trace context as
+    ``(trace_id, [pid, id] | None)``; called inside the ``sweep.precompute``
+    span, it makes every worker's root spans (``sweep.task``) link back to
+    that span and share the job's trace id.
+    """
     spill = _ensure_spill_dir()
     if spill is None:
         return None
-    return str(spill), _TRACER is not None
+    ctx = None
+    if _TRACER is not None:
+        cur = _TRACER.current_context()
+        ctx = (cur.trace_id, list(cur.link) if cur.link is not None else None)
+    return str(spill), _TRACER is not None, ctx
 
 
 def drain_spill() -> None:
@@ -275,26 +411,31 @@ def finalize() -> Dict[str, str]:
 
 def reset() -> None:
     """Tear down all obs state without exporting anything (test isolation)."""
-    global _TRACER, _METRICS_PATH, _SPILL_DIR, _WORKER_METRICS_PATH
+    global _TRACER, _METRICS_PATH, _SPILL_DIR, _WORKER_METRICS_PATH, _PROFILER
     if _TRACER is not None:
         _TRACER.close()
         _TRACER = None
     _METRICS_PATH = None
     _SPILL_DIR = None
     _WORKER_METRICS_PATH = None
+    _PROFILER = None
     DEFAULT_REGISTRY.reset()
 
 
 # -- worker-side protocol ------------------------------------------------------
 
 
-def worker_configure(args: Optional[Tuple[str, bool]]) -> None:
+def worker_configure(args: Optional[Tuple]) -> None:
     """Arm observability inside a pool worker (from the pool initializer).
 
     The forked child inherits the parent's open sink and populated registry;
     both must be discarded — writing through the inherited handle would
     interleave garbage into the parent's file, and spilling inherited
     counters would double-count the parent's pre-fork work after the merge.
+
+    Accepts both the legacy ``(spill_dir, want_trace)`` pair and the
+    current triple with a trailing ``(trace_id, link)`` context, so a
+    worker never crashes on an args tuple from a different code vintage.
     """
     global _TRACER, _METRICS_PATH, _SPILL_DIR, _WORKER_METRICS_PATH
     if _TRACER is not None:
@@ -306,12 +447,20 @@ def worker_configure(args: Optional[Tuple[str, bool]]) -> None:
     DEFAULT_REGISTRY.reset()
     if args is None:
         return
-    spill_dir, want_trace = args
+    spill_dir, want_trace = args[0], args[1]
+    ctx = args[2] if len(args) > 2 else None
     token = f"{os.getpid()}-{time.monotonic_ns()}"
     if want_trace:
+        trace_id = None
+        link = None
+        if ctx is not None and ctx[0] is not None:
+            trace_id = ctx[0]
+            link = tuple(ctx[1]) if ctx[1] else None
         _TRACER = Tracer(
             JsonlSink(Path(spill_dir) / f"trace-{token}.jsonl"),
             on_span=_observe_span,
+            trace_id=trace_id,
+            default_link=link,
         )
     _WORKER_METRICS_PATH = Path(spill_dir) / f"metrics-{token}.json"
     atexit.register(_worker_shutdown)

@@ -1,0 +1,82 @@
+"""Sampled ``cProfile`` capture attachable to any span by name.
+
+A :class:`SpanProfiler` hangs off a live :class:`~repro.obs.trace.Tracer`
+(its ``profiler`` attribute); every Nth span whose name matches is run
+under a ``cProfile.Profile``, and the stats are dumped to
+``profile-<name>-<pid>-<span_id>.pstats`` in ``out_dir`` — loadable with
+``pstats.Stats`` or ``snakeviz``-style viewers.
+
+Sampling (``every``) exists because span-dense phases (``sweep.task``
+runs once per design point) would otherwise profile everything; the
+first match always profiles so a single traced run yields at least one
+capture.  Profiles are parent-process only: the hook is deliberately
+not propagated through ``worker_args()`` — a profiler in every pool
+worker would serialize the sweep it is trying to measure.
+"""
+
+from __future__ import annotations
+
+import cProfile
+import threading
+from pathlib import Path
+from typing import Optional
+
+__all__ = ["SpanProfiler"]
+
+
+class SpanProfiler:
+    """Every-Nth ``cProfile`` capture for spans named ``span_name``.
+
+    Thread-safe: the match counter is locked, and each capture owns its
+    private ``Profile`` object.  Nested matching spans on one thread are
+    not double-profiled (``cProfile`` cannot nest); the inner span is
+    simply skipped and does not consume a sample slot.
+    """
+
+    def __init__(
+        self, span_name: str, out_dir, every: int = 1
+    ) -> None:
+        if every < 1:
+            raise ValueError(f"every must be >= 1, got {every}")
+        self.span_name = span_name
+        self.out_dir = Path(out_dir)
+        self.every = every
+        self.captured = 0
+        self._seen = 0
+        self._lock = threading.Lock()
+        self._active = threading.local()
+
+    def maybe_start(self, name: str) -> Optional[cProfile.Profile]:
+        """Start a capture if ``name`` matches and the sample is due."""
+        if name != self.span_name:
+            return None
+        if getattr(self._active, "running", False):
+            return None  # cProfile cannot nest; skip the inner span
+        with self._lock:
+            due = self._seen % self.every == 0
+            self._seen += 1
+        if not due:
+            return None
+        prof = cProfile.Profile()
+        try:
+            prof.enable()
+        except ValueError:
+            return None  # another profiler is already installed
+        self._active.running = True
+        return prof
+
+    def finish(
+        self, prof: cProfile.Profile, name: str, pid: int, span_id: int
+    ) -> Optional[Path]:
+        """Stop ``prof`` and dump its stats; returns the written path."""
+        prof.disable()
+        self._active.running = False
+        self.out_dir.mkdir(parents=True, exist_ok=True)
+        safe = name.replace("/", "_")
+        path = self.out_dir / f"profile-{safe}-{pid}-{span_id}.pstats"
+        try:
+            prof.dump_stats(str(path))
+        except OSError:
+            return None  # profiling must never fail the profiled work
+        self.captured += 1
+        return path

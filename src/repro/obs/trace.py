@@ -19,6 +19,15 @@ The module-level :data:`NULL_SPAN_CONTEXT` is the disabled-path currency:
 entering it returns a shared, stateless :class:`_NullSpan`, so code can be
 instrumented unconditionally (``with span("cover.exact"): ...``) and pay
 only one ``None`` check when tracing is off.
+
+Distributed context: every tracer owns a ``trace_id`` (minted at
+construction unless injected) stamped into each record's ``trace`` field,
+and root spans may carry a ``link`` — a remote parent as ``[pid, id]`` —
+so traces from several processes (client, server before and after a
+restart, pool workers) concatenate into one forest whose edges resolve
+across process boundaries.  :func:`format_traceparent` /
+:func:`parse_traceparent` carry a :class:`TraceContext` over HTTP in a
+``traceparent``-style header (``r1-<trace_id>[-<pid>-<span_id>]``).
 """
 
 from __future__ import annotations
@@ -28,19 +37,76 @@ import os
 import threading
 import time
 from pathlib import Path
-from typing import Any, Callable, Dict, List, Optional
+from typing import Any, Callable, Dict, List, NamedTuple, Optional, Tuple
 
 __all__ = [
     "TRACE_FORMAT_VERSION",
     "JsonlSink",
     "NULL_SPAN_CONTEXT",
     "Span",
+    "TraceContext",
     "Tracer",
+    "format_traceparent",
+    "make_trace_id",
+    "parse_traceparent",
 ]
 
 #: Bump when the record schema changes meaning; written into every record's
 #: ``v`` field so readers can reject traces from a different format.
+#: The ``trace``/``link`` context fields are additive (readers that ignore
+#: them still parse every record), so they did not bump the version.
 TRACE_FORMAT_VERSION = 1
+
+#: Header prefix for the wire form of a :class:`TraceContext`.
+_TRACEPARENT_PREFIX = "r1"
+
+
+class TraceContext(NamedTuple):
+    """A trace identity plus an optional remote parent to hang spans from.
+
+    ``link`` is ``(pid, span_id)`` of a span in *another* process (or a
+    crashed incarnation of this one); a root span opened under this
+    context records it so cross-process parent edges stay resolvable
+    after trace files are concatenated.
+    """
+
+    trace_id: str
+    link: Optional[Tuple[int, int]] = None
+
+
+def make_trace_id() -> str:
+    """Mint a fresh 16-hex-char trace id.
+
+    Randomness is fine here: trace ids only need to be distinct, never
+    ordered — determinism lives in span ids, which stay counter-based.
+    """
+    return os.urandom(8).hex()
+
+
+def format_traceparent(ctx: TraceContext) -> str:
+    """Wire form: ``r1-<trace_id>`` or ``r1-<trace_id>-<pid>-<span_id>``."""
+    if ctx.link is None:
+        return f"{_TRACEPARENT_PREFIX}-{ctx.trace_id}"
+    pid, span_id = ctx.link
+    return f"{_TRACEPARENT_PREFIX}-{ctx.trace_id}-{pid}-{span_id}"
+
+
+def parse_traceparent(header: Optional[str]) -> Optional[TraceContext]:
+    """Parse the wire form; ``None`` on anything malformed.
+
+    A bad header from an arbitrary HTTP client must degrade to "no
+    context", never to a server error.
+    """
+    if not header or not isinstance(header, str):
+        return None
+    parts = header.strip().split("-")
+    if parts[0] != _TRACEPARENT_PREFIX:
+        return None
+    if len(parts) == 2 and parts[1]:
+        return TraceContext(parts[1])
+    if len(parts) == 4 and parts[1] and parts[2].isdigit() and parts[3].isdigit():
+        return TraceContext(parts[1], (int(parts[2]), int(parts[3])))
+    return None
 
 
 class _NullSpan:
@@ -77,6 +143,31 @@ class _NullSpanContext:
 NULL_SPAN_CONTEXT = _NullSpanContext()
 
 
+#: Serializes sink file I/O against ``fork()``.  A pool worker forked while
+#: another thread (an HTTP handler flushing per request, say) sits inside
+#: the file object's buffered write inherits that object's *held* internal
+#: lock — and then deadlocks in ``abandon()``'s close.  Holding this lock
+#: across every sink write and acquiring it in an at-fork ``before`` hook
+#: guarantees no fork ever lands mid-write.  An RLock because ``write``
+#: flushes re-entrantly at the FLUSH_EVERY boundary.
+_SINK_FORK_LOCK = threading.RLock()
+
+
+def _release_sink_fork_lock() -> None:
+    try:
+        _SINK_FORK_LOCK.release()
+    except RuntimeError:
+        pass  # not held (registered hooks fire for every fork in the process)
+
+
+if hasattr(os, "register_at_fork"):  # absent on Windows; spawn start there
+    os.register_at_fork(
+        before=_SINK_FORK_LOCK.acquire,
+        after_in_parent=_release_sink_fork_lock,
+        after_in_child=_release_sink_fork_lock,
+    )
+
+
 class JsonlSink:
     """Buffered one-record-per-line JSON writer.
 
@@ -95,36 +186,41 @@ class JsonlSink:
 
     def write(self, record: Dict[str, Any]) -> None:
         """Serialize one record (sorted keys, compact separators)."""
-        if self._fh is None:
-            return
-        self._fh.write(
-            json.dumps(record, sort_keys=True, separators=(",", ":")) + "\n"
-        )
-        self._pending += 1
-        if self._pending >= self.FLUSH_EVERY:
-            self.flush()
+        with _SINK_FORK_LOCK:
+            if self._fh is None:
+                return
+            self._fh.write(
+                json.dumps(record, sort_keys=True, separators=(",", ":"))
+                + "\n"
+            )
+            self._pending += 1
+            if self._pending >= self.FLUSH_EVERY:
+                self.flush()
 
     def write_raw(self, line: str) -> None:
         """Append an already-serialized record line (spill-file merging)."""
-        if self._fh is None:
-            return
-        if not line.endswith("\n"):
-            line += "\n"
-        self._fh.write(line)
-        self._pending += 1
-        if self._pending >= self.FLUSH_EVERY:
-            self.flush()
+        with _SINK_FORK_LOCK:
+            if self._fh is None:
+                return
+            if not line.endswith("\n"):
+                line += "\n"
+            self._fh.write(line)
+            self._pending += 1
+            if self._pending >= self.FLUSH_EVERY:
+                self.flush()
 
     def flush(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
-            self._pending = 0
+        with _SINK_FORK_LOCK:
+            if self._fh is not None:
+                self._fh.flush()
+                self._pending = 0
 
     def close(self) -> None:
-        if self._fh is not None:
-            self._fh.flush()
-            self._fh.close()
-            self._fh = None
+        with _SINK_FORK_LOCK:
+            if self._fh is not None:
+                self._fh.flush()
+                self._fh.close()
+                self._fh = None
 
     def abandon(self) -> None:
         """Discard the inherited handle without writing (post-fork child).
@@ -138,8 +234,9 @@ class JsonlSink:
         process's descriptor table entry), then close, so the stale buffer
         drains harmlessly.
         """
-        fh = self._fh
-        self._fh = None
+        with _SINK_FORK_LOCK:
+            fh = self._fh
+            self._fh = None
         if fh is None:
             return
         try:
@@ -163,7 +260,7 @@ class Span:
 
     __slots__ = (
         "tracer", "name", "span_id", "parent_id", "tags",
-        "_t0", "_cpu0", "start_ts",
+        "trace_id", "link", "_t0", "_cpu0", "start_ts", "_prof",
     )
 
     def __init__(
@@ -173,12 +270,17 @@ class Span:
         span_id: int,
         parent_id: Optional[int],
         tags: Dict[str, Any],
+        trace_id: str,
+        link: Optional[Tuple[int, int]] = None,
     ) -> None:
         self.tracer = tracer
         self.name = name
         self.span_id = span_id
         self.parent_id = parent_id
         self.tags = tags
+        self.trace_id = trace_id
+        self.link = link
+        self._prof = None
         self.start_ts = time.time()
         self._t0 = tracer._clock()
         self._cpu0 = tracer._cpu_clock()
@@ -194,9 +296,19 @@ class Span:
 
     def __enter__(self) -> "Span":
         self.tracer._push(self)
+        profiler = self.tracer.profiler
+        if profiler is not None:
+            self._prof = profiler.maybe_start(self.name)
         return self
 
     def __exit__(self, exc_type, exc, tb) -> bool:
+        if self._prof is not None:
+            profiler = self.tracer.profiler
+            if profiler is not None:
+                profiler.finish(
+                    self._prof, self.name, self.tracer.pid, self.span_id
+                )
+            self._prof = None
         self.tracer._pop(self)
         status = "ok" if exc_type is None else "error"
         error = None if exc is None else f"{exc_type.__name__}: {exc}"
@@ -210,6 +322,13 @@ class Tracer:
     ``on_span`` (optional) is called with ``(name, wall_s)`` for every
     finished span — the hook the metrics layer uses to feed its latency
     histograms without the tracer importing metrics.
+
+    ``trace_id`` is minted when not injected, so a whole process shares
+    one trace by default; ``default_link`` is the remote parent given to
+    root spans when no per-thread context is adopted (how pool workers
+    hang their ``sweep.task`` spans under the coordinator's span).
+    ``profiler`` (assignable) is an optional
+    :class:`repro.obs.profile.SpanProfiler` consulted on span entry.
     """
 
     def __init__(
@@ -218,6 +337,8 @@ class Tracer:
         clock: Callable[[], float] = time.monotonic,
         cpu_clock: Callable[[], float] = time.process_time,
         on_span: Optional[Callable[[str, float], None]] = None,
+        trace_id: Optional[str] = None,
+        default_link: Optional[Tuple[int, int]] = None,
     ) -> None:
         self.sink = sink
         self._clock = clock
@@ -226,6 +347,9 @@ class Tracer:
         self._next_id = 1
         self._local = threading.local()
         self.pid = os.getpid()
+        self.trace_id = trace_id if trace_id is not None else make_trace_id()
+        self.default_link = default_link
+        self.profiler = None
 
     # -- span stack ----------------------------------------------------------
 
@@ -251,23 +375,64 @@ class Tracer:
         stack = self._stack()
         return stack[-1].span_id if stack else None
 
+    # -- distributed context -------------------------------------------------
+
+    def current_context(self) -> TraceContext:
+        """The context a downstream process should continue from.
+
+        Innermost open span wins (its id becomes the link), then the
+        thread's adopted context, then the tracer default.
+        """
+        stack = self._stack()
+        if stack:
+            top = stack[-1]
+            return TraceContext(top.trace_id, (self.pid, top.span_id))
+        adopted = getattr(self._local, "context", None)
+        if adopted is not None:
+            return adopted
+        return TraceContext(self.trace_id, self.default_link)
+
+    def adopt(self, ctx: Optional[TraceContext]) -> "_AdoptScope":
+        """Scope that makes ``ctx`` this thread's root-span context.
+
+        Adopting ``None`` resets to the tracer default — the per-request
+        discipline a thread-reusing server needs (a keep-alive thread
+        must never leak the previous request's context into the next).
+        """
+        return _AdoptScope(self, ctx)
+
     # -- record production ---------------------------------------------------
 
     def span(self, name: str, **tags: Any) -> Span:
         """Open a span nested under the current one (context manager)."""
         span_id = self._next_id
         self._next_id += 1
-        return Span(self, name, span_id, self.current_span_id(), tags)
+        stack = self._stack()
+        if stack:
+            top = stack[-1]
+            return Span(self, name, span_id, top.span_id, tags, top.trace_id)
+        ctx = getattr(self._local, "context", None)
+        if ctx is None:
+            ctx = TraceContext(self.trace_id, self.default_link)
+        return Span(self, name, span_id, None, tags, ctx.trace_id, ctx.link)
 
     def event(self, name: str, **tags: Any) -> None:
         """Emit a zero-duration marker attached to the enclosing span."""
+        stack = self._stack()
+        if stack:
+            parent, trace_id = stack[-1].span_id, stack[-1].trace_id
+        else:
+            ctx = getattr(self._local, "context", None)
+            parent = None
+            trace_id = ctx.trace_id if ctx is not None else self.trace_id
         self.sink.write({
             "v": TRACE_FORMAT_VERSION,
             "kind": "event",
             "name": name,
             "pid": self.pid,
-            "parent": self.current_span_id(),
+            "parent": parent,
             "t": time.time(),
+            "trace": trace_id,
             "tags": _json_safe_tags(tags),
         })
 
@@ -284,8 +449,11 @@ class Tracer:
             "wall_s": wall_s,
             "cpu_s": max(0.0, self._cpu_clock() - span._cpu0),
             "status": status,
+            "trace": span.trace_id,
             "tags": _json_safe_tags(span.tags),
         }
+        if span.parent_id is None and span.link is not None:
+            record["link"] = [span.link[0], span.link[1]]
         if error is not None:
             record["error"] = error
         self.sink.write(record)
@@ -297,6 +465,27 @@ class Tracer:
 
     def close(self) -> None:
         self.sink.close()
+
+
+class _AdoptScope:
+    """Sets a thread's adopted context on entry, restores it on exit."""
+
+    __slots__ = ("_tracer", "_ctx", "_prev")
+
+    def __init__(self, tracer: Tracer, ctx: Optional[TraceContext]) -> None:
+        self._tracer = tracer
+        self._ctx = ctx
+        self._prev = None
+
+    def __enter__(self) -> "_AdoptScope":
+        local = self._tracer._local
+        self._prev = getattr(local, "context", None)
+        local.context = self._ctx
+        return self
+
+    def __exit__(self, *exc_info: object) -> bool:
+        self._tracer._local.context = self._prev
+        return False
 
 
 def _json_safe_tags(tags: Dict[str, Any]) -> Dict[str, Any]:

@@ -241,6 +241,10 @@ class AdmissionController:
             obs_metrics.counter(
                 "repro_service_rejected_total", reason="queue_full"
             ).inc()
+            obs_metrics.counter(
+                "repro_service_tenant_rejected_total",
+                tenant=tenant, reason="queue_full",
+            ).inc()
             raise AdmissionRejected(
                 f"queue is full ({depth}/{self.queue.max_depth} jobs)",
                 retry_after_s=self.retry_after_s(),
@@ -249,6 +253,10 @@ class AdmissionController:
         if per_tenant is not None and self.queue.depth(tenant) >= per_tenant:
             obs_metrics.counter(
                 "repro_service_rejected_total", reason="tenant_full"
+            ).inc()
+            obs_metrics.counter(
+                "repro_service_tenant_rejected_total",
+                tenant=tenant, reason="tenant_full",
             ).inc()
             raise AdmissionRejected(
                 f"tenant {tenant!r} is at its queue limit ({per_tenant})",

@@ -249,8 +249,16 @@ class SynthesisService:
             return existing.public_view(), False
 
         self.admission.admit(tenant)
+        # The submitting request's trace context becomes the job's durable
+        # identity: every later run — on this server or a restarted one —
+        # adopts it, so the whole job stays one trace.
+        ctx = obs.current_context()
         record, needs_enqueue = self.store.submit(
-            spec, tenant, task_deadline, job_deadline, clamped=clamped
+            spec, tenant, task_deadline, job_deadline, clamped=clamped,
+            trace_id=ctx.trace_id if ctx is not None else None,
+            trace_link=(
+                list(ctx.link) if ctx is not None and ctx.link else None
+            ),
         )
         if needs_enqueue:
             try:
@@ -265,7 +273,9 @@ class SynthesisService:
                     scope=exc.scope,
                 )
         obs_metrics.counter("repro_service_admitted_total").inc()
-        obs_metrics.gauge("repro_service_queue_depth").set(self.queue.depth())
+        obs_metrics.counter(
+            "repro_service_tenant_admitted_total", tenant=tenant
+        ).inc()
         return record.public_view(), needs_enqueue
 
     def status(
@@ -435,6 +445,9 @@ class SynthesisService:
             return
         if record.state != JobState.QUEUED:
             return
+        # updated_at was stamped when the job entered QUEUED (submit or
+        # recovery requeue), so now-minus-then is the queue wait.
+        queue_wait = max(0.0, time.time() - record.updated_at)
         # expires_at was set at submit time (the deadline covers queue
         # wait + run), so the transition only stamps the start.
         try:
@@ -446,13 +459,23 @@ class SynthesisService:
         except JobStateError:
             return  # lost the race to cancel/expire
         self.admission.job_started()
-        obs_metrics.gauge("repro_service_queue_depth").set(self.queue.depth())
+        obs_metrics.histogram(
+            "repro_service_queue_wait_seconds"
+        ).observe(queue_wait)
         started = time.monotonic()
         rebuilds = 0
         try:
-            with obs.span(
+            # Adopt the job's durable trace context: on a restarted server
+            # this is what stitches the resumed run into the submit-time
+            # trace (the link resolves to the original request's span once
+            # the per-process files are merged).
+            with obs.trace_context(
+                (record.trace_id, record.trace_link)
+                if record.trace_id else None
+            ), obs.span(
                 "service.job", job_id=job_id, tenant=record.tenant,
-                attempt=record.attempts,
+                attempt=record.attempts, resumed=record.resumed,
+                queue_wait_s=round(queue_wait, 6),
             ):
                 report, result_text = self._execute(record)
             rebuilds = report.pool_rebuilds
@@ -495,9 +518,11 @@ class SynthesisService:
         except Exception as exc:  # noqa: BLE001 - job isolation boundary
             self._fail_job(job_id, exc)
         finally:
-            self.admission.job_finished(
-                time.monotonic() - started, rebuilds
-            )
+            elapsed = time.monotonic() - started
+            obs_metrics.histogram(
+                "repro_service_run_seconds"
+            ).observe(elapsed)
+            self.admission.job_finished(elapsed, rebuilds)
 
     def _fail_job(self, job_id: str, exc: BaseException) -> None:
         try:
@@ -560,6 +585,31 @@ def _number_or_none(value: object, name: str) -> Optional[float]:
     if isinstance(value, bool) or not isinstance(value, (int, float)):
         raise SpecError(f"{name} must be a number, got {value!r}")
     return float(value)
+
+
+def _route_pattern(route: str) -> str:
+    """Collapse a concrete path to its route template for metric labels.
+
+    Label cardinality must stay bounded: every job id or artifact kind as
+    its own series would grow the registry without limit, and an arbitrary
+    unmatched path (scanners probe anything) must not mint series at all.
+    """
+    parts = [p for p in route.split("/") if p]
+    if route in ("/healthz", "/readyz", "/metrics"):
+        return route
+    if parts[:2] == ["v1", "jobs"]:
+        if len(parts) == 2:
+            return "/v1/jobs"
+        if len(parts) == 3:
+            return "/v1/jobs/{id}"
+        if len(parts) == 4 and parts[3] == "result":
+            return "/v1/jobs/{id}/result"
+    if parts[:2] == ["v1", "artifacts"]:
+        if len(parts) == 2:
+            return "/v1/artifacts"
+        if len(parts) == 3:
+            return "/v1/artifacts/{kind}"
+    return "other"
 
 
 # -- stdlib HTTP front end -----------------------------------------------------
@@ -630,8 +680,16 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
         parsed = urlparse(self.path)
         route = parsed.path.rstrip("/") or "/"
         status = 500
+        started = time.monotonic()
+        # Adopt the caller's trace context for exactly this request.
+        # Adopting (possibly None) every time matters: HTTP/1.1 keep-alive
+        # reuses this handler thread, so a leftover context from the
+        # previous request must never leak into the next one.
+        ctx = obs.parse_traceparent(self.headers.get("traceparent"))
         try:
-            with obs.span("service.request", route=route, method=method):
+            with obs.trace_context(ctx), obs.span(
+                "service.request", route=route, method=method
+            ):
                 status = self._route(method, route, parse_qs(parsed.query))
         except SpecError as exc:
             status = 400
@@ -667,6 +725,14 @@ class ServiceHTTPHandler(BaseHTTPRequestHandler):
                 "repro_service_requests_total",
                 method=method, status=str(status),
             ).inc()
+            obs_metrics.histogram(
+                "repro_http_request_seconds",
+                route=_route_pattern(route), method=method,
+            ).observe(time.monotonic() - started)
+            # Per-request durability: a SIGKILL between requests then loses
+            # no finished request span, so cross-restart trace links (the
+            # job record points at the submitting request's span) resolve.
+            obs.flush()
 
     # -- routing --------------------------------------------------------------
 

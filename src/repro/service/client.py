@@ -257,6 +257,11 @@ class ServiceClient:
         )
         try:
             headers = {"Content-Type": "application/json"} if body else {}
+            # Called inside the client.request span, so the header names
+            # that span — the server's service.request links back to it.
+            traceparent = obs.current_traceparent()
+            if traceparent is not None:
+                headers["traceparent"] = traceparent
             conn.request(method, path, body=body, headers=headers)
             resp = conn.getresponse()
             raw = resp.read()  # IncompleteRead on a truncated body

@@ -23,6 +23,7 @@ from collections import deque
 from typing import Deque, Dict, Optional
 
 from ..errors import ServiceError
+from ..obs import metrics as obs_metrics
 
 __all__ = ["FairQueue", "QueueFull"]
 
@@ -95,6 +96,7 @@ class FairQueue:
                 self._rotation.append(tenant)
             per_tenant.append(job_id)
             self._depth += 1
+            self._set_depth_gauge()
             self._cond.notify()
 
     # -- consumers -----------------------------------------------------------
@@ -127,9 +129,16 @@ class FairQueue:
             else:
                 del self._queues[tenant]
             self._depth -= 1
+            self._set_depth_gauge()
             return job_id
 
     # -- introspection and shutdown -----------------------------------------
+
+    def _set_depth_gauge(self) -> None:
+        # The queue owns its gauge: every push/pop keeps the exposition in
+        # step, instead of callers remembering to re-read depth() after
+        # each mutation (the submit and dispatch paths used to disagree).
+        obs_metrics.gauge("repro_service_queue_depth").set(self._depth)
 
     def depth(self, tenant: Optional[str] = None) -> int:
         """Jobs currently queued, overall or for one tenant."""

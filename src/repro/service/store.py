@@ -238,6 +238,12 @@ class JobRecord:
     quarantined: int = 0
     pool_rebuilds: int = 0
     retries: int = 0
+    #: Distributed-trace identity adopted by every run of this job.  Set
+    #: from the submitting request's context and persisted, so a restarted
+    #: server resumes the job inside the *same* trace; ``trace_link`` is
+    #: the submitting span as ``[pid, span_id]``.
+    trace_id: Optional[str] = None
+    trace_link: Optional[List[int]] = None
     #: Monotonic per-job change counter, bumped on every durable state
     #: change.  Serves as the ETag for the long-poll status endpoint: a
     #: client that saw revision N asks "wake me when revision != N".
@@ -396,6 +402,8 @@ class JobStore:
         task_deadline_s: float,
         deadline_s: float,
         clamped: bool = False,
+        trace_id: Optional[str] = None,
+        trace_link: Optional[List[int]] = None,
     ) -> Tuple[JobRecord, bool]:
         """Idempotently register a job; returns ``(record, needs_enqueue)``.
 
@@ -406,6 +414,10 @@ class JobStore:
         deadline covers queue wait plus run time, so a job stuck behind a
         long backlog is expired by the reaper rather than waiting forever
         (recovery restarts the clock — see :meth:`_recover`).
+
+        ``trace_id``/``trace_link`` stamp the submitting request's trace
+        context onto the record (fresh on a terminal-state resubmission,
+        untouched on an idempotent hit — the live run keeps its trace).
         """
         signature = spec.signature()
         job_id = f"job-{signature[:16]}"
@@ -435,6 +447,8 @@ class JobStore:
                         finished_at=None,
                         expires_at=now + deadline_s,
                         resumed=False,
+                        trace_id=trace_id,
+                        trace_link=trace_link,
                     ),
                     True,
                 )
@@ -449,6 +463,8 @@ class JobStore:
                 deadline_s=deadline_s,
                 expires_at=now + deadline_s,
                 clamped=clamped,
+                trace_id=trace_id,
+                trace_link=trace_link,
             )
             self._jobs[job_id] = record
             try:

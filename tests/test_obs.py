@@ -257,6 +257,284 @@ def test_synthesis_pipeline_produces_expected_span_taxonomy(tmp_path):
     assert {"graph.build", "cover.greedy", "spanning.forest"} <= names
 
 
+# --- trace-context propagation ----------------------------------------------
+
+
+def test_traceparent_round_trip_and_malformed_headers():
+    ctx = obs.TraceContext(obs.make_trace_id(), (4242, 17))
+    assert obs.parse_traceparent(obs.format_traceparent(ctx)) == ctx
+    linkless = obs.TraceContext("ab" * 8, None)
+    assert obs.parse_traceparent(obs.format_traceparent(linkless)) == linkless
+    # Malformed headers parse to None — a bad client header must never
+    # become a server-side exception.
+    for header in (None, "", "r1", "r1-", "00-abc-def-01", "r1-x-y",
+                   "r1-tid-12", "r1-tid-pid-span", "r1-tid-12-34-56"):
+        assert obs.parse_traceparent(header) is None
+
+
+def test_root_span_emits_trace_and_link_children_inherit(tmp_path):
+    path = tmp_path / "t.jsonl"
+    tracer = Tracer(JsonlSink(path), trace_id="feed" * 4)
+    ctx = obs.TraceContext("dead" * 4, (999, 3))
+    with tracer.adopt(ctx):
+        with tracer.span("outer"):
+            with tracer.span("inner"):
+                tracer.event("mark")
+    with tracer.span("after"):
+        pass  # adoption ended — back to the tracer's own trace id
+    tracer.close()
+
+    records = load_trace(path)
+    assert validate_trace(records) == []
+    by_name = {r["name"]: r for r in records}
+    assert by_name["outer"]["trace"] == "dead" * 4
+    assert by_name["outer"]["link"] == [999, 3]
+    # Children and events inherit the trace id but never carry the link:
+    # only the root edge crosses a process boundary.
+    assert by_name["inner"]["trace"] == "dead" * 4
+    assert "link" not in by_name["inner"]
+    assert by_name["mark"]["trace"] == "dead" * 4
+    assert by_name["after"]["trace"] == "feed" * 4
+    assert "link" not in by_name["after"]
+
+
+def test_adopting_none_resets_to_tracer_default():
+    """Keep-alive HTTP threads re-adopt per request; None must reset."""
+    tracer = Tracer(JsonlSink("/dev/null"), trace_id="aa" * 8)
+    with tracer.adopt(obs.TraceContext("bb" * 8, (1, 1))):
+        assert tracer.current_context().trace_id == "bb" * 8
+        with tracer.adopt(None):
+            assert tracer.current_context().trace_id == "aa" * 8
+        assert tracer.current_context().trace_id == "bb" * 8
+    assert tracer.current_context().trace_id == "aa" * 8
+    tracer.close()
+
+
+def test_current_context_inside_span_links_to_that_span(tmp_path):
+    tracer = Tracer(JsonlSink(tmp_path / "t.jsonl"), trace_id="cc" * 8)
+    import os as os_mod
+    with tracer.span("outer"):
+        ctx = tracer.current_context()
+        assert ctx.trace_id == "cc" * 8
+        assert ctx.link == (os_mod.getpid(), 1)
+    tracer.close()
+
+
+def test_disabled_obs_propagation_is_inert():
+    """With no tracer configured the propagation surface all no-ops."""
+    assert obs.current_traceparent() is None
+    assert obs.current_context() is None
+    with obs.trace_context(("ab" * 8, [1, 2])):
+        assert obs.span("x") is NULL_SPAN_CONTEXT
+    obs.flush()  # must not raise
+
+
+def test_worker_args_round_trip_preserves_context(tmp_path):
+    """worker_args → worker_configure hands the job's context to workers."""
+    import os as os_mod
+
+    obs.configure(trace_path=tmp_path / "parent.jsonl")
+    with obs.span("sweep.wave"):
+        spill, want_trace, ctx = obs.worker_args()
+    assert want_trace and ctx[0] is not None
+    assert ctx[1] == [os_mod.getpid(), 1]
+    parent_trace = ctx[0]
+    obs.finalize()
+
+    obs.worker_configure((spill, want_trace, ctx))
+    with obs.span("sweep.task"):
+        pass
+    obs.reset()
+    (spill_file,) = list(tmp_path.glob("**/trace-*.jsonl"))
+    (task,) = [r for r in load_trace(spill_file) if r["kind"] == "span"]
+    assert task["trace"] == parent_trace
+    assert task["link"] == [os_mod.getpid(), 1]
+
+
+def test_worker_configure_accepts_legacy_two_tuple(tmp_path):
+    spill = tmp_path / "spill"
+    spill.mkdir()
+    obs.worker_configure((str(spill), True))
+    with obs.span("sweep.task"):
+        pass
+    obs.reset()
+    (spill_file,) = list(spill.glob("trace-*.jsonl"))
+    (task,) = [r for r in load_trace(spill_file) if r["kind"] == "span"]
+    assert task["trace"] is not None and "link" not in task
+
+
+# --- torn-tail tolerance -----------------------------------------------------
+
+
+def test_load_trace_torn_tail_needs_opt_in(tmp_path):
+    good = json.dumps(_span("a", 1, None, 1.0))
+    path = tmp_path / "torn.jsonl"
+    path.write_text(good + "\n" + good[: len(good) // 2])
+    with pytest.raises(ValueError):
+        load_trace(path)  # strict by default: CI wants torn files loud
+    records = load_trace(path, allow_torn_tail=True)
+    assert [r["name"] for r in records] == ["a"]
+
+
+def test_load_trace_torn_middle_line_always_fatal(tmp_path):
+    """Only the *final* line may be torn — a mid-file tear is corruption."""
+    good = json.dumps(_span("a", 1, None, 1.0))
+    path = tmp_path / "corrupt.jsonl"
+    path.write_text(good[: len(good) // 2] + "\n" + good + "\n")
+    with pytest.raises(ValueError):
+        load_trace(path, allow_torn_tail=True)
+
+
+# --- link validation ---------------------------------------------------------
+
+
+def _linked(name, span_id, parent, wall_s, pid=1, trace="ab" * 8, link=None):
+    rec = _span(name, span_id, parent, wall_s, pid=pid)
+    rec["trace"] = trace
+    if link is not None:
+        rec["link"] = link
+    return rec
+
+
+def test_validate_trace_link_rules():
+    # A resolvable cross-process link is fine.
+    ok = [
+        _linked("client.request", 1, None, 1.0, pid=10),
+        _linked("service.request", 1, None, 0.5, pid=20, link=[10, 1]),
+    ]
+    assert validate_trace(ok) == []
+    # A link into a pid that *is* present but names a missing span is
+    # corruption; a link into an absent pid just means that process's
+    # file was not merged in.
+    dangling = [
+        _linked("client.request", 1, None, 1.0, pid=10),
+        _linked("service.request", 1, None, 0.5, pid=20, link=[10, 99]),
+    ]
+    assert validate_trace(dangling)
+    absent_pid = [
+        _linked("service.request", 1, None, 0.5, pid=20, link=[77, 1]),
+    ]
+    assert validate_trace(absent_pid) == []
+    # Links belong on roots only — the link *is* the parent edge.
+    non_root = [
+        _linked("outer", 1, None, 1.0),
+        _linked("inner", 2, 1, 0.5, link=[10, 1]),
+    ]
+    assert validate_trace(non_root)
+
+
+# --- timeline / critical path / chrome export --------------------------------
+
+
+def _job_fixture():
+    """A three-process trace: client → service → two pool sweep.tasks."""
+    client = _linked("client.request", 1, None, 10.0, pid=10, trace="f" * 16)
+    request = dict(
+        _linked("service.request", 7, None, 0.2, pid=20, trace="f" * 16,
+                link=[10, 1]),
+        t=0.2, tags={"route": "/v1/jobs", "method": "POST"},
+    )
+    job = dict(
+        _linked("service.job", 1, None, 9.0, pid=20, trace="f" * 16,
+                link=[10, 1]),
+        t=0.5, tags={"job_id": "job-x", "tenant": "t"},
+    )
+    wave = dict(
+        _linked("sweep.wave", 2, 1, 8.0, pid=20, trace="f" * 16), t=1.0
+    )
+    task_a = dict(
+        _linked("sweep.task", 1, None, 3.0, pid=30, trace="f" * 16,
+                link=[20, 2]), t=1.5
+    )
+    task_b = dict(
+        _linked("sweep.task", 1, None, 4.0, pid=31, trace="f" * 16,
+                link=[20, 2]), t=4.8
+    )
+    return [client, request, job, wave, task_a, task_b]
+
+
+def test_build_timeline_orders_and_indents_the_forest():
+    from repro.obs.report import build_timeline, format_timeline
+
+    rows = build_timeline(_job_fixture())
+    assert [r["name"] for r in rows] == [
+        "client.request", "service.request", "service.job", "sweep.wave",
+        "sweep.task", "sweep.task",
+    ]
+    assert [r["depth"] for r in rows] == [0, 1, 1, 2, 3, 3]
+    rendered = format_timeline(rows)
+    assert "sweep.task" in rendered and "client.request" in rendered
+
+
+def test_critical_path_partitions_the_root_wall_clock():
+    from repro.obs.report import critical_path
+
+    result = critical_path(_job_fixture())
+    # Default root is the longest service.job span, not the client span.
+    assert result["root"]["name"] == "service.job"
+    segments = result["segments"]
+    assert segments, "critical path must be non-empty"
+    # Segments tile the root's wall-clock exactly: chronological, gapless,
+    # with offsets relative to the root's own start.
+    assert segments[0]["start_s"] == pytest.approx(0.0)
+    assert segments[-1]["end_s"] == pytest.approx(9.0)
+    for a, b in zip(segments, segments[1:]):
+        assert a["end_s"] == pytest.approx(b["start_s"])
+    assert sum(result["phases"].values()) == pytest.approx(9.0)
+    # The long tail task dominates the path; the shadowed one is absent.
+    assert any(s["name"] == "sweep.task" and s["pid"] == 31
+               for s in segments)
+
+
+def test_job_trace_continuity_and_filtering():
+    from repro.obs.report import (
+        filter_trace, job_trace_continuity, trace_id_for_job,
+    )
+
+    records = _job_fixture()
+    assert trace_id_for_job(records, "job-x") == "f" * 16
+    assert len(filter_trace(records, "f" * 16)) == 6
+    assert job_trace_continuity(records, "job-x") == []
+    assert job_trace_continuity(records, "job-missing")
+    # Drop the wave span: the tasks' links dangle into a present pid.
+    broken = [r for r in records if r["name"] != "sweep.wave"]
+    assert job_trace_continuity(broken, "job-x")
+
+
+def test_chrome_export_round_trips_and_scales_to_microseconds():
+    from repro.obs.report import to_chrome_trace
+
+    payload = json.loads(json.dumps(to_chrome_trace(_job_fixture())))
+    events = payload["traceEvents"]
+    assert len(events) == 6
+    assert {e["ph"] for e in events} == {"X"}
+    first = events[0]
+    assert first["ts"] == 0  # rebased to the earliest span start
+    assert first["dur"] == pytest.approx(10.0 * 1e6)
+    assert all(e["args"]["trace"] == "f" * 16 for e in events)
+
+
+# --- span profiler -----------------------------------------------------------
+
+
+def test_profiler_samples_every_nth_span(tmp_path):
+    obs.configure(trace_path=tmp_path / "t.jsonl")
+    profiler = obs.enable_profile("hot.phase", tmp_path / "prof", every=2)
+    for _ in range(4):
+        with obs.span("hot.phase"):
+            sum(range(100))
+        with obs.span("cold.phase"):
+            pass
+    obs.finalize()
+    captures = sorted((tmp_path / "prof").glob("*.pstats"))
+    assert len(captures) == 2  # spans 1 and 3 of 4, every=2
+    assert profiler.captured == 2
+    assert all(p.name.startswith("profile-hot.phase-") for p in captures)
+    import pstats
+    stats = pstats.Stats(str(captures[0]))
+    assert stats.total_calls > 0
+
+
 def test_abandoned_sink_never_flushes_inherited_buffer(tmp_path):
     """A forked child must not replay the parent's unflushed records.
 

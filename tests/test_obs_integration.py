@@ -176,8 +176,13 @@ def test_disabled_tracer_overhead_is_negligible():
     iterations = 20_000
     t0 = time.perf_counter()
     for _ in range(iterations):
-        with obs.span("noop", a=1, b="x"):
-            pass
+        # One span plus the trace-context propagation ops the service and
+        # client run per request even when tracing is off: the no-trace
+        # fast path must absorb all of them inside the same 3% bound.
+        with obs.trace_context(None):
+            with obs.span("noop", a=1, b="x"):
+                obs.current_traceparent()
+                obs.current_context()
     per_span_s = (time.perf_counter() - t0) / iterations
 
     import tempfile
