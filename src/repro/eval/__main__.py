@@ -58,6 +58,7 @@ __all__ = [
     "EXIT_VERIFY_FIXEDPOINT",
     "EXIT_VERIFY_EQUIVALENCE",
     "EXIT_VERIFY_MUTATION",
+    "EXIT_CRASHSIM",
     "build_parser",
     "main",
 ]
@@ -72,6 +73,7 @@ EXIT_VERIFY_STRUCTURE = 6
 EXIT_VERIFY_FIXEDPOINT = 7
 EXIT_VERIFY_EQUIVALENCE = 8
 EXIT_VERIFY_MUTATION = 9
+EXIT_CRASHSIM = 10
 
 #: First-failure exit code per verification check (the C-model diff is an
 #: equivalence check, so its failures share that code).
@@ -94,7 +96,7 @@ def build_parser() -> argparse.ArgumentParser:
         "experiment",
         choices=sorted(EXPERIMENTS) + [
             "all", "stats", "timeline", "critical-path", "export-chrome",
-            "verify", "serve", "export", "submit", "watch"
+            "verify", "serve", "export", "submit", "watch", "crashsim"
         ],
         help="which experiment to run ('stats' renders the per-phase time "
              "breakdown of a trace recorded earlier with --trace; "
@@ -106,7 +108,9 @@ def build_parser() -> argparse.ArgumentParser:
              "benchmark filters; 'serve' starts the synthesis job service; "
              "'export' emits one artifact for a single design point; "
              "'submit' sends a sweep to a running service via the resilient "
-             "client; 'watch' long-polls an existing job to completion)",
+             "client; 'watch' long-polls an existing job to completion; "
+             "'crashsim' runs the deterministic crash-consistency "
+             "certification sweep over the durability layers)",
     )
     parser.add_argument(
         "--filters",
@@ -278,7 +282,8 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=0,
         metavar="N",
-        help="verify: seed for random stimulus and mutant drawing (default 0)",
+        help="verify/crashsim: seed for random stimulus, mutant drawing, "
+             "and crash-state sampling (default 0)",
     )
     verify_group.add_argument(
         "--cmodel",
@@ -433,6 +438,38 @@ def build_parser() -> argparse.ArgumentParser:
         action="store_true",
         help="submit: after submitting, follow the job to completion "
              "(exit code reflects its final state)",
+    )
+    crashsim_group = parser.add_argument_group("crashsim options")
+    crashsim_group.add_argument(
+        "--layers",
+        nargs="+",
+        metavar="LAYER",
+        default=None,
+        help="crashsim: durability layers to certify (default: all of "
+             "wal, journal, store, cache)",
+    )
+    crashsim_group.add_argument(
+        "--cap",
+        type=int,
+        default=None,
+        metavar="N",
+        help="crashsim: check at most N crash states per layer, sampled "
+             "deterministically from --seed (default: check every state)",
+    )
+    crashsim_group.add_argument(
+        "--min-states",
+        type=int,
+        default=0,
+        metavar="N",
+        help="crashsim: fail unless at least N crash states were "
+             "enumerated across all layers (coverage floor, default 0)",
+    )
+    crashsim_group.add_argument(
+        "--scratch",
+        default=None,
+        metavar="DIR",
+        help="crashsim: directory for materialized crash states (default: "
+             "a fresh temp dir, removed afterwards)",
     )
     return parser
 
@@ -821,6 +858,60 @@ def _run(args: argparse.Namespace) -> int:
     return EXIT_PARTIAL if quarantined else EXIT_OK
 
 
+def _run_crashsim(args: argparse.Namespace) -> int:
+    """The ``crashsim`` subcommand: deterministic crash-state certification.
+
+    Exit codes: :data:`EXIT_OK` when every enumerated crash state recovers
+    cleanly (and the coverage floor holds), :data:`EXIT_CRASHSIM` when any
+    durability invariant or the ordering linter fails, or when fewer than
+    ``--min-states`` states were enumerated.
+    """
+    import json as json_mod
+    import shutil
+    import tempfile
+    from pathlib import Path
+
+    from ..robust.crashsim import certify
+
+    if args.scratch is not None:
+        scratch = Path(args.scratch)
+        scratch.mkdir(parents=True, exist_ok=True)
+        cleanup = False
+    else:
+        scratch = Path(tempfile.mkdtemp(prefix="crashsim-"))
+        cleanup = True
+    try:
+        try:
+            report = certify.run_certification(
+                scratch, layers=args.layers, seed=args.seed, cap=args.cap,
+            )
+        except ValueError as exc:  # unknown --layers value
+            raise ReproError(str(exc)) from exc
+        print(certify.format_report(report))
+        for layer in report.layers:
+            if layer.capped:
+                print(
+                    f"note: {layer.name} capped to {layer.states_checked} "
+                    f"of {layer.states_enumerated} states "
+                    f"(seed={report.seed}, deterministic sample)"
+                )
+        if args.json is not None:
+            with open(args.json, "w", encoding="utf-8") as fh:
+                json_mod.dump(report.as_dict(), fh, indent=2, sort_keys=True)
+            print(f"[report written to {args.json}]")
+        if report.states_enumerated < args.min_states:
+            print(
+                f"error: enumerated {report.states_enumerated} crash "
+                f"states, below the --min-states floor of {args.min_states}",
+                file=sys.stderr,
+            )
+            return EXIT_CRASHSIM
+        return EXIT_OK if report.ok else EXIT_CRASHSIM
+    finally:
+        if cleanup:
+            shutil.rmtree(scratch, ignore_errors=True)
+
+
 def main(argv: Optional[List[str]] = None) -> int:
     """CLI entry point; returns a process exit code (see module docstring)."""
     parser = build_parser()
@@ -866,6 +957,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             return _run_submit(args)
         if args.experiment == "watch":
             return _run_watch(args)
+        if args.experiment == "crashsim":
+            return _run_crashsim(args)
         return _run(args)
     except BudgetExceeded as exc:
         print(f"error: solver budget exhausted: {exc}", file=sys.stderr)

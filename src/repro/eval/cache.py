@@ -26,13 +26,13 @@ import hashlib
 import json
 import logging
 import os
-import tempfile
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterator, Mapping, Optional
 
 from ..errors import ReproError
 from ..obs import metrics as obs_metrics
+from ..robust.crashsim import fabric as iofabric
 
 logger = logging.getLogger(__name__)
 
@@ -155,12 +155,12 @@ class DiskCache:
             while target.exists():
                 suffix += 1
                 target = target_dir / f"{path.name}.{suffix}"
-            os.replace(path, target)
+            iofabric.active().replace(path, target)
         except OSError:
             # Quarantine is best-effort: on a sick filesystem fall back to
             # unlinking so the corrupt entry at least stops shadowing puts.
             try:
-                path.unlink()
+                iofabric.active().unlink(path)
             except OSError:
                 return
         self.stats.quarantined += 1
@@ -203,21 +203,24 @@ class DiskCache:
         fault = injector.draw_put(key) if injector is not None else None
         if fault == "enospc":
             raise injector.enospc_error(key)
+        fab = iofabric.active()
         path = self._path(key)
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".json"
-        )
+        fab.makedirs_durable(path.parent)
+        # Deliberately no file fsync: the cache is best-effort (an entry
+        # lost to a crash is recomputed); atomic rename alone guarantees a
+        # reader never sees a torn entry *while the system stays up*, and
+        # the integrity check quarantines anything a crash tears.
+        fh, tmp = fab.mkstemp(path.parent, prefix=".tmp-", suffix=".json")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            with fh:
                 body = json.dumps(payload, sort_keys=True, separators=(",", ":"))
                 if fault == "truncate":
                     body = body[: max(1, len(body) // 2)]
                 fh.write(body)
-            os.replace(tmp, path)
+            fab.replace(tmp, path)
         except BaseException:
             try:
-                os.unlink(tmp)
+                fab.unlink(tmp)
             except OSError:
                 pass
             raise
@@ -277,18 +280,19 @@ class DiskCache:
         body = f"{text}{self._TEXT_TRAILER}{digest}\n"
         if fault == "truncate":
             body = body[: max(1, len(body) // 2)]
+        fab = iofabric.active()
         path = self._path(key, "txt")
-        path.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp = tempfile.mkstemp(
-            dir=path.parent, prefix=".tmp-", suffix=".txt"
-        )
+        fab.makedirs_durable(path.parent)
+        # Same best-effort discipline as put(): no file fsync, the sha256
+        # trailer catches (and quarantines) anything a crash tears.
+        fh, tmp = fab.mkstemp(path.parent, prefix=".tmp-", suffix=".txt")
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            with fh:
                 fh.write(body)
-            os.replace(tmp, path)
+            fab.replace(tmp, path)
         except BaseException:
             try:
-                os.unlink(tmp)
+                fab.unlink(tmp)
             except OSError:
                 pass
             raise

@@ -9,10 +9,16 @@ crash-safety story instead of re-deriving it:
   identity (format version, signature, code version, …) so a log written by
   different code or for a different workload is rejected, never guessed at;
 * every append is flushed and ``fsync``'d before it is considered durable;
+* a brand-new log's *directory entry* is fsync'd too — without that, the
+  first appends can be durable in a file whose name is not;
 * reads verify each line's checksum and stop at the first bad one — an
   append-only log can only tear at its tail, and :meth:`ChecksumLog.resume`
   truncates a torn tail (killed writer mid-``write``) so the file is again
   well-formed for further appends.
+
+All IO goes through the active :mod:`repro.robust.crashsim.fabric`, so a
+recording fabric sees every operation (and every durable-append
+acknowledgement) this log performs.
 
 The log stores plain JSON dicts; owners layer their record schema (and any
 replay semantics) on top.
@@ -27,6 +33,7 @@ from pathlib import Path
 from typing import Dict, List, Mapping, Tuple
 
 from ..errors import JournalError
+from ..robust.crashsim import fabric as iofabric
 
 __all__ = ["ChecksumLog", "checksum"]
 
@@ -59,12 +66,19 @@ class ChecksumLog:
         cls, path: os.PathLike, header: Mapping[str, object]
     ) -> "ChecksumLog":
         """Start a fresh log at ``path`` (truncating any previous one)."""
+        fab = iofabric.active()
         log = cls(path)
-        log.path.parent.mkdir(parents=True, exist_ok=True)
-        log._fh = open(log.path, "w", encoding="utf-8")
+        fab.makedirs_durable(log.path.parent)
+        log._fh = fab.open(log.path, "w")
         record = dict(header)
         record["kind"] = _HEADER_KIND
-        log.append(record)
+        log._write_record(record)
+        # The header fsync covered the file's *data*; the file's directory
+        # entry needs its own fsync or the whole log can vanish on power
+        # loss even though its first appends were "durable".  Only then is
+        # the header durable — the ack comes after both.
+        fab.fsync_dir(log.path.parent)
+        log._ack(record)
         return log
 
     @classmethod
@@ -79,12 +93,24 @@ class ChecksumLog:
         written by different code (or for a different workload) into one
         replay.  The returned records exclude the header.
         """
+        fab = iofabric.active()
         target = Path(path)
         if not target.exists():
             return cls.create(path, header), []
         log = cls(path)
         records, valid_bytes = log._read_records()
-        if not records or records[0].get("kind") != _HEADER_KIND:
+        if not records:
+            # A crash during create() can legally leave an empty file or a
+            # torn prefix of the header line (which never contains its
+            # trailing newline).  That is the "nothing durable yet" case —
+            # start fresh.  Anything with a complete line is foreign data
+            # and stays an error.
+            if b"\n" not in target.read_bytes():
+                return cls.create(path, header), []
+            raise JournalError(
+                f"log {target} has no valid header; delete it to start over"
+            )
+        if records[0].get("kind") != _HEADER_KIND:
             raise JournalError(
                 f"log {target} has no valid header; delete it to start over"
             )
@@ -98,9 +124,8 @@ class ChecksumLog:
                 )
         # Truncate any torn tail so future appends land on a clean boundary.
         if valid_bytes < target.stat().st_size:
-            with open(target, "r+b") as fh:
-                fh.truncate(valid_bytes)
-        log._fh = open(target, "a", encoding="utf-8")
+            fab.truncate(target, valid_bytes)
+        log._fh = fab.open(target, "a")
         return log, records[1:]
 
     # -- I/O -----------------------------------------------------------------
@@ -124,14 +149,29 @@ class ChecksumLog:
                 valid_bytes += len(raw)
         return records, valid_bytes
 
-    def append(self, record: Mapping[str, object]) -> None:
-        """Durably append one record (flushed + fsync'd before returning)."""
+    def _write_record(self, record: Mapping[str, object]) -> None:
+        """Write + fsync one record without acknowledging it durable."""
         if self._fh is None:
             raise JournalError(f"log {self.path} is not open for append")
+        fab = iofabric.active()
         body = json.dumps(record, sort_keys=True, separators=(",", ":"))
         self._fh.write(f"{checksum(body)} {body}\n")
-        self._fh.flush()
-        os.fsync(self._fh.fileno())
+        fab.fsync(self._fh)
+
+    def _ack(self, record: Mapping[str, object]) -> None:
+        # The ack names what was just promised durable, so the durability
+        # linter and the crash-state checker can map it back to a concrete
+        # record.
+        info = {"path": str(self.path)}
+        for key in ("kind", "job_id", "state", "seq"):
+            if key in record:
+                info[key] = str(record[key])
+        iofabric.active().ack("wal.append", **info)
+
+    def append(self, record: Mapping[str, object]) -> None:
+        """Durably append one record (flushed + fsync'd before returning)."""
+        self._write_record(record)
+        self._ack(record)
 
     def close(self) -> None:
         """Close the underlying file (append after close raises)."""

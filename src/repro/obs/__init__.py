@@ -140,6 +140,7 @@ _PREDECLARED_COUNTERS = (
     ("repro_service_jobs_expired_total", {}),
     ("repro_service_jobs_resumed_total", {}),
     ("repro_service_wal_errors_total", {}),
+    ("repro_service_compaction_errors_total", {}),
     ("repro_client_retries_total", {}),
     ("repro_client_breaker_trips_total", {}),
     ("repro_client_deadlines_total", {}),
@@ -396,8 +397,23 @@ def finalize() -> Dict[str, str]:
     if _METRICS_PATH is not None:
         _METRICS_PATH.parent.mkdir(parents=True, exist_ok=True)
         tmp = _METRICS_PATH.with_name(_METRICS_PATH.name + ".tmp")
-        tmp.write_text(DEFAULT_REGISTRY.exposition(), encoding="utf-8")
+        # The final exposition is the run's telemetry of record: fsync the
+        # bytes and the rename's directory entry so a crash immediately
+        # after finalize() cannot lose it.  (Plain ``os`` on purpose — obs
+        # sits *below* the crashsim fabric in the import graph.)
+        with open(tmp, "w", encoding="utf-8") as fh:
+            fh.write(DEFAULT_REGISTRY.exposition())
+            fh.flush()
+            os.fsync(fh.fileno())
         os.replace(tmp, _METRICS_PATH)
+        try:
+            dir_fd = os.open(str(_METRICS_PATH.parent), os.O_RDONLY)
+            try:
+                os.fsync(dir_fd)
+            finally:
+                os.close(dir_fd)
+        except OSError:
+            pass
         written["metrics"] = str(_METRICS_PATH)
         _METRICS_PATH = None
     if _SPILL_DIR is not None:
@@ -471,6 +487,13 @@ def worker_checkpoint() -> None:
 
     Flushes the trace sink and atomically rewrites the cumulative metrics
     snapshot, so a worker killed between tasks loses nothing already earned.
+
+    Deliberately **best-effort** (no fsync): checkpoints happen at every
+    task boundary, an fsync per task would serialize workers on the disk,
+    and a snapshot lost to a power cut is superseded by the next one —
+    the atomic rename alone guarantees the merge step never reads a torn
+    file.  Consumers must tolerate a missing-after-crash snapshot
+    (``scripts/check_trace.py --allow-missing-metrics``).
     """
     if _TRACER is not None:
         _TRACER.flush()

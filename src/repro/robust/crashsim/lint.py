@@ -1,0 +1,68 @@
+"""The durability-ordering linter.
+
+An acknowledgement — an ``append()`` returning, an HTTP 2xx becoming
+reachable — is a promise that what it acknowledges survives any crash
+from that instant on.  The linter checks the promise *structurally*: it
+replays the op log and, at every ``ack`` op, verifies that each path the
+ack names is fully durable — its data fsync'd, its directory entry
+fsync'd, every ancestor directory's entry fsync'd.  Delete one fsync from
+a layer and the covering ack becomes a violation, without needing the
+crash-state enumerator to stumble on the losing state (though it will:
+the two checks are deliberately redundant).
+
+Acks name their scope via ``info`` keys ending in ``path`` (``path``,
+``result_path``, ...); values the recording fabric resolved into the
+sandbox are checked, anything else is ignored.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from .fabric import IoOp
+from .model import ReplayState
+
+__all__ = ["LintViolation", "lint_durability"]
+
+
+@dataclass(frozen=True)
+class LintViolation:
+    """An ack reachable before the fsync that should cover it."""
+
+    index: int
+    label: str
+    path: str
+    reason: str
+
+    def __str__(self) -> str:
+        return (
+            f"op[{self.index}] ack {self.label!r} not covered for "
+            f"{self.path!r}: {self.reason}"
+        )
+
+
+def lint_durability(ops: Sequence[IoOp]) -> List[LintViolation]:
+    """Return every uncovered ack in the op log (empty = clean)."""
+    state = ReplayState()
+    violations: List[LintViolation] = []
+    for op in ops:
+        if op.kind == "ack":
+            for key, value in op.info:
+                if not key.endswith("path"):
+                    continue
+                if "/" not in value and value not in state.live_ns:
+                    # Not a recorded sandbox path — out of scope.
+                    continue
+                durable, reason = state.is_durable(value)
+                if not durable:
+                    violations.append(
+                        LintViolation(
+                            index=op.index,
+                            label=op.label,
+                            path=value,
+                            reason=reason,
+                        )
+                    )
+        state.apply(op)
+    return violations

@@ -1,0 +1,403 @@
+"""The abstract filesystem model behind crash-state enumeration.
+
+A :class:`SimDisk` recording is a linear op log.  This module replays that
+log into an abstract state that separates what is *durable* (survives any
+crash) from what is merely *pending* (issued but not yet covered by an
+fsync), then enumerates the legal on-disk states a crash at each prefix
+point could leave behind:
+
+* pending **data** ops (writes, truncates) on an inode persist as a prefix,
+  and the final persisted write may additionally be torn at any byte;
+* pending **metadata** ops (entry creation, rename, unlink, mkdir) in a
+  directory persist as an *ordered prefix* of that directory's op sequence
+  — the conservative ext4-ordered model, which also keeps a rename from
+  ever being applied before the link of its source entry;
+* data and metadata persistence are independent, so an applied
+  ``os.replace`` whose source data was never fsync'd yields the classic
+  *torn rename*: the destination exists with only the durable portion of
+  the source's bytes.
+
+Unflushed (pre-``flush``) writes are treated like flushed-but-unsynced
+ones — a superset of reality that can only *add* crash states, never hide
+one, because every invariant is of the form "acknowledged data must
+survive" (extra survivors cannot violate it).
+
+The enumeration is targeted rather than exhaustive: per cut it emits the
+four data×metadata corner states, every per-directory metadata prefix,
+and byte-torn variants of each inode's final pending write, deduplicated
+by content digest.  The full cross-product is astronomically larger but
+adds only states sandwiched between corners that the invariants treat
+identically.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass, field
+from pathlib import Path, PurePosixPath
+from typing import Dict, Iterable, List, Optional, Sequence, Set, Tuple
+
+from .fabric import IoOp
+
+__all__ = ["CrashState", "ReplayState", "enumerate_states", "replay"]
+
+
+class _Inode:
+    """One file's content: a durable base plus pending (unsynced) data ops."""
+
+    __slots__ = ("durable", "pending")
+
+    def __init__(self, durable: bytes = b"") -> None:
+        self.durable = durable
+        # Each entry is ("write", bytes) or ("truncate", int).
+        self.pending: List[Tuple[str, object]] = []
+
+    def content(self, applied: int, torn_at: Optional[int] = None) -> bytes:
+        """Content after the first ``applied`` pending ops persist.
+
+        ``torn_at`` tears the last applied op (a write) at that byte.
+        """
+        data = self.durable
+        for i, (kind, arg) in enumerate(self.pending[:applied]):
+            if kind == "write":
+                chunk = arg  # type: ignore[assignment]
+                if torn_at is not None and i == applied - 1:
+                    chunk = chunk[:torn_at]
+                data += chunk
+            else:  # truncate
+                size = int(arg)  # type: ignore[arg-type]
+                data = data[:size].ljust(size, b"\x00")
+        return data
+
+
+def _parent(path: str) -> str:
+    parent = PurePosixPath(path).parent.as_posix()
+    return parent
+
+
+@dataclass(frozen=True)
+class _MetaOp:
+    """One pending directory-entry mutation, ordered within its directory."""
+
+    kind: str  # "link" | "replace" | "unlink" | "mkdir"
+    path: str
+    dst: str = ""
+    inode: Optional[_Inode] = None
+
+
+class ReplayState:
+    """The abstract state after replaying a prefix of an op log."""
+
+    def __init__(self) -> None:
+        # Entries whose existence survives any crash.
+        self.durable_ns: Dict[str, _Inode] = {}
+        self.durable_dirs: Set[str] = {"."}
+        # Per-directory ordered pending metadata.
+        self.pending_meta: Dict[str, List[_MetaOp]] = {}
+        # The everything-applied view, used to resolve paths during replay.
+        self.live_ns: Dict[str, _Inode] = {}
+        self.live_dirs: Set[str] = {"."}
+
+    # -- replay -------------------------------------------------------------
+
+    def _ensure_parents(self, path: str) -> None:
+        """Directories never recorded were created before the recording —
+        import them as durable."""
+        parent = _parent(path)
+        while parent not in self.live_dirs:
+            self.live_dirs.add(parent)
+            self.durable_dirs.add(parent)
+            parent = _parent(parent)
+
+    def _pending_for(self, path: str) -> List[_MetaOp]:
+        return self.pending_meta.setdefault(_parent(path), [])
+
+    def apply(self, op: IoOp) -> None:
+        if op.kind == "exists":
+            self._ensure_parents(op.path)
+            inode = _Inode(durable=op.data)
+            self.durable_ns[op.path] = inode
+            self.live_ns[op.path] = inode
+        elif op.kind == "create":
+            self._ensure_parents(op.path)
+            if op.existed and op.path in self.live_ns:
+                # w-mode reopen: O_TRUNC is a data op on the existing inode.
+                self.live_ns[op.path].pending.append(("truncate", 0))
+            else:
+                inode = _Inode()
+                self.live_ns[op.path] = inode
+                self._pending_for(op.path).append(
+                    _MetaOp("link", op.path, inode=inode)
+                )
+        elif op.kind == "write":
+            inode = self.live_ns.get(op.path)
+            if inode is None:  # write to an un-journaled pre-existing file
+                self._ensure_parents(op.path)
+                inode = _Inode()
+                self.live_ns[op.path] = inode
+                self.durable_ns[op.path] = inode
+            inode.pending.append(("write", op.data))
+        elif op.kind == "truncate":
+            inode = self.live_ns.get(op.path)
+            if inode is not None:
+                inode.pending.append(("truncate", op.size))
+        elif op.kind == "fsync":
+            inode = self.live_ns.get(op.path)
+            if inode is not None:
+                inode.durable = inode.content(len(inode.pending))
+                inode.pending.clear()
+        elif op.kind == "mkdir":
+            self._ensure_parents(op.path)
+            self.live_dirs.add(op.path)
+            self._pending_for(op.path).append(_MetaOp("mkdir", op.path))
+        elif op.kind == "replace":
+            inode = self.live_ns.pop(op.path, None)
+            if inode is None:
+                inode = _Inode()
+            self.live_ns[op.dst] = inode
+            self._pending_for(op.dst).append(
+                _MetaOp("replace", op.path, dst=op.dst, inode=inode)
+            )
+        elif op.kind == "unlink":
+            self.live_ns.pop(op.path, None)
+            self._pending_for(op.path).append(_MetaOp("unlink", op.path))
+        elif op.kind == "fsync_dir":
+            for meta in self.pending_meta.pop(op.path, []):
+                _apply_meta(meta, self.durable_ns, self.durable_dirs)
+            # Syncing d makes d's entries durable; entries *of d itself*
+            # pending in d's parent are untouched (makedirs_durable exists
+            # precisely because of this).
+        # "ack" has no filesystem effect.
+
+    # -- queries (used by the linter) ---------------------------------------
+
+    def is_durable(self, path: str) -> Tuple[bool, str]:
+        """Whether ``path`` fully survives any crash right now."""
+        if path not in self.durable_ns:
+            return False, "directory entry not durable (missing dir fsync)"
+        parent = _parent(path)
+        while parent != ".":
+            if parent not in self.durable_dirs:
+                return False, (
+                    f"ancestor directory {parent!r} not durable"
+                )
+            parent = _parent(parent)
+        if self.durable_ns[path].pending:
+            return False, "unsynced data (missing file fsync)"
+        return True, ""
+
+    def pending_dirs(self) -> Dict[str, List[_MetaOp]]:
+        return {d: list(ops) for d, ops in self.pending_meta.items() if ops}
+
+    def pending_inodes(self) -> Dict[str, _Inode]:
+        return {
+            path: inode
+            for path, inode in self.live_ns.items()
+            if inode.pending
+        }
+
+
+def _apply_meta(
+    meta: _MetaOp, ns: Dict[str, _Inode], dirs: Set[str]
+) -> None:
+    if meta.kind == "link":
+        ns[meta.path] = meta.inode  # type: ignore[assignment]
+    elif meta.kind == "mkdir":
+        dirs.add(meta.path)
+    elif meta.kind == "replace":
+        ns.pop(meta.path, None)
+        ns[meta.dst] = meta.inode  # type: ignore[assignment]
+    elif meta.kind == "unlink":
+        ns.pop(meta.path, None)
+
+
+def replay(ops: Sequence[IoOp], upto: Optional[int] = None) -> ReplayState:
+    """Replay the first ``upto`` ops (all of them by default)."""
+    state = ReplayState()
+    for op in ops if upto is None else ops[:upto]:
+        state.apply(op)
+    return state
+
+
+Ack = Tuple[str, Tuple[Tuple[str, str], ...]]
+
+
+@dataclass(frozen=True)
+class CrashState:
+    """One legal on-disk state a crash could leave behind.
+
+    ``acks`` are the acknowledgements issued *before* the cut — the
+    promises recovery from this state must keep.  Two identical trees with
+    different ack sets are distinct states: an empty directory is benign
+    before the first ack and a data-loss bug after it.
+    """
+
+    cut: int
+    variant: str
+    files: Tuple[Tuple[str, bytes], ...]
+    dirs: Tuple[str, ...]
+    acks: Tuple[Ack, ...] = ()
+    digest: str = field(default="", compare=False)
+
+    @staticmethod
+    def build(
+        cut: int,
+        variant: str,
+        files: Dict[str, bytes],
+        dirs: Iterable[str],
+        acks: Tuple[Ack, ...] = (),
+    ) -> "CrashState":
+        file_items = tuple(sorted(files.items()))
+        dir_items = tuple(sorted(dirs))
+        h = hashlib.sha256()
+        for path, data in file_items:
+            h.update(path.encode())
+            h.update(b"\x00")
+            h.update(hashlib.sha256(data).digest())
+        for d in dir_items:
+            h.update(b"\x01")
+            h.update(d.encode())
+        for label, info in acks:
+            h.update(b"\x02")
+            h.update(label.encode())
+            for k, v in info:
+                h.update(f"{k}={v}".encode())
+        return CrashState(
+            cut=cut,
+            variant=variant,
+            files=file_items,
+            dirs=dir_items,
+            acks=acks,
+            digest=h.hexdigest(),
+        )
+
+    def materialize(self, target: Path) -> None:
+        """Write this state into ``target`` (which must be empty/new)."""
+        target.mkdir(parents=True, exist_ok=True)
+        for d in self.dirs:
+            if d != ".":
+                (target / d).mkdir(parents=True, exist_ok=True)
+        for path, data in self.files:
+            full = target / path
+            full.parent.mkdir(parents=True, exist_ok=True)
+            full.write_bytes(data)
+
+
+def _materialize_abstract(
+    state: ReplayState,
+    meta_applied: Dict[str, int],
+    data_applied: Dict[int, int],
+    torn: Optional[Tuple[int, int]] = None,
+) -> Tuple[Dict[str, bytes], Set[str]]:
+    """Resolve one persistence choice into concrete files + dirs.
+
+    ``meta_applied`` maps directory → how many of its pending metadata ops
+    persisted; ``data_applied`` maps ``id(inode)`` → how many pending data
+    ops persisted; ``torn`` optionally tears inode ``torn[0]``'s last
+    applied write at byte ``torn[1]``.
+    """
+    ns: Dict[str, _Inode] = dict(state.durable_ns)
+    dirs: Set[str] = set(state.durable_dirs)
+    for directory in sorted(state.pending_meta):
+        count = meta_applied.get(directory, 0)
+        for meta in state.pending_meta[directory][:count]:
+            _apply_meta(meta, ns, dirs)
+    files: Dict[str, bytes] = {}
+    for path, inode in ns.items():
+        # An entry whose ancestor directory vanished vanishes with it.
+        parent = _parent(path)
+        lost = False
+        while parent != ".":
+            if parent not in dirs:
+                lost = True
+                break
+            parent = _parent(parent)
+        if lost:
+            continue
+        applied = data_applied.get(id(inode), 0)
+        torn_at = torn[1] if torn is not None and torn[0] == id(inode) else None
+        files[path] = inode.content(applied, torn_at=torn_at)
+    return files, dirs
+
+
+def enumerate_states(
+    ops: Sequence[IoOp],
+    cuts: Optional[Iterable[int]] = None,
+) -> List[CrashState]:
+    """Enumerate distinct legal crash states across prefix cuts of ``ops``.
+
+    By default every cut ``0..len(ops)`` is visited.  Per cut the targeted
+    variant families are:
+
+    * the four corners — pending data × pending metadata, each none/all;
+    * every proper prefix of each directory's pending metadata (others
+      fully applied), which surfaces order-dependent rename/link windows;
+    * byte-torn variants of each inode's final pending write (metadata and
+      all other data fully applied) at the start, middle, and last byte.
+
+    States are deduplicated by content digest; the returned list is ordered
+    by (cut, variant) and contains one representative per digest.
+    """
+    all_ops = list(ops)
+    cut_points = list(cuts) if cuts is not None else range(len(all_ops) + 1)
+    seen: Set[str] = set()
+    out: List[CrashState] = []
+    state = ReplayState()
+    replayed = 0
+    acks: List[Ack] = []
+
+    def emit(cut: int, variant: str, meta, data, torn=None) -> None:
+        files, dirs = _materialize_abstract(state, meta, data, torn)
+        cs = CrashState.build(cut, variant, files, dirs, acks=tuple(acks))
+        if cs.digest not in seen:
+            seen.add(cs.digest)
+            out.append(cs)
+
+    for cut in sorted(set(cut_points)):
+        cut = min(cut, len(all_ops))
+        while replayed < cut:
+            op = all_ops[replayed]
+            state.apply(op)
+            if op.kind == "ack":
+                acks.append((op.label, op.info))
+            replayed += 1
+        pending_dirs = state.pending_dirs()
+        pending_inodes = state.pending_inodes()
+        meta_all = {d: len(v) for d, v in pending_dirs.items()}
+        data_all = {
+            id(inode): len(inode.pending)
+            for inode in pending_inodes.values()
+        }
+        # Corners.
+        emit(cut, "corner:meta=0,data=0", {}, {})
+        emit(cut, "corner:meta=all,data=0", meta_all, {})
+        emit(cut, "corner:meta=0,data=all", {}, data_all)
+        emit(cut, "corner:meta=all,data=all", meta_all, data_all)
+        # Per-directory metadata prefixes.
+        for directory, metas in pending_dirs.items():
+            for j in range(1, len(metas)):
+                meta = dict(meta_all)
+                meta[directory] = j
+                emit(
+                    cut,
+                    f"dirprefix:{directory}:{j}",
+                    meta,
+                    data_all,
+                )
+        # Torn final writes.
+        for path, inode in pending_inodes.items():
+            kind, arg = inode.pending[-1]
+            if kind != "write":
+                continue
+            length = len(arg)  # type: ignore[arg-type]
+            for torn_at in sorted({0, length // 2, max(length - 1, 0)}):
+                if torn_at >= length:
+                    continue
+                emit(
+                    cut,
+                    f"torn:{path}:{torn_at}",
+                    meta_all,
+                    data_all,
+                    torn=(id(inode), torn_at),
+                )
+    return out

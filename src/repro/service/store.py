@@ -34,7 +34,6 @@ from __future__ import annotations
 
 import json
 import os
-import tempfile
 import threading
 import time
 from dataclasses import dataclass, field, fields, replace
@@ -45,22 +44,14 @@ from ..errors import JobStateError, SpecError, StoreUnavailable
 from ..eval.supervisor import sweep_signature
 from ..eval.wal import ChecksumLog
 from ..filters import TABLE1_SPECS
+from ..robust.crashsim import fabric as iofabric
 
 __all__ = ["JobRecord", "JobSpec", "JobState", "JobStore"]
 
 
 def _fsync_dir(directory: Path) -> None:
-    """Flush a directory entry after a rename (no-op where unsupported)."""
-    try:
-        fd = os.open(str(directory), os.O_RDONLY)
-    except OSError:
-        return
-    try:
-        os.fsync(fd)
-    except OSError:
-        pass
-    finally:
-        os.close(fd)
+    """Flush a directory's entries after a rename/create (fabric-routed)."""
+    iofabric.active().fsync_dir(directory)
 
 #: Bump when the WAL record schema changes incompatibly.
 STORE_FORMAT_VERSION = 1
@@ -282,7 +273,7 @@ class JobStore:
         fault_injector: Optional[object] = None,
     ) -> None:
         self.root = Path(root)
-        self.root.mkdir(parents=True, exist_ok=True)
+        iofabric.active().makedirs_durable(self.root)
         self._clock = clock
         self._lock = threading.RLock()
         #: Signalled on every durable state change; the long-poll endpoint
@@ -306,8 +297,32 @@ class JobStore:
     def _header() -> Dict[str, object]:
         return {"format": STORE_FORMAT_VERSION, "store": "jobs"}
 
+    def _reap_stale_tmp(self) -> int:
+        """Remove temp-file debris a crash left beside durable data.
+
+        Covers mid-flight result/artifact writes (``.{job_id}.*.tmp``,
+        ``.tmp-*``) — their ``os.replace`` never happened, so they are
+        invisible to every reader and safe to delete.  The compaction temp
+        (``jobs.wal.compact``) is *not* reaped here: compaction recreates
+        and atomically renames it as part of this same recovery.
+        """
+        fab = iofabric.active()
+        reaped = 0
+        for directory in (self.results_dir, self.artifacts_dir):
+            if not directory.is_dir():
+                continue
+            for pattern in (".*.tmp", ".tmp-*"):
+                for stale in sorted(directory.glob(pattern)):
+                    try:
+                        fab.unlink(stale)
+                        reaped += 1
+                    except OSError:
+                        pass
+        return reaped
+
     def _recover(self) -> ChecksumLog:
         """Replay the WAL, requeue interrupted jobs, compact, reopen."""
+        self._reap_stale_tmp()
         log, records = ChecksumLog.resume(self.log_path, self._header())
         for raw in records:
             if raw.get("kind") != _RECORD_KIND:
@@ -339,21 +354,31 @@ class JobStore:
         # Never truncate the live log in place — a crash mid-compaction
         # would lose every job.  Write the compacted log beside it (every
         # append fsync'd) and atomically rename it over the old one.
+        fab = iofabric.active()
         tmp_path = self.log_path.with_name(self.log_path.name + ".compact")
-        compacted = ChecksumLog.create(tmp_path, self._header())
         try:
-            for job_id in sorted(self._jobs):
-                compacted.append(self._jobs[job_id].as_dict())
-        except BaseException:
-            compacted.close()
+            compacted = ChecksumLog.create(tmp_path, self._header())
             try:
-                os.unlink(tmp_path)
+                for job_id in sorted(self._jobs):
+                    compacted.append(self._jobs[job_id].as_dict())
+            finally:
+                compacted.close()
+            fab.replace(tmp_path, self.log_path)
+            _fsync_dir(self.log_path.parent)
+        except OSError:
+            # ENOSPC (or any IO failure) mid-compaction must not take the
+            # store down: the live log is untouched until the atomic
+            # rename, so drop the half-written temp and keep serving —
+            # compaction simply retries on the next restart.
+            try:
+                fab.unlink(tmp_path)
             except OSError:
                 pass
-            raise
-        compacted.close()
-        os.replace(tmp_path, self.log_path)
-        _fsync_dir(self.log_path.parent)
+            from ..obs import metrics as obs_metrics
+
+            obs_metrics.counter(
+                "repro_service_compaction_errors_total"
+            ).inc()
         log, _ = ChecksumLog.resume(self.log_path, self._header())
         if requeued:
             from ..obs import metrics as obs_metrics
@@ -579,24 +604,32 @@ class JobStore:
         return self.results_dir / f"{job_id}.json"
 
     def write_result(self, job_id: str, text: str) -> Path:
-        """Atomically persist a job's result document (tmp + rename)."""
+        """Atomically persist a job's result document (tmp + rename).
+
+        Durable end to end: the temp file's bytes are fsync'd, the rename
+        is made durable by fsyncing the results *directory* — without that
+        last step the new entry lives only in the directory's page cache
+        and a power loss can leave a ``completed`` job with no result file.
+        """
+        fab = iofabric.active()
         target = self._result_path(job_id)
-        target.parent.mkdir(parents=True, exist_ok=True)
-        fd, tmp_name = tempfile.mkstemp(
-            dir=str(target.parent), prefix=f".{job_id}.", suffix=".tmp"
+        fab.makedirs_durable(target.parent)
+        fh, tmp_name = fab.mkstemp(
+            target.parent, prefix=f".{job_id}.", suffix=".tmp"
         )
         try:
-            with os.fdopen(fd, "w", encoding="utf-8") as fh:
+            with fh:
                 fh.write(text)
-                fh.flush()
-                os.fsync(fh.fileno())
-            os.replace(tmp_name, target)
+                fab.fsync(fh)
+            fab.replace(tmp_name, target)
+            _fsync_dir(target.parent)
         except BaseException:
             try:
-                os.unlink(tmp_name)
+                fab.unlink(tmp_name)
             except OSError:
                 pass
             raise
+        fab.ack("store.result", path=str(target), job_id=job_id)
         return target
 
     def read_result(self, job_id: str) -> str:

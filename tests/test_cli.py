@@ -222,3 +222,62 @@ class TestCacheCounterSummary:
         assert code == EXIT_OK
         out = capsys.readouterr().out
         assert "[cache: 3 put errors, 1 quarantined entries]" in out
+
+
+class TestCrashsimCommand:
+    """The ``crashsim`` subcommand: report, JSON artifact, exit codes."""
+
+    def test_single_layer_run_exits_ok_with_report(self, tmp_path, capsys):
+        from repro.eval.__main__ import EXIT_CRASHSIM  # noqa: F401
+
+        report_path = tmp_path / "report.json"
+        code = main([
+            "crashsim", "--layers", "wal", "--cap", "25",
+            "--json", str(report_path),
+        ])
+        assert code == EXIT_OK
+        out = capsys.readouterr().out
+        assert "crash-consistency certification" in out
+        assert "zero invariant violations" in out
+        import json
+
+        payload = json.loads(report_path.read_text(encoding="utf-8"))
+        assert payload["ok"] is True
+        assert payload["layers"][0]["name"] == "wal"
+        assert payload["states_checked"] == 25
+
+    def test_unmet_coverage_floor_exits_crashsim(self, tmp_path, capsys):
+        from repro.eval.__main__ import EXIT_CRASHSIM
+
+        code = main([
+            "crashsim", "--layers", "wal", "--min-states", "10000",
+        ])
+        assert code == EXIT_CRASHSIM
+        err = capsys.readouterr().err
+        assert "below the --min-states floor" in err
+
+    def test_unknown_layer_exits_failure(self, capsys):
+        code = main(["crashsim", "--layers", "bogus"])
+        assert code == EXIT_FAILURE
+        assert "unknown crashsim layers" in capsys.readouterr().err
+
+    def test_scratch_dir_is_kept_when_requested(self, tmp_path):
+        scratch = tmp_path / "keep"
+        code = main([
+            "crashsim", "--layers", "journal", "--scratch", str(scratch),
+        ])
+        assert code == EXIT_OK
+        assert scratch.is_dir()
+
+    def test_capped_runs_are_seed_reproducible(self, tmp_path):
+        import json
+
+        reports = []
+        for run in range(2):
+            path = tmp_path / f"r{run}.json"
+            assert main([
+                "crashsim", "--layers", "store", "--cap", "15",
+                "--seed", "42", "--json", str(path),
+            ]) == EXIT_OK
+            reports.append(json.loads(path.read_text(encoding="utf-8")))
+        assert reports[0] == reports[1]

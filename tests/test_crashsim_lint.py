@@ -1,0 +1,129 @@
+"""The durability-ordering linter: every ack must already be covered.
+
+The linter is the *structural* half of the certification — it catches a
+deleted fsync without needing the enumerator to materialize the losing
+state.  These tests pin the coverage rules one at a time: file fsync,
+directory-entry fsync, ancestor-directory fsync, and the ordering of the
+ack relative to all three.
+"""
+
+from __future__ import annotations
+
+from repro.robust.crashsim.fabric import IoOp
+from repro.robust.crashsim.lint import lint_durability
+
+
+def oplog(*specs):
+    return [
+        IoOp(index=i, kind=kind, **kwargs)
+        for i, (kind, kwargs) in enumerate(specs)
+    ]
+
+
+def ack(path="f", label="wal.append", **extra):
+    info = dict(extra)
+    info["path"] = path
+    return ("ack", {"label": label, "info": tuple(sorted(info.items()))})
+
+
+class TestCoveredAcks:
+    def test_fully_covered_ack_is_clean(self):
+        violations = lint_durability(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"rec"}),
+            ("fsync", {"path": "f"}),
+            ("fsync_dir", {"path": "."}),
+            ack(),
+        ))
+        assert violations == []
+
+    def test_ack_on_preexisting_file_is_clean(self):
+        violations = lint_durability(oplog(
+            ("exists", {"path": "old", "data": b"seed"}),
+            ack(path="old"),
+        ))
+        assert violations == []
+
+    def test_non_path_info_keys_ignored(self):
+        violations = lint_durability(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"rec"}),
+            ("fsync", {"path": "f"}),
+            ("fsync_dir", {"path": "."}),
+            ack(job_id="job-1", state="queued"),
+        ))
+        assert violations == []
+
+    def test_out_of_sandbox_path_values_ignored(self):
+        violations = lint_durability(oplog(
+            ack(path="not-a-recorded-file"),
+        ))
+        assert violations == []
+
+
+class TestUncoveredAcks:
+    def test_missing_file_fsync_flagged(self):
+        violations = lint_durability(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"rec"}),
+            ("fsync_dir", {"path": "."}),
+            ack(),
+        ))
+        assert len(violations) == 1
+        assert "missing file fsync" in violations[0].reason
+        assert violations[0].path == "f"
+
+    def test_missing_dir_fsync_flagged(self):
+        violations = lint_durability(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"rec"}),
+            ("fsync", {"path": "f"}),
+            ack(),
+        ))
+        assert len(violations) == 1
+        assert "directory entry not durable" in violations[0].reason
+
+    def test_missing_ancestor_dir_fsync_flagged(self):
+        violations = lint_durability(oplog(
+            ("mkdir", {"path": "d"}),
+            ("create", {"path": "d/f"}),
+            ("write", {"path": "d/f", "data": b"rec"}),
+            ("fsync", {"path": "d/f"}),
+            ("fsync_dir", {"path": "d"}),
+            # d's own entry in "." was never fsync'd.
+            ack(path="d/f"),
+        ))
+        assert len(violations) == 1
+        assert "ancestor directory 'd'" in violations[0].reason
+
+    def test_ack_before_fsync_is_a_violation_even_if_fsynced_later(self):
+        # Ordering matters: the promise was reachable before the covering
+        # fsync ran, so a crash in between loses acknowledged data.
+        violations = lint_durability(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"rec"}),
+            ack(),
+            ("fsync", {"path": "f"}),
+            ("fsync_dir", {"path": "."}),
+        ))
+        assert len(violations) == 1
+        assert violations[0].index == 2
+
+    def test_every_uncovered_ack_reported(self):
+        violations = lint_durability(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"a"}),
+            ack(),
+            ("write", {"path": "f", "data": b"b"}),
+            ack(),
+        ))
+        assert len(violations) == 2
+
+    def test_violation_str_names_op_label_and_reason(self):
+        (violation,) = lint_durability(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"rec"}),
+            ack(),
+        ))
+        text = str(violation)
+        assert "wal.append" in text and "'f'" in text and "op[2]" in text

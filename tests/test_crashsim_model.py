@@ -1,0 +1,238 @@
+"""The abstract crash model: replay semantics and state enumeration.
+
+Each test builds a tiny op log by hand and checks the model derives
+exactly the durable/pending split and the crash states the POSIX
+crash-consistency literature says are legal: unsynced writes may vanish,
+the final write may tear at any byte, an un-fsync'd rename may roll
+back, and a directory entry never fsync'd into its parent may take the
+whole subtree with it.
+"""
+
+from __future__ import annotations
+
+from repro.robust.crashsim.fabric import IoOp, SimDisk
+from repro.robust.crashsim.model import (
+    CrashState,
+    enumerate_states,
+    replay,
+)
+
+
+def oplog(*specs):
+    """Build an op log from (kind, kwargs) tuples with auto indices."""
+    return [
+        IoOp(index=i, kind=kind, **kwargs)
+        for i, (kind, kwargs) in enumerate(specs)
+    ]
+
+
+def trees(states):
+    """The set of materialized file trees across ``states``."""
+    return {s.files for s in states}
+
+
+class TestReplaySemantics:
+    def test_unsynced_write_is_pending(self):
+        state = replay(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"abc"}),
+        ))
+        durable, reason = state.is_durable("f")
+        assert not durable
+        assert "not durable" in reason
+
+    def test_fsync_folds_pending_into_durable(self):
+        state = replay(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"abc"}),
+            ("fsync", {"path": "f"}),
+            ("fsync_dir", {"path": "."}),
+        ))
+        assert state.is_durable("f") == (True, "")
+        assert state.durable_ns["f"].durable == b"abc"
+
+    def test_file_fsync_without_dir_fsync_is_not_durable(self):
+        state = replay(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"abc"}),
+            ("fsync", {"path": "f"}),
+        ))
+        durable, reason = state.is_durable("f")
+        assert not durable
+        assert "directory entry" in reason
+
+    def test_truncate_pads_with_zeros(self):
+        state = replay(oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"ab"}),
+            ("truncate", {"path": "f", "size": 4}),
+        ))
+        inode = state.live_ns["f"]
+        assert inode.content(len(inode.pending)) == b"ab\x00\x00"
+
+    def test_replace_moves_inode_identity(self):
+        state = replay(oplog(
+            ("create", {"path": "tmp"}),
+            ("write", {"path": "tmp", "data": b"v"}),
+            ("fsync", {"path": "tmp"}),
+            ("replace", {"path": "tmp", "dst": "final"}),
+        ))
+        assert "tmp" not in state.live_ns
+        assert "final" in state.live_ns
+        # The rename itself is still pending in the directory.
+        durable, reason = state.is_durable("final")
+        assert not durable and "directory entry" in reason
+
+    def test_mkdir_pending_until_parent_fsync(self):
+        state = replay(oplog(
+            ("mkdir", {"path": "d"}),
+            ("create", {"path": "d/f"}),
+            ("write", {"path": "d/f", "data": b"x"}),
+            ("fsync", {"path": "d/f"}),
+            ("fsync_dir", {"path": "d"}),
+        ))
+        durable, reason = state.is_durable("d/f")
+        # d/f's entry is durable in d, but d itself never reached its parent.
+        assert not durable
+        assert "ancestor directory 'd'" in reason
+
+    def test_exists_imports_fully_durable(self):
+        state = replay(oplog(("exists", {"path": "old", "data": b"seed"})))
+        assert state.is_durable("old") == (True, "")
+
+
+class TestEnumerateStates:
+    def test_unsynced_write_may_be_lost_or_torn(self):
+        ops = oplog(
+            ("create", {"path": "f"}),
+            ("fsync_dir", {"path": "."}),
+            ("write", {"path": "f", "data": b"abcdef"}),
+        )
+        # States dedup by content across cuts, so the "write lost" tree is
+        # represented once (at its earliest cut) — scan all states.
+        contents = {dict(s.files).get("f") for s in enumerate_states(ops)}
+        # Lost entirely, fully present, and torn at 0/middle/last byte.
+        assert b"" in contents
+        assert b"abcdef" in contents
+        assert b"abc" in contents and b"abcde" in contents
+
+    def test_fsynced_data_survives_every_state(self):
+        ops = oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"safe"}),
+            ("fsync", {"path": "f"}),
+            ("fsync_dir", {"path": "."}),
+        )
+        final = enumerate_states(ops, cuts=[len(ops)])
+        assert final
+        for state in final:
+            assert dict(state.files)["f"] == b"safe"
+
+    def test_unsynced_rename_can_roll_back(self):
+        ops = oplog(
+            ("create", {"path": "dst"}),
+            ("write", {"path": "dst", "data": b"old"}),
+            ("fsync", {"path": "dst"}),
+            ("fsync_dir", {"path": "."}),
+            ("create", {"path": "tmp"}),
+            ("write", {"path": "tmp", "data": b"new"}),
+            ("fsync", {"path": "tmp"}),
+            ("replace", {"path": "tmp", "dst": "dst"}),
+        )
+        final = enumerate_states(ops, cuts=[len(ops)])
+        contents = {dict(s.files).get("dst") for s in final}
+        # Both sides of the un-fsync'd rename are legal outcomes...
+        assert {b"old", b"new"} <= contents
+        # ...but a half-old-half-new destination is not.
+        assert all(c in (b"old", b"new") for c in contents)
+
+    def test_torn_rename_exposes_partial_source_data(self):
+        # os.replace applied while the source's data was never fsync'd:
+        # the destination may hold any prefix of the new bytes.
+        ops = oplog(
+            ("create", {"path": "tmp"}),
+            ("write", {"path": "tmp", "data": b"newdata"}),
+            ("replace", {"path": "tmp", "dst": "dst"}),
+            ("fsync_dir", {"path": "."}),
+        )
+        final = enumerate_states(ops, cuts=[len(ops)])
+        contents = {dict(s.files).get("dst") for s in final}
+        assert b"" in contents  # rename durable, data lost
+        assert b"newdata" in contents
+
+    def test_vanished_directory_takes_children_with_it(self):
+        ops = oplog(
+            ("mkdir", {"path": "d"}),
+            ("create", {"path": "d/f"}),
+            ("write", {"path": "d/f", "data": b"x"}),
+            ("fsync", {"path": "d/f"}),
+            ("fsync_dir", {"path": "d"}),
+            # "." never fsync'd: d's own entry is still pending.
+        )
+        final = enumerate_states(ops, cuts=[len(ops)])
+        assert any("d" not in s.dirs and not dict(s.files) for s in final)
+        assert any(dict(s.files).get("d/f") == b"x" for s in final)
+
+    def test_states_deduplicated_by_content_and_acks(self):
+        ops = oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"v"}),
+            ("fsync", {"path": "f"}),
+            ("fsync_dir", {"path": "."}),
+        )
+        states = enumerate_states(ops)
+        assert len({s.digest for s in states}) == len(states)
+
+    def test_same_tree_different_acks_are_distinct_states(self):
+        base = oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"v"}),
+        )
+        acked = base + [IoOp(index=2, kind="ack", label="promise",
+                             info=(("path", "f"),))]
+        plain_trees = trees(enumerate_states(base))
+        acked_states = enumerate_states(acked)
+        # The post-ack cut re-emits the same trees with the ack attached —
+        # they must NOT dedup away, or the checker never sees the broken
+        # promise.
+        assert any(
+            s.acks and s.files in plain_trees for s in acked_states
+        )
+
+    def test_explicit_cuts_restrict_enumeration(self):
+        ops = oplog(
+            ("create", {"path": "f"}),
+            ("write", {"path": "f", "data": b"v"}),
+        )
+        states = enumerate_states(ops, cuts=[0])
+        assert {s.cut for s in states} == {0}
+        assert trees(states) == {()}
+
+
+class TestMaterialize:
+    def test_round_trip_to_disk(self, tmp_path):
+        state = CrashState.build(
+            cut=3,
+            variant="corner:meta=all,data=all",
+            files={"d/f": b"bytes", "top": b""},
+            dirs={".", "d", "empty"},
+        )
+        target = tmp_path / "state"
+        state.materialize(target)
+        assert (target / "d" / "f").read_bytes() == b"bytes"
+        assert (target / "top").read_bytes() == b""
+        assert (target / "empty").is_dir()
+
+    def test_recorded_workload_states_materialize_faithfully(self, tmp_path):
+        root = tmp_path / "rec"
+        root.mkdir()
+        sim = SimDisk(root)
+        with sim.open(root / "f", "w") as fh:
+            fh.write("payload")
+            sim.fsync(fh)
+        sim.fsync_dir(root)
+        final = enumerate_states(sim.ops, cuts=[len(sim.ops)])
+        for i, state in enumerate(final):
+            out = tmp_path / f"state-{i}"
+            state.materialize(out)
+            assert (out / "f").read_bytes() == b"payload"
